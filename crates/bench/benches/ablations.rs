@@ -1,0 +1,87 @@
+//! Criterion ablations for the design choices DESIGN.md calls out:
+//! Sieve semantic matching, Ranger schema card, dense-embedding
+//! dimensionality, and record history length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachemind_lang::embed::HashedEmbedder;
+use cachemind_lang::intent::QueryIntent;
+use cachemind_retrieval::ranger::RangerRetriever;
+use cachemind_retrieval::retriever::Retriever;
+use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_sim::config::CacheConfig;
+use cachemind_sim::replacement::RecencyPolicy;
+use cachemind_sim::replay::LlcReplay;
+use cachemind_tracedb::database::TraceDatabaseBuilder;
+use cachemind_workloads::workload::Scale;
+
+fn ablation_sieve_semantic(c: &mut Criterion) {
+    let db = TraceDatabaseBuilder::quick_demo().build();
+    let q = "What is the overall miss rate of the mcf workload under LRU?";
+    let workloads = db.workloads();
+    let policies = db.policies();
+    let intent = QueryIntent::parse(
+        q,
+        &workloads.iter().map(String::as_str).collect::<Vec<_>>(),
+        &policies.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut group = c.benchmark_group("sieve_semantic");
+    let with = SieveRetriever::new();
+    let without = SieveRetriever::new().without_semantic();
+    group.bench_function("on", |b| b.iter(|| with.retrieve(&db, &intent)));
+    group.bench_function("off", |b| b.iter(|| without.retrieve(&db, &intent)));
+    group.finish();
+}
+
+fn ablation_ranger_schema(c: &mut Criterion) {
+    let db = TraceDatabaseBuilder::quick_demo().build();
+    let q = "What is the average evicted reuse distance for the lbm workload with LRU?";
+    let workloads = db.workloads();
+    let policies = db.policies();
+    let intent = QueryIntent::parse(
+        q,
+        &workloads.iter().map(String::as_str).collect::<Vec<_>>(),
+        &policies.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut group = c.benchmark_group("ranger_schema");
+    let with = RangerRetriever::new();
+    let without = RangerRetriever::new().without_schema();
+    group.bench_function("on", |b| b.iter(|| with.retrieve(&db, &intent)));
+    group.bench_function("off", |b| b.iter(|| without.retrieve(&db, &intent)));
+    group.finish();
+}
+
+fn ablation_embedding_dims(c: &mut Criterion) {
+    let text = "TRACE_ID: astar_evictions_lru program_counter=0x409538 \
+                memory_address=0x2bfd401b693 evict=Cache Miss";
+    let mut group = c.benchmark_group("embedding_dims");
+    for dims in [16usize, 64, 256] {
+        let embedder = HashedEmbedder::new(dims);
+        group.bench_function(BenchmarkId::from_parameter(dims), |b| {
+            b.iter(|| embedder.embed(text))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_history_len(c: &mut Criterion) {
+    let workload = cachemind_workloads::ptrchase::generate(Scale::Tiny);
+    let mut group = c.benchmark_group("record_history_len");
+    for len in [2usize, 8, 32] {
+        let replay = LlcReplay::new(CacheConfig::new("LLC", 8, 8, 6), &workload.accesses)
+            .with_history_len(len);
+        group.bench_function(BenchmarkId::from_parameter(len), |b| {
+            b.iter(|| replay.run(RecencyPolicy::lru()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_sieve_semantic,
+    ablation_ranger_schema,
+    ablation_embedding_dims,
+    ablation_history_len
+);
+criterion_main!(benches);

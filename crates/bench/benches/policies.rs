@@ -1,0 +1,26 @@
+//! Criterion micro-benchmarks: replacement-policy replay cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cachemind_policies::by_name;
+use cachemind_sim::config::CacheConfig;
+use cachemind_sim::replay::LlcReplay;
+use cachemind_workloads::workload::Scale;
+
+fn bench_policies(c: &mut Criterion) {
+    let workload = cachemind_workloads::mcf::generate(Scale::Tiny);
+    let llc = CacheConfig::new("LLC", 8, 8, 6);
+    let replay = LlcReplay::new(llc, &workload.accesses);
+
+    let mut group = c.benchmark_group("policy_replay");
+    group.throughput(Throughput::Elements(workload.accesses.len() as u64));
+    for name in ["lru", "belady", "srrip", "ship", "hawkeye", "mockingjay", "parrot", "mlp"] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| replay.run(by_name(name).expect("known policy")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: retrieval latency per retriever (the
+//! Figure 9 latency column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cachemind_lang::intent::QueryIntent;
+use cachemind_retrieval::dense::DenseIndexRetriever;
+use cachemind_retrieval::ranger::RangerRetriever;
+use cachemind_retrieval::retriever::Retriever;
+use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_tracedb::database::TraceDatabaseBuilder;
+
+fn bench_retrievers(c: &mut Criterion) {
+    let db = TraceDatabaseBuilder::quick_demo().build();
+    let entry = db.get("mcf_evictions_lru").expect("trace");
+    let row = entry.frame.rows()[10].clone();
+    let question = format!(
+        "Does the memory access with PC {} and address {} result in a cache hit or miss \
+         for the mcf workload and LRU replacement policy?",
+        row.pc, row.address
+    );
+    let workloads = db.workloads();
+    let policies = db.policies();
+    let intent = QueryIntent::parse(
+        &question,
+        &workloads.iter().map(String::as_str).collect::<Vec<_>>(),
+        &policies.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    let sieve = SieveRetriever::new();
+    let ranger = RangerRetriever::new();
+    let dense = DenseIndexRetriever::build(&db, 4);
+
+    let mut group = c.benchmark_group("retrieval_latency");
+    group.bench_function(BenchmarkId::new("sieve", "hitmiss"), |b| {
+        b.iter(|| sieve.retrieve(&db, &intent))
+    });
+    group.bench_function(BenchmarkId::new("ranger", "hitmiss"), |b| {
+        b.iter(|| ranger.retrieve(&db, &intent))
+    });
+    group.bench_function(BenchmarkId::new("dense", "hitmiss"), |b| {
+        b.iter(|| dense.retrieve(&db, &intent))
+    });
+    group.finish();
+}
+
+fn bench_intent_parsing(c: &mut Criterion) {
+    let q = "Which policy has the lowest miss rate for PC 0x409270 in astar?";
+    c.bench_function("intent_parse", |b| {
+        b.iter(|| {
+            QueryIntent::parse(q, &["astar", "lbm", "mcf"], &["belady", "lru", "mlp", "parrot"])
+        })
+    });
+}
+
+criterion_group!(benches, bench_retrievers, bench_intent_parsing);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks: simulator throughput (hierarchy filtering
+//! and LLC replay).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cachemind_sim::config::{CacheConfig, HierarchyConfig};
+use cachemind_sim::hierarchy::CacheHierarchy;
+use cachemind_sim::replacement::RecencyPolicy;
+use cachemind_sim::replay::LlcReplay;
+use cachemind_workloads::workload::Scale;
+
+fn bench_llc_replay(c: &mut Criterion) {
+    let workload = cachemind_workloads::mcf::generate(Scale::Tiny);
+    let llc = CacheConfig::new("LLC", 8, 8, 6);
+    let replay = LlcReplay::new(llc, &workload.accesses);
+
+    let mut group = c.benchmark_group("llc_replay");
+    group.throughput(Throughput::Elements(workload.accesses.len() as u64));
+    group.bench_function("lru_annotated", |b| b.iter(|| replay.run(RecencyPolicy::lru())));
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let workload = cachemind_workloads::lbm::generate(Scale::Tiny);
+    let mut group = c.benchmark_group("hierarchy");
+    group.throughput(Throughput::Elements(workload.accesses.len() as u64));
+    group.bench_function("three_level_filter", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(HierarchyConfig::small());
+            h.run(&workload.accesses, workload.instr_count)
+        })
+    });
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let workload = cachemind_workloads::astar::generate(Scale::Tiny);
+    let mut group = c.benchmark_group("reuse_oracle");
+    group.throughput(Throughput::Elements(workload.accesses.len() as u64));
+    group.bench_function("build", |b| {
+        b.iter(|| cachemind_sim::reuse::ReuseOracle::from_accesses(&workload.accesses, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llc_replay, bench_hierarchy, bench_oracle);
+criterion_main!(benches);

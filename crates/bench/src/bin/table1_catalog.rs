@@ -1,0 +1,25 @@
+//! Table 1: CacheMindBench categories, counts and representative examples.
+
+use cachemind_benchsuite::catalog::{Catalog, CATEGORY_SIZES};
+use cachemind_lang::intent::Tier;
+
+fn main() {
+    let db = cachemind_bench::load_db();
+    let catalog = Catalog::generate(&db);
+
+    println!("Table 1 — CacheMindBench categories and representative queries");
+    cachemind_bench::rule(100);
+    println!("{:<28} {:>5}  {:<60}", "Category", "#", "Representative example");
+    cachemind_bench::rule(100);
+    for (category, size) in CATEGORY_SIZES {
+        let questions = catalog.by_category(category);
+        assert_eq!(questions.len(), size);
+        let example = questions.first().map(|q| q.text.as_str()).unwrap_or("");
+        let truncated: String = example.chars().take(58).collect();
+        println!("{:<28} {:>5}  {:<60}", category.label(), size, truncated);
+    }
+    cachemind_bench::rule(100);
+    let tg = catalog.questions().iter().filter(|q| q.tier() == Tier::TraceGrounded).count();
+    let ara = catalog.questions().len() - tg;
+    println!("Trace-Grounded questions: {tg}   Architectural Reasoning questions: {ara}");
+}

@@ -1,0 +1,15 @@
+//! Table 2: processor and memory configuration.
+
+use cachemind_sim::config::HierarchyConfig;
+
+fn main() {
+    println!("Table 2 — Processor and Memory Configuration");
+    cachemind_bench::rule(78);
+    print!("{}", HierarchyConfig::table2().describe());
+    cachemind_bench::rule(78);
+    println!(
+        "Database-experiment LLC (scaled; see DESIGN.md): {:?}",
+        cachemind_tracedb::database::TraceDatabaseBuilder::experiment_llc()
+    );
+    println!("Replacement policies: Belady's optimal, LRU, PARROT (imitation), MLP");
+}

@@ -1,0 +1,322 @@
+//! The evaluation harness: run a retriever × generator pair over the suite
+//! and aggregate the numbers behind Figures 4–8.
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_lang::context::ContextQuality;
+use cachemind_lang::generator::{Generator, GeneratorRequest, SimulatedBackend, Verdict};
+use cachemind_lang::intent::{QueryCategory, QueryIntent, Tier};
+use cachemind_lang::profiles::BackendKind;
+use cachemind_lang::prompt::Example;
+use cachemind_retrieval::quality::{bucket_for, degrade};
+use cachemind_retrieval::retriever::Retriever;
+use cachemind_tracedb::database::TraceDatabase;
+
+use crate::catalog::Catalog;
+use crate::question::Question;
+use crate::scoring::score;
+
+/// Harness options.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessConfig {
+    /// Number of in-context examples (0 = zero-shot, 1 = one-shot,
+    /// 3 = few-shot), as in Figure 6.
+    pub shots: usize,
+    /// When set, each question's context is deterministically degraded to a
+    /// Low/Medium/High bucket before generation — the Figure 5 sweep.
+    pub degrade_buckets: bool,
+    /// Generator seed override (for sensitivity studies).
+    pub seed: Option<u64>,
+}
+
+/// Per-question outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuestionResult {
+    /// Question id.
+    pub id: String,
+    /// Category.
+    pub category: QueryCategory,
+    /// Context quality the generator saw.
+    pub quality: ContextQuality,
+    /// Points awarded.
+    pub points: f64,
+    /// Maximum points.
+    pub max: f64,
+    /// The generator's verdict.
+    pub verdict: Verdict,
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Backend label.
+    pub backend: String,
+    /// Retriever name.
+    pub retriever: String,
+    /// Per-question results.
+    pub results: Vec<QuestionResult>,
+}
+
+impl BenchReport {
+    /// Accuracy (% of max points) for one category.
+    pub fn category_accuracy(&self, category: QueryCategory) -> f64 {
+        Self::ratio(self.results.iter().filter(|r| r.category == category))
+    }
+
+    /// Accuracy (% of max points) for one tier.
+    pub fn tier_accuracy(&self, tier: Tier) -> f64 {
+        Self::ratio(self.results.iter().filter(|r| r.category.tier() == tier))
+    }
+
+    /// Weighted total accuracy over all questions (% of max points).
+    pub fn total(&self) -> f64 {
+        Self::ratio(self.results.iter())
+    }
+
+    /// Accuracy restricted to questions whose context landed in `quality`.
+    pub fn quality_accuracy(&self, quality: ContextQuality) -> Option<f64> {
+        let subset: Vec<&QuestionResult> =
+            self.results.iter().filter(|r| r.quality == quality).collect();
+        if subset.is_empty() {
+            None
+        } else {
+            Some(Self::ratio(subset.into_iter()))
+        }
+    }
+
+    /// Histogram of rubric scores 0..=5 over the reasoning tier (Figure 7).
+    pub fn score_histogram(&self) -> [usize; 6] {
+        let mut hist = [0usize; 6];
+        for r in &self.results {
+            if r.category.tier() == Tier::Reasoning {
+                let bucket = (r.points.round() as usize).min(5);
+                hist[bucket] += 1;
+            }
+        }
+        hist
+    }
+
+    fn ratio<'a>(results: impl Iterator<Item = &'a QuestionResult>) -> f64 {
+        let (mut points, mut max) = (0.0, 0.0);
+        for r in results {
+            points += r.points;
+            max += r.max;
+        }
+        if max == 0.0 {
+            0.0
+        } else {
+            points / max * 100.0
+        }
+    }
+}
+
+/// K-shot examples for a category (Figure 6's Hit/Miss example plus two
+/// generic companions).
+fn examples_for(shots: usize) -> Vec<Example> {
+    let mut pool = vec![
+        Example::figure6(),
+        Example {
+            context: "The miss rate for PC 0x4037ba is 44.69% over 1200 accesses.".to_owned(),
+            question: "What is the miss rate for PC 0x4037ba in mcf with PARROT?".to_owned(),
+            answer: "44.69%".to_owned(),
+        },
+        Example {
+            context: "Premise check failed: PC 0x4037aa appears only in mcf.".to_owned(),
+            question: "Does PC 0x4037aa in lbm access address 0x1b73be82e3f?".to_owned(),
+            answer: "TRICK — the premise is inconsistent with the trace.".to_owned(),
+        },
+    ];
+    pool.truncate(shots);
+    pool
+}
+
+/// Runs a full benchmark pass.
+pub fn run(
+    db: &TraceDatabase,
+    retriever: &dyn Retriever,
+    backend: BackendKind,
+    catalog: &Catalog,
+    config: &HarnessConfig,
+) -> BenchReport {
+    let mut generator = match config.seed {
+        Some(seed) => SimulatedBackend::new(backend).with_seed(seed),
+        None => SimulatedBackend::new(backend),
+    };
+    let workloads = db.workloads();
+    let policies = db.policies();
+    let wrefs: Vec<&str> = workloads.iter().map(String::as_str).collect();
+    let prefs: Vec<&str> = policies.iter().map(String::as_str).collect();
+
+    let mut results = Vec::with_capacity(catalog.questions().len());
+    for q in catalog.questions() {
+        let intent = QueryIntent::parse(&q.text, &wrefs, &prefs);
+        let mut ctx = retriever.retrieve(db, &intent);
+        if config.degrade_buckets {
+            ctx = degrade(&ctx, bucket_for(&q.text));
+        }
+        let quality = ctx.quality;
+        let request = GeneratorRequest {
+            question: q.text.clone(),
+            intent,
+            context: ctx,
+            examples: examples_for(config.shots),
+        };
+        let answer = generator.answer(&request);
+        let points = score(q, &answer);
+        results.push(QuestionResult {
+            id: q.id.clone(),
+            category: q.category,
+            quality,
+            points,
+            max: q.max_points(),
+            verdict: answer.verdict,
+        });
+    }
+    BenchReport {
+        backend: backend.label().to_owned(),
+        retriever: retriever.name().to_owned(),
+        results,
+    }
+}
+
+/// Convenience: evaluate one question (used by examples and tests).
+pub fn run_single(
+    db: &TraceDatabase,
+    retriever: &dyn Retriever,
+    backend: BackendKind,
+    question: &Question,
+) -> QuestionResult {
+    let workloads = db.workloads();
+    let policies = db.policies();
+    let wrefs: Vec<&str> = workloads.iter().map(String::as_str).collect();
+    let prefs: Vec<&str> = policies.iter().map(String::as_str).collect();
+    let intent = QueryIntent::parse(&question.text, &wrefs, &prefs);
+    let ctx = retriever.retrieve(db, &intent);
+    let quality = ctx.quality;
+    let mut generator = SimulatedBackend::new(backend);
+    let answer = generator.answer(&GeneratorRequest {
+        question: question.text.clone(),
+        intent,
+        context: ctx,
+        examples: Vec::new(),
+    });
+    let points = score(question, &answer);
+    QuestionResult {
+        id: question.id.clone(),
+        category: question.category,
+        quality,
+        points,
+        max: question.max_points(),
+        verdict: answer.verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_retrieval::ranger::RangerRetriever;
+    use cachemind_retrieval::sieve::SieveRetriever;
+    use cachemind_tracedb::TraceDatabaseBuilder;
+
+    fn setup() -> (TraceDatabase, Catalog) {
+        let db = TraceDatabaseBuilder::quick_demo().build();
+        let catalog = Catalog::generate(&db);
+        (db, catalog)
+    }
+
+    #[test]
+    fn gpt4o_beats_gpt35_overall() {
+        let (db, catalog) = setup();
+        let sieve = SieveRetriever::new();
+        let cfg = HarnessConfig::default();
+        let strong = run(&db, &sieve, BackendKind::Gpt4o, &catalog, &cfg);
+        let weak = run(&db, &sieve, BackendKind::Gpt35Turbo, &catalog, &cfg);
+        assert!(
+            strong.total() > weak.total(),
+            "4o {} vs 3.5 {}",
+            strong.total(),
+            weak.total()
+        );
+    }
+
+    #[test]
+    fn sieve_count_collapses_and_ranger_repairs_it() {
+        let (db, catalog) = setup();
+        let cfg = HarnessConfig::default();
+        let sieve = run(&db, &SieveRetriever::new(), BackendKind::Gpt4o, &catalog, &cfg);
+        let ranger = run(&db, &RangerRetriever::new(), BackendKind::Gpt4o, &catalog, &cfg);
+        let sieve_count = sieve.category_accuracy(QueryCategory::Count);
+        let ranger_count = ranger.category_accuracy(QueryCategory::Count);
+        assert!(sieve_count <= 20.0, "sieve count {sieve_count}");
+        assert!(ranger_count >= 60.0, "ranger count {ranger_count}");
+    }
+
+    #[test]
+    fn ranger_wins_tg_sieve_wins_reasoning() {
+        let (db, catalog) = setup();
+        let cfg = HarnessConfig::default();
+        let sieve = run(&db, &SieveRetriever::new(), BackendKind::Gpt4o, &catalog, &cfg);
+        let ranger = run(&db, &RangerRetriever::new(), BackendKind::Gpt4o, &catalog, &cfg);
+        assert!(
+            ranger.tier_accuracy(Tier::TraceGrounded) > sieve.tier_accuracy(Tier::TraceGrounded),
+            "TG: ranger {} vs sieve {}",
+            ranger.tier_accuracy(Tier::TraceGrounded),
+            sieve.tier_accuracy(Tier::TraceGrounded)
+        );
+        assert!(
+            sieve.tier_accuracy(Tier::Reasoning) > ranger.tier_accuracy(Tier::Reasoning),
+            "ARA: sieve {} vs ranger {}",
+            sieve.tier_accuracy(Tier::Reasoning),
+            ranger.tier_accuracy(Tier::Reasoning)
+        );
+    }
+
+    #[test]
+    fn quality_buckets_are_monotone() {
+        let (db, catalog) = setup();
+        let cfg = HarnessConfig { degrade_buckets: true, ..Default::default() };
+        let report = run(&db, &SieveRetriever::new(), BackendKind::Gpt4o, &catalog, &cfg);
+        let low = report.quality_accuracy(ContextQuality::Low).unwrap_or(0.0);
+        let high = report.quality_accuracy(ContextQuality::High).unwrap_or(0.0);
+        assert!(high > low, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn histogram_counts_reasoning_questions() {
+        let (db, catalog) = setup();
+        let cfg = HarnessConfig::default();
+        let report = run(&db, &SieveRetriever::new(), BackendKind::O3, &catalog, &cfg);
+        let hist = report.score_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 25);
+        // o3 is bimodal: the middle of the distribution should be thin.
+        let middle: usize = hist[2..4].iter().sum();
+        let extremes = hist[0] + hist[1] + hist[4] + hist[5];
+        assert!(extremes > middle, "hist {hist:?}");
+    }
+
+    #[test]
+    fn few_shot_helps_trick_questions() {
+        let (db, catalog) = setup();
+        let zero = run(
+            &db,
+            &SieveRetriever::new(),
+            BackendKind::O3,
+            &catalog,
+            &HarnessConfig::default(),
+        );
+        let few = run(
+            &db,
+            &SieveRetriever::new(),
+            BackendKind::O3,
+            &catalog,
+            &HarnessConfig { shots: 3, ..Default::default() },
+        );
+        assert!(
+            few.category_accuracy(QueryCategory::Trick)
+                >= zero.category_accuracy(QueryCategory::Trick),
+            "few {} vs zero {}",
+            few.category_accuracy(QueryCategory::Trick),
+            zero.category_accuracy(QueryCategory::Trick)
+        );
+    }
+}

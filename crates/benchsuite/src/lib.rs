@@ -1,0 +1,44 @@
+//! # cachemind-benchsuite
+//!
+//! **CacheMindBench** — the verified, trace-grounded benchmark suite of §4:
+//! 100 questions in two tiers (75 trace-grounded with binary exact-match
+//! scoring, 25 architectural-reasoning with 0–5 rubric scoring), across the
+//! eleven categories of Table 1.
+//!
+//! Questions are *generated from the trace database itself*, so every item
+//! has a single verifiable source of truth: the ground-truth answer is
+//! computed over the full frames with the same statistics code the paper's
+//! verification used, independent of any retriever.
+//!
+//! The [`harness`] module runs a retriever × generator pair over the suite
+//! and aggregates category/tier/total accuracy — the engine behind
+//! Figures 4, 5, 6, 7 and 8.
+//!
+//! # Example
+//!
+//! ```rust
+//! use cachemind_benchsuite::prelude::*;
+//! use cachemind_tracedb::TraceDatabaseBuilder;
+//!
+//! let db = TraceDatabaseBuilder::quick_demo().build();
+//! let suite = Catalog::generate(&db);
+//! assert_eq!(suite.questions().len(), 100);
+//! ```
+
+pub mod catalog;
+pub mod harness;
+pub mod question;
+pub mod scoring;
+
+pub use catalog::Catalog;
+pub use harness::{BenchReport, HarnessConfig, QuestionResult};
+pub use question::{Expected, Question};
+pub use scoring::score;
+
+/// Commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::harness::{BenchReport, HarnessConfig, QuestionResult};
+    pub use crate::question::{Expected, Question};
+    pub use crate::scoring::score;
+}

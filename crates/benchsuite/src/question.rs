@@ -1,0 +1,79 @@
+//! Benchmark questions and their verified expected answers.
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_lang::intent::{QueryCategory, Tier};
+
+/// The verified ground-truth answer of a question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expected {
+    /// Hit/miss classification; `true` = miss.
+    HitMiss(bool),
+    /// A numeric answer with an absolute tolerance.
+    Number {
+        /// Expected value.
+        value: f64,
+        /// Absolute tolerance for exact-match scoring.
+        tolerance: f64,
+    },
+    /// A ranking question scored on its first element.
+    RankingFirst(String),
+    /// The premise is false; the correct response is rejection.
+    Trick,
+    /// Rubric-graded free-form analysis (0–5).
+    Rubric,
+}
+
+/// One benchmark item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    /// Stable id, e.g. `tg-hitmiss-03`.
+    pub id: String,
+    /// The natural-language question.
+    pub text: String,
+    /// True category (for trick questions this differs from the surface
+    /// category a parser would assign).
+    pub category: QueryCategory,
+    /// The verified answer.
+    pub expected: Expected,
+}
+
+impl Question {
+    /// The tier the question belongs to.
+    pub fn tier(&self) -> Tier {
+        self.category.tier()
+    }
+
+    /// Maximum attainable points (1 for trace-grounded, 5 for rubric).
+    pub fn max_points(&self) -> f64 {
+        match self.expected {
+            Expected::Rubric => 5.0,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_points_by_tier() {
+        let tg = Question {
+            id: "tg-x".into(),
+            text: "q".into(),
+            category: QueryCategory::HitMiss,
+            expected: Expected::HitMiss(true),
+        };
+        assert_eq!(tg.max_points(), 1.0);
+        assert_eq!(tg.tier(), Tier::TraceGrounded);
+        let ara = Question {
+            id: "ara-x".into(),
+            text: "q".into(),
+            category: QueryCategory::PolicyAnalysis,
+            expected: Expected::Rubric,
+        };
+        assert_eq!(ara.max_points(), 5.0);
+        assert_eq!(ara.tier(), Tier::Reasoning);
+    }
+}

@@ -1,0 +1,84 @@
+//! Scoring: binary exact-match for the trace-grounded tier, 0–5 rubric for
+//! the reasoning tier (§4.1–4.2).
+
+use cachemind_lang::generator::{GeneratorAnswer, Verdict};
+
+use crate::question::{Expected, Question};
+
+/// Points awarded for an answer (out of [`Question::max_points`]).
+pub fn score(question: &Question, answer: &GeneratorAnswer) -> f64 {
+    match (&question.expected, &answer.verdict) {
+        (Expected::HitMiss(want), Verdict::HitMiss(got)) => (want == got) as u8 as f64,
+        (Expected::Number { value, tolerance }, Verdict::Number(got)) => {
+            ((got - value).abs() <= *tolerance) as u8 as f64
+        }
+        (Expected::RankingFirst(want), Verdict::Ranking(got)) => {
+            (got.first().map(String::as_str) == Some(want.as_str())) as u8 as f64
+        }
+        (Expected::Trick, Verdict::Trick) => 1.0,
+        // Admitting ignorance on a trick question is epistemically sound
+        // but not the verified answer; the paper scores it 0.
+        (Expected::Rubric, Verdict::FreeForm { quality }) => f64::from((*quality).min(5)),
+        // A rubric question answered with a concrete (grounded) verdict
+        // earns partial credit for correctness without exposition.
+        (Expected::Rubric, Verdict::Ranking(_) | Verdict::Number(_)) => 3.0,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_lang::intent::QueryCategory;
+
+    fn q(expected: Expected, category: QueryCategory) -> Question {
+        Question { id: "t".into(), text: "q".into(), category, expected }
+    }
+
+    fn a(verdict: Verdict) -> GeneratorAnswer {
+        GeneratorAnswer { text: String::new(), verdict }
+    }
+
+    #[test]
+    fn hitmiss_exact_match() {
+        let question = q(Expected::HitMiss(true), QueryCategory::HitMiss);
+        assert_eq!(score(&question, &a(Verdict::HitMiss(true))), 1.0);
+        assert_eq!(score(&question, &a(Verdict::HitMiss(false))), 0.0);
+        assert_eq!(score(&question, &a(Verdict::NotFound)), 0.0);
+    }
+
+    #[test]
+    fn numbers_respect_tolerance() {
+        let question =
+            q(Expected::Number { value: 44.69, tolerance: 0.05 }, QueryCategory::MissRate);
+        assert_eq!(score(&question, &a(Verdict::Number(44.71))), 1.0);
+        assert_eq!(score(&question, &a(Verdict::Number(45.0))), 0.0);
+    }
+
+    #[test]
+    fn ranking_scored_on_first() {
+        let question =
+            q(Expected::RankingFirst("belady".into()), QueryCategory::PolicyComparison);
+        assert_eq!(score(&question, &a(Verdict::Ranking(vec!["belady".into()]))), 1.0);
+        assert_eq!(
+            score(&question, &a(Verdict::Ranking(vec!["lru".into(), "belady".into()]))),
+            0.0
+        );
+    }
+
+    #[test]
+    fn trick_requires_rejection() {
+        let question = q(Expected::Trick, QueryCategory::Trick);
+        assert_eq!(score(&question, &a(Verdict::Trick)), 1.0);
+        assert_eq!(score(&question, &a(Verdict::HitMiss(true))), 0.0);
+        assert_eq!(score(&question, &a(Verdict::NotFound)), 0.0);
+    }
+
+    #[test]
+    fn rubric_uses_quality() {
+        let question = q(Expected::Rubric, QueryCategory::SemanticAnalysis);
+        assert_eq!(score(&question, &a(Verdict::FreeForm { quality: 4 })), 4.0);
+        assert_eq!(score(&question, &a(Verdict::FreeForm { quality: 7 })), 5.0);
+        assert_eq!(score(&question, &a(Verdict::Number(3.0))), 3.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! The assistive chat layer: CacheMind plus conversation memory.
+//!
+//! "We augmented the Generator LLM with conversation memory buffer, turning
+//! it into an assistive chat tool" (§1). Sessions retain intermediate
+//! results so multi-turn analyses — the Figure 10–13 insight transcripts —
+//! can build on earlier answers.
+
+use cachemind_lang::memory::{ConversationMemory, Role};
+
+use crate::system::{Answer, CacheMind};
+
+/// A multi-turn chat session over one CacheMind instance.
+#[derive(Debug)]
+pub struct ChatSession {
+    mind: CacheMind,
+    memory: ConversationMemory,
+    transcript: Vec<(String, String)>,
+}
+
+impl ChatSession {
+    /// Starts a session keeping the last 8 turns verbatim.
+    pub fn new(mind: CacheMind) -> Self {
+        ChatSession { mind, memory: ConversationMemory::new(8), transcript: Vec::new() }
+    }
+
+    /// The underlying system.
+    pub fn mind(&self) -> &CacheMind {
+        &self.mind
+    }
+
+    /// Asks a question within the session; the turn is recorded in memory
+    /// and the transcript.
+    pub fn ask(&mut self, question: &str) -> Answer {
+        self.memory.push(Role::User, question);
+        let answer = self.mind.ask(question);
+        self.memory.push(Role::Assistant, &answer.text);
+        self.transcript.push((question.to_owned(), answer.text.clone()));
+        answer
+    }
+
+    /// Records an out-of-band analysis step (the insight modules execute
+    /// plans directly but still log chat-style turns, as in the paper's
+    /// condensed transcripts).
+    pub fn log(&mut self, question: &str, response: &str) {
+        self.memory.push(Role::User, question);
+        self.memory.push(Role::Assistant, response);
+        self.transcript.push((question.to_owned(), response.to_owned()));
+    }
+
+    /// Recalls past turns relevant to `query` from vector memory.
+    pub fn recall(&self, query: &str, k: usize) -> Vec<String> {
+        self.memory.recall(query, k)
+    }
+
+    /// The full `(question, answer)` transcript.
+    pub fn transcript(&self) -> &[(String, String)] {
+        &self.transcript
+    }
+
+    /// Renders the transcript in the paper's condensed format
+    /// (Figures 10–13).
+    pub fn render_transcript(&self) -> String {
+        let mut out = String::new();
+        for (q, a) in &self.transcript {
+            out.push_str(&format!("User: {q}\nAssistant: {a}\n\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::RetrieverKind;
+    use cachemind_tracedb::TraceDatabaseBuilder;
+
+    #[test]
+    fn session_accumulates_transcript_and_memory() {
+        let mind = CacheMind::new(TraceDatabaseBuilder::quick_demo().build())
+            .with_retriever(RetrieverKind::Ranger);
+        let mut chat = ChatSession::new(mind);
+        chat.ask("What is the overall miss rate of the mcf workload under LRU?");
+        chat.log("List all unique PCs in the trace.", "0x401380, 0x401384, ...");
+        assert_eq!(chat.transcript().len(), 2);
+        let recalled = chat.recall("unique PCs", 1);
+        assert!(recalled[0].contains("unique PCs"));
+        let rendered = chat.render_transcript();
+        assert!(rendered.contains("User: List all unique PCs"));
+    }
+}

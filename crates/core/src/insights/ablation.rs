@@ -1,0 +1,137 @@
+//! Runnable ablation studies for the design choices DESIGN.md §5 calls out.
+//!
+//! Each study returns the swept parameter alongside the metric it moves, so
+//! the bench harness (and tests) can assert the direction of the effect:
+//!
+//! * Sieve's slice cap — the single knob behind the Count/Arithmetic
+//!   collapse of Figures 4/8.
+//! * Ranger's schema card — the "context can suppress latent knowledge"
+//!   observation: without the schema, plans bind the wrong columns.
+//! * The dense baseline's index stride — coarser indexing loses the exact
+//!   rows entirely.
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_benchsuite::catalog::Catalog;
+use cachemind_benchsuite::harness::{self, HarnessConfig};
+use cachemind_lang::intent::QueryCategory;
+use cachemind_lang::profiles::BackendKind;
+use cachemind_retrieval::dense::DenseIndexRetriever;
+use cachemind_retrieval::probes::{probe_queries, run_probes};
+use cachemind_retrieval::ranger::RangerRetriever;
+use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_tracedb::database::TraceDatabase;
+
+/// One swept configuration and the metric it produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// The parameter value (cap, stride, or 0/1 for off/on).
+    pub parameter: usize,
+    /// The measured accuracy / success rate in percent.
+    pub metric: f64,
+}
+
+/// Sweeps Sieve's slice cap and reports Count-category accuracy.
+///
+/// A cap large enough to cover every matching slice makes Sieve's counts
+/// complete, recovering the category; the paper's configuration (a small
+/// fixed window) is what zeroes it.
+pub fn sieve_slice_cap(db: &TraceDatabase, catalog: &Catalog, caps: &[usize]) -> Vec<AblationPoint> {
+    caps.iter()
+        .map(|&cap| {
+            let sieve = SieveRetriever::new().with_slice_cap(cap);
+            let report = harness::run(
+                db,
+                &sieve,
+                BackendKind::Gpt4o,
+                catalog,
+                &HarnessConfig::default(),
+            );
+            AblationPoint {
+                parameter: cap,
+                metric: report.category_accuracy(QueryCategory::Count),
+            }
+        })
+        .collect()
+}
+
+/// Ranger with and without the schema card: Arithmetic accuracy.
+///
+/// Returns `[without, with]` (parameter 0 = schema hidden, 1 = shown).
+pub fn ranger_schema(db: &TraceDatabase, catalog: &Catalog) -> Vec<AblationPoint> {
+    [(0usize, RangerRetriever::new().without_schema()), (1, RangerRetriever::new())]
+        .into_iter()
+        .map(|(parameter, retriever)| {
+            let report = harness::run(
+                db,
+                &retriever,
+                BackendKind::Gpt4o,
+                catalog,
+                &HarnessConfig::default(),
+            );
+            AblationPoint {
+                parameter,
+                metric: report.category_accuracy(QueryCategory::Arithmetic),
+            }
+        })
+        .collect()
+}
+
+/// Dense-index stride sweep over the Figure 9 probes: retrieval success.
+pub fn dense_stride(db: &TraceDatabase, strides: &[usize]) -> Vec<AblationPoint> {
+    let probes = probe_queries(db);
+    strides
+        .iter()
+        .map(|&stride| {
+            let dense = DenseIndexRetriever::build(db, stride);
+            let report = run_probes(db, &dense, &probes);
+            AblationPoint { parameter: stride, metric: report.success_rate() * 100.0 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_tracedb::database::TraceDatabaseBuilder;
+
+    fn setup() -> (TraceDatabase, Catalog) {
+        let db = TraceDatabaseBuilder::quick_demo().build();
+        let catalog = Catalog::generate(&db);
+        (db, catalog)
+    }
+
+    #[test]
+    fn slice_cap_controls_count_accuracy() {
+        let (db, catalog) = setup();
+        let points = sieve_slice_cap(&db, &catalog, &[5, 1_000_000]);
+        assert!(
+            points[1].metric > points[0].metric,
+            "huge cap {} should beat tiny cap {}",
+            points[1].metric,
+            points[0].metric
+        );
+        assert!(points[0].metric <= 20.0, "tiny cap must collapse Count");
+    }
+
+    #[test]
+    fn schema_card_controls_arithmetic_accuracy() {
+        let (db, catalog) = setup();
+        let points = ranger_schema(&db, &catalog);
+        assert!(
+            points[1].metric >= points[0].metric,
+            "with-schema {} should be at least without {}",
+            points[1].metric,
+            points[0].metric
+        );
+        assert!(points[1].metric - points[0].metric >= 10.0, "schema must matter: {points:?}");
+    }
+
+    #[test]
+    fn dense_stride_trades_coverage() {
+        let (db, _) = setup();
+        let points = dense_stride(&db, &[1, 64]);
+        // Denser indexing can only help (or tie) the probe success rate.
+        assert!(points[0].metric >= points[1].metric, "{points:?}");
+    }
+}

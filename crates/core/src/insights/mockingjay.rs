@@ -1,0 +1,125 @@
+//! §6.3 — Mockingjay stable-PC reuse-distance-predictor training.
+//!
+//! Figure 10's chat identifies PCs with low ETR/reuse-distance variance;
+//! "we changed the Mockingjay source code to train only on the list of
+//! stable PCs identified by CacheMind ... stable training increased IPC
+//! from 0.47698 to 0.480307 (0.7% speedup) over milc."
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_policies::MockingjayPolicy;
+use cachemind_sim::addr::Pc;
+use cachemind_sim::replacement::RecencyPolicy;
+use cachemind_sim::replay::LlcReplay;
+use cachemind_workloads::workload::Scale;
+
+use super::{experiment_ipc_model, experiment_llc};
+
+/// Outcome of the stable-PC retraining experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MockingjayReport {
+    /// PCs classified as stable (low reuse-distance variance).
+    pub stable_pcs: Vec<Pc>,
+    /// PCs classified as noisy.
+    pub noisy_pcs: Vec<Pc>,
+    /// IPC with unrestricted RDP training.
+    pub base_ipc: f64,
+    /// IPC with training restricted to stable PCs.
+    pub stable_ipc: f64,
+    /// Speedup in percent.
+    pub speedup_percent: f64,
+    /// Baseline Mockingjay hit rate.
+    pub base_hit_rate: f64,
+    /// Stable-trained Mockingjay hit rate.
+    pub stable_hit_rate: f64,
+    /// Figure 10-shaped transcript.
+    pub transcript: String,
+}
+
+/// Runs the experiment on milc.
+pub fn run(scale: Scale) -> MockingjayReport {
+    let workload = cachemind_workloads::milc::generate(scale);
+    let replay = LlcReplay::new(experiment_llc(), &workload.accesses);
+
+    // CacheMind analysis: per-PC reuse-distance coefficient of variation
+    // over an LRU trace (the chat's mean/std ETR grouping).
+    let lru = replay.run(RecencyPolicy::lru());
+    let mut samples: std::collections::HashMap<Pc, Vec<f64>> = std::collections::HashMap::new();
+    for r in &lru.records {
+        if let Some(d) = r.accessed_reuse_distance {
+            samples.entry(r.pc).or_default().push(d as f64);
+        }
+    }
+    let cv = |v: &[f64]| {
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        if mean > 0.0 {
+            var.sqrt() / mean
+        } else {
+            0.0
+        }
+    };
+    let mut scored: Vec<(Pc, f64)> = samples
+        .iter()
+        .filter(|(_, v)| v.len() >= 20)
+        .map(|(pc, v)| (*pc, cv(v)))
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let split = scored.len() / 2;
+    let stable_pcs: Vec<Pc> = scored[..split.max(1)].iter().map(|(pc, _)| *pc).collect();
+    let noisy_pcs: Vec<Pc> = scored[split.max(1)..].iter().map(|(pc, _)| *pc).collect();
+
+    // Validation: Mockingjay with and without the training filter.
+    let base = replay.run(MockingjayPolicy::new());
+    let stable =
+        replay.run(MockingjayPolicy::new().with_training_filter(stable_pcs.iter().copied()));
+
+    let model = experiment_ipc_model();
+    let base_ipc = model.ipc_from_llc(workload.instr_count, base.stats.hits, base.stats.demand_misses);
+    let stable_ipc =
+        model.ipc_from_llc(workload.instr_count, stable.stats.hits, stable.stats.demand_misses);
+
+    let transcript = format!(
+        "User: Mockingjay uses PC-based reuse-distance prediction; suggest ideas to improve \
+         performance.\n\
+         Assistant: Cluster PCs by ETR variance; train the RDP on stable samples.\n\n\
+         User: List all unique PCs in the trace.\n\
+         Assistant: {} unique PCs.\n\n\
+         User: Group PCs by reuse-distance variance.\n\
+         Assistant: LowVar: {:?}, HighVar: {:?}.\n",
+        samples.len(),
+        stable_pcs.iter().map(|p| format!("{p}")).collect::<Vec<_>>(),
+        noisy_pcs.iter().map(|p| format!("{p}")).collect::<Vec<_>>(),
+    );
+
+    MockingjayReport {
+        stable_pcs,
+        noisy_pcs,
+        base_ipc,
+        stable_ipc,
+        speedup_percent: cachemind_sim::timing::IpcModel::speedup_percent(base_ipc, stable_ipc),
+        base_hit_rate: base.hit_rate(),
+        stable_hit_rate: stable.hit_rate(),
+        transcript,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_training_does_not_hurt_and_usually_helps() {
+        let report = run(Scale::Small);
+        assert!(!report.stable_pcs.is_empty());
+        assert!(!report.noisy_pcs.is_empty());
+        // The paper's gain is small (0.7%); require a non-negative effect
+        // with some tolerance for simulator noise.
+        assert!(
+            report.speedup_percent > -0.5,
+            "stable training regressed: {}%",
+            report.speedup_percent
+        );
+    }
+}

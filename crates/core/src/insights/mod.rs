@@ -1,0 +1,35 @@
+//! The actionable-insight use cases of §6.3.
+//!
+//! Each module reproduces one end-to-end loop: *CacheMind-style analysis
+//! identifies a property → the simulator is re-run with the corresponding
+//! intervention → the IPC/hit-rate delta is measured*:
+//!
+//! * [`bypass`] — signature optimisation for bypass logic (mcf/LRU).
+//! * [`mockingjay`] — stable-PC reuse-distance-predictor training (milc).
+//! * [`prefetch`] — software prefetch insertion at the dominant miss PC
+//!   (pointer-chase microbenchmark).
+//! * [`set_hotness`] — hot/cold cache-set identification (astar).
+//! * [`inversions`] — the Belady-vs-PARROT per-PC hit-rate inversions.
+//! * [`ablation`] — runnable ablation sweeps for the DESIGN.md §5 design
+//!   choices (Sieve slice cap, Ranger schema card, dense index stride).
+
+pub mod ablation;
+pub mod bypass;
+pub mod inversions;
+pub mod mockingjay;
+pub mod prefetch;
+pub mod set_hotness;
+
+use cachemind_sim::config::{CacheConfig, HierarchyConfig};
+use cachemind_sim::timing::IpcModel;
+
+/// The LLC geometry shared by the use-case experiments (matches the trace
+/// database's experiment LLC).
+pub fn experiment_llc() -> CacheConfig {
+    cachemind_tracedb::database::TraceDatabaseBuilder::experiment_llc()
+}
+
+/// The IPC model used by the use-case experiments.
+pub fn experiment_ipc_model() -> IpcModel {
+    IpcModel::from_config(&HierarchyConfig::table2())
+}

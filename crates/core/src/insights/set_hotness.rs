@@ -1,0 +1,131 @@
+//! §6.3 — hot/cold cache-set identification (Figure 13).
+//!
+//! "CacheMind is used to identify hot and cold cache sets from access
+//! traces ... In sampled-set LLC policies, learning eviction behavior from
+//! hot sets is more effective than uniform random sampling."
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_sim::replay::LlcReplay;
+use cachemind_workloads::workload::Scale;
+
+use super::experiment_llc;
+
+/// Hot/cold sets under one policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicySetProfile {
+    /// Policy name.
+    pub policy: String,
+    /// The five hottest sets (by hit rate among active sets).
+    pub hot_sets: Vec<usize>,
+    /// The five coldest sets.
+    pub cold_sets: Vec<usize>,
+    /// Hit rate of the hottest set.
+    pub hot_hit_rate: f64,
+    /// Hit rate of the coldest set.
+    pub cold_hit_rate: f64,
+}
+
+/// Outcome of the set-hotness analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetHotnessReport {
+    /// Workload analysed.
+    pub workload: String,
+    /// Per-policy profiles (LRU and Belady).
+    pub profiles: Vec<PolicySetProfile>,
+    /// How many of the top-5 hot sets coincide between LRU and Belady.
+    pub hot_overlap: usize,
+    /// Figure 13-shaped transcript.
+    pub transcript: String,
+}
+
+fn profile(policy_name: &str, report: &cachemind_sim::replay::ReplayReport) -> PolicySetProfile {
+    let mut per_set: std::collections::HashMap<usize, (u64, u64)> =
+        std::collections::HashMap::new();
+    for r in &report.records {
+        let e = per_set.entry(r.set.index()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += (!r.is_miss) as u64;
+    }
+    let mut sets: Vec<(usize, u64, f64)> = per_set
+        .into_iter()
+        .filter(|(_, (accesses, _))| *accesses >= 10)
+        .map(|(set, (accesses, hits))| (set, accesses, hits as f64 / accesses as f64))
+        .collect();
+    sets.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+    let hot: Vec<usize> = sets.iter().take(5).map(|(s, ..)| *s).collect();
+    let cold: Vec<usize> = sets.iter().rev().take(5).map(|(s, ..)| *s).collect();
+    PolicySetProfile {
+        policy: policy_name.to_owned(),
+        hot_hit_rate: sets.first().map(|(_, _, h)| *h).unwrap_or(0.0),
+        cold_hit_rate: sets.last().map(|(_, _, h)| *h).unwrap_or(0.0),
+        hot_sets: hot,
+        cold_sets: cold,
+    }
+}
+
+/// Runs the analysis on astar under LRU and Belady.
+pub fn run(scale: Scale) -> SetHotnessReport {
+    let workload = cachemind_workloads::astar::generate(scale);
+    let replay = LlcReplay::new(experiment_llc(), &workload.accesses);
+    let lru = replay.run(cachemind_sim::replacement::RecencyPolicy::lru());
+    let belady = replay.run(cachemind_policies::BeladyPolicy::new());
+
+    let lru_profile = profile("lru", &lru);
+    let belady_profile = profile("belady", &belady);
+    let hot_overlap = lru_profile
+        .hot_sets
+        .iter()
+        .filter(|s| belady_profile.hot_sets.contains(s))
+        .count();
+
+    let transcript = format!(
+        "User: For astar workload and Belady replacement policy, could you list unique \
+         cache sets in ascending order?\n\
+         Assistant: {} active sets.\n\n\
+         User: Identify 5 hot and 5 cold sets by hit rate.\n\
+         Assistant: Hot Sets = {:?}, Cold Sets = {:?}.\n\n\
+         User: Compare hot sets (LRU vs Belady) and derive insights.\n\
+         Assistant: {} of 5 hot sets coincide; hot sets arise from intrinsic workload \
+         locality, and Belady amplifies hotness by avoiding premature evictions.\n",
+        belady.records.iter().map(|r| r.set.index()).collect::<std::collections::HashSet<_>>().len(),
+        belady_profile.hot_sets,
+        belady_profile.cold_sets,
+        hot_overlap,
+    );
+
+    SetHotnessReport {
+        workload: workload.name,
+        profiles: vec![lru_profile, belady_profile],
+        hot_overlap,
+        transcript,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_and_cold_sets_are_distinct() {
+        let report = run(Scale::Small);
+        for p in &report.profiles {
+            assert_eq!(p.hot_sets.len(), 5);
+            assert_eq!(p.cold_sets.len(), 5);
+            assert!(
+                p.hot_hit_rate > p.cold_hit_rate,
+                "{}: hot {} vs cold {}",
+                p.policy,
+                p.hot_hit_rate,
+                p.cold_hit_rate
+            );
+        }
+    }
+
+    #[test]
+    fn hot_set_identity_overlaps_across_policies() {
+        // "Hot set identity likely overlaps" (Figure 13).
+        let report = run(Scale::Small);
+        assert!(report.hot_overlap >= 1, "overlap {}", report.hot_overlap);
+    }
+}

@@ -1,0 +1,267 @@
+//! The CacheMind system: query-first, retrieval-augmented answering.
+
+use cachemind_lang::context::RetrievedContext;
+use cachemind_lang::generator::{Generator, GeneratorAnswer, GeneratorRequest, Verdict};
+use cachemind_lang::intent::QueryIntent;
+use cachemind_lang::profiles::BackendKind;
+use cachemind_lang::prompt::{Example, PromptBuilder};
+use cachemind_lang::SimulatedBackend;
+use cachemind_retrieval::dense::DenseIndexRetriever;
+use cachemind_retrieval::ranger::RangerRetriever;
+use cachemind_retrieval::retriever::Retriever;
+use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_tracedb::database::TraceDatabase;
+
+/// Which retriever the system routes queries through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrieverKind {
+    /// CacheMind-Sieve: symbolic–semantic filtering.
+    Sieve,
+    /// CacheMind-Ranger: plan generation + execution runtime.
+    Ranger,
+    /// The dense-embedding baseline (for comparisons).
+    Dense,
+}
+
+/// A grounded answer: text, verdict and the evidence behind it.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Natural-language answer.
+    pub text: String,
+    /// Machine-checkable verdict.
+    pub verdict: Verdict,
+    /// The retrieved context the answer is grounded in.
+    pub context: RetrievedContext,
+    /// The full prompt that was rendered for the generator.
+    pub prompt: String,
+}
+
+/// The CacheMind system.
+///
+/// Owns the trace database, a retriever and a generator backend; turning a
+/// natural-language question into a trace-grounded answer is one
+/// [`CacheMind::ask`] call.
+#[derive(Debug)]
+pub struct CacheMind {
+    db: TraceDatabase,
+    retriever: RetrieverKind,
+    backend: SimulatedBackend,
+    shots: Vec<Example>,
+    sieve: SieveRetriever,
+    ranger: RangerRetriever,
+    dense: Option<DenseIndexRetriever>,
+}
+
+impl CacheMind {
+    /// Creates the system over a database with the paper's default
+    /// configuration: Sieve retrieval, GPT-4o backend, zero-shot.
+    pub fn new(db: TraceDatabase) -> Self {
+        CacheMind {
+            db,
+            retriever: RetrieverKind::Sieve,
+            backend: SimulatedBackend::new(BackendKind::Gpt4o),
+            shots: Vec::new(),
+            sieve: SieveRetriever::new(),
+            ranger: RangerRetriever::new(),
+            dense: None,
+        }
+    }
+
+    /// Selects the retriever.
+    pub fn with_retriever(mut self, kind: RetrieverKind) -> Self {
+        if kind == RetrieverKind::Dense && self.dense.is_none() {
+            self.dense = Some(DenseIndexRetriever::build(&self.db, 4));
+        }
+        self.retriever = kind;
+        self
+    }
+
+    /// Selects the generator backend.
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.backend = SimulatedBackend::new(kind);
+        self
+    }
+
+    /// Enables k-shot prompting with the given examples.
+    pub fn with_examples(mut self, examples: Vec<Example>) -> Self {
+        self.shots = examples;
+        self
+    }
+
+    /// The underlying trace database.
+    pub fn database(&self) -> &TraceDatabase {
+        &self.db
+    }
+
+    /// Parses a question against the database vocabulary.
+    pub fn parse(&self, question: &str) -> QueryIntent {
+        let workloads = self.db.workloads();
+        let policies = self.db.policies();
+        QueryIntent::parse(
+            question,
+            &workloads.iter().map(String::as_str).collect::<Vec<_>>(),
+            &policies.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+    }
+
+    fn active_retriever(&self) -> &dyn Retriever {
+        match self.retriever {
+            RetrieverKind::Sieve => &self.sieve,
+            RetrieverKind::Ranger => &self.ranger,
+            RetrieverKind::Dense => {
+                self.dense.as_ref().expect("dense index built in with_retriever")
+            }
+        }
+    }
+
+    /// Retrieves the context bundle for a question without generating.
+    pub fn retrieve(&self, question: &str) -> RetrievedContext {
+        let intent = self.parse(question);
+        self.active_retriever().retrieve(&self.db, &intent)
+    }
+
+    /// Routes *exploration commands* — the Figure 10–13 chat vocabulary
+    /// that goes beyond the eleven benchmark categories — straight to the
+    /// Ranger plan runtime: "list all unique PCs", "list unique cache
+    /// sets", "group PCs by reuse/ETR variance", "identify hot and cold
+    /// sets". Returns `None` when the question is not an exploration
+    /// command.
+    pub fn try_exploration(&self, question: &str) -> Option<Answer> {
+        use cachemind_retrieval::plan::Plan;
+        let lower = question.to_lowercase();
+        let intent = self.parse(question);
+        let workload = intent
+            .workload
+            .clone()
+            .or_else(|| self.db.workloads().first().cloned())?;
+        let policy = intent.policy.clone().unwrap_or_else(|| "lru".to_owned());
+
+        let plan = if lower.contains("unique pc") || lower.contains("all pcs") {
+            Plan::UniquePcs { workload, policy }
+        } else if lower.contains("unique cache sets") || lower.contains("unique sets") {
+            Plan::UniqueSets { workload, policy }
+        } else if (lower.contains("group") || lower.contains("cluster"))
+            && lower.contains("variance")
+        {
+            Plan::GroupPcsByReuseVariance { workload, policy }
+        } else if lower.contains("hot") && lower.contains("cold") && lower.contains("set") {
+            Plan::HotColdSets { workload, policy }
+        } else if lower.contains("per-pc") || lower.contains("per pc table") {
+            Plan::PerPcTable { workload, policy, limit: 20 }
+        } else {
+            return None;
+        };
+
+        let facts = plan.run(&self.db).ok()?;
+        let context = RetrievedContext {
+            facts,
+            quality: cachemind_lang::context::ContextQuality::High,
+            retriever: "ranger".to_owned(),
+        };
+        let text = context.render();
+        Some(Answer {
+            text,
+            verdict: Verdict::FreeForm { quality: 5 },
+            context,
+            prompt: plan.render_code(),
+        })
+    }
+
+    /// Answers a question: exploration-command routing, then
+    /// parse → retrieve → generate.
+    pub fn ask(&mut self, question: &str) -> Answer {
+        if let Some(answer) = self.try_exploration(question) {
+            return answer;
+        }
+        let intent = self.parse(question);
+        let context = self.active_retriever().retrieve(&self.db, &intent);
+        let mut builder = PromptBuilder::new();
+        for ex in &self.shots {
+            builder = builder.example(ex.clone());
+        }
+        let prompt = builder.render(question, &context);
+        let request = GeneratorRequest {
+            question: question.to_owned(),
+            intent,
+            context: context.clone(),
+            examples: self.shots.clone(),
+        };
+        let GeneratorAnswer { text, verdict } = self.backend.answer(&request);
+        Answer { text, verdict, context, prompt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_tracedb::TraceDatabaseBuilder;
+
+    fn mind() -> CacheMind {
+        CacheMind::new(TraceDatabaseBuilder::quick_demo().build())
+    }
+
+    #[test]
+    fn ask_produces_grounded_answer() {
+        let mut m = mind().with_retriever(RetrieverKind::Ranger);
+        let a = m.ask("What is the overall miss rate of the lbm workload under LRU?");
+        assert!(matches!(a.verdict, Verdict::Number(_)), "verdict {:?}", a.verdict);
+        assert!(!a.context.facts.is_empty());
+        assert!(a.prompt.contains("SYSTEM:"));
+    }
+
+    #[test]
+    fn retriever_switch_changes_evidence() {
+        let m = mind();
+        let db = m.database();
+        let pc = db.get("astar_evictions_lru").unwrap().frame.rows()[0].pc;
+        let q = format!("How many times did PC {pc} appear in astar under LRU?");
+        let sieve_ctx = m.retrieve(&q);
+        let ranger_ctx =
+            CacheMind::new(TraceDatabaseBuilder::quick_demo().build())
+                .with_retriever(RetrieverKind::Ranger)
+                .retrieve(&q);
+        // Sieve's count is truncated, Ranger's is complete.
+        use cachemind_lang::context::Fact;
+        let complete = |ctx: &RetrievedContext| {
+            ctx.facts
+                .iter()
+                .any(|f| matches!(f, Fact::CountValue { complete: true, .. }))
+        };
+        assert!(!complete(&sieve_ctx) || complete(&ranger_ctx));
+        assert!(complete(&ranger_ctx));
+    }
+
+    #[test]
+    fn exploration_commands_route_to_plans() {
+        let mut m = mind();
+        let a = m.ask("List all unique PCs in the mcf trace under LRU.");
+        assert!(a.text.contains("0x"), "expected PC list, got {}", a.text);
+        assert!(a.prompt.contains("program_counter.unique"), "prompt shows generated code");
+
+        let a = m.ask("Group PCs by reuse-distance variance for the lbm workload under LRU.");
+        assert!(a.text.contains("LowVar"), "got {}", a.text);
+
+        let a = m.ask("Identify 5 hot and 5 cold sets by hit rate in astar under Belady.");
+        assert!(a.text.contains("Hot Sets"), "got {}", a.text);
+
+        // Non-exploration questions still take the RAG path.
+        assert!(m.try_exploration("What is the miss rate of mcf under LRU?").is_none());
+    }
+
+    #[test]
+    fn k_shot_examples_enter_the_prompt() {
+        use cachemind_lang::prompt::Example;
+        let mut m = mind().with_examples(vec![Example::figure6()]);
+        let a = m.ask("Does PC 0x999999 hit on lbm under LRU?");
+        assert!(a.prompt.contains("EXAMPLE 1:"), "prompt must carry the example");
+    }
+
+    #[test]
+    fn dense_baseline_is_available() {
+        let mut m = mind().with_retriever(RetrieverKind::Dense);
+        let a = m.ask("Does PC 0x401380 hit on mcf under LRU?");
+        // The baseline may answer anything, but it must not panic and must
+        // label its retriever.
+        assert_eq!(a.context.retriever, "dense");
+    }
+}

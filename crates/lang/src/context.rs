@@ -1,0 +1,247 @@
+//! The typed context bundle a retriever hands to the generator.
+//!
+//! The paper's retrieval output is a "compact context bundle" of trace
+//! slices, statistics and metadata (Fig. 1). We represent it as structured
+//! [`Fact`]s plus rendered text, so that the grounded reasoner can compute
+//! answers *only from what was actually retrieved* — retrieval quality then
+//! causally determines answer quality, which is the paper's central claim
+//! (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_sim::addr::{Address, Pc};
+
+/// A verifiable fact extracted from the trace database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fact {
+    /// The recorded outcome of a specific access tuple.
+    Outcome {
+        /// Program counter.
+        pc: Option<Pc>,
+        /// Byte address.
+        address: Option<Address>,
+        /// Workload name.
+        workload: String,
+        /// Policy name.
+        policy: String,
+        /// Whether the access missed.
+        is_miss: bool,
+        /// Address evicted by the access, with its reuse distance.
+        evicted: Option<(Address, Option<u64>)>,
+        /// Forward reuse distance of the inserted line.
+        inserted_reuse: Option<u64>,
+    },
+    /// A miss rate for a scope (PC or whole workload).
+    MissRate {
+        /// Human-readable scope ("PC 0x4037ba", "workload mcf").
+        scope: String,
+        /// Miss rate in percent.
+        percent: f64,
+        /// Number of accesses behind the rate.
+        accesses: u64,
+    },
+    /// A per-policy value used for ranking (policy comparison questions).
+    PolicyValue {
+        /// Policy name.
+        policy: String,
+        /// Metric name ("miss rate %").
+        metric: String,
+        /// Metric value.
+        value: f64,
+    },
+    /// A count of matching events. `complete` is false when the retriever
+    /// could only see a truncated slice — the root cause of the paper's
+    /// universal Count failures under template retrieval.
+    CountValue {
+        /// What was counted.
+        what: String,
+        /// The count over the *visible* slice.
+        value: u64,
+        /// Whether the slice covered every matching row.
+        complete: bool,
+    },
+    /// A numeric aggregate (mean reuse distance etc.), with the same
+    /// completeness caveat.
+    NumericValue {
+        /// What was computed.
+        what: String,
+        /// The value over the visible slice.
+        value: f64,
+        /// Whether the aggregate covered every matching row.
+        complete: bool,
+    },
+    /// The query's premise contradicts the database (trick questions).
+    PremiseViolation {
+        /// Why the premise is invalid.
+        reason: String,
+    },
+    /// A free-text snippet (policy description, metadata, assembly window).
+    Snippet {
+        /// Snippet title.
+        title: String,
+        /// Snippet body.
+        text: String,
+    },
+}
+
+impl Fact {
+    /// A one-line rendering for prompt assembly.
+    pub fn render(&self) -> String {
+        match self {
+            Fact::Outcome { pc, address, workload, policy, is_miss, evicted, inserted_reuse } => {
+                let mut s = format!(
+                    "For policy {} on workload {}{}{}: Cache result: {}.",
+                    policy,
+                    workload,
+                    pc.map(|p| format!(" at PC {p}")).unwrap_or_default(),
+                    address.map(|a| format!(" and address {a}")).unwrap_or_default(),
+                    if *is_miss { "Cache Miss" } else { "Cache Hit" },
+                );
+                if let Some((ev, reuse)) = evicted {
+                    s.push_str(&format!(" Evicted address: {ev}"));
+                    if let Some(r) = reuse {
+                        s.push_str(&format!(" (needed again in {r} accesses)"));
+                    }
+                    s.push('.');
+                }
+                if let Some(r) = inserted_reuse {
+                    s.push_str(&format!(" Inserted address needed again in {r} accesses."));
+                }
+                s
+            }
+            Fact::MissRate { scope, percent, accesses } => {
+                format!("The miss rate for {scope} is {percent:.2}% over {accesses} accesses.")
+            }
+            Fact::PolicyValue { policy, metric, value } => {
+                format!("Policy {policy}: {metric} = {value:.2}.")
+            }
+            Fact::CountValue { what, value, complete } => {
+                if *complete {
+                    format!("Count of {what}: {value}.")
+                } else {
+                    format!("Count of {what} within the retrieved slice (truncated): {value}.")
+                }
+            }
+            Fact::NumericValue { what, value, complete } => {
+                if *complete {
+                    format!("{what} = {value:.2}.")
+                } else {
+                    format!("{what} over the retrieved slice (truncated) = {value:.2}.")
+                }
+            }
+            Fact::PremiseViolation { reason } => {
+                format!("Premise check failed: {reason}")
+            }
+            Fact::Snippet { title, text } => format!("{title}:\n{text}"),
+        }
+    }
+}
+
+/// The retriever's own grading of its bundle, used for the Figure 5
+/// retrieval-quality study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContextQuality {
+    /// Wrong or empty context.
+    Low,
+    /// Partially relevant context (right trace, wrong granularity).
+    Medium,
+    /// The exact slice needed.
+    High,
+}
+
+impl ContextQuality {
+    /// Axis label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ContextQuality::Low => "Low",
+            ContextQuality::Medium => "Medium",
+            ContextQuality::High => "High",
+        }
+    }
+}
+
+/// The full bundle handed to the generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrievedContext {
+    /// Structured facts.
+    pub facts: Vec<Fact>,
+    /// The retriever's self-grade.
+    pub quality: ContextQuality,
+    /// Which retriever produced the bundle ("sieve", "ranger", "dense").
+    pub retriever: String,
+}
+
+impl RetrievedContext {
+    /// An empty (failed-retrieval) bundle.
+    pub fn empty(retriever: &str) -> Self {
+        RetrievedContext {
+            facts: Vec::new(),
+            quality: ContextQuality::Low,
+            retriever: retriever.to_owned(),
+        }
+    }
+
+    /// Renders all facts as prompt text.
+    pub fn render(&self) -> String {
+        self.facts.iter().map(Fact::render).collect::<Vec<_>>().join("\n")
+    }
+
+    /// The first premise violation, if retrieval found one.
+    pub fn premise_violation(&self) -> Option<&str> {
+        self.facts.iter().find_map(|f| match f {
+            Fact::PremiseViolation { reason } => Some(reason.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_rendering_matches_paper_vocabulary() {
+        let f = Fact::Outcome {
+            pc: Some(Pc::new(0x401dc9)),
+            address: Some(Address::new(0x47ea85d37f)),
+            workload: "lbm".into(),
+            policy: "lru".into(),
+            is_miss: true,
+            evicted: Some((Address::new(0x19e02d19b7f), Some(2304))),
+            inserted_reuse: Some(3132),
+        };
+        let s = f.render();
+        assert!(s.contains("Cache Miss"));
+        assert!(s.contains("needed again in 2304 accesses"));
+        assert!(s.contains("Inserted address needed again in 3132 accesses"));
+    }
+
+    #[test]
+    fn quality_ordering() {
+        assert!(ContextQuality::Low < ContextQuality::Medium);
+        assert!(ContextQuality::Medium < ContextQuality::High);
+    }
+
+    #[test]
+    fn premise_violation_lookup() {
+        let mut ctx = RetrievedContext::empty("sieve");
+        assert!(ctx.premise_violation().is_none());
+        ctx.facts.push(Fact::PremiseViolation { reason: "PC appears only in mcf".into() });
+        assert_eq!(ctx.premise_violation(), Some("PC appears only in mcf"));
+    }
+
+    #[test]
+    fn render_joins_facts() {
+        let ctx = RetrievedContext {
+            facts: vec![
+                Fact::MissRate { scope: "PC 0x401e31".into(), percent: 44.69, accesses: 100 },
+                Fact::Snippet { title: "Assembly".into(), text: "mov %rax,%rbx".into() },
+            ],
+            quality: ContextQuality::High,
+            retriever: "ranger".into(),
+        };
+        let text = ctx.render();
+        assert!(text.contains("44.69%"));
+        assert!(text.contains("mov %rax,%rbx"));
+    }
+}

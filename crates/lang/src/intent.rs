@@ -1,0 +1,346 @@
+//! Query-intent parsing: the first stage of both retrievers.
+//!
+//! Maps a natural-language question to one of the eleven CacheMindBench
+//! categories (Table 1) and extracts its slots — PC, memory address,
+//! workload and policy names. The workload/policy vocabulary comes from the
+//! database (the paper's "sentence embedder extracts workload and
+//! replacement policy names ... matched against the database keys").
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_sim::addr::{Address, Pc};
+
+use crate::token::{hex_literals, words};
+
+/// Benchmark tier (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Trace-Grounded Questions (75): exact-match scoring.
+    TraceGrounded,
+    /// Architectural Reasoning and Analysis (25): rubric scoring 0–5.
+    Reasoning,
+}
+
+/// The eleven benchmark categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryCategory {
+    /// Hit/miss classification for a {PC, address, policy, workload} tuple.
+    HitMiss,
+    /// Per-PC or per-workload miss-rate computation.
+    MissRate,
+    /// Ranking policies by hit/miss behaviour.
+    PolicyComparison,
+    /// Event counting under filters.
+    Count,
+    /// Arithmetic over trace statistics.
+    Arithmetic,
+    /// Premise checks that should be rejected.
+    Trick,
+    /// General microarchitecture concepts.
+    Concepts,
+    /// Code generation over the trace schema.
+    CodeGen,
+    /// Causal replacement-policy analysis.
+    PolicyAnalysis,
+    /// Whole-workload characterisation.
+    WorkloadAnalysis,
+    /// Linking trace behaviour to code semantics.
+    SemanticAnalysis,
+}
+
+impl QueryCategory {
+    /// All categories in Table 1 order.
+    pub const ALL: [QueryCategory; 11] = [
+        QueryCategory::HitMiss,
+        QueryCategory::MissRate,
+        QueryCategory::PolicyComparison,
+        QueryCategory::Count,
+        QueryCategory::Arithmetic,
+        QueryCategory::Trick,
+        QueryCategory::Concepts,
+        QueryCategory::CodeGen,
+        QueryCategory::PolicyAnalysis,
+        QueryCategory::WorkloadAnalysis,
+        QueryCategory::SemanticAnalysis,
+    ];
+
+    /// The tier a category belongs to.
+    pub const fn tier(self) -> Tier {
+        match self {
+            QueryCategory::HitMiss
+            | QueryCategory::MissRate
+            | QueryCategory::PolicyComparison
+            | QueryCategory::Count
+            | QueryCategory::Arithmetic
+            | QueryCategory::Trick => Tier::TraceGrounded,
+            _ => Tier::Reasoning,
+        }
+    }
+
+    /// Human-readable label (Figure 4 axis).
+    pub const fn label(self) -> &'static str {
+        match self {
+            QueryCategory::HitMiss => "Hit/Miss",
+            QueryCategory::MissRate => "Miss Rate",
+            QueryCategory::PolicyComparison => "Policy Comparison",
+            QueryCategory::Count => "Count",
+            QueryCategory::Arithmetic => "Arithmetic",
+            QueryCategory::Trick => "Trick Question",
+            QueryCategory::Concepts => "Microarchitecture Concepts",
+            QueryCategory::CodeGen => "Code Generation",
+            QueryCategory::PolicyAnalysis => "Policy Analysis",
+            QueryCategory::WorkloadAnalysis => "Workload Analysis",
+            QueryCategory::SemanticAnalysis => "Semantic Analysis",
+        }
+    }
+}
+
+/// A parsed query: surface category plus extracted slots.
+///
+/// Note that [`QueryCategory::Trick`] is never produced by the parser — a
+/// trick question *looks like* an ordinary question with a false premise;
+/// rejection happens downstream when retrieval surfaces the contradiction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryIntent {
+    /// Surface category.
+    pub category: QueryCategory,
+    /// Extracted PC, if any.
+    pub pc: Option<Pc>,
+    /// Extracted memory address, if any.
+    pub address: Option<Address>,
+    /// Extracted workload name.
+    pub workload: Option<String>,
+    /// The first extracted policy name.
+    pub policy: Option<String>,
+    /// Every policy mentioned (policy comparisons mention several).
+    pub policies: Vec<String>,
+    /// Whether the query asks for the minimum ("lowest", "fewest") rather
+    /// than the maximum of a ranked quantity.
+    pub wants_minimum: bool,
+    /// The original question text.
+    pub raw: String,
+}
+
+impl QueryIntent {
+    /// Parses `question` against the database's workload and policy
+    /// vocabularies.
+    pub fn parse(question: &str, workloads: &[&str], policies: &[&str]) -> QueryIntent {
+        let ws = words(question);
+        let has = |w: &str| ws.iter().any(|x| x == w);
+        let has_phrase = |p: &str| question.to_lowercase().contains(p);
+
+        let workload = ws.iter().find(|w| workloads.contains(&w.as_str())).cloned();
+        let mentioned: Vec<String> = {
+            let mut seen = std::collections::HashSet::new();
+            ws.iter()
+                .filter(|w| policies.contains(&w.as_str()))
+                .filter(|w| seen.insert((*w).clone()))
+                .cloned()
+                .collect()
+        };
+
+        // Slot extraction: PCs are small (< 2^32, code addresses), data
+        // addresses are large in our traces; fall back to order.
+        let hexes = hex_literals(question);
+        let (pc, address) = match hexes.len() {
+            0 => (None, None),
+            1 => {
+                if hexes[0] < (1 << 32) {
+                    (Some(Pc::new(hexes[0])), None)
+                } else {
+                    (None, Some(Address::new(hexes[0])))
+                }
+            }
+            _ => {
+                let (mut pc, mut addr) = (None, None);
+                for &h in &hexes {
+                    if h < (1 << 32) && pc.is_none() {
+                        pc = Some(Pc::new(h));
+                    } else if addr.is_none() {
+                        addr = Some(Address::new(h));
+                    }
+                }
+                (pc, addr)
+            }
+        };
+
+        // Category rules, most specific first.
+        let category = if has_phrase("write code")
+            || has_phrase("generate code")
+            || has_phrase("generate python")
+            || has("code") && (has("write") || has("generate"))
+        {
+            QueryCategory::CodeGen
+        } else if has_phrase("how many") || has("count") || has_phrase("number of times") {
+            QueryCategory::Count
+        } else if has("average")
+            || has("mean")
+            || has_phrase("standard deviation")
+            || has("sum")
+            || ((has("maximum") || has("minimum")) && has("distance"))
+        {
+            QueryCategory::Arithmetic
+        } else if has_phrase("which workload") {
+            QueryCategory::WorkloadAnalysis
+        } else if (has("which") || has("compare") || has("rank") || has("order"))
+            && (has("policy") || has("policies") || mentioned.len() >= 2)
+        {
+            QueryCategory::PolicyComparison
+        } else if has("workload") && (has("highest") || has("lowest") || has("compare")) && pc.is_none()
+        {
+            QueryCategory::WorkloadAnalysis
+        } else if has("why") && (has("assembly") || has("semantic") || has("function") || has("source"))
+            || has_phrase("assembly context")
+            || has_phrase("program behavior")
+            || has_phrase("program behaviour")
+        {
+            QueryCategory::SemanticAnalysis
+        } else if has("why") && (mentioned.len() >= 2 || has("outperform") || has("perform"))
+            || has("outperform")
+        {
+            QueryCategory::PolicyAnalysis
+        } else if has_phrase("miss rate") || has_phrase("hit rate") {
+            if pc.is_none() && workload.is_none() {
+                QueryCategory::Concepts
+            } else {
+                QueryCategory::MissRate
+            }
+        } else if has("hit") || has("miss") || has("evict") || has("evictions") {
+            if pc.is_some() || address.is_some() {
+                QueryCategory::HitMiss
+            } else if workload.is_some() || !mentioned.is_empty() {
+                QueryCategory::WorkloadAnalysis
+            } else {
+                QueryCategory::Concepts
+            }
+        } else if pc.is_some() || address.is_some() {
+            QueryCategory::SemanticAnalysis
+        } else {
+            QueryCategory::Concepts
+        };
+
+        let wants_minimum =
+            has("lowest") || has("fewest") || has("least") || has("smallest") || has("best");
+
+        QueryIntent {
+            category,
+            pc,
+            address,
+            workload,
+            policy: mentioned.first().cloned(),
+            policies: mentioned,
+            wants_minimum,
+            raw: question.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORKLOADS: [&str; 3] = ["astar", "lbm", "mcf"];
+    const POLICIES: [&str; 4] = ["belady", "lru", "mlp", "parrot"];
+
+    fn parse(q: &str) -> QueryIntent {
+        QueryIntent::parse(q, &WORKLOADS, &POLICIES)
+    }
+
+    #[test]
+    fn hit_miss_with_full_tuple() {
+        let i = parse(
+            "Does the memory access with PC 0x401e31 and address 0x35e798a637f result in a \
+             cache hit or miss for the lbm workload under PARROT?",
+        );
+        assert_eq!(i.category, QueryCategory::HitMiss);
+        assert_eq!(i.pc, Some(Pc::new(0x401e31)));
+        assert_eq!(i.address, Some(Address::new(0x35e798a637f)));
+        assert_eq!(i.workload.as_deref(), Some("lbm"));
+        assert_eq!(i.policy.as_deref(), Some("parrot"));
+    }
+
+    #[test]
+    fn miss_rate_per_pc() {
+        let i = parse("What is the miss rate for PC 0x4037ba in mcf with PARROT?");
+        assert_eq!(i.category, QueryCategory::MissRate);
+        assert_eq!(i.pc, Some(Pc::new(0x4037ba)));
+    }
+
+    #[test]
+    fn policy_comparison() {
+        let i = parse("Which policy has the lowest miss rate for PC 0x409270 in astar?");
+        assert_eq!(i.category, QueryCategory::PolicyComparison);
+        assert!(i.wants_minimum);
+    }
+
+    #[test]
+    fn counting() {
+        let i = parse("How many times did PC 0x405832 appear in astar under LRU?");
+        assert_eq!(i.category, QueryCategory::Count);
+        assert_eq!(i.policy.as_deref(), Some("lru"));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let i = parse(
+            "What is the average evicted reuse distance of PC 0x40170a for the lbm workload \
+             with MLP?",
+        );
+        assert_eq!(i.category, QueryCategory::Arithmetic);
+        assert_eq!(i.policy.as_deref(), Some("mlp"));
+    }
+
+    #[test]
+    fn concepts_without_slots() {
+        let i = parse("How does increasing cache size affect miss rate? Compare #sets vs #ways.");
+        assert_eq!(i.category, QueryCategory::Concepts);
+    }
+
+    #[test]
+    fn code_generation() {
+        let i = parse(
+            "Write code to compute hits for PC 0x4037ba and address 0xa3a0df3d9d in mcf under \
+             LRU.",
+        );
+        assert_eq!(i.category, QueryCategory::CodeGen);
+    }
+
+    #[test]
+    fn policy_analysis_why() {
+        let i = parse("Why does Belady outperform LRU on PC 0x409270 in astar?");
+        assert_eq!(i.category, QueryCategory::PolicyAnalysis);
+        assert_eq!(i.policies, vec!["belady", "lru"]);
+    }
+
+    #[test]
+    fn workload_analysis() {
+        let i = parse("Which workload has the highest cache miss rate under MLP?");
+        assert_eq!(i.category, QueryCategory::WorkloadAnalysis);
+    }
+
+    #[test]
+    fn semantic_analysis() {
+        let i = parse(
+            "Why does PC 0x4037ba have a high hit rate? Examine the assembly context and \
+             analyze.",
+        );
+        assert_eq!(i.category, QueryCategory::SemanticAnalysis);
+    }
+
+    #[test]
+    fn address_only_hit_miss() {
+        let i = parse("Does address 0x47ea85d37f hit in the cache on lbm under LRU?");
+        assert_eq!(i.category, QueryCategory::HitMiss);
+        assert_eq!(i.address, Some(Address::new(0x47ea85d37f)));
+        assert_eq!(i.pc, None);
+    }
+
+    #[test]
+    fn tier_assignment_matches_table1() {
+        assert_eq!(QueryCategory::Count.tier(), Tier::TraceGrounded);
+        assert_eq!(QueryCategory::CodeGen.tier(), Tier::Reasoning);
+        assert_eq!(QueryCategory::ALL.len(), 11);
+        let tg = QueryCategory::ALL.iter().filter(|c| c.tier() == Tier::TraceGrounded).count();
+        assert_eq!(tg, 6);
+    }
+}

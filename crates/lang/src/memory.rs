@@ -1,0 +1,176 @@
+//! Conversation memory: sliding buffer + summaries + vector recall.
+//!
+//! "We augmented the Generator LLM with conversation memory buffer, turning
+//! it into an assistive chat tool. This enables reasoning across multiple
+//! queries by retaining intermediate results, previous contexts, and
+//! trace-level insights." (§1). The three standard layers are implemented:
+//! a sliding buffer of recent turns, extractive summaries of evicted turns,
+//! and a vector store over everything for similarity recall.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::vector::VectorStore;
+
+/// Who produced a turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// The human architect.
+    User,
+    /// CacheMind.
+    Assistant,
+}
+
+impl Role {
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Role::User => "User",
+            Role::Assistant => "Assistant",
+        }
+    }
+}
+
+/// One conversation turn.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Turn {
+    /// Speaker.
+    pub role: Role,
+    /// Text content.
+    pub text: String,
+}
+
+/// The conversation-memory layer.
+#[derive(Debug)]
+pub struct ConversationMemory {
+    buffer: VecDeque<Turn>,
+    max_turns: usize,
+    summaries: Vec<String>,
+    store: VectorStore,
+    stored: usize,
+}
+
+impl ConversationMemory {
+    /// Creates a memory keeping the most recent `max_turns` turns verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_turns` is zero.
+    pub fn new(max_turns: usize) -> Self {
+        assert!(max_turns > 0, "memory must keep at least one turn");
+        ConversationMemory {
+            buffer: VecDeque::new(),
+            max_turns,
+            summaries: Vec::new(),
+            store: VectorStore::new(64),
+            stored: 0,
+        }
+    }
+
+    /// Records a turn; old turns overflow into summaries + the vector store.
+    pub fn push(&mut self, role: Role, text: &str) {
+        self.store.add(&format!("turn-{}", self.stored), text);
+        self.stored += 1;
+        self.buffer.push_back(Turn { role, text: text.to_owned() });
+        while self.buffer.len() > self.max_turns {
+            let old = self.buffer.pop_front().expect("non-empty buffer");
+            self.summaries.push(summarize(&old));
+        }
+    }
+
+    /// Recent turns, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = &Turn> {
+        self.buffer.iter()
+    }
+
+    /// Summaries of evicted turns, oldest first.
+    pub fn summaries(&self) -> &[String] {
+        &self.summaries
+    }
+
+    /// Recalls up to `k` past turns similar to `query` from the vector
+    /// memory (may include turns still in the buffer).
+    pub fn recall(&self, query: &str, k: usize) -> Vec<String> {
+        self.store
+            .search(query, k)
+            .into_iter()
+            .map(|hit| self.store.text(hit.index).to_owned())
+            .collect()
+    }
+
+    /// Renders the memory context for the next prompt: summaries first,
+    /// then the verbatim recent window.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.summaries.is_empty() {
+            out.push_str("Earlier in this session:\n");
+            for s in &self.summaries {
+                out.push_str(&format!("- {s}\n"));
+            }
+        }
+        for t in &self.buffer {
+            out.push_str(&format!("{}: {}\n", t.role.label(), t.text));
+        }
+        out
+    }
+
+    /// Total turns ever recorded.
+    pub fn total_turns(&self) -> usize {
+        self.stored
+    }
+}
+
+/// Naive extractive summary: the first sentence, truncated.
+fn summarize(turn: &Turn) -> String {
+    let first = turn.text.split(['.', '\n']).next().unwrap_or("").trim();
+    let mut s = format!("{} said: {first}", turn.role.label());
+    if s.len() > 120 {
+        s.truncate(117);
+        s.push_str("...");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_slides_and_summarizes() {
+        let mut m = ConversationMemory::new(2);
+        m.push(Role::User, "List all unique PCs in the trace.");
+        m.push(Role::Assistant, "4184b0, 4184c0, 418502.");
+        m.push(Role::User, "Compute mean ETR per PC.");
+        assert_eq!(m.recent().count(), 2);
+        assert_eq!(m.summaries().len(), 1);
+        assert!(m.summaries()[0].contains("unique PCs"));
+        assert_eq!(m.total_turns(), 3);
+    }
+
+    #[test]
+    fn recall_finds_similar_turns() {
+        let mut m = ConversationMemory::new(2);
+        m.push(Role::User, "Group PCs by ETR variance for mockingjay training.");
+        m.push(Role::User, "What is the weather like?");
+        m.push(Role::User, "List hot cache sets in astar.");
+        let recalled = m.recall("PCs with low ETR variance", 1);
+        assert!(recalled[0].contains("ETR variance"));
+    }
+
+    #[test]
+    fn render_contains_both_layers() {
+        let mut m = ConversationMemory::new(1);
+        m.push(Role::User, "First question about miss rates.");
+        m.push(Role::Assistant, "Answer with numbers.");
+        let text = m.render();
+        assert!(text.contains("Earlier in this session"));
+        assert!(text.contains("Assistant: Answer with numbers."));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one turn")]
+    fn zero_capacity_rejected() {
+        let _ = ConversationMemory::new(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Prompt assembly: system prompt, retrieved context, k-shot examples.
+//!
+//! CacheMind "performs one-shot and few-shot prompt engineering ... by
+//! passing one or three context-response example pairs to the Generator
+//! LLM" (§1, Fig. 6). The builder renders the same structure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::RetrievedContext;
+
+/// A context/question/answer example pair for k-shot prompting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Example {
+    /// The example's retrieved context.
+    pub context: String,
+    /// The example question.
+    pub question: String,
+    /// The correct answer.
+    pub answer: String,
+}
+
+impl Example {
+    /// The paper's Figure 6 one-shot example (Cache Hit/Miss category).
+    pub fn figure6() -> Example {
+        Example {
+            context: "For policy LRU on workload lbm at PC 0x401dc9 and address \
+                      0x47ea85d37f: Cache result: Cache Miss. Evicted address: \
+                      0x19e02d19b7f (needed again in 2304 accesses), Inserted address \
+                      needed again in 3132 accesses."
+                .to_owned(),
+            question: "Does the memory access with PC 0x401dc9 and address 0x47ea85d37f \
+                       result in a cache hit or cache miss for the lbm workload and LRU \
+                       replacement policy?"
+                .to_owned(),
+            answer: "Cache Miss".to_owned(),
+        }
+    }
+}
+
+/// Builds generator prompts.
+#[derive(Debug, Clone, Default)]
+pub struct PromptBuilder {
+    system: String,
+    examples: Vec<Example>,
+}
+
+impl PromptBuilder {
+    /// Starts a builder with the CacheMind generator system prompt.
+    pub fn new() -> Self {
+        PromptBuilder {
+            system: "You are CacheMind, a cache-replacement analysis assistant. Answer \
+                     strictly from the retrieved trace context; if the context does not \
+                     support an answer, say so. Ground every number in the evidence."
+                .to_owned(),
+            examples: Vec::new(),
+        }
+    }
+
+    /// Replaces the system prompt.
+    pub fn system(mut self, text: &str) -> Self {
+        self.system = text.to_owned();
+        self
+    }
+
+    /// Appends a k-shot example.
+    pub fn example(mut self, example: Example) -> Self {
+        self.examples.push(example);
+        self
+    }
+
+    /// The configured examples.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// Renders the complete prompt for a question and its context.
+    pub fn render(&self, question: &str, context: &RetrievedContext) -> String {
+        let mut out = String::new();
+        out.push_str("SYSTEM:\n");
+        out.push_str(&self.system);
+        out.push_str("\n\n");
+        for (i, ex) in self.examples.iter().enumerate() {
+            out.push_str(&format!(
+                "EXAMPLE {}:\nContext:\n{}\nQuestion: {}\nThe correct answer is: {}\n\n",
+                i + 1,
+                ex.context,
+                ex.question,
+                ex.answer
+            ));
+        }
+        out.push_str("Context:\n");
+        out.push_str(&context.render());
+        out.push_str("\n\nAnswer the following question: ");
+        out.push_str(question);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextQuality, Fact};
+
+    #[test]
+    fn render_includes_all_sections() {
+        let ctx = RetrievedContext {
+            facts: vec![Fact::Snippet { title: "Meta".into(), text: "94.91% miss rate".into() }],
+            quality: ContextQuality::High,
+            retriever: "sieve".into(),
+        };
+        let prompt = PromptBuilder::new().example(Example::figure6()).render("Hit or miss?", &ctx);
+        assert!(prompt.contains("SYSTEM:"));
+        assert!(prompt.contains("EXAMPLE 1:"));
+        assert!(prompt.contains("94.91% miss rate"));
+        assert!(prompt.contains("Hit or miss?"));
+    }
+
+    #[test]
+    fn figure6_example_is_faithful() {
+        let ex = Example::figure6();
+        assert!(ex.context.contains("needed again in 2304 accesses"));
+        assert_eq!(ex.answer, "Cache Miss");
+    }
+}

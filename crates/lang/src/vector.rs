@@ -1,0 +1,117 @@
+//! A brute-force cosine-similarity vector store.
+
+use crate::embed::HashedEmbedder;
+
+/// A scored retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Index of the stored document.
+    pub index: usize,
+    /// Cosine similarity to the query.
+    pub score: f32,
+}
+
+/// An embedding index over text documents.
+///
+/// ```rust
+/// use cachemind_lang::vector::VectorStore;
+///
+/// let mut store = VectorStore::new(64);
+/// store.add("doc-a", "miss rate for PC 0x401e31 on lbm");
+/// store.add("doc-b", "hot cache sets under belady");
+/// let hits = store.search("what is the miss rate of PC 0x401e31?", 1);
+/// assert_eq!(store.id(hits[0].index), "doc-a");
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorStore {
+    embedder: HashedEmbedder,
+    ids: Vec<String>,
+    texts: Vec<String>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl VectorStore {
+    /// Creates an empty store with `dims`-dimensional embeddings.
+    pub fn new(dims: usize) -> Self {
+        VectorStore {
+            embedder: HashedEmbedder::new(dims),
+            ids: Vec::new(),
+            texts: Vec::new(),
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Adds a document; returns its index.
+    pub fn add(&mut self, id: &str, text: &str) -> usize {
+        self.ids.push(id.to_owned());
+        self.texts.push(text.to_owned());
+        self.vectors.push(self.embedder.embed(text));
+        self.ids.len() - 1
+    }
+
+    /// The id of document `index`.
+    pub fn id(&self, index: usize) -> &str {
+        &self.ids[index]
+    }
+
+    /// The text of document `index`.
+    pub fn text(&self, index: usize) -> &str {
+        &self.texts[index]
+    }
+
+    /// Top-`k` documents by cosine similarity to `query`.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let qv = self.embedder.embed(query);
+        let mut hits: Vec<Hit> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(index, v)| Hit { index, score: HashedEmbedder::cosine(&qv, v) })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_ranks_by_similarity() {
+        let mut store = VectorStore::new(64);
+        store.add("a", "replacement policy comparison belady lru");
+        store.add("b", "pointer chasing microbenchmark prefetch");
+        store.add("c", "belady optimal replacement policy analysis");
+        let hits = store.search("compare belady replacement policy", 2);
+        assert_eq!(hits.len(), 2);
+        assert_ne!(store.id(hits[0].index), "b");
+    }
+
+    #[test]
+    fn empty_store_returns_nothing() {
+        let store = VectorStore::new(16);
+        assert!(store.search("anything", 3).is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut store = VectorStore::new(64);
+        store.add("first", "same text");
+        store.add("second", "same text");
+        let hits = store.search("same text", 2);
+        assert_eq!(store.id(hits[0].index), "first");
+    }
+}

@@ -1,0 +1,283 @@
+//! Hawkeye (Jain & Lin, ISCA 2016) — Belady-guided PC classification.
+//!
+//! Hawkeye reconstructs, on a handful of *sampled sets*, what Belady's MIN
+//! would have done (the OPTgen occupancy-vector test) and uses those
+//! hit/miss labels to train a PC-indexed classifier. Lines inserted by
+//! "cache-averse" PCs are evicted first; evicting a "cache-friendly" line
+//! detrains its PC.
+//!
+//! This is the simplified but mechanistically faithful variant: OPTgen over
+//! a bounded history window, a table of signed saturating counters, and
+//! oldest-first eviction within each friendliness class.
+
+use std::collections::HashMap;
+
+use cachemind_sim::addr::SetId;
+use cachemind_sim::cache::LineMeta;
+use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
+
+use crate::features::{feature_bucket, PerWayTable};
+
+const PREDICTOR_BITS: u32 = 12;
+const COUNTER_MAX: i8 = 15;
+const COUNTER_MIN: i8 = -16;
+const SAMPLE_MODULUS: usize = 8;
+const HISTORY_QUANTA: usize = 128;
+
+/// Per-line Hawkeye state.
+#[derive(Debug, Clone, Copy, Default)]
+struct HawkLine {
+    friendly: bool,
+    pc_sig: u32,
+}
+
+/// One sampled set's OPTgen machinery.
+#[derive(Debug, Clone)]
+struct SampledSet {
+    /// Set-local access clock.
+    clock: u64,
+    /// line -> (last access clock, pc signature of that access)
+    last: HashMap<u64, (u64, u32)>,
+    /// Occupancy vector over the last `HISTORY_QUANTA` set accesses.
+    occupancy: Vec<u8>,
+}
+
+impl SampledSet {
+    fn new() -> Self {
+        SampledSet { clock: 0, last: HashMap::new(), occupancy: vec![0; HISTORY_QUANTA] }
+    }
+
+    /// Runs the OPTgen test for a reuse interval ending now; returns whether
+    /// MIN would have hit, and updates the occupancy vector if so.
+    fn opt_would_hit(&mut self, prev: u64, now: u64, ways: u8) -> bool {
+        if now - prev >= HISTORY_QUANTA as u64 {
+            return false; // beyond the modelled window: treat as OPT miss
+        }
+        let fits = (prev..now).all(|t| self.occupancy[(t % HISTORY_QUANTA as u64) as usize] < ways);
+        if fits {
+            for t in prev..now {
+                self.occupancy[(t % HISTORY_QUANTA as u64) as usize] += 1;
+            }
+        }
+        fits
+    }
+
+    fn observe(&mut self, line: u64, pc_sig: u32, ways: u8) -> Option<bool> {
+        let now = self.clock;
+        // Reset the quantum that the advancing clock is about to reuse.
+        self.occupancy[(now % HISTORY_QUANTA as u64) as usize] = 0;
+        let verdict = self
+            .last
+            .get(&line)
+            .copied()
+            .map(|(prev, _)| self.opt_would_hit(prev, now, ways));
+        self.last.insert(line, (now, pc_sig));
+        self.clock += 1;
+        // Bound the sampler.
+        if self.last.len() > 4 * ways as usize {
+            if let Some((&victim, _)) = self.last.iter().min_by_key(|(_, &(t, _))| t) {
+                self.last.remove(&victim);
+            }
+        }
+        verdict
+    }
+}
+
+/// The Hawkeye replacement policy.
+#[derive(Debug, Clone)]
+pub struct HawkeyePolicy {
+    predictor: Vec<i8>,
+    line: PerWayTable<HawkLine>,
+    samplers: HashMap<usize, SampledSet>,
+}
+
+impl Default for HawkeyePolicy {
+    fn default() -> Self {
+        HawkeyePolicy::new()
+    }
+}
+
+impl HawkeyePolicy {
+    /// Creates the policy with a weakly-friendly prior.
+    pub fn new() -> Self {
+        HawkeyePolicy {
+            predictor: vec![1; 1 << PREDICTOR_BITS],
+            line: PerWayTable::new(HawkLine::default()),
+            samplers: HashMap::new(),
+        }
+    }
+
+    fn sig(ctx: &AccessContext) -> u32 {
+        feature_bucket(0x4A17_0E13, ctx.pc.value(), PREDICTOR_BITS) as u32
+    }
+
+    fn is_friendly(&self, sig: u32) -> bool {
+        self.predictor[sig as usize] >= 0
+    }
+
+    fn train(&mut self, sig: u32, up: bool) {
+        let c = &mut self.predictor[sig as usize];
+        *c = if up { (*c + 1).min(COUNTER_MAX) } else { (*c - 1).max(COUNTER_MIN) };
+    }
+
+    fn sample(&mut self, ctx: &AccessContext, ways: usize) {
+        if !ctx.set.index().is_multiple_of(SAMPLE_MODULUS) {
+            return;
+        }
+        let sig = Self::sig(ctx);
+        let sampler =
+            self.samplers.entry(ctx.set.index()).or_insert_with(SampledSet::new);
+        // The label trains the PC of the access that *loaded* the interval:
+        // the previous toucher. We approximate with the current PC, which is
+        // identical for the dominant single-PC streams the classifier keys on.
+        if let Some(opt_hit) = sampler.observe(ctx.line.value(), sig, ways as u8) {
+            self.train(sig, opt_hit);
+        }
+    }
+}
+
+impl ReplacementPolicy for HawkeyePolicy {
+    fn name(&self) -> &'static str {
+        "hawkeye"
+    }
+
+    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        let ways = lines.len();
+        self.sample(ctx, ways);
+        let sig = Self::sig(ctx);
+        let friendly = self.is_friendly(sig);
+        *self.line.slot_mut(ctx.set, way, ways) = HawkLine { friendly, pc_sig: sig };
+    }
+
+    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+        let ways = lines.len();
+        // Prefer the oldest cache-averse line; fall back to the oldest
+        // friendly line and detrain its PC.
+        let mut averse: Option<(usize, u64)> = None;
+        let mut friendly: Option<(usize, u64)> = None;
+        for (way, slot) in lines.iter().enumerate() {
+            let Some(meta) = slot else { continue };
+            let state = self.line.slot(ctx.set, way);
+            let slot_ref = if state.friendly { &mut friendly } else { &mut averse };
+            if slot_ref.is_none_or(|(_, t)| meta.last_touch < t) {
+                *slot_ref = Some((way, meta.last_touch));
+            }
+        }
+        if let Some((way, _)) = averse {
+            return Decision::Evict(way);
+        }
+        let (way, _) = friendly.expect("set cannot be empty in choose_victim");
+        let sig = self.line.slot(ctx.set, way).pc_sig;
+        self.train(sig, false);
+        let _ = ways;
+        Decision::Evict(way)
+    }
+
+    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        let ways = lines.len();
+        self.sample(ctx, ways);
+        let sig = Self::sig(ctx);
+        let friendly = self.is_friendly(sig);
+        *self.line.slot_mut(ctx.set, way, ways) = HawkLine { friendly, pc_sig: sig };
+    }
+
+    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
+        lines
+            .iter()
+            .enumerate()
+            .map(|(way, slot)| match slot {
+                None => u64::MAX,
+                Some(meta) => {
+                    let age = now.saturating_sub(meta.last_touch);
+                    if self.line.slot(set, way).friendly {
+                        age
+                    } else {
+                        // Averse lines score far above any friendly line.
+                        (1 << 32) + age
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::access::MemoryAccess;
+    use cachemind_sim::addr::{Address, Pc};
+    use cachemind_sim::config::CacheConfig;
+    use cachemind_sim::replacement::RecencyPolicy;
+    use cachemind_sim::replay::LlcReplay;
+
+    /// Hot set from PC A revisited twice per repetition (spread across all
+    /// sets); one-shot streamers from PC B.
+    fn classifier_workload(reps: u64) -> Vec<MemoryAccess> {
+        let mut out = Vec::new();
+        let mut idx = 0;
+        let mut cold = 1u64 << 22;
+        for _ in 0..reps {
+            for _ in 0..2 {
+                for h in 0..16u64 {
+                    out.push(MemoryAccess::load(Pc::new(0xAAA0), Address::new(h * 64), idx));
+                    idx += 1;
+                }
+            }
+            for _ in 0..32u64 {
+                out.push(MemoryAccess::load(Pc::new(0xBBB0), Address::new(cold * 64), idx));
+                cold += 1;
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hawkeye_beats_lru_on_mixed_streams() {
+        let cfg = CacheConfig::new("t", 3, 4, 6);
+        let s = classifier_workload(32);
+        let replay = LlcReplay::new(cfg, &s);
+        let hawkeye = replay.run(HawkeyePolicy::new());
+        let lru = replay.run(RecencyPolicy::lru());
+        assert!(
+            hawkeye.stats.hits > lru.stats.hits,
+            "hawkeye {} vs lru {}",
+            hawkeye.stats.hits,
+            lru.stats.hits
+        );
+    }
+
+    #[test]
+    fn optgen_hits_within_capacity() {
+        let mut s = SampledSet::new();
+        assert_eq!(s.observe(1, 0, 2), None); // first touch
+        assert_eq!(s.observe(2, 0, 2), None);
+        assert_eq!(s.observe(1, 0, 2), Some(true)); // interval of 2 fits 2 ways
+    }
+
+    #[test]
+    fn optgen_misses_beyond_capacity() {
+        // OPTgen models MIN-with-bypass: only *demonstrated* reuse intervals
+        // occupy the cache. With 1 way, the intervals of two interleaved
+        // reused lines cannot both fit: the first reuse claims the quanta,
+        // the second is an OPT miss.
+        let mut s = SampledSet::new();
+        assert_eq!(s.observe(1, 0, 1), None);
+        assert_eq!(s.observe(2, 0, 1), None);
+        assert_eq!(s.observe(1, 0, 1), Some(true)); // [0,2) free
+        assert_eq!(s.observe(2, 0, 1), Some(false)); // [1,3) now occupied at t=1
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut p = HawkeyePolicy::new();
+        for _ in 0..100 {
+            p.train(3, true);
+        }
+        assert_eq!(p.predictor[3], COUNTER_MAX);
+        for _ in 0..100 {
+            p.train(3, false);
+        }
+        assert_eq!(p.predictor[3], COUNTER_MIN);
+    }
+}

@@ -1,0 +1,298 @@
+//! Mockingjay (Shah, Jain & Lin, HPCA 2022) — continuous reuse-distance
+//! prediction with estimated-time-remaining (ETR) eviction.
+//!
+//! A PC-indexed reuse-distance predictor (RDP) estimates how far in the
+//! future each accessed line will be reused; every resident line carries an
+//! ETR that ticks down as its set is accessed, and the victim is the line
+//! with the largest |ETR| (farthest predicted reuse, or most overdue).
+//! Training samples come from sampled sets; the paper's §6.3 use case —
+//! training the RDP only on *stable* PCs identified by CacheMind — is
+//! exposed through [`MockingjayPolicy::with_training_filter`].
+
+use std::collections::{HashMap, HashSet};
+
+use cachemind_sim::addr::{Pc, SetId};
+use cachemind_sim::cache::LineMeta;
+use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
+
+use crate::features::{feature_bucket, PerWayTable};
+
+const RDP_BITS: u32 = 12;
+const SAMPLE_MODULUS: usize = 4;
+/// ETR granularity: one ETR unit per this many set accesses.
+const GRANULARITY: u64 = 8;
+/// Reuse distance assigned to lines that die unsampled ("infinite").
+const INF_RD: f32 = 1e6;
+/// EWMA learning rate for RDP updates.
+const ALPHA: f32 = 0.3;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MjLine {
+    /// Predicted reuse distance (set accesses / GRANULARITY) at stamp time.
+    etr_base: i64,
+    /// Set clock when the ETR was stamped.
+    stamped_at: u64,
+}
+
+/// The Mockingjay replacement policy.
+#[derive(Debug, Clone)]
+pub struct MockingjayPolicy {
+    rdp: Vec<f32>,
+    line: PerWayTable<MjLine>,
+    /// Per-set access clocks.
+    clocks: HashMap<usize, u64>,
+    /// Sampled-set reuse history: set -> line -> (clock, pc sig, pc).
+    sampler: HashMap<usize, HashMap<u64, (u64, u32, Pc)>>,
+    /// When set, only these PCs update the RDP (stable-PC training).
+    training_filter: Option<HashSet<Pc>>,
+}
+
+impl Default for MockingjayPolicy {
+    fn default() -> Self {
+        MockingjayPolicy::new()
+    }
+}
+
+impl MockingjayPolicy {
+    /// Creates the policy with an optimistic (short-reuse) prior.
+    pub fn new() -> Self {
+        MockingjayPolicy {
+            rdp: vec![64.0; 1 << RDP_BITS],
+            line: PerWayTable::new(MjLine::default()),
+            clocks: HashMap::new(),
+            sampler: HashMap::new(),
+            training_filter: None,
+        }
+    }
+
+    /// Restricts RDP training to the given PCs — the CacheMind "stable PC"
+    /// use case (§6.3). Lines from other PCs are still predicted and
+    /// evicted, but their reuse samples no longer pollute the predictor.
+    pub fn with_training_filter(mut self, pcs: impl IntoIterator<Item = Pc>) -> Self {
+        self.training_filter = Some(pcs.into_iter().collect());
+        self
+    }
+
+    /// Whether a training filter is installed.
+    pub fn has_training_filter(&self) -> bool {
+        self.training_filter.is_some()
+    }
+
+    fn sig(pc: Pc) -> u32 {
+        feature_bucket(0x0CC1_0EAF, pc.value(), RDP_BITS) as u32
+    }
+
+    /// Predicted reuse distance (in set accesses) for a PC.
+    pub fn predicted_reuse(&self, pc: Pc) -> f32 {
+        self.rdp[Self::sig(pc) as usize]
+    }
+
+    fn clock(&mut self, set: SetId) -> u64 {
+        *self.clocks.entry(set.index()).or_insert(0)
+    }
+
+    fn tick(&mut self, set: SetId) -> u64 {
+        let c = self.clocks.entry(set.index()).or_insert(0);
+        let now = *c;
+        *c += 1;
+        now
+    }
+
+    fn train(&mut self, sig: u32, pc: Pc, sample: f32) {
+        if let Some(filter) = &self.training_filter {
+            if !filter.contains(&pc) {
+                return;
+            }
+        }
+        let entry = &mut self.rdp[sig as usize];
+        *entry += ALPHA * (sample - *entry);
+    }
+
+    fn observe_sample(&mut self, ctx: &AccessContext, now: u64, ways: usize) {
+        if !ctx.set.index().is_multiple_of(SAMPLE_MODULUS) {
+            return;
+        }
+        let sig = Self::sig(ctx.pc);
+        let mut pending: Vec<(u32, Pc, f32)> = Vec::new();
+        {
+            let sampler = self.sampler.entry(ctx.set.index()).or_default();
+            if let Some((prev, prev_sig, prev_pc)) =
+                sampler.insert(ctx.line.value(), (now, sig, ctx.pc))
+            {
+                pending.push((prev_sig, prev_pc, (now - prev) as f32));
+            }
+            // Bound the sampler; expiring entries train toward "infinite" reuse.
+            if sampler.len() > 8 * ways {
+                if let Some((&victim, &(_, v_sig, v_pc))) =
+                    sampler.iter().min_by_key(|(_, &(t, _, _))| t)
+                {
+                    sampler.remove(&victim);
+                    pending.push((v_sig, v_pc, INF_RD));
+                }
+            }
+        }
+        for (sig, pc, sample) in pending {
+            self.train(sig, pc, sample);
+        }
+    }
+
+    fn stamp(&mut self, way: usize, ways: usize, ctx: &AccessContext, now: u64) {
+        let sig = Self::sig(ctx.pc);
+        let predicted = self.rdp[sig as usize];
+        let etr_base = (predicted / GRANULARITY as f32).round() as i64;
+        *self.line.slot_mut(ctx.set, way, ways) =
+            MjLine { etr_base, stamped_at: now };
+    }
+
+    fn current_etr(&self, set: SetId, way: usize, now: u64) -> i64 {
+        let state = self.line.slot(set, way);
+        let elapsed = (now.saturating_sub(state.stamped_at) / GRANULARITY) as i64;
+        state.etr_base - elapsed
+    }
+}
+
+impl ReplacementPolicy for MockingjayPolicy {
+    fn name(&self) -> &'static str {
+        "mockingjay"
+    }
+
+    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        let ways = lines.len();
+        let now = self.tick(ctx.set);
+        self.observe_sample(ctx, now, ways);
+        self.stamp(way, ways, ctx, now);
+    }
+
+    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+        let now = self.clock(ctx.set);
+        let victim = (0..lines.len())
+            .filter(|&w| lines[w].is_some())
+            .max_by_key(|&w| self.current_etr(ctx.set, w, now).unsigned_abs())
+            .expect("set cannot be empty in choose_victim");
+        Decision::Evict(victim)
+    }
+
+    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        let ways = lines.len();
+        let now = self.tick(ctx.set);
+        self.observe_sample(ctx, now, ways);
+        self.stamp(way, ways, ctx, now);
+    }
+
+    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
+        let now = self.clocks.get(&set.index()).copied().unwrap_or(0);
+        (0..lines.len())
+            .map(|way| {
+                if lines[way].is_some() {
+                    self.current_etr(set, way, now).unsigned_abs()
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::access::MemoryAccess;
+    use cachemind_sim::addr::Address;
+    use cachemind_sim::config::CacheConfig;
+    use cachemind_sim::replacement::RecencyPolicy;
+    use cachemind_sim::replay::LlcReplay;
+
+    /// Tight reuse from one PC (spread over all four sets), long-distance
+    /// scans from another; set 0 is a sampled set (index % 4 == 0).
+    fn workload(reps: u64) -> Vec<MemoryAccess> {
+        let mut out = Vec::new();
+        let mut idx = 0;
+        let mut cold = 1u64 << 21;
+        for _ in 0..reps {
+            for _ in 0..2 {
+                for h in 0..8u64 {
+                    out.push(MemoryAccess::load(Pc::new(0x11_0000), Address::new(h * 64), idx));
+                    idx += 1;
+                }
+            }
+            for _ in 0..16u64 {
+                out.push(MemoryAccess::load(Pc::new(0x22_0000), Address::new(cold * 64), idx));
+                cold += 1;
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rdp_learns_short_reuse_for_hot_pc() {
+        let cfg = CacheConfig::new("t", 2, 4, 6);
+        let s = workload(64);
+        let replay = LlcReplay::new(cfg.clone(), &s);
+        use cachemind_sim::cache::SetAssociativeCache;
+        let mut cache = SetAssociativeCache::new(cfg, MockingjayPolicy::new());
+        for (i, a) in replay.stream().iter().enumerate() {
+            let set = cache.set_of(a.address);
+            let mut ctx = cachemind_sim::replacement::AccessContext::demand(i as u64, a, set);
+            ctx.next_use = Some(u64::MAX);
+            let _ = cache.access(&ctx);
+        }
+        let hot = cache.policy().predicted_reuse(Pc::new(0x11_0000));
+        let cold = cache.policy().predicted_reuse(Pc::new(0x22_0000));
+        assert!(hot < cold, "hot RDP {hot} should be below cold RDP {cold}");
+    }
+
+    #[test]
+    fn mockingjay_beats_lru_on_scans() {
+        let cfg = CacheConfig::new("t", 2, 4, 6);
+        let s = workload(48);
+        let replay = LlcReplay::new(cfg, &s);
+        let mj = replay.run(MockingjayPolicy::new());
+        let lru = replay.run(RecencyPolicy::lru());
+        assert!(
+            mj.stats.hits > lru.stats.hits,
+            "mockingjay {} vs lru {}",
+            mj.stats.hits,
+            lru.stats.hits
+        );
+    }
+
+    #[test]
+    fn training_filter_is_respected() {
+        let mut p = MockingjayPolicy::new().with_training_filter([Pc::new(0x1)]);
+        assert!(p.has_training_filter());
+        let before = p.rdp[MockingjayPolicy::sig(Pc::new(0x999)) as usize];
+        p.train(MockingjayPolicy::sig(Pc::new(0x999)), Pc::new(0x999), 1000.0);
+        let after = p.rdp[MockingjayPolicy::sig(Pc::new(0x999)) as usize];
+        assert_eq!(before, after, "filtered PC must not train");
+        let sig1 = MockingjayPolicy::sig(Pc::new(0x1));
+        let before = p.rdp[sig1 as usize];
+        p.train(sig1, Pc::new(0x1), 1000.0);
+        assert!(p.rdp[sig1 as usize] > before, "allowed PC must train");
+    }
+
+    #[test]
+    fn etr_ticks_down_with_set_accesses() {
+        let mut p = MockingjayPolicy::new();
+        let set = SetId::new(0);
+        let ctx = AccessContext::with_oracle(
+            0,
+            Pc::new(0x42),
+            Address::new(0).line(6),
+            set,
+            cachemind_sim::access::AccessKind::Load,
+            u64::MAX,
+        );
+        let lines: Vec<Option<LineMeta>> = vec![None; 4];
+        p.on_fill(0, &lines, &ctx);
+        let now0 = p.clock(set);
+        let etr0 = p.current_etr(set, 0, now0);
+        // Advance the set clock a lot.
+        for _ in 0..(GRANULARITY * 10) {
+            p.tick(set);
+        }
+        let now1 = p.clock(set);
+        let etr1 = p.current_etr(set, 0, now1);
+        assert!(etr1 < etr0);
+    }
+}

@@ -1,0 +1,199 @@
+//! SHiP — signature-based hit predictor (Wu et al., MICRO 2011).
+//!
+//! Each line is tagged with a PC signature; a table of saturating counters
+//! (the SHCT) learns whether lines inserted by that signature tend to be
+//! reused. Lines from zero-counter signatures are inserted with a distant
+//! re-reference prediction so scans flow through without displacing the
+//! working set. Victim selection is standard RRIP aging.
+
+use cachemind_sim::addr::SetId;
+use cachemind_sim::cache::LineMeta;
+use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
+
+use crate::features::{feature_bucket, PerWayTable};
+
+const RRPV_MAX: u8 = 3;
+const RRPV_LONG: u8 = RRPV_MAX - 1;
+const SHCT_BITS: u32 = 14;
+const SHCT_MAX: u8 = 7; // 3-bit counters
+
+/// Per-line SHiP state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShipLine {
+    signature: u32,
+    outcome: bool, // was the line reused since fill?
+}
+
+/// The SHiP replacement policy.
+#[derive(Debug, Clone)]
+pub struct ShipPolicy {
+    rrpv: PerWayTable<u8>,
+    line: PerWayTable<ShipLine>,
+    shct: Vec<u8>,
+}
+
+impl Default for ShipPolicy {
+    fn default() -> Self {
+        ShipPolicy::new()
+    }
+}
+
+impl ShipPolicy {
+    /// Creates the policy with a weakly-reused prior (counters at 1).
+    pub fn new() -> Self {
+        ShipPolicy {
+            rrpv: PerWayTable::new(RRPV_MAX),
+            line: PerWayTable::new(ShipLine::default()),
+            shct: vec![1; 1 << SHCT_BITS],
+        }
+    }
+
+    fn signature(ctx: &AccessContext) -> u32 {
+        feature_bucket(0x511b, ctx.pc.value(), SHCT_BITS) as u32
+    }
+
+    /// Current counter value for a PC's signature (useful in tests and
+    /// diagnostics).
+    pub fn shct_for_pc(&self, pc: cachemind_sim::addr::Pc) -> u8 {
+        self.shct[feature_bucket(0x511b, pc.value(), SHCT_BITS)]
+    }
+}
+
+impl ReplacementPolicy for ShipPolicy {
+    fn name(&self) -> &'static str {
+        "ship"
+    }
+
+    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        let ways = lines.len();
+        *self.rrpv.slot_mut(ctx.set, way, ways) = 0;
+        let state = self.line.slot_mut(ctx.set, way, ways);
+        if !state.outcome {
+            state.outcome = true;
+            let sig = state.signature as usize;
+            self.shct[sig] = (self.shct[sig] + 1).min(SHCT_MAX);
+        }
+    }
+
+    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+        let ways = lines.len();
+        let victim = loop {
+            if let Some(way) = (0..ways).find(|&w| self.rrpv.slot(ctx.set, w) >= RRPV_MAX) {
+                break way;
+            }
+            for way in 0..ways {
+                let v = self.rrpv.slot_mut(ctx.set, way, ways);
+                *v = v.saturating_add(1).min(RRPV_MAX);
+            }
+        };
+        // Train down on dead-on-eviction lines.
+        let state = self.line.slot(ctx.set, victim);
+        if !state.outcome {
+            let sig = state.signature as usize;
+            self.shct[sig] = self.shct[sig].saturating_sub(1);
+        }
+        Decision::Evict(victim)
+    }
+
+    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        let ways = lines.len();
+        let sig = Self::signature(ctx);
+        *self.line.slot_mut(ctx.set, way, ways) = ShipLine { signature: sig, outcome: false };
+        let counter = self.shct[sig as usize];
+        *self.rrpv.slot_mut(ctx.set, way, ways) = if counter == 0 {
+            RRPV_MAX // predicted dead-on-arrival: age out fast
+        } else if counter >= SHCT_MAX - 1 {
+            0 // strongly reused signature: protect
+        } else {
+            RRPV_LONG
+        };
+    }
+
+    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
+        (0..lines.len())
+            .map(|way| {
+                if lines[way].is_some() {
+                    self.rrpv.slot(set, way) as u64
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::access::MemoryAccess;
+    use cachemind_sim::addr::{Address, Pc};
+    use cachemind_sim::config::CacheConfig;
+    use cachemind_sim::replacement::RecencyPolicy;
+    use cachemind_sim::replay::LlcReplay;
+
+    /// Hot lines touched (twice per repetition) by one PC, a streaming scan
+    /// driven by another PC — exactly the pattern SHiP's signatures separate.
+    fn two_pc_workload(reps: u64) -> Vec<MemoryAccess> {
+        let hot_pc = Pc::new(0x401000);
+        let scan_pc = Pc::new(0x402000);
+        let mut out = Vec::new();
+        let mut idx = 0;
+        let mut scan_base = 1u64 << 20;
+        for _ in 0..reps {
+            for _ in 0..2 {
+                for h in 0..16u64 {
+                    out.push(MemoryAccess::load(hot_pc, Address::new(h * 64), idx));
+                    idx += 1;
+                }
+            }
+            for s in 0..32u64 {
+                out.push(MemoryAccess::load(scan_pc, Address::new((scan_base + s) * 64), idx));
+                idx += 1;
+            }
+            scan_base += 32;
+        }
+        out
+    }
+
+    #[test]
+    fn ship_learns_scan_signature() {
+        let cfg = CacheConfig::new("t", 3, 4, 6); // 8 sets x 4 ways
+        let s = two_pc_workload(24);
+        let replay = LlcReplay::new(cfg, &s);
+        let mut policy = ShipPolicy::new();
+        // Run manually to inspect the trained policy afterwards.
+        let report = {
+            let p = std::mem::take(&mut policy);
+            replay.run(p)
+        };
+        let lru = replay.run(RecencyPolicy::lru());
+        assert!(
+            report.stats.hits > lru.stats.hits,
+            "ship {} vs lru {}",
+            report.stats.hits,
+            lru.stats.hits
+        );
+    }
+
+    #[test]
+    fn shct_counters_track_reuse() {
+        let cfg = CacheConfig::new("t", 2, 4, 6);
+        let s = two_pc_workload(16);
+        let replay = LlcReplay::new(cfg, &s);
+        // Replicate the run but keep the policy: run() consumes it, so use a
+        // fresh one with the same trace through the cache API.
+        use cachemind_sim::cache::SetAssociativeCache;
+        use cachemind_sim::replacement::AccessContext;
+        let mut cache = SetAssociativeCache::new(CacheConfig::new("t", 2, 4, 6), ShipPolicy::new());
+        for (i, a) in replay.stream().iter().enumerate() {
+            let set = cache.set_of(a.address);
+            let mut ctx = AccessContext::demand(i as u64, a, set);
+            ctx.next_use = Some(u64::MAX);
+            let _ = cache.access(&ctx);
+        }
+        let hot = cache.policy().shct_for_pc(Pc::new(0x401000));
+        let scan = cache.policy().shct_for_pc(Pc::new(0x402000));
+        assert!(hot > scan, "hot sig {hot} should exceed scan sig {scan}");
+        assert_eq!(scan, 0, "scan signature should saturate at zero");
+    }
+}

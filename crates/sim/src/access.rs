@@ -1,0 +1,95 @@
+//! Memory access records — the unit of work the simulator consumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Address, Pc};
+
+/// The kind of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A demand store.
+    Store,
+    /// An instruction fetch.
+    Fetch,
+    /// A software or hardware prefetch (non-demand; does not stall the core).
+    Prefetch,
+}
+
+impl AccessKind {
+    /// Whether this access stalls the core when it misses.
+    pub const fn is_demand(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store | AccessKind::Fetch)
+    }
+}
+
+/// One memory access in a workload trace.
+///
+/// `instr_index` is the dynamic instruction count at which the access occurs;
+/// it lets the timing model attribute non-memory work between accesses.
+///
+/// ```rust
+/// use cachemind_sim::access::{AccessKind, MemoryAccess};
+/// use cachemind_sim::addr::{Address, Pc};
+///
+/// let a = MemoryAccess::load(Pc::new(0x400512), Address::new(0x7fff0010), 120);
+/// assert_eq!(a.kind, AccessKind::Load);
+/// assert!(a.kind.is_demand());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Program counter of the instruction issuing the access.
+    pub pc: Pc,
+    /// Byte address being accessed.
+    pub address: Address,
+    /// Kind of access.
+    pub kind: AccessKind,
+    /// Dynamic instruction index at which the access occurs.
+    pub instr_index: u64,
+}
+
+impl MemoryAccess {
+    /// Creates a demand load access.
+    pub const fn load(pc: Pc, address: Address, instr_index: u64) -> Self {
+        MemoryAccess { pc, address, kind: AccessKind::Load, instr_index }
+    }
+
+    /// Creates a demand store access.
+    pub const fn store(pc: Pc, address: Address, instr_index: u64) -> Self {
+        MemoryAccess { pc, address, kind: AccessKind::Store, instr_index }
+    }
+
+    /// Creates an instruction fetch access.
+    pub const fn fetch(pc: Pc, address: Address, instr_index: u64) -> Self {
+        MemoryAccess { pc, address, kind: AccessKind::Fetch, instr_index }
+    }
+
+    /// Creates a prefetch access.
+    pub const fn prefetch(pc: Pc, address: Address, instr_index: u64) -> Self {
+        MemoryAccess { pc, address, kind: AccessKind::Prefetch, instr_index }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_classification() {
+        assert!(AccessKind::Load.is_demand());
+        assert!(AccessKind::Store.is_demand());
+        assert!(AccessKind::Fetch.is_demand());
+        assert!(!AccessKind::Prefetch.is_demand());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let pc = Pc::new(1);
+        let addr = Address::new(2);
+        assert_eq!(MemoryAccess::load(pc, addr, 0).kind, AccessKind::Load);
+        assert_eq!(MemoryAccess::store(pc, addr, 0).kind, AccessKind::Store);
+        assert_eq!(MemoryAccess::fetch(pc, addr, 0).kind, AccessKind::Fetch);
+        assert_eq!(MemoryAccess::prefetch(pc, addr, 0).kind, AccessKind::Prefetch);
+    }
+}

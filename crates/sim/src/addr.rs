@@ -1,0 +1,217 @@
+//! Strongly-typed addresses, program counters, line addresses and set ids.
+//!
+//! The CacheMind trace schema talks about four kinds of integers that are
+//! easy to mix up: byte addresses, cache-line addresses, program counters and
+//! set indices. Newtypes keep them statically distinct (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A byte-granularity virtual memory address.
+///
+/// ```rust
+/// use cachemind_sim::addr::Address;
+/// let a = Address::new(0x35e798a637f);
+/// assert_eq!(a.line(6).value(), 0x35e798a637f >> 6);
+/// assert_eq!(format!("{a}"), "0x35e798a637f");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(value: u64) -> Self {
+        Address(value)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The cache-line address for a `1 << line_size_log2` byte line.
+    pub const fn line(self, line_size_log2: u32) -> LineAddr {
+        LineAddr(self.0 >> line_size_log2)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(value: u64) -> Self {
+        Address(value)
+    }
+}
+
+/// A cache-line address (a byte address with the offset bits stripped).
+///
+/// Line addresses are what the replacement machinery operates on: two byte
+/// addresses within the same line map to the same [`LineAddr`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw (already shifted) value.
+    pub const fn new(value: u64) -> Self {
+        LineAddr(value)
+    }
+
+    /// The raw line number.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs the base byte address of this line.
+    pub const fn base_address(self, line_size_log2: u32) -> Address {
+        Address(self.0 << line_size_log2)
+    }
+
+    /// The set index for a cache with `1 << sets_log2` sets.
+    pub const fn set(self, sets_log2: u32) -> SetId {
+        SetId((self.0 & ((1 << sets_log2) - 1)) as usize)
+    }
+
+    /// The tag for a cache with `1 << sets_log2` sets.
+    pub const fn tag(self, sets_log2: u32) -> u64 {
+        self.0 >> sets_log2
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(value: u64) -> Self {
+        LineAddr(value)
+    }
+}
+
+/// A program counter: the address of the instruction performing an access.
+///
+/// In CacheMind the PC is the pivot of every analysis — it is "a pointer to
+/// the line of code that must change in software" (paper §1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a PC from a raw value.
+    pub const fn new(value: u64) -> Self {
+        Pc(value)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(value: u64) -> Self {
+        Pc(value)
+    }
+}
+
+/// Index of a cache set within one cache level.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SetId(usize);
+
+impl SetId {
+    /// Creates a set id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        SetId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<usize> for SetId {
+    fn from(value: usize) -> Self {
+        SetId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_strips_offset_bits() {
+        let a = Address::new(0x1234_5678);
+        let b = Address::new(0x1234_567F);
+        assert_eq!(a.line(6), b.line(6));
+        assert_ne!(a.line(0), b.line(0));
+    }
+
+    #[test]
+    fn set_and_tag_partition_the_line_address() {
+        let line = LineAddr::new(0xABCDEF);
+        let sets_log2 = 11;
+        let reassembled = (line.tag(sets_log2) << sets_log2) | line.set(sets_log2).index() as u64;
+        assert_eq!(reassembled, line.value());
+    }
+
+    #[test]
+    fn set_is_bounded_by_set_count() {
+        for raw in [0u64, 1, 63, 64, 12345, u64::MAX] {
+            let line = LineAddr::new(raw);
+            assert!(line.set(6).index() < 64);
+        }
+    }
+
+    #[test]
+    fn base_address_round_trips() {
+        let a = Address::new(0x35e798a637f);
+        let line = a.line(6);
+        assert_eq!(line.base_address(6).value(), a.value() & !0x3F);
+    }
+
+    #[test]
+    fn display_is_hexadecimal() {
+        assert_eq!(format!("{}", Pc::new(0x401e31)), "0x401e31");
+        assert_eq!(format!("{}", Address::new(0x10)), "0x10");
+        assert_eq!(format!("{}", SetId::new(42)), "42");
+    }
+}

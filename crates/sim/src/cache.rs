@@ -1,0 +1,316 @@
+//! A single set-associative cache level.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Address, LineAddr, Pc, SetId};
+use crate::config::CacheConfig;
+use crate::replacement::{AccessContext, Decision, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// Metadata for one resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LineMeta {
+    /// The resident line address.
+    pub line: LineAddr,
+    /// PC of the access that most recently touched the line.
+    pub last_pc: Pc,
+    /// PC of the access that inserted the line.
+    pub insert_pc: Pc,
+    /// Stream index of the inserting access.
+    pub inserted_at: u64,
+    /// Stream index of the most recent touch.
+    pub last_touch: u64,
+    /// Whether the line is dirty (stores only; informational).
+    pub dirty: bool,
+}
+
+/// The outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The way that was hit or filled (`None` when the fill was bypassed).
+    pub way: Option<usize>,
+    /// Line evicted to make room, if any.
+    pub evicted: Option<LineMeta>,
+    /// Whether the policy chose to bypass the fill.
+    pub bypassed: bool,
+}
+
+/// A set-associative cache parameterised over its replacement policy.
+///
+/// # Example
+///
+/// ```rust
+/// use cachemind_sim::prelude::*;
+///
+/// let mut cache = SetAssociativeCache::new(CacheConfig::small_llc(), RecencyPolicy::lru());
+/// let a = MemoryAccess::load(Pc::new(0x400100), Address::new(0x8000), 0);
+/// let set = cache.set_of(a.address);
+/// let out = cache.access(&AccessContext::demand(0, &a, set));
+/// assert!(!out.hit);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssociativeCache<P> {
+    config: CacheConfig,
+    lines: Vec<Option<LineMeta>>,
+    policy: P,
+    stats: CacheStats,
+}
+
+impl<P: ReplacementPolicy> SetAssociativeCache<P> {
+    /// Creates an empty cache with the given geometry and policy.
+    pub fn new(config: CacheConfig, policy: P) -> Self {
+        let capacity = config.capacity_lines();
+        SetAssociativeCache { config, lines: vec![None; capacity], policy, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Aggregate hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The replacement policy (shared access).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The replacement policy (exclusive access, e.g. to reconfigure a
+    /// bypass list between runs).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// The set an address maps to.
+    pub fn set_of(&self, address: Address) -> SetId {
+        self.config.set_of(address)
+    }
+
+    /// The set a line address maps to.
+    pub fn set_of_line(&self, line: LineAddr) -> SetId {
+        line.set(self.config.sets_log2)
+    }
+
+    /// A view of the ways of `set`.
+    pub fn set_lines(&self, set: SetId) -> &[Option<LineMeta>] {
+        let base = set.index() * self.config.ways;
+        &self.lines[base..base + self.config.ways]
+    }
+
+    /// The policy's current per-way eviction scores for `set`.
+    pub fn line_scores(&self, set: SetId, now: u64) -> Vec<u64> {
+        self.policy.line_scores(set, self.set_lines(set), now)
+    }
+
+    /// Whether `line` is currently resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = self.set_of_line(line);
+        self.set_lines(set).iter().flatten().any(|meta| meta.line == line)
+    }
+
+    fn set_range(&self, set: SetId) -> std::ops::Range<usize> {
+        let base = set.index() * self.config.ways;
+        base..base + self.config.ways
+    }
+
+    /// Performs one access, consulting the replacement policy on misses.
+    ///
+    /// The caller provides the [`AccessContext`] (so a replay driver can
+    /// attach oracle information); `ctx.set` must equal
+    /// `self.set_of_line(ctx.line)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `ctx.set` is inconsistent with `ctx.line`.
+    pub fn access(&mut self, ctx: &AccessContext) -> AccessOutcome {
+        debug_assert_eq!(
+            ctx.set,
+            self.set_of_line(ctx.line),
+            "AccessContext.set disagrees with the cache geometry"
+        );
+        let range = self.set_range(ctx.set);
+        let ways = self.config.ways;
+        let is_store = matches!(ctx.kind, crate::access::AccessKind::Store);
+
+        // Hit path.
+        if let Some(way) = (0..ways).find(|&w| {
+            self.lines[range.start + w].as_ref().is_some_and(|meta| meta.line == ctx.line)
+        }) {
+            {
+                let meta = self.lines[range.start + way]
+                    .as_mut()
+                    .expect("hit way must be valid");
+                meta.last_touch = ctx.index;
+                meta.last_pc = ctx.pc;
+                meta.dirty |= is_store;
+            }
+            let set_view = &self.lines[range.clone()];
+            self.policy.on_hit(way, set_view, ctx);
+            self.stats.record_hit(ctx.kind);
+            return AccessOutcome { hit: true, way: Some(way), evicted: None, bypassed: false };
+        }
+
+        // Miss path: fill an invalid way if one exists.
+        self.stats.record_miss(ctx.kind);
+        let fill = LineMeta {
+            line: ctx.line,
+            last_pc: ctx.pc,
+            insert_pc: ctx.pc,
+            inserted_at: ctx.index,
+            last_touch: ctx.index,
+            dirty: is_store,
+        };
+        if let Some(way) = (0..ways).find(|&w| self.lines[range.start + w].is_none()) {
+            self.lines[range.start + way] = Some(fill);
+            let set_view = &self.lines[range.clone()];
+            self.policy.on_fill(way, set_view, ctx);
+            return AccessOutcome { hit: false, way: Some(way), evicted: None, bypassed: false };
+        }
+
+        // Full set: ask the policy.
+        let decision = {
+            let set_view = &self.lines[range.clone()];
+            self.policy.choose_victim(set_view, ctx)
+        };
+        match decision {
+            Decision::Bypass => {
+                self.stats.bypasses += 1;
+                AccessOutcome { hit: false, way: None, evicted: None, bypassed: true }
+            }
+            Decision::Evict(way) => {
+                assert!(way < ways, "policy returned out-of-range way {way}");
+                let evicted = self.lines[range.start + way].replace(fill);
+                self.stats.evictions += 1;
+                let set_view = &self.lines[range.clone()];
+                self.policy.on_fill(way, set_view, ctx);
+                AccessOutcome { hit: false, way: Some(way), evicted, bypassed: false }
+            }
+        }
+    }
+
+    /// Invalidates `line` if resident, returning its metadata.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let set = self.set_of_line(line);
+        let range = self.set_range(set);
+        for slot in &mut self.lines[range] {
+            if slot.as_ref().is_some_and(|meta| meta.line == line) {
+                return slot.take();
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MemoryAccess;
+    use crate::replacement::RecencyPolicy;
+
+    fn lru_cache(sets_log2: u32, ways: usize) -> SetAssociativeCache<RecencyPolicy> {
+        SetAssociativeCache::new(CacheConfig::new("t", sets_log2, ways, 6), RecencyPolicy::lru())
+    }
+
+    fn go(cache: &mut SetAssociativeCache<RecencyPolicy>, addr: u64, idx: u64) -> AccessOutcome {
+        let a = MemoryAccess::load(Pc::new(0x400000 + idx), Address::new(addr), idx);
+        let set = cache.set_of(a.address);
+        cache.access(&AccessContext::demand(idx, &a, set))
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut cache = lru_cache(2, 2);
+        assert!(!go(&mut cache, 0x40, 0).hit);
+        assert!(go(&mut cache, 0x40, 1).hit);
+        assert!(go(&mut cache, 0x7f, 2).hit, "same line, different offset");
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_reports_victim() {
+        let mut cache = lru_cache(0, 1);
+        assert!(!go(&mut cache, 0x000, 0).hit);
+        let out = go(&mut cache, 0x040, 1);
+        assert!(!out.hit);
+        let evicted = out.evicted.expect("direct-mapped eviction");
+        assert_eq!(evicted.line, Address::new(0x000).line(6));
+    }
+
+    #[test]
+    fn occupancy_tracks_fills_and_invalidations() {
+        let mut cache = lru_cache(1, 2);
+        go(&mut cache, 0x000, 0);
+        go(&mut cache, 0x040, 1);
+        assert_eq!(cache.occupancy(), 2);
+        assert!(cache.invalidate(Address::new(0x000).line(6)).is_some());
+        assert_eq!(cache.occupancy(), 1);
+        assert!(cache.invalidate(Address::new(0x000).line(6)).is_none());
+    }
+
+    #[test]
+    fn store_marks_dirty() {
+        let mut cache = lru_cache(1, 2);
+        let a = MemoryAccess::store(Pc::new(1), Address::new(0x80), 0);
+        let set = cache.set_of(a.address);
+        cache.access(&AccessContext::demand(0, &a, set));
+        let line = a.address.line(6);
+        let meta = cache
+            .set_lines(cache.set_of_line(line))
+            .iter()
+            .flatten()
+            .find(|m| m.line == line)
+            .copied()
+            .unwrap();
+        assert!(meta.dirty);
+    }
+
+    #[test]
+    fn contains_reflects_residency() {
+        let mut cache = lru_cache(2, 2);
+        let line = Address::new(0x1000).line(6);
+        assert!(!cache.contains(line));
+        go(&mut cache, 0x1000, 0);
+        assert!(cache.contains(line));
+    }
+
+    /// Failure injection: a buggy policy returning an out-of-range way must
+    /// be caught by the cache, not corrupt adjacent sets.
+    #[test]
+    #[should_panic(expected = "out-of-range way")]
+    fn malicious_policy_is_rejected() {
+        #[derive(Debug)]
+        struct Evil;
+        impl crate::replacement::ReplacementPolicy for Evil {
+            fn name(&self) -> &'static str {
+                "evil"
+            }
+            fn on_hit(&mut self, _: usize, _: &[Option<LineMeta>], _: &AccessContext) {}
+            fn choose_victim(
+                &mut self,
+                lines: &[Option<LineMeta>],
+                _: &AccessContext,
+            ) -> crate::replacement::Decision {
+                crate::replacement::Decision::Evict(lines.len() + 7)
+            }
+            fn on_fill(&mut self, _: usize, _: &[Option<LineMeta>], _: &AccessContext) {}
+        }
+        let mut cache = SetAssociativeCache::new(CacheConfig::new("t", 0, 1, 6), Evil);
+        for (i, addr) in [0u64, 64].iter().enumerate() {
+            let a = MemoryAccess::load(Pc::new(1), Address::new(*addr), i as u64);
+            let set = cache.set_of(a.address);
+            let _ = cache.access(&AccessContext::demand(i as u64, &a, set));
+        }
+    }
+}

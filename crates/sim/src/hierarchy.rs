@@ -1,0 +1,174 @@
+//! The multi-level hierarchy: filters a workload's access stream down to the
+//! LLC stream that replacement-policy studies replay.
+//!
+//! Mirrors the paper's methodology (§5): the full hierarchy is simulated once
+//! (L1/L2 under LRU, per Table 2), the LLC access stream is captured, and
+//! each studied replacement policy then *replays* that identical stream so
+//! policies are compared on the same inputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{AccessKind, MemoryAccess};
+use crate::cache::SetAssociativeCache;
+use crate::config::HierarchyConfig;
+use crate::replacement::{AccessContext, RecencyPolicy};
+use crate::stats::CacheStats;
+
+/// Result of running a workload through the hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierarchyReport {
+    /// Accesses that reached the LLC, in order.
+    pub llc_stream: Vec<MemoryAccess>,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// LLC counters under the baseline (LRU) policy.
+    pub llc: CacheStats,
+    /// Total dynamic instructions in the workload.
+    pub instr_count: u64,
+}
+
+impl HierarchyReport {
+    /// Demand misses that had to go to DRAM under the baseline LLC policy.
+    pub fn dram_accesses(&self) -> u64 {
+        self.llc.demand_misses
+    }
+}
+
+/// The three-level cache hierarchy of Table 2.
+///
+/// # Example
+///
+/// ```rust
+/// use cachemind_sim::prelude::*;
+///
+/// let mut hierarchy = CacheHierarchy::new(HierarchyConfig::small());
+/// let accesses = vec![
+///     MemoryAccess::load(Pc::new(0x400100), Address::new(0x10000), 0),
+///     MemoryAccess::load(Pc::new(0x400100), Address::new(0x10000), 1),
+/// ];
+/// let report = hierarchy.run(&accesses, 2);
+/// assert_eq!(report.llc_stream.len(), 1); // second access hit in L1D
+/// ```
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1i: SetAssociativeCache<RecencyPolicy>,
+    l1d: SetAssociativeCache<RecencyPolicy>,
+    l2: SetAssociativeCache<RecencyPolicy>,
+    llc: SetAssociativeCache<RecencyPolicy>,
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy with LRU at every level.
+    pub fn new(config: HierarchyConfig) -> Self {
+        CacheHierarchy {
+            l1i: SetAssociativeCache::new(config.l1i.clone(), RecencyPolicy::lru()),
+            l1d: SetAssociativeCache::new(config.l1d.clone(), RecencyPolicy::lru()),
+            l2: SetAssociativeCache::new(config.l2.clone(), RecencyPolicy::lru()),
+            llc: SetAssociativeCache::new(config.llc.clone(), RecencyPolicy::lru()),
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Runs the access stream through the hierarchy and captures the LLC
+    /// stream. `instr_count` is the total dynamic instruction count of the
+    /// workload (used by the IPC model).
+    pub fn run(&mut self, accesses: &[MemoryAccess], instr_count: u64) -> HierarchyReport {
+        let mut llc_stream = Vec::new();
+        for (i, access) in accesses.iter().enumerate() {
+            let idx = i as u64;
+            let l1 = match access.kind {
+                AccessKind::Fetch => &mut self.l1i,
+                _ => &mut self.l1d,
+            };
+            let set = l1.set_of(access.address);
+            let l1_out = l1.access(&AccessContext::demand(idx, access, set));
+            if l1_out.hit {
+                continue;
+            }
+            let set = self.l2.set_of(access.address);
+            let l2_out = self.l2.access(&AccessContext::demand(idx, access, set));
+            if l2_out.hit {
+                continue;
+            }
+            // The access reaches the LLC; this is the stream that policy
+            // replays consume.
+            llc_stream.push(*access);
+            let set = self.llc.set_of(access.address);
+            let _ = self.llc.access(&AccessContext::demand(idx, access, set));
+        }
+        HierarchyReport {
+            llc_stream,
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+            llc: *self.llc.stats(),
+            instr_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, Pc};
+
+    fn loads(addrs: &[u64]) -> Vec<MemoryAccess> {
+        addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| MemoryAccess::load(Pc::new(0x400000), Address::new(a), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn l1_filters_hot_lines() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small());
+        let report = h.run(&loads(&[0x1000, 0x1000, 0x1000, 0x1000]), 4);
+        assert_eq!(report.l1d.accesses, 4);
+        assert_eq!(report.l1d.misses, 1);
+        assert_eq!(report.llc_stream.len(), 1);
+    }
+
+    #[test]
+    fn fetches_go_through_l1i() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small());
+        let a = MemoryAccess::fetch(Pc::new(0x400000), Address::new(0x400000), 0);
+        let report = h.run(&[a, a], 2);
+        assert_eq!(report.l1i.accesses, 2);
+        assert_eq!(report.l1d.accesses, 0);
+    }
+
+    #[test]
+    fn prefetches_flow_through_the_data_path() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small());
+        let pf = MemoryAccess::prefetch(Pc::new(0x400000), Address::new(0x9000), 0);
+        let ld = MemoryAccess::load(Pc::new(0x400000), Address::new(0x9000), 1);
+        let report = h.run(&[pf, ld], 2);
+        // The prefetch warms L1D, so the demand load hits and never reaches
+        // the LLC.
+        assert_eq!(report.l1d.accesses, 2);
+        assert_eq!(report.l1d.hits, 1);
+        assert_eq!(report.llc_stream.len(), 1);
+    }
+
+    #[test]
+    fn streaming_reaches_llc() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small());
+        // 4096 distinct lines: far beyond the small L1/L2, every access
+        // reaches the LLC.
+        let addrs: Vec<u64> = (0..4096u64).map(|i| i * 64).collect();
+        let report = h.run(&loads(&addrs), 4096);
+        assert_eq!(report.llc_stream.len(), 4096);
+        assert!(report.llc.misses > 0);
+    }
+}

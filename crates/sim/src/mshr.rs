@@ -1,0 +1,138 @@
+//! A miss-status holding register (MSHR) occupancy model.
+//!
+//! The timing model needs to know how much memory-level parallelism a level
+//! can sustain: a miss that arrives while all MSHR entries are busy must wait
+//! for an entry to free up. This model tracks outstanding misses by their
+//! completion time (in cycles) and reports the stall imposed on each new
+//! miss, plus merge hits for misses to a line that is already outstanding.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::addr::LineAddr;
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrOutcome {
+    /// Extra cycles the miss had to wait for a free entry.
+    pub stall_cycles: u64,
+    /// Whether the miss merged into an already-outstanding entry.
+    pub merged: bool,
+}
+
+/// A fixed-capacity MSHR file.
+///
+/// ```rust
+/// use cachemind_sim::mshr::Mshr;
+/// use cachemind_sim::addr::LineAddr;
+///
+/// let mut mshr = Mshr::new(1);
+/// let a = mshr.allocate(LineAddr::new(1), 0, 100); // occupies until cycle 100
+/// assert_eq!(a.stall_cycles, 0);
+/// let b = mshr.allocate(LineAddr::new(2), 10, 100); // must wait for entry
+/// assert_eq!(b.stall_cycles, 90);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: usize,
+    // (completion_cycle, line) for outstanding misses, min-heap by completion.
+    outstanding: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "an MSHR file needs at least one entry");
+        Mshr { entries, outstanding: BinaryHeap::new() }
+    }
+
+    /// Number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries
+    }
+
+    /// Number of misses outstanding at `now`.
+    pub fn outstanding_at(&mut self, now: u64) -> usize {
+        self.retire(now);
+        self.outstanding.len()
+    }
+
+    fn retire(&mut self, now: u64) {
+        while let Some(&Reverse((done, _))) = self.outstanding.peek() {
+            if done <= now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Presents a miss for `line` at cycle `now` with service `latency`.
+    /// Returns the stall imposed by entry exhaustion and whether the miss
+    /// merged with an in-flight request for the same line.
+    pub fn allocate(&mut self, line: LineAddr, now: u64, latency: u64) -> MshrOutcome {
+        self.retire(now);
+        if self.outstanding.iter().any(|Reverse((_, l))| *l == line.value()) {
+            return MshrOutcome { stall_cycles: 0, merged: true };
+        }
+        let mut start = now;
+        let mut stall = 0;
+        if self.outstanding.len() >= self.entries {
+            // Wait for the earliest-completing entry.
+            let Reverse((done, _)) = self.outstanding.pop().expect("non-empty");
+            stall = done.saturating_sub(now);
+            start = done.max(now);
+        }
+        self.outstanding.push(Reverse((start + latency, line.value())));
+        MshrOutcome { stall_cycles: stall, merged: false }
+    }
+
+    /// Clears all outstanding entries.
+    pub fn reset(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_same_line() {
+        let mut mshr = Mshr::new(4);
+        let first = mshr.allocate(LineAddr::new(7), 0, 50);
+        assert!(!first.merged);
+        let second = mshr.allocate(LineAddr::new(7), 5, 50);
+        assert!(second.merged);
+        assert_eq!(second.stall_cycles, 0);
+    }
+
+    #[test]
+    fn stalls_when_full() {
+        let mut mshr = Mshr::new(2);
+        mshr.allocate(LineAddr::new(1), 0, 100);
+        mshr.allocate(LineAddr::new(2), 0, 100);
+        let out = mshr.allocate(LineAddr::new(3), 20, 100);
+        assert_eq!(out.stall_cycles, 80);
+    }
+
+    #[test]
+    fn entries_retire_over_time() {
+        let mut mshr = Mshr::new(1);
+        mshr.allocate(LineAddr::new(1), 0, 10);
+        assert_eq!(mshr.outstanding_at(5), 1);
+        assert_eq!(mshr.outstanding_at(10), 0);
+        let out = mshr.allocate(LineAddr::new(2), 11, 10);
+        assert_eq!(out.stall_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Mshr::new(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The replacement-policy plug-in interface.
+//!
+//! A policy sees three events: hits ([`ReplacementPolicy::on_hit`]), victim
+//! selection on a miss ([`ReplacementPolicy::choose_victim`]) and fills
+//! ([`ReplacementPolicy::on_fill`]). Offline policies such as Belady
+//! additionally read the *future* through [`AccessContext::next_use`], which
+//! the replay driver populates from a [`crate::reuse::ReuseOracle`]. Online
+//! (hardware-realisable) policies must ignore that field.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{AccessKind, MemoryAccess};
+use crate::addr::{LineAddr, Pc, SetId};
+use crate::cache::LineMeta;
+
+/// Everything a policy may inspect about the access being processed.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessContext {
+    /// Index of this access within the (LLC) access stream.
+    pub index: u64,
+    /// Program counter issuing the access.
+    pub pc: Pc,
+    /// Line address being accessed.
+    pub line: LineAddr,
+    /// Set the line maps to.
+    pub set: SetId,
+    /// Access kind.
+    pub kind: AccessKind,
+    /// The stream index at which this line is next accessed, if an oracle is
+    /// driving the replay (`None` for pure online simulation, `Some(u64::MAX)`
+    /// when the line is never referenced again).
+    pub next_use: Option<u64>,
+}
+
+impl AccessContext {
+    /// Builds a context for a demand access without oracle information.
+    pub fn demand(index: u64, access: &MemoryAccess, set: SetId) -> Self {
+        AccessContext {
+            index,
+            pc: access.pc,
+            line: access.address.line(6),
+            set,
+            kind: access.kind,
+            next_use: None,
+        }
+    }
+
+    /// Builds a context with explicit fields (used by replay drivers that
+    /// already computed line/set under the target geometry).
+    pub fn with_oracle(
+        index: u64,
+        pc: Pc,
+        line: LineAddr,
+        set: SetId,
+        kind: AccessKind,
+        next_use: u64,
+    ) -> Self {
+        AccessContext { index, pc, line, set, kind, next_use: Some(next_use) }
+    }
+}
+
+/// A victim-selection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Evict the line in the given way and fill the incoming line there.
+    Evict(usize),
+    /// Do not cache the incoming line at all.
+    Bypass,
+}
+
+/// A cache replacement policy.
+///
+/// Implementations keep their own per-set metadata, keyed by
+/// `(SetId, way)`. The cache guarantees that `choose_victim` is only called
+/// when every way of the set is valid; when an invalid way exists the cache
+/// fills it directly and only `on_fill` runs.
+pub trait ReplacementPolicy {
+    /// Short, stable policy name (used as the database key suffix, e.g.
+    /// `"lru"` in `lbm_evictions_lru`).
+    fn name(&self) -> &'static str;
+
+    /// Notifies the policy of a hit in `way` of `ctx.set`.
+    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext);
+
+    /// Chooses a victim among the (fully valid) `lines` of `ctx.set`.
+    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision;
+
+    /// Notifies the policy that the incoming line was filled into `way`.
+    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext);
+
+    /// The policy's current eviction score for every way of `set`; higher
+    /// means "more evictable". Mirrors the paper's
+    /// `cache_line_eviction_scores` column. The default derives scores from
+    /// recency (age since last touch).
+    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
+        let _ = set;
+        lines
+            .iter()
+            .map(|slot| slot.as_ref().map_or(u64::MAX, |l| now.saturating_sub(l.last_touch)))
+            .collect()
+    }
+}
+
+impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        (**self).on_hit(way, lines, ctx);
+    }
+
+    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+        (**self).choose_victim(lines, ctx)
+    }
+
+    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+        (**self).on_fill(way, lines, ctx);
+    }
+
+    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
+        (**self).line_scores(set, lines, now)
+    }
+}
+
+/// Recency-ordered policies: LRU, MRU and FIFO in one implementation.
+///
+/// This lives in `cachemind-sim` (rather than `cachemind-policies`) because
+/// the hierarchy's L1/L2 levels always use LRU, matching Table 2.
+///
+/// ```rust
+/// use cachemind_sim::replacement::{RecencyPolicy, ReplacementPolicy};
+/// assert_eq!(RecencyPolicy::lru().name(), "lru");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecencyPolicy {
+    flavor: RecencyFlavor,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecencyFlavor {
+    Lru,
+    Mru,
+    Fifo,
+}
+
+impl RecencyPolicy {
+    /// Least-recently-used.
+    pub fn lru() -> Self {
+        RecencyPolicy { flavor: RecencyFlavor::Lru }
+    }
+
+    /// Most-recently-used (pathological on LRU-friendly traces; useful as an
+    /// adversarial baseline).
+    pub fn mru() -> Self {
+        RecencyPolicy { flavor: RecencyFlavor::Mru }
+    }
+
+    /// First-in-first-out.
+    pub fn fifo() -> Self {
+        RecencyPolicy { flavor: RecencyFlavor::Fifo }
+    }
+}
+
+impl ReplacementPolicy for RecencyPolicy {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            RecencyFlavor::Lru => "lru",
+            RecencyFlavor::Mru => "mru",
+            RecencyFlavor::Fifo => "fifo",
+        }
+    }
+
+    fn on_hit(&mut self, _way: usize, _lines: &[Option<LineMeta>], _ctx: &AccessContext) {
+        // Recency state is carried by LineMeta::last_touch, maintained by the
+        // cache itself; nothing extra to do.
+    }
+
+    fn choose_victim(&mut self, lines: &[Option<LineMeta>], _ctx: &AccessContext) -> Decision {
+        let key = |meta: &LineMeta| match self.flavor {
+            RecencyFlavor::Lru | RecencyFlavor::Mru => meta.last_touch,
+            RecencyFlavor::Fifo => meta.inserted_at,
+        };
+        let pick = lines
+            .iter()
+            .enumerate()
+            .filter_map(|(way, slot)| slot.as_ref().map(|meta| (way, key(meta))));
+        let way = match self.flavor {
+            RecencyFlavor::Mru => pick.max_by_key(|&(_, k)| k).map(|(w, _)| w),
+            _ => pick.min_by_key(|&(_, k)| k).map(|(w, _)| w),
+        };
+        Decision::Evict(way.expect("choose_victim called on a set with no valid lines"))
+    }
+
+    fn on_fill(&mut self, _way: usize, _lines: &[Option<LineMeta>], _ctx: &AccessContext) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Address;
+    use crate::cache::SetAssociativeCache;
+    use crate::config::CacheConfig;
+
+    fn touch(cache: &mut SetAssociativeCache<RecencyPolicy>, addr: u64, idx: u64) -> bool {
+        let a = MemoryAccess::load(Pc::new(0x400000), Address::new(addr), idx);
+        let set = cache.set_of(a.address);
+        cache.access(&AccessContext::demand(idx, &a, set)).hit
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 2 ways: A, B, touch A, insert C -> B evicted.
+        let cfg = CacheConfig::new("toy", 0, 2, 6);
+        let mut cache = SetAssociativeCache::new(cfg, RecencyPolicy::lru());
+        assert!(!touch(&mut cache, 0x000, 0)); // A
+        assert!(!touch(&mut cache, 0x100, 1)); // B
+        assert!(touch(&mut cache, 0x000, 2)); // A hit
+        assert!(!touch(&mut cache, 0x200, 3)); // C evicts B
+        assert!(touch(&mut cache, 0x000, 4)); // A still resident
+        assert!(!touch(&mut cache, 0x100, 5)); // B was evicted
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let cfg = CacheConfig::new("toy", 0, 2, 6);
+        let mut cache = SetAssociativeCache::new(cfg, RecencyPolicy::fifo());
+        assert!(!touch(&mut cache, 0x000, 0)); // A (first in)
+        assert!(!touch(&mut cache, 0x100, 1)); // B
+        assert!(touch(&mut cache, 0x000, 2)); // A hit does not refresh FIFO order
+        assert!(!touch(&mut cache, 0x200, 3)); // C evicts A
+        assert!(!touch(&mut cache, 0x000, 4)); // A gone
+    }
+
+    #[test]
+    fn mru_evicts_most_recent() {
+        let cfg = CacheConfig::new("toy", 0, 2, 6);
+        let mut cache = SetAssociativeCache::new(cfg, RecencyPolicy::mru());
+        assert!(!touch(&mut cache, 0x000, 0)); // A
+        assert!(!touch(&mut cache, 0x100, 1)); // B (most recent)
+        assert!(!touch(&mut cache, 0x200, 2)); // C evicts B
+        assert!(touch(&mut cache, 0x000, 3)); // A survived
+    }
+}

@@ -1,0 +1,87 @@
+//! Aggregate hit/miss counters for one cache level.
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::AccessKind;
+
+/// Hit/miss/eviction counters for a cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses (demand + prefetch).
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Demand (load/store/fetch) misses only.
+    pub demand_misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Fills skipped because the policy chose to bypass.
+    pub bypasses: u64,
+    /// Prefetch accesses observed.
+    pub prefetches: u64,
+}
+
+impl CacheStats {
+    /// Records a hit of the given kind.
+    pub fn record_hit(&mut self, kind: AccessKind) {
+        self.accesses += 1;
+        self.hits += 1;
+        if kind == AccessKind::Prefetch {
+            self.prefetches += 1;
+        }
+    }
+
+    /// Records a miss of the given kind.
+    pub fn record_miss(&mut self, kind: AccessKind) {
+        self.accesses += 1;
+        self.misses += 1;
+        if kind.is_demand() {
+            self.demand_misses += 1;
+        } else {
+            self.prefetches += 1;
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; zero when no accesses were recorded.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate in `[0, 1]`; zero when no accesses were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_accesses() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.miss_rate(), 0.0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let mut stats = CacheStats::default();
+        stats.record_hit(AccessKind::Load);
+        stats.record_miss(AccessKind::Load);
+        stats.record_miss(AccessKind::Prefetch);
+        assert!((stats.miss_rate() + stats.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.demand_misses, 1);
+        assert_eq!(stats.prefetches, 1);
+    }
+}

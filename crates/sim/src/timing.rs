@@ -1,0 +1,164 @@
+//! A first-order analytic IPC model.
+//!
+//! The CacheMind use cases (§6.3) measure interventions as IPC deltas. We do
+//! not need cycle accuracy — only a model in which reducing LLC misses (or
+//! converting demand misses into prefetch hits) increases IPC by a plausible
+//! factor. The model charges:
+//!
+//! * `instr / width` base cycles for useful work,
+//! * each level's hit latency for the accesses that reached it,
+//! * the DRAM latency for LLC demand misses, divided by an effective
+//!   memory-level-parallelism (MLP) factor bounded by the LLC MSHR file and
+//!   the ROB.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HierarchyConfig;
+use crate::hierarchy::HierarchyReport;
+
+/// Analytic cycles/IPC estimator derived from a [`HierarchyConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpcModel {
+    width: usize,
+    l2_latency: u64,
+    llc_latency: u64,
+    dram_latency: u64,
+    mlp: f64,
+}
+
+impl IpcModel {
+    /// Builds the model from a machine configuration.
+    pub fn from_config(config: &HierarchyConfig) -> Self {
+        // Effective MLP: bounded by the LLC MSHR file, discounted because
+        // dependent misses serialize (pointer chasing reaches ~1).
+        let mlp = (config.llc.mshr_entries as f64 / 16.0).clamp(1.0, 8.0);
+        IpcModel {
+            width: config.processor.width,
+            l2_latency: config.l2.latency_cycles,
+            llc_latency: config.llc.latency_cycles,
+            dram_latency: config.dram.latency_cycles,
+            mlp,
+        }
+    }
+
+    /// Overrides the effective memory-level parallelism. A pointer-chasing
+    /// workload (every miss depends on the previous one) should use 1.0.
+    pub fn with_mlp(mut self, mlp: f64) -> Self {
+        assert!(mlp >= 1.0, "MLP factor must be at least 1.0");
+        self.mlp = mlp;
+        self
+    }
+
+    /// Estimated cycles for `instr_count` instructions with the given miss
+    /// counts at each level. `llc_demand_misses` excludes prefetch misses
+    /// (prefetches do not stall the core).
+    pub fn cycles(
+        &self,
+        instr_count: u64,
+        l1_misses: u64,
+        l2_misses: u64,
+        llc_demand_misses: u64,
+    ) -> f64 {
+        let base = instr_count as f64 / self.width as f64;
+        let l2 = l1_misses as f64 * self.l2_latency as f64 * 0.5;
+        let llc = l2_misses as f64 * self.llc_latency as f64 * 0.5;
+        let dram = llc_demand_misses as f64 * self.dram_latency as f64 / self.mlp;
+        base + l2 + llc + dram
+    }
+
+    /// Estimated IPC for a hierarchy run, substituting `llc_demand_misses`
+    /// for the baseline policy's count (so alternative LLC policies can be
+    /// compared on the same L1/L2 behaviour).
+    pub fn ipc(&self, report: &HierarchyReport, llc_demand_misses: u64) -> f64 {
+        let l1_misses = report.l1i.misses + report.l1d.misses;
+        let cycles = self.cycles(report.instr_count, l1_misses, report.l2.misses, llc_demand_misses);
+        if cycles <= 0.0 {
+            0.0
+        } else {
+            report.instr_count as f64 / cycles
+        }
+    }
+
+    /// Estimated IPC when only LLC-level behaviour is simulated (the
+    /// trace-database experiments replay LLC streams directly): hits pay the
+    /// LLC latency, demand misses pay DRAM.
+    pub fn ipc_from_llc(&self, instr_count: u64, llc_hits: u64, llc_demand_misses: u64) -> f64 {
+        let base = instr_count as f64 / self.width as f64;
+        let hits = llc_hits as f64 * self.llc_latency as f64 * 0.5;
+        let dram = llc_demand_misses as f64 * self.dram_latency as f64 / self.mlp;
+        let cycles = base + hits + dram;
+        if cycles <= 0.0 {
+            0.0
+        } else {
+            instr_count as f64 / cycles
+        }
+    }
+
+    /// Relative speedup of `new` over `old` IPC, in percent.
+    pub fn speedup_percent(old_ipc: f64, new_ipc: f64) -> f64 {
+        if old_ipc <= 0.0 {
+            0.0
+        } else {
+            (new_ipc / old_ipc - 1.0) * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CacheStats;
+
+    fn report(instr: u64, l1_miss: u64, l2_miss: u64, llc_miss: u64) -> HierarchyReport {
+        let l1d = CacheStats { misses: l1_miss, ..Default::default() };
+        let l2 = CacheStats { misses: l2_miss, ..Default::default() };
+        let llc =
+            CacheStats { misses: llc_miss, demand_misses: llc_miss, ..Default::default() };
+        HierarchyReport {
+            llc_stream: Vec::new(),
+            l1i: CacheStats::default(),
+            l1d,
+            l2,
+            llc,
+            instr_count: instr,
+        }
+    }
+
+    #[test]
+    fn fewer_misses_means_higher_ipc() {
+        let model = IpcModel::from_config(&HierarchyConfig::table2());
+        let r = report(1_000_000, 50_000, 20_000, 10_000);
+        let slow = model.ipc(&r, 10_000);
+        let fast = model.ipc(&r, 5_000);
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn perfect_cache_approaches_width() {
+        let model = IpcModel::from_config(&HierarchyConfig::table2());
+        let r = report(6_000_000, 0, 0, 0);
+        let ipc = model.ipc(&r, 0);
+        assert!((ipc - 6.0).abs() < 1e-9, "got {ipc}");
+    }
+
+    #[test]
+    fn speedup_is_relative() {
+        assert!((IpcModel::speedup_percent(1.0, 1.02) - 2.0).abs() < 1e-9);
+        assert_eq!(IpcModel::speedup_percent(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn mlp_reduces_dram_penalty() {
+        let base = IpcModel::from_config(&HierarchyConfig::table2());
+        let serial = base.clone().with_mlp(1.0);
+        let parallel = base.with_mlp(8.0);
+        let r = report(1_000_000, 0, 0, 50_000);
+        assert!(parallel.ipc(&r, 50_000) > serial.ipc(&r, 50_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1.0")]
+    fn mlp_below_one_rejected() {
+        let _ = IpcModel::from_config(&HierarchyConfig::table2()).with_mlp(0.5);
+    }
+}

@@ -1,0 +1,435 @@
+//! The trace database and its builder: simulate workloads under policies
+//! and store the annotated traces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_policies::by_name as policy_by_name;
+use cachemind_sim::config::CacheConfig;
+use cachemind_sim::replay::LlcReplay;
+use cachemind_workloads::workload::{Scale, Workload};
+use cachemind_workloads::{by_name as workload_by_name, DATABASE_WORKLOADS};
+
+use crate::frame::TraceFrame;
+use crate::meta;
+use crate::record::TraceRow;
+
+/// A parsed trace identifier: `<workload>_evictions_<policy>`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId {
+    /// Workload name (e.g. `mcf`).
+    pub workload: String,
+    /// Policy name (e.g. `lru`).
+    pub policy: String,
+}
+
+impl TraceId {
+    /// Creates an id from parts.
+    pub fn new(workload: &str, policy: &str) -> Self {
+        TraceId { workload: workload.to_owned(), policy: policy.to_owned() }
+    }
+
+    /// Parses a `<workload>_evictions_<policy>` key.
+    pub fn parse(key: &str) -> Option<Self> {
+        let (workload, policy) = key.split_once("_evictions_")?;
+        if workload.is_empty() || policy.is_empty() {
+            return None;
+        }
+        Some(TraceId { workload: workload.to_owned(), policy: policy.to_owned() })
+    }
+
+    /// The storage key.
+    pub fn key(&self) -> String {
+        format!("{}_evictions_{}", self.workload, self.policy)
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// One stored trace: frame + metadata string + description (§4.3).
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// The trace identifier.
+    pub id: TraceId,
+    /// Per-access rows with program context.
+    pub frame: TraceFrame,
+    /// The "Cache Performance Summary" string.
+    pub metadata: String,
+    /// Human-readable workload + policy description.
+    pub description: String,
+}
+
+/// The external store: trace id -> entry.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDatabase {
+    entries: BTreeMap<String, TraceEntry>,
+    llc: Option<CacheConfig>,
+}
+
+impl TraceDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TraceDatabase::default()
+    }
+
+    /// Inserts an entry, replacing any previous trace with the same id.
+    pub fn insert(&mut self, entry: TraceEntry) {
+        self.entries.insert(entry.id.key(), entry);
+    }
+
+    /// Looks up a trace by its `<workload>_evictions_<policy>` key.
+    pub fn get(&self, key: &str) -> Option<&TraceEntry> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a trace by parsed id.
+    pub fn get_id(&self, id: &TraceId) -> Option<&TraceEntry> {
+        self.entries.get(&id.key())
+    }
+
+    /// All trace keys, sorted.
+    pub fn trace_ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.values()
+    }
+
+    /// Distinct workload names present.
+    pub fn workloads(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .entries
+            .values()
+            .map(|e| e.id.workload.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Distinct policy names present.
+    pub fn policies(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .entries
+            .values()
+            .map(|e| e.id.policy.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The LLC geometry the traces were produced under (if built by the
+    /// builder).
+    pub fn llc_config(&self) -> Option<&CacheConfig> {
+        self.llc.as_ref()
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Builds a [`TraceDatabase`] by simulating workloads under policies.
+///
+/// # Example
+///
+/// ```rust
+/// use cachemind_tracedb::database::TraceDatabaseBuilder;
+/// use cachemind_workloads::Scale;
+///
+/// let db = TraceDatabaseBuilder::new()
+///     .workloads(["mcf"])
+///     .policies(["lru", "belady"])
+///     .scale(Scale::Tiny)
+///     .build();
+/// assert_eq!(db.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceDatabaseBuilder {
+    workloads: Vec<String>,
+    policies: Vec<String>,
+    scale: Scale,
+    llc: CacheConfig,
+    keep_snapshots_every: usize,
+}
+
+impl Default for TraceDatabaseBuilder {
+    fn default() -> Self {
+        TraceDatabaseBuilder::new()
+    }
+}
+
+impl TraceDatabaseBuilder {
+    /// The LLC geometry used for database experiments: 256 sets x 8 ways
+    /// (a scaled-down Table-2 LLC so that the synthetic working sets
+    /// exercise capacity pressure; see DESIGN.md).
+    pub fn experiment_llc() -> CacheConfig {
+        CacheConfig::new("LLC", 8, 8, 6).with_latency(26).with_mshr(64)
+    }
+
+    /// Starts a builder with the paper's defaults: the three database
+    /// workloads, the four database policies, `Scale::Small`.
+    pub fn new() -> Self {
+        TraceDatabaseBuilder {
+            workloads: DATABASE_WORKLOADS.iter().map(|s| (*s).to_owned()).collect(),
+            policies: cachemind_policies::DATABASE_POLICIES
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            scale: Scale::Small,
+            llc: Self::experiment_llc(),
+            keep_snapshots_every: 1,
+        }
+    }
+
+    /// A tiny database (all workloads x all policies at `Scale::Tiny`,
+    /// under a proportionally small 128-line LLC so the short traces still
+    /// exercise real capacity pressure) for tests and doc examples.
+    pub fn quick_demo() -> Self {
+        TraceDatabaseBuilder::new()
+            .scale(Scale::Tiny)
+            .llc(CacheConfig::new("LLC", 5, 4, 6).with_latency(26).with_mshr(16))
+    }
+
+    /// Selects the workloads to simulate.
+    pub fn workloads<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.workloads = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Selects the replacement policies to replay.
+    pub fn policies<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.policies = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the generation scale.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the LLC geometry.
+    pub fn llc(mut self, config: CacheConfig) -> Self {
+        self.llc = config;
+        self
+    }
+
+    /// Keeps the bulky snapshot columns (resident lines, history, scores)
+    /// on every `n`-th row only (1 = every row, 0 = never).
+    pub fn keep_snapshots_every(mut self, n: usize) -> Self {
+        self.keep_snapshots_every = n;
+        self
+    }
+
+    /// Simulates everything and assembles the database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload or policy name is unknown (the builder is the
+    /// trusted configuration surface; unknown names are programming errors).
+    pub fn build(self) -> TraceDatabase {
+        let mut db = TraceDatabase { entries: BTreeMap::new(), llc: Some(self.llc.clone()) };
+        for wname in &self.workloads {
+            let workload: Workload = workload_by_name(wname, self.scale)
+                .unwrap_or_else(|| panic!("unknown workload {wname:?}"));
+            let program = Arc::new(workload.program.clone());
+            let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
+            for pname in &self.policies {
+                let policy = policy_by_name(pname)
+                    .unwrap_or_else(|| panic!("unknown policy {pname:?}"));
+                let report = replay.run(policy);
+                let rows: Vec<TraceRow> = report
+                    .records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        let keep = self.keep_snapshots_every > 0
+                            && i % self.keep_snapshots_every == 0;
+                        TraceRow::from_record(r, keep)
+                    })
+                    .collect();
+                let metadata = meta::render(&report);
+                let description = format!(
+                    "Workload: {}. Replacement Policy: {}. {}",
+                    wname,
+                    policy_description(pname),
+                    workload.description
+                );
+                db.insert(TraceEntry {
+                    id: TraceId::new(wname, pname),
+                    frame: TraceFrame::new(rows, Arc::clone(&program)),
+                    metadata,
+                    description,
+                });
+            }
+        }
+        db
+    }
+}
+
+/// A one-line description of each policy, used in trace descriptions and
+/// retrieval context.
+pub fn policy_description(name: &str) -> &'static str {
+    match name {
+        "lru" => "LRU evicts the least-recently-used line in the set.",
+        "mru" => "MRU evicts the most-recently-used line in the set.",
+        "fifo" => "FIFO evicts the line that was inserted earliest.",
+        "random" => "Random replacement evicts a uniformly random line.",
+        "belady" => {
+            "Belady's optimal (MIN) evicts the line whose next use is farthest in the \
+             future; an offline oracle upper bound."
+        }
+        "srrip" => "SRRIP predicts re-reference intervals with 2-bit counters.",
+        "brrip" => "BRRIP inserts lines with distant re-reference predictions most of the time.",
+        "drrip" => "DRRIP set-duels SRRIP against BRRIP insertion.",
+        "dip" => "DIP set-duels LRU against bimodal insertion to resist thrashing.",
+        "lip" => "LIP inserts every line at the LRU position; lines must earn promotion.",
+        "bip" => "BIP inserts at the LRU position, occasionally at MRU.",
+        "ship" => "SHiP biases insertion using PC-signature hit prediction.",
+        "hawkeye" => "Hawkeye classifies PCs with Belady-derived labels (OPTgen).",
+        "mockingjay" => {
+            "Mockingjay predicts continuous reuse distances per PC and evicts the line \
+             with the largest estimated time remaining."
+        }
+        "parrot" => {
+            "PARROT imitates Belady's policy with a learned model over PC and address \
+             features (imitation learning)."
+        }
+        "mlp" => "MLP scores lines with a multi-layer perceptron reuse predictor.",
+        "bypass" => "A base policy wrapped with a per-PC bypass list.",
+        _ => "Unknown policy.",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_round_trips() {
+        let id = TraceId::new("lbm", "lru");
+        assert_eq!(id.key(), "lbm_evictions_lru");
+        assert_eq!(TraceId::parse("lbm_evictions_lru"), Some(id));
+        assert_eq!(TraceId::parse("garbage"), None);
+        assert_eq!(TraceId::parse("_evictions_"), None);
+    }
+
+    #[test]
+    fn builder_builds_all_pairs() {
+        let db = TraceDatabaseBuilder::new()
+            .workloads(["mcf", "lbm"])
+            .policies(["lru", "belady"])
+            .scale(Scale::Tiny)
+            .build();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.workloads(), vec!["lbm", "mcf"]);
+        assert_eq!(db.policies(), vec!["belady", "lru"]);
+        let entry = db.get("mcf_evictions_belady").unwrap();
+        assert!(entry.metadata.contains("miss rate"));
+        assert!(entry.description.contains("Belady"));
+        assert!(!entry.frame.is_empty());
+    }
+
+    #[test]
+    fn belady_dominates_lru_in_every_built_trace() {
+        let db = TraceDatabaseBuilder::quick_demo().build();
+        for w in db.workloads() {
+            let opt = db.get(&format!("{w}_evictions_belady")).unwrap();
+            let lru = db.get(&format!("{w}_evictions_lru")).unwrap();
+            let miss = |e: &TraceEntry| e.frame.rows().iter().filter(|r| r.is_miss).count();
+            assert!(miss(opt) <= miss(lru), "OPT must not miss more than LRU on {w}");
+        }
+    }
+
+    #[test]
+    fn extended_policy_set_builds() {
+        // The paper sketches "an extended database with potentially 8-10
+        // replacement policies"; the builder supports any registered policy.
+        let db = TraceDatabaseBuilder::new()
+            .workloads(["lbm"])
+            .policies(["lru", "belady", "ship", "hawkeye", "mockingjay", "drrip", "dip", "lip"])
+            .scale(Scale::Tiny)
+            .build();
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.policies().len(), 8);
+        for entry in db.entries() {
+            assert!(!entry.frame.is_empty(), "{} has rows", entry.id);
+            assert!(entry.metadata.contains("miss rate"));
+        }
+    }
+
+    #[test]
+    fn extended_workload_set_builds() {
+        let db = TraceDatabaseBuilder::new()
+            .workloads(["bzip2", "milc"])
+            .policies(["lru"])
+            .scale(Scale::Tiny)
+            .build();
+        assert_eq!(db.workloads(), vec!["bzip2", "milc"]);
+        let entry = db.get("bzip2_evictions_lru").unwrap();
+        let pc = entry.frame.rows()[0].pc;
+        assert!(entry.frame.function_name(pc).is_some(), "bzip2 PCs map to code");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_panics() {
+        let _ = TraceDatabaseBuilder::new()
+            .workloads(["mcf"])
+            .policies(["optimal-prime"])
+            .scale(Scale::Tiny)
+            .build();
+    }
+
+    #[test]
+    fn snapshot_sampling_reduces_stored_context() {
+        let full = TraceDatabaseBuilder::new()
+            .workloads(["mcf"])
+            .policies(["lru"])
+            .scale(Scale::Tiny)
+            .build();
+        let sampled = TraceDatabaseBuilder::new()
+            .workloads(["mcf"])
+            .policies(["lru"])
+            .scale(Scale::Tiny)
+            .keep_snapshots_every(16)
+            .build();
+        let count_hist = |db: &TraceDatabase| {
+            db.get("mcf_evictions_lru")
+                .unwrap()
+                .frame
+                .rows()
+                .iter()
+                .filter(|r| !r.access_history.is_empty())
+                .count()
+        };
+        assert!(count_hist(&sampled) < count_hist(&full));
+    }
+}

@@ -1,0 +1,214 @@
+//! [`TraceFrame`] — the database's per-trace "data_frame".
+
+use std::sync::Arc;
+
+use cachemind_sim::addr::Pc;
+use cachemind_workloads::program::ProgramImage;
+
+use crate::filter::Predicate;
+use crate::record::TraceRow;
+
+/// A frame of trace rows plus the program image that maps PCs to code.
+///
+/// Equivalent to the paper's pandas `data_frame`, with text columns
+/// (`function_name`, `function_code`, `assembly_code`) joined lazily from
+/// the shared [`ProgramImage`].
+#[derive(Debug, Clone)]
+pub struct TraceFrame {
+    rows: Vec<TraceRow>,
+    program: Arc<ProgramImage>,
+}
+
+impl TraceFrame {
+    /// Creates a frame over `rows` with `program` as the code-lookup source.
+    pub fn new(rows: Vec<TraceRow>, program: Arc<ProgramImage>) -> Self {
+        TraceFrame { rows, program }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in stream order.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// The program image behind the frame's PCs.
+    pub fn program(&self) -> &ProgramImage {
+        &self.program
+    }
+
+    /// Rows matching `predicate`, in stream order (borrowed).
+    pub fn filter(&self, predicate: &Predicate) -> Vec<&TraceRow> {
+        self.rows.iter().filter(|r| predicate.matches(r)).collect()
+    }
+
+    /// Number of rows matching `predicate`.
+    pub fn count(&self, predicate: &Predicate) -> usize {
+        self.rows.iter().filter(|r| predicate.matches(r)).count()
+    }
+
+    /// A new frame containing only rows matching `predicate` (cloned).
+    pub fn select(&self, predicate: &Predicate) -> TraceFrame {
+        TraceFrame {
+            rows: self.rows.iter().filter(|r| predicate.matches(r)).cloned().collect(),
+            program: Arc::clone(&self.program),
+        }
+    }
+
+    /// The `function_name` column value for a PC.
+    pub fn function_name(&self, pc: Pc) -> Option<&str> {
+        self.program.function_of(pc).map(|f| f.name.as_str())
+    }
+
+    /// The `function_code` column value for a PC.
+    pub fn function_code(&self, pc: Pc) -> Option<&str> {
+        self.program.source_of(pc)
+    }
+
+    /// The `assembly_code` column value for a PC (a window of disassembly).
+    pub fn assembly_code(&self, pc: Pc) -> Option<String> {
+        self.program.assembly_window(pc, 2)
+    }
+
+    /// Distinct PCs in first-seen order.
+    pub fn unique_pcs(&self) -> Vec<Pc> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.rows {
+            if seen.insert(r.pc) {
+                out.push(r.pc);
+            }
+        }
+        out
+    }
+
+    /// Renders the frame as CSV, one row per access, with the paper's
+    /// column names (snapshot columns are summarised by their lengths).
+    /// Intended for exporting artifacts and interoperating with pandas.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,program_counter,memory_address,cache_set_id,evict,miss_type,\
+             evicted_address,accessed_address_reuse_distance_numeric,\
+             evicted_address_reuse_distance_numeric,accessed_address_recency_numeric,\
+             accessed_address_recency,function_name,is_miss\n",
+        );
+        for r in &self.rows {
+            let opt_u64 = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+            let opt_addr = |v: Option<cachemind_sim::addr::Address>| {
+                v.map(|a| format!("{a}")).unwrap_or_default()
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.index,
+                r.pc,
+                r.address,
+                r.set.index(),
+                r.evict_label(),
+                r.miss_type_label(),
+                opt_addr(r.evicted_address),
+                opt_u64(r.accessed_reuse_distance),
+                opt_u64(r.evicted_reuse_distance),
+                opt_u64(r.recency),
+                r.recency_label(),
+                self.function_name(r.pc).unwrap_or(""),
+                r.is_miss as u8,
+            ));
+        }
+        out
+    }
+
+    /// Distinct set ids, ascending.
+    pub fn unique_sets(&self) -> Vec<usize> {
+        let mut sets: Vec<usize> = self
+            .rows
+            .iter()
+            .map(|r| r.set.index())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        sets.sort_unstable();
+        sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::addr::{Address, SetId};
+
+    fn frame() -> TraceFrame {
+        let mut rows = Vec::new();
+        for i in 0..10u64 {
+            rows.push(TraceRow {
+                index: i,
+                pc: Pc::new(0x400000 + (i % 3) * 4),
+                address: Address::new(0x1000 + i * 64),
+                kind: cachemind_sim::access::AccessKind::Load,
+                set: SetId::new((i % 4) as usize),
+                is_miss: i % 2 == 0,
+                miss_type: None,
+                evicted_address: None,
+                accessed_reuse_distance: Some(i),
+                evicted_reuse_distance: None,
+                recency: None,
+                resident_lines: Vec::new(),
+                access_history: Vec::new(),
+                eviction_scores: Vec::new(),
+                bypassed: false,
+            });
+        }
+        TraceFrame::new(rows, Arc::new(ProgramImage::new()))
+    }
+
+    #[test]
+    fn filter_and_count_agree() {
+        let f = frame();
+        let p = Predicate::IsMiss(true);
+        assert_eq!(f.filter(&p).len(), f.count(&p));
+        assert_eq!(f.count(&p), 5);
+    }
+
+    #[test]
+    fn select_produces_subframe() {
+        let f = frame();
+        let sub = f.select(&Predicate::PcEquals(Pc::new(0x400000)));
+        assert_eq!(sub.len(), 4);
+        assert!(sub.rows().iter().all(|r| r.pc == Pc::new(0x400000)));
+    }
+
+    #[test]
+    fn unique_pcs_and_sets() {
+        let f = frame();
+        assert_eq!(f.unique_pcs().len(), 3);
+        assert_eq!(f.unique_sets(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unmapped_pc_has_no_function() {
+        let f = frame();
+        assert!(f.function_name(Pc::new(0x400000)).is_none());
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let f = frame();
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), f.len() + 1);
+        assert!(lines[0].starts_with("index,program_counter"));
+        assert!(lines[1].contains("Cache Miss") || lines[1].contains("Cache Hit"));
+        // Every data row has the same number of fields as the header.
+        let fields = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), fields, "row {l}");
+        }
+    }
+}

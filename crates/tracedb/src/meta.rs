@@ -1,0 +1,139 @@
+//! Trace-level metadata strings — the paper's "Cache Performance Summary".
+//!
+//! The paper stores whole-trace statistics as a *single free-form string*
+//! that downstream retrievers parse with string matching. We generate the
+//! same format and provide the matching extraction helpers.
+
+use cachemind_sim::replay::ReplayReport;
+
+/// Renders the paper-format metadata string for a replay.
+///
+/// Format (from §3.3/§4.3):
+///
+/// ```text
+/// Cache Performance Summary: 140704 total accesses, 133542 total misses,
+/// 94.91% miss rate, 100.00% capacity misses, 0.00% conflict misses,
+/// 133478 total evictions, 87085 (65.24%) wrong evictions where evicted
+/// line has lower reuse distance. The correlation between accessed address
+/// recency and cache misses is 0.18.
+/// ```
+pub fn render(report: &ReplayReport) -> String {
+    let stats = &report.stats;
+    let classified = report.capacity_misses + report.conflict_misses;
+    let (cap_pct, conf_pct) = if classified == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            report.capacity_misses as f64 * 100.0 / classified as f64,
+            report.conflict_misses as f64 * 100.0 / classified as f64,
+        )
+    };
+    let wrong_pct = if stats.evictions == 0 {
+        0.0
+    } else {
+        report.wrong_evictions as f64 * 100.0 / stats.evictions as f64
+    };
+    format!(
+        "Cache Performance Summary: {} total accesses, {} total misses, {:.2}% miss rate, \
+         {:.2}% capacity misses, {:.2}% conflict misses, {} compulsory misses, \
+         {} total evictions, {} ({:.2}%) wrong evictions where evicted line has lower \
+         reuse distance. The correlation between accessed address recency and cache \
+         misses is {:.2}.",
+        stats.accesses,
+        stats.misses,
+        stats.miss_rate() * 100.0,
+        cap_pct,
+        conf_pct,
+        report.compulsory_misses,
+        stats.evictions,
+        report.wrong_evictions,
+        wrong_pct,
+        report.recency_miss_correlation(),
+    )
+}
+
+/// Extracts the first number appearing before `label` in `metadata`
+/// (e.g. `extract_count(meta, "total misses")`).
+pub fn extract_count(metadata: &str, label: &str) -> Option<u64> {
+    let pos = metadata.find(label)?;
+    let prefix = &metadata[..pos];
+    let token = prefix.split_whitespace().last()?;
+    token.replace(',', "").parse().ok()
+}
+
+/// Extracts the percentage appearing before `label`
+/// (e.g. `extract_percent(meta, "miss rate")` -> `94.91`).
+pub fn extract_percent(metadata: &str, label: &str) -> Option<f64> {
+    let pos = metadata.find(label)?;
+    let prefix = &metadata[..pos];
+    let token = prefix.split_whitespace().last()?;
+    token.trim_end_matches('%').parse().ok()
+}
+
+/// Extracts the recency/miss correlation from the summary sentence.
+pub fn extract_correlation(metadata: &str) -> Option<f64> {
+    let marker = "cache misses is ";
+    let pos = metadata.find(marker)? + marker.len();
+    let rest = &metadata[pos..];
+    let token: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    // The sentence ends with a period, which the scan captures.
+    token.trim_end_matches('.').parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::stats::CacheStats;
+
+    fn report() -> ReplayReport {
+        let stats = CacheStats {
+            accesses: 140_704,
+            misses: 133_542,
+            hits: 140_704 - 133_542,
+            evictions: 133_478,
+            ..Default::default()
+        };
+        ReplayReport {
+            policy: "lru".to_owned(),
+            records: Vec::new(),
+            stats,
+            wrong_evictions: 87_085,
+            capacity_misses: 133_542,
+            conflict_misses: 0,
+            compulsory_misses: 0,
+        }
+    }
+
+    #[test]
+    fn renders_paper_shape() {
+        let m = render(&report());
+        assert!(m.starts_with("Cache Performance Summary:"));
+        assert!(m.contains("140704 total accesses"));
+        assert!(m.contains("133542 total misses"));
+        assert!(m.contains("94.91% miss rate"));
+        assert!(m.contains("100.00% capacity misses"));
+        assert!(m.contains("0.00% conflict misses"));
+        assert!(m.contains("87085 (65.24%) wrong evictions"));
+    }
+
+    #[test]
+    fn extraction_round_trips() {
+        let m = render(&report());
+        assert_eq!(extract_count(&m, "total accesses"), Some(140_704));
+        assert_eq!(extract_count(&m, "total misses"), Some(133_542));
+        assert_eq!(extract_count(&m, "total evictions"), Some(133_478));
+        assert_eq!(extract_percent(&m, "miss rate"), Some(94.91));
+        assert_eq!(extract_percent(&m, "capacity misses"), Some(100.0));
+        assert_eq!(extract_correlation(&m), Some(0.0));
+    }
+
+    #[test]
+    fn extraction_handles_missing_labels() {
+        assert_eq!(extract_count("no numbers here", "total misses"), None);
+        assert_eq!(extract_percent("", "miss rate"), None);
+        assert_eq!(extract_correlation("nothing"), None);
+    }
+}

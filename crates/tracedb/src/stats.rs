@@ -1,0 +1,326 @@
+//! The "Cache Statistical Expert" (§3.2.3): per-PC and per-set statistics
+//! computed over retrieved trace slices.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cachemind_sim::addr::{Address, Pc};
+
+use crate::filter::Predicate;
+use crate::frame::TraceFrame;
+
+/// Per-PC statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcStats {
+    /// The PC.
+    pub pc: Pc,
+    /// Accesses issued by this PC.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Mean forward reuse distance of the accessed lines (when known).
+    pub mean_accessed_reuse: Option<f64>,
+    /// Mean reuse distance of lines evicted by this PC's accesses.
+    pub mean_evicted_reuse: Option<f64>,
+    /// Standard deviation of the accessed reuse distance.
+    pub reuse_stddev: Option<f64>,
+    /// Evictions caused by this PC's fills.
+    pub evictions_caused: u64,
+}
+
+impl PcStats {
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Coefficient of variation of the reuse distance (stddev / mean) — the
+    /// "stability" measure of the Mockingjay use case.
+    pub fn reuse_cv(&self) -> Option<f64> {
+        match (self.reuse_stddev, self.mean_accessed_reuse) {
+            (Some(sd), Some(mean)) if mean > 0.0 => Some(sd / mean),
+            _ => None,
+        }
+    }
+}
+
+/// Per-set statistics (the set-hotness use case).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetStats {
+    /// Set index.
+    pub set: usize,
+    /// Accesses mapping to the set.
+    pub accesses: u64,
+    /// Hits in the set.
+    pub hits: u64,
+}
+
+impl SetStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Computes statistics over a [`TraceFrame`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStatisticalExpert;
+
+impl CacheStatisticalExpert {
+    /// Creates the expert.
+    pub fn new() -> Self {
+        CacheStatisticalExpert
+    }
+
+    /// Per-PC statistics over the whole frame, ascending by PC.
+    pub fn per_pc(&self, frame: &TraceFrame) -> Vec<PcStats> {
+        #[derive(Default)]
+        struct Acc {
+            accesses: u64,
+            hits: u64,
+            misses: u64,
+            reuse: Vec<f64>,
+            evicted_reuse: Vec<f64>,
+            evictions: u64,
+        }
+        let mut map: HashMap<Pc, Acc> = HashMap::new();
+        for row in frame.rows() {
+            let acc = map.entry(row.pc).or_default();
+            acc.accesses += 1;
+            if row.is_miss {
+                acc.misses += 1;
+            } else {
+                acc.hits += 1;
+            }
+            if let Some(d) = row.accessed_reuse_distance {
+                acc.reuse.push(d as f64);
+            }
+            if let Some(d) = row.evicted_reuse_distance {
+                acc.evicted_reuse.push(d as f64);
+            }
+            if row.evicted_address.is_some() {
+                acc.evictions += 1;
+            }
+        }
+        let mut out: Vec<PcStats> = map
+            .into_iter()
+            .map(|(pc, acc)| {
+                let (mean, sd) = mean_stddev(&acc.reuse);
+                let (emean, _) = mean_stddev(&acc.evicted_reuse);
+                PcStats {
+                    pc,
+                    accesses: acc.accesses,
+                    hits: acc.hits,
+                    misses: acc.misses,
+                    mean_accessed_reuse: mean,
+                    mean_evicted_reuse: emean,
+                    reuse_stddev: sd,
+                    evictions_caused: acc.evictions,
+                }
+            })
+            .collect();
+        out.sort_by_key(|s| s.pc);
+        out
+    }
+
+    /// Statistics for one PC, if it appears in the frame.
+    pub fn pc_stats(&self, frame: &TraceFrame, pc: Pc) -> Option<PcStats> {
+        self.per_pc(&frame.select(&Predicate::PcEquals(pc))).pop()
+    }
+
+    /// Per-set statistics, ascending by set index.
+    pub fn per_set(&self, frame: &TraceFrame) -> Vec<SetStats> {
+        let mut map: HashMap<usize, SetStats> = HashMap::new();
+        for row in frame.rows() {
+            let s = map
+                .entry(row.set.index())
+                .or_insert(SetStats { set: row.set.index(), accesses: 0, hits: 0 });
+            s.accesses += 1;
+            s.hits += (!row.is_miss) as u64;
+        }
+        let mut out: Vec<SetStats> = map.into_values().collect();
+        out.sort_by_key(|s| s.set);
+        out
+    }
+
+    /// Per-access-kind counters — the "access types" breakdown the paper's
+    /// gem5 extension provides. Returns `(kind, accesses, misses)` in a
+    /// fixed load/store/fetch/prefetch order, skipping absent kinds.
+    pub fn per_kind(
+        &self,
+        frame: &TraceFrame,
+    ) -> Vec<(cachemind_sim::access::AccessKind, u64, u64)> {
+        use cachemind_sim::access::AccessKind;
+        let mut out = Vec::new();
+        for kind in
+            [AccessKind::Load, AccessKind::Store, AccessKind::Fetch, AccessKind::Prefetch]
+        {
+            let (mut accesses, mut misses) = (0u64, 0u64);
+            for row in frame.rows() {
+                if row.kind == kind {
+                    accesses += 1;
+                    misses += row.is_miss as u64;
+                }
+            }
+            if accesses > 0 {
+                out.push((kind, accesses, misses));
+            }
+        }
+        out
+    }
+
+    /// All recorded outcomes for accesses by `pc` to `address` (byte-exact),
+    /// in stream order. `true` = miss.
+    pub fn outcomes_for(&self, frame: &TraceFrame, pc: Pc, address: Address) -> Vec<bool> {
+        frame
+            .rows()
+            .iter()
+            .filter(|r| r.pc == pc && r.address == address)
+            .map(|r| r.is_miss)
+            .collect()
+    }
+
+    /// Mean of the `evicted_address_reuse_distance_numeric` column over a
+    /// slice.
+    pub fn mean_evicted_reuse(&self, frame: &TraceFrame, predicate: &Predicate) -> Option<f64> {
+        let values: Vec<f64> = frame
+            .filter(predicate)
+            .into_iter()
+            .filter_map(|r| r.evicted_reuse_distance.map(|d| d as f64))
+            .collect();
+        mean_stddev(&values).0
+    }
+}
+
+fn mean_stddev(values: &[f64]) -> (Option<f64>, Option<f64>) {
+    if values.is_empty() {
+        return (None, None);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (Some(mean), Some(var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRow;
+    use cachemind_sim::addr::SetId;
+    use cachemind_workloads::program::ProgramImage;
+    use std::sync::Arc;
+
+    fn frame() -> TraceFrame {
+        let mut rows = Vec::new();
+        // PC 0x10: 3 accesses, 1 miss, reuse distances 10, 20, 30.
+        // PC 0x20: 2 accesses, 2 misses, evicts lines.
+        for (i, (pc, miss, reuse, evicted)) in [
+            (0x10u64, false, Some(10), None),
+            (0x10, true, Some(20), Some(0x999)),
+            (0x10, false, Some(30), None),
+            (0x20, true, None, Some(0x888)),
+            (0x20, true, Some(100), Some(0x777)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            rows.push(TraceRow {
+                index: i as u64,
+                pc: Pc::new(*pc),
+                address: Address::new(0x5000 + i as u64 * 64),
+                kind: cachemind_sim::access::AccessKind::Load,
+                set: SetId::new(i % 2),
+                is_miss: *miss,
+                miss_type: None,
+                evicted_address: evicted.map(Address::new),
+                accessed_reuse_distance: *reuse,
+                evicted_reuse_distance: evicted.map(|_| 50),
+                recency: None,
+                resident_lines: Vec::new(),
+                access_history: Vec::new(),
+                eviction_scores: Vec::new(),
+                bypassed: false,
+            });
+        }
+        TraceFrame::new(rows, Arc::new(ProgramImage::new()))
+    }
+
+    #[test]
+    fn per_pc_aggregates_correctly() {
+        let expert = CacheStatisticalExpert::new();
+        let stats = expert.per_pc(&frame());
+        assert_eq!(stats.len(), 2);
+        let pc10 = &stats[0];
+        assert_eq!(pc10.pc, Pc::new(0x10));
+        assert_eq!(pc10.accesses, 3);
+        assert_eq!(pc10.misses, 1);
+        assert!((pc10.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pc10.mean_accessed_reuse, Some(20.0));
+        let pc20 = &stats[1];
+        assert_eq!(pc20.misses, 2);
+        assert_eq!(pc20.evictions_caused, 2);
+    }
+
+    #[test]
+    fn per_set_counts_hits() {
+        let expert = CacheStatisticalExpert::new();
+        let sets = expert.per_set(&frame());
+        assert_eq!(sets.len(), 2);
+        let total: u64 = sets.iter().map(|s| s.accesses).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn outcomes_for_is_byte_exact() {
+        let expert = CacheStatisticalExpert::new();
+        let f = frame();
+        assert_eq!(expert.outcomes_for(&f, Pc::new(0x10), Address::new(0x5000)), vec![false]);
+        assert!(expert.outcomes_for(&f, Pc::new(0x10), Address::new(0x5001)).is_empty());
+    }
+
+    #[test]
+    fn reuse_cv_requires_samples() {
+        let expert = CacheStatisticalExpert::new();
+        let stats = expert.pc_stats(&frame(), Pc::new(0x10)).unwrap();
+        assert!(stats.reuse_cv().is_some());
+    }
+
+    #[test]
+    fn per_kind_breaks_down_access_types() {
+        let expert = CacheStatisticalExpert::new();
+        let kinds = expert.per_kind(&frame());
+        assert_eq!(kinds.len(), 1, "test frame only contains loads");
+        let (kind, accesses, misses) = kinds[0];
+        assert_eq!(kind, cachemind_sim::access::AccessKind::Load);
+        assert_eq!(accesses, 5);
+        assert_eq!(misses, 3);
+    }
+
+    #[test]
+    fn mean_evicted_reuse_over_predicate() {
+        let expert = CacheStatisticalExpert::new();
+        let f = frame();
+        let m = expert.mean_evicted_reuse(&f, &Predicate::PcEquals(Pc::new(0x20)));
+        assert_eq!(m, Some(50.0));
+    }
+}

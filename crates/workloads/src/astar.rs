@@ -1,0 +1,158 @@
+//! `astar` — branchy grid pathfinding.
+//!
+//! SPEC 473.astar runs A* searches over a 2-D map: spatially-local map
+//! reads (a random walk of the frontier), a priority-queue working set with
+//! skewed reuse, and a small bound array with very strong reuse. The
+//! paper's examples repeatedly probe astar PCs (e.g. the
+//! `_ZN7way2obj11createwayarERP6pointtRi` symbol in Fig. 9) and use astar
+//! for the set-hotness use case.
+
+use rand::Rng;
+
+use crate::kernels::{zipf, StreamBuilder, LINE};
+use crate::program::ProgramBuilder;
+use crate::workload::{Scale, Workload};
+
+const MAP_REGION: u64 = 0x7000_0000;
+const HEAP_REGION: u64 = 0x7800_0000;
+const BOUND_REGION: u64 = 0x7C00_0000;
+
+/// Map size: 128 x 128 cells, 4 cells per line -> 4096 lines.
+const MAP_DIM: u64 = 128;
+const CELLS_PER_LINE: u64 = 4;
+/// Priority-queue working set in lines.
+const HEAP_LINES: u64 = 512;
+/// Bound array in lines (hot).
+const BOUND_LINES: u64 = 64;
+
+fn map_addr(x: u64, y: u64) -> u64 {
+    let cell = y * MAP_DIM + x;
+    MAP_REGION + (cell / CELLS_PER_LINE) * LINE + (cell % CELLS_PER_LINE) * 16
+}
+
+/// Generates the synthetic astar workload.
+pub fn generate(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new(0x409200);
+    let map_pcs = pb.function(
+        "_ZN7way2obj11createwayarERP6pointtRi",
+        "while (wayar[p.y][p.x].fill == false) {\n    p = wayar[p.y][p.x].parent;\n    createwayar(p, rez);\n}",
+        &[
+            "mov (%r12,%rbx,4),%eax",
+            "movzbl 0x2(%r12,%rbx,4),%edx",
+            "test %dl,%dl",
+            "je 409290 <_ZN7way2obj11createwayarERP6pointtRi+0x90>",
+        ],
+    );
+    let heap_pcs = pb.function(
+        "_ZN9regwayobj10makebound2ERSt6vectorIP6regobjSaIS2_EES6_",
+        "for (i=0; i < bound1.size(); i++) {\n    rbp = bound1[i];\n    for (int t=0; t < rbp->neighbournum; t++) {\n        rbn = rbp->neighbours[t];\n    }\n}",
+        &[
+            "mov (%r14,%r13,8),%rdi",
+            "mov 0x18(%rdi),%eax",
+            "mov 0x20(%rdi,%rcx,8),%rsi",
+        ],
+    );
+    let bound_pcs = pb.function(
+        "_ZN6wayobj10makebound1EPiiS0_",
+        "for (i=0; i<boundl; ++i) {\n    x = boundar[i] & 0xFFFF;\n    y = boundar[i] >> 16;\n}",
+        &["mov (%rdi,%rax,4),%ecx", "and $0xffff,%ecx"],
+    );
+    let program = pb.build();
+
+    let map_load = map_pcs[0];
+    let map_flag = map_pcs[1];
+    let heap_load = heap_pcs[0];
+    let heap_neighbor = heap_pcs[2];
+    let bound_load = bound_pcs[0];
+
+    let mut b = StreamBuilder::new(0x6173_7400); // "ast"
+    let (mut x, mut y) = (MAP_DIM / 2, MAP_DIM / 2);
+    let searches = 200 * scale.factor();
+    for s in 0..searches {
+        // Frontier walk: 6 spatially-local map reads.
+        for _ in 0..6 {
+            let dx: i64 = b.rng().gen_range(-1..=1);
+            let dy: i64 = b.rng().gen_range(-1..=1);
+            x = (x as i64 + dx).clamp(0, MAP_DIM as i64 - 1) as u64;
+            y = (y as i64 + dy).clamp(0, MAP_DIM as i64 - 1) as u64;
+            b.load(map_load, map_addr(x, y));
+            if b.rng().gen_bool(0.4) {
+                b.load(map_flag, map_addr(x, y) + 2);
+            }
+        }
+        // Occasionally jump the frontier (new search region).
+        if s % 64 == 63 {
+            x = b.rng().gen_range(0..MAP_DIM);
+            y = b.rng().gen_range(0..MAP_DIM);
+        }
+        // Priority queue: skewed reuse over the heap region.
+        for _ in 0..3 {
+            let h = zipf(b.rng(), HEAP_LINES, 1.4);
+            b.load(heap_load, HEAP_REGION + h * LINE);
+        }
+        let h = zipf(b.rng(), HEAP_LINES, 1.4);
+        b.load(heap_neighbor, HEAP_REGION + h * LINE + 32);
+        // Bound array: hot, sequential in a tiny region.
+        for k in 0..2 {
+            b.load(bound_load, BOUND_REGION + ((s + k) % BOUND_LINES) * LINE);
+        }
+    }
+
+    let (accesses, instr_count) = b.finish();
+    Workload {
+        name: "astar".to_owned(),
+        description: "SPEC 473.astar-like A* pathfinding: spatially-local map \
+                      reads in way2obj::createwayar, skewed priority-queue \
+                      reuse in regwayobj::makebound2, and a hot bound array — \
+                      mixed locality with pronounced hot/cold cache sets."
+            .to_owned(),
+        program,
+        accesses,
+        instr_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::config::CacheConfig;
+    use cachemind_sim::replacement::RecencyPolicy;
+    use cachemind_sim::replay::LlcReplay;
+
+    fn llc() -> CacheConfig {
+        CacheConfig::new("LLC", 8, 8, 6)
+    }
+
+    #[test]
+    fn astar_has_moderate_hit_rate() {
+        let w = generate(Scale::Small);
+        let replay = LlcReplay::new(llc(), &w.accesses);
+        let report = replay.run(RecencyPolicy::lru());
+        let hr = report.hit_rate();
+        assert!(hr > 0.35 && hr < 0.95, "astar LRU hit rate {hr}");
+    }
+
+    #[test]
+    fn set_usage_is_skewed() {
+        // The set-hotness use case needs genuinely hot and cold sets.
+        let w = generate(Scale::Small);
+        let replay = LlcReplay::new(llc(), &w.accesses);
+        let report = replay.run(RecencyPolicy::lru());
+        let mut per_set = std::collections::HashMap::new();
+        for r in &report.records {
+            *per_set.entry(r.set.index()).or_insert(0u64) += 1;
+        }
+        let max = per_set.values().max().copied().unwrap();
+        let min = per_set.values().min().copied().unwrap();
+        assert!(max >= 2 * min.max(1), "set skew max {max} min {min}");
+    }
+
+    #[test]
+    fn mangled_symbol_is_resolvable() {
+        let w = generate(Scale::Tiny);
+        let pc = w.accesses.iter().map(|a| a.pc).find(|&pc| {
+            w.program.function_of(pc).is_some_and(|f| f.name.contains("createwayar"))
+        });
+        assert!(pc.is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! `milc` — staggered-lattice QCD sweeps.
+//!
+//! SPEC 433.milc performs SU(3) matrix operations over a 4-D lattice in
+//! regular sweeps with phase behaviour. The paper uses milc for the
+//! Mockingjay use case ("we chose milc because Mockingjay does worse than
+//! Hawkeye" there): its per-PC reuse distances split into *stable* PCs
+//! (regular sweep strides, low reuse-distance variance) and *noisy* PCs
+//! (gauge-link gathers with erratic reuse), which is exactly the property
+//! the stable-PC RDP training exploits.
+
+use crate::kernels::{zipf, StreamBuilder, LINE};
+use crate::program::ProgramBuilder;
+use crate::workload::{Scale, Workload};
+
+const LATTICE: u64 = 0x9000_0000;
+const GAUGE: u64 = 0x9800_0000;
+const TEMP: u64 = 0x9C00_0000;
+
+/// Lattice size in lines (bigger than the LLC).
+const LATTICE_LINES: u64 = 4096;
+/// Gauge-link region in lines.
+const GAUGE_LINES: u64 = 1024;
+/// Temporary buffers in lines (hot).
+const TEMP_LINES: u64 = 48;
+
+/// Generates the synthetic milc workload.
+pub fn generate(scale: Scale) -> Workload {
+    let mut pb = ProgramBuilder::new(0x413900);
+    let site_pcs = pb.function(
+        "mult_su3_na",
+        "for(i=0;i<3;i++) for(j=0;j<3;j++) {\n    cc.real = a->e[i][0].real * b->e[j][0].real;\n    c->e[i][j] = cc;\n}",
+        &[
+            "movsd (%rdi,%rax,8),%xmm0",
+            "mulsd (%rsi,%rax,8),%xmm0",
+            "movsd %xmm0,(%rdx,%rax,8)",
+        ],
+    );
+    let gather_pcs = pb.function(
+        "dslash_fn_site",
+        "FORSOMEPARITY(i,s,parity) {\n    mult_su3_mat_vec( &(s->link[XUP]), (su3_vector *)F_PT(s,src), &(s->tempvec[XUP]) );\n}",
+        &["mov (%r9,%r10,8),%rax", "movsd 0x40(%rax),%xmm4"],
+    );
+    let temp_pcs = pb.function(
+        "scalar_mult_add_su3_vector",
+        "for(i=0;i<3;i++) {\n    c->c[i].real = a->c[i].real + s * b->c[i].real;\n}",
+        &["movsd (%rcx),%xmm1", "addsd %xmm5,%xmm1", "movsd %xmm1,(%r11)"],
+    );
+    let program = pb.build();
+
+    // Stable PCs: the regular sweep (site load + store, temp buffer).
+    let site_load = site_pcs[0];
+    let site_store = site_pcs[2];
+    let temp_load = temp_pcs[0];
+    let temp_store = temp_pcs[2];
+    // Noisy PC: the gauge-link gather.
+    let gauge_load = gather_pcs[0];
+
+    let mut b = StreamBuilder::new(0x6D69_6C63); // "milc"
+    let sweeps = 3 * scale.factor();
+    let chunk = LATTICE_LINES / 4;
+    for sweep in 0..sweeps {
+        let base = (sweep % 4) * chunk;
+        for i in 0..chunk {
+            let line = base + i;
+            // Stable: regular strided sweep over lattice sites.
+            b.load(site_load, LATTICE + line * LINE);
+            if i % 2 == 0 {
+                b.store(site_store, LATTICE + line * LINE + 24);
+            }
+            // Stable: hot temp buffer.
+            if i % 4 == 0 {
+                let t = i % TEMP_LINES;
+                b.load(temp_load, TEMP + t * LINE);
+                b.store(temp_store, TEMP + t * LINE + 8);
+            }
+            // Noisy: skewed gauge-link gathers with erratic reuse (hot links
+            // reused quickly, cold links after very long intervals).
+            if i % 3 == 0 {
+                let g = zipf(b.rng(), GAUGE_LINES, 2.0);
+                b.load(gauge_load, GAUGE + g * LINE);
+            }
+        }
+    }
+
+    let (accesses, instr_count) = b.finish();
+    Workload {
+        name: "milc".to_owned(),
+        description: "SPEC 433.milc-like lattice QCD: regular staggered sweeps \
+                      in mult_su3_na (stable reuse distances) mixed with \
+                      erratic gauge-link gathers in dslash_fn_site (noisy \
+                      reuse) — the Mockingjay stable-PC training target."
+            .to_owned(),
+        program,
+        accesses,
+        instr_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::config::CacheConfig;
+    use cachemind_sim::replacement::RecencyPolicy;
+    use cachemind_sim::replay::LlcReplay;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sweep_pcs_have_lower_reuse_variance_than_gather_pcs() {
+        let w = generate(Scale::Small);
+        let replay = LlcReplay::new(CacheConfig::new("LLC", 8, 8, 6), &w.accesses);
+        let report = replay.run(RecencyPolicy::lru());
+        // Per-PC reuse-distance variance.
+        let mut samples: HashMap<u64, Vec<f64>> = HashMap::new();
+        for r in &report.records {
+            if let Some(d) = r.accessed_reuse_distance {
+                samples.entry(r.pc.value()).or_default().push(d as f64);
+            }
+        }
+        let cv = |v: &[f64]| {
+            let n = v.len() as f64;
+            let mean = v.iter().sum::<f64>() / n;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            var.sqrt() / mean.max(1.0)
+        };
+        let pc_of = |func: &str| {
+            w.program
+                .functions()
+                .iter()
+                .find(|f| f.name == func)
+                .unwrap()
+                .base_pc
+                .value()
+        };
+        let stable = samples
+            .get(&pc_of("scalar_mult_add_su3_vector"))
+            .expect("temp PC sampled");
+        let gauge = samples.get(&pc_of("dslash_fn_site")).expect("gauge PC sampled");
+        assert!(stable.len() > 50 && gauge.len() > 50);
+        assert!(
+            cv(stable) < cv(gauge),
+            "stable cv {} should be below gauge cv {}",
+            cv(stable),
+            cv(gauge)
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! `ptrchase` — the pointer-chasing microbenchmark of the software-prefetch
+//! use case (§6.3).
+//!
+//! The paper: "The benchmark is designed to generate misses from a single
+//! dominant load instruction at an initially unknown PC, which is recovered
+//! using CacheMind. [...] we modified the microbenchmark to insert a
+//! built-in C software prefetch instruction that prefetches future addresses
+//! in the pointer-chasing array according to the observed access pattern."
+//!
+//! [`generate`] builds the plain benchmark; [`generate_prefetched`] is the
+//! "fixed" source with prefetches `distance` hops ahead.
+
+use cachemind_sim::addr::Pc;
+
+use crate::kernels::{shuffled_ring, StreamBuilder, LINE};
+use crate::program::ProgramBuilder;
+use crate::workload::{Scale, Workload};
+
+const RING_REGION: u64 = 0xA000_0000;
+const STACK_REGION: u64 = 0x7FFF_0000;
+
+/// Ring size in cache lines (≫ LLC: every chase step misses).
+const RING_LINES: usize = 6144;
+/// Stack working set in lines (always hits).
+const STACK_LINES: u64 = 8;
+
+struct Pcs {
+    chase: Pc,
+    accum: Pc,
+    prefetch: Pc,
+}
+
+fn build_program(with_prefetch: bool) -> (crate::program::ProgramImage, Pcs) {
+    let mut pb = ProgramBuilder::new(0x400500);
+    let source = if with_prefetch {
+        "for (i = 0; i < N; i++) {\n    __builtin_prefetch(&ring[lookahead[i]]);\n    p = ring[p];\n    sum += weights[depth & 7];\n}"
+    } else {
+        "for (i = 0; i < N; i++) {\n    p = ring[p];\n    sum += weights[depth & 7];\n}"
+    };
+    let body: &[&str] = if with_prefetch {
+        &[
+            "prefetcht0 (%r8)",
+            "mov (%rdi,%rax,8),%rax", // the chase load
+            "add (%rsp,%rcx,8),%rbx", // stack accumulate
+            "jne 400512 <chase+0x12>",
+        ]
+    } else {
+        &[
+            "mov (%rdi,%rax,8),%rax",
+            "add (%rsp,%rcx,8),%rbx",
+            "jne 400512 <chase+0x12>",
+        ]
+    };
+    let pcs = pb.function("chase", source, body);
+    let image = pb.build();
+    let p = if with_prefetch {
+        Pcs { prefetch: pcs[0], chase: pcs[1], accum: pcs[2] }
+    } else {
+        Pcs { prefetch: pcs[0], chase: pcs[0], accum: pcs[1] }
+    };
+    (image, p)
+}
+
+fn generate_inner(scale: Scale, prefetch_distance: Option<usize>) -> Workload {
+    let (program, pcs) = build_program(prefetch_distance.is_some());
+    let mut b = StreamBuilder::new(0x7074_7263); // "ptrc"
+    let ring = shuffled_ring(b.rng(), RING_LINES);
+    // Precompute chase order so prefetches can look ahead.
+    let steps = (1200 * scale.factor()) as usize;
+    let mut order = Vec::with_capacity(steps);
+    let mut pos = 0usize;
+    for _ in 0..steps {
+        order.push(pos);
+        pos = ring[pos];
+    }
+    for (i, &p) in order.iter().enumerate() {
+        if let Some(d) = prefetch_distance {
+            if let Some(&future) = order.get(i + d) {
+                b.prefetch(pcs.prefetch, RING_REGION + future as u64 * LINE);
+            }
+        }
+        b.load(pcs.chase, RING_REGION + p as u64 * LINE);
+        // One stack access every three chase steps: the ~75% miss mix.
+        if i % 3 == 0 {
+            b.load(pcs.accum, STACK_REGION + (i as u64 % STACK_LINES) * LINE);
+        }
+    }
+
+    let (accesses, instr_count) = b.finish();
+    Workload {
+        name: "ptrchase".to_owned(),
+        description: "Pointer-chasing microbenchmark: one dominant load PC \
+                      walking a shuffled 6K-line ring (every step an LLC \
+                      miss) plus a tiny hot stack working set. The software-\
+                      prefetch use case target."
+            .to_owned(),
+        program,
+        accesses,
+        instr_count,
+    }
+}
+
+/// The plain (miss-dominated) microbenchmark.
+pub fn generate(scale: Scale) -> Workload {
+    generate_inner(scale, None)
+}
+
+/// The prefetch-fixed variant: a software prefetch is issued `distance`
+/// chase steps ahead of each demand load, mirroring the paper's
+/// `__builtin_prefetch` insertion.
+///
+/// # Panics
+///
+/// Panics if `distance` is zero (a zero-distance prefetch is the demand
+/// load itself).
+pub fn generate_prefetched(scale: Scale, distance: usize) -> Workload {
+    assert!(distance > 0, "prefetch distance must be positive");
+    let mut w = generate_inner(scale, Some(distance));
+    w.name = "ptrchase_prefetch".to_owned();
+    w.description.push_str(" (with software prefetching enabled)");
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachemind_sim::access::AccessKind;
+    use cachemind_sim::config::CacheConfig;
+    use cachemind_sim::replacement::RecencyPolicy;
+    use cachemind_sim::replay::LlcReplay;
+    use std::collections::HashMap;
+
+    fn llc() -> CacheConfig {
+        CacheConfig::new("LLC", 8, 8, 6)
+    }
+
+    #[test]
+    fn one_pc_dominates_misses() {
+        let w = generate(Scale::Small);
+        let replay = LlcReplay::new(llc(), &w.accesses);
+        let report = replay.run(RecencyPolicy::lru());
+        let mut miss_by_pc: HashMap<u64, u64> = HashMap::new();
+        for r in &report.records {
+            if r.is_miss {
+                *miss_by_pc.entry(r.pc.value()).or_insert(0) += 1;
+            }
+        }
+        let total: u64 = miss_by_pc.values().sum();
+        let max = miss_by_pc.values().max().copied().unwrap();
+        assert!(max as f64 / total as f64 > 0.9, "dominant PC share {}", max as f64 / total as f64);
+    }
+
+    #[test]
+    fn miss_rate_is_around_three_quarters() {
+        let w = generate(Scale::Small);
+        let replay = LlcReplay::new(llc(), &w.accesses);
+        let report = replay.run(RecencyPolicy::lru());
+        let mr = report.miss_rate();
+        assert!(mr > 0.6 && mr < 0.9, "ptrchase miss rate {mr}");
+    }
+
+    #[test]
+    fn prefetching_converts_demand_misses() {
+        let base = generate(Scale::Small);
+        let fixed = generate_prefetched(Scale::Small, 8);
+        let replay_base = LlcReplay::new(llc(), &base.accesses);
+        let replay_fixed = LlcReplay::new(llc(), &fixed.accesses);
+        let rb = replay_base.run(RecencyPolicy::lru());
+        let rf = replay_fixed.run(RecencyPolicy::lru());
+        assert!(
+            rf.stats.demand_misses < rb.stats.demand_misses / 2,
+            "prefetch demand misses {} vs base {}",
+            rf.stats.demand_misses,
+            rb.stats.demand_misses
+        );
+        assert!(fixed.accesses.iter().any(|a| a.kind == AccessKind::Prefetch));
+    }
+}

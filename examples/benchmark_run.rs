@@ -1,0 +1,43 @@
+//! Run CacheMindBench end to end for one retriever x backend pair and print
+//! the per-category breakdown — a miniature of the paper's Figure 4 row.
+//!
+//! Run with: `cargo run --release --example benchmark_run [sieve|ranger]`
+
+use cachemind_benchsuite::harness::{self, HarnessConfig};
+use cachemind_suite::prelude::*;
+
+fn main() {
+    let retriever_name = std::env::args().nth(1).unwrap_or_else(|| "ranger".to_owned());
+
+    println!("Building database and generating the 100-question suite ...");
+    let db = TraceDatabaseBuilder::quick_demo().build();
+    let catalog = Catalog::generate(&db);
+
+    let sieve = SieveRetriever::new();
+    let ranger = RangerRetriever::new();
+    let retriever: &dyn Retriever = match retriever_name.as_str() {
+        "sieve" => &sieve,
+        "ranger" => &ranger,
+        other => panic!("unknown retriever {other:?} (use sieve or ranger)"),
+    };
+
+    let report = harness::run(&db, retriever, BackendKind::Gpt4o, &catalog, &HarnessConfig::default());
+
+    println!("\nCacheMindBench — retriever: {}, backend: {}", report.retriever, report.backend);
+    println!("{}", "-".repeat(56));
+    for category in QueryCategory::ALL {
+        println!(
+            "{:<30} {:>8.2}%  ({} questions)",
+            category.label(),
+            report.category_accuracy(category),
+            report.results.iter().filter(|r| r.category == category).count()
+        );
+    }
+    println!("{}", "-".repeat(56));
+    println!(
+        "Trace-grounded tier: {:>6.2}%   Reasoning tier: {:>6.2}%   Total: {:>6.2}%",
+        report.tier_accuracy(Tier::TraceGrounded),
+        report.tier_accuracy(Tier::Reasoning),
+        report.total()
+    );
+}

@@ -1,0 +1,36 @@
+//! The §6.3 bypass use case end to end: CacheMind identifies dead-on-arrival
+//! PCs on mcf, the LRU replacement logic gets a conditional bypass for them,
+//! and the hit-rate/IPC deltas are measured.
+//!
+//! Run with: `cargo run --release --example bypass_insight`
+
+use cachemind_suite::core::insights::bypass;
+use cachemind_suite::prelude::*;
+
+fn main() {
+    println!("Running the bypass-signature use case on mcf (LRU base policy) ...\n");
+    let report = bypass::run(Scale::Small, 10);
+
+    println!("{}", report.transcript);
+    println!(
+        "Bypassed {} PCs: {}",
+        report.bypassed_pcs.len(),
+        report
+            .bypassed_pcs
+            .iter()
+            .map(|p| format!("{p}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "Hit rate: {:.2}% -> {:.2}% ({:+.2}% relative)",
+        report.base_hit_rate * 100.0,
+        report.bypass_hit_rate * 100.0,
+        report.relative_hit_gain_percent
+    );
+    println!(
+        "IPC:      {:.5} -> {:.5} ({:+.2}% speedup)",
+        report.base_ipc, report.bypass_ipc, report.speedup_percent
+    );
+    println!("\n(The paper reports +7.66% relative hit rate and +2.04% IPC on real mcf.)");
+}

@@ -1,0 +1,62 @@
+//! A multi-turn analysis session, in the style of the paper's Figure 13
+//! set-hotness chat: each answer feeds the next question, with conversation
+//! memory retaining intermediate findings.
+//!
+//! Run with: `cargo run --example chat_session`
+
+use cachemind_suite::prelude::*;
+
+fn main() {
+    let db = TraceDatabaseBuilder::quick_demo().build();
+    let mind = CacheMind::new(db).with_retriever(RetrieverKind::Ranger);
+    let mut chat = ChatSession::new(mind);
+
+    // Figure 10-style exploration commands route straight to the plan
+    // runtime (the "generated code" path).
+    chat.ask("List all unique PCs in the mcf trace under LRU.");
+    chat.ask("Group PCs by reuse-distance variance for the mcf workload under LRU.");
+    chat.ask("Identify hot and cold sets by hit rate in astar under Belady.");
+
+    // Turn 4: whole-workload orientation.
+    chat.ask("What is the overall miss rate of the astar workload under Belady?");
+
+    // Turn 2: cross-policy view.
+    chat.ask("Which workload has the highest cache miss rate under LRU?");
+
+    // Turn 3: drill into a PC that the database really contains.
+    let pc = chat
+        .mind()
+        .database()
+        .get("astar_evictions_belady")
+        .expect("trace")
+        .frame
+        .rows()[0]
+        .pc;
+    chat.ask(&format!(
+        "Why does Belady outperform LRU on PC {pc} in the astar workload? Link the reuse \
+         pattern to the policy mechanics."
+    ));
+
+    // Turn 4: a trick premise — CacheMind should reject it.
+    let mcf_pc = chat
+        .mind()
+        .database()
+        .get("mcf_evictions_lru")
+        .expect("trace")
+        .frame
+        .rows()[0]
+        .pc;
+    chat.ask(&format!(
+        "Does the memory access with PC {mcf_pc} result in a cache hit or cache miss for \
+         the lbm workload and LRU replacement policy?"
+    ));
+
+    println!("{}", chat.render_transcript());
+
+    // Conversation memory: recall what we learned about Belady.
+    println!("Recalled from memory (query: 'belady reuse'):");
+    for snippet in chat.recall("belady reuse", 2) {
+        let first_line = snippet.lines().next().unwrap_or("");
+        println!("  - {first_line}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use cachemind_suite::policies::BeladyPolicy;
+use cachemind_suite::prelude::*;
+use cachemind_suite::sim::reuse::NEVER;
+
+fn trace_from_lines(lines: &[u8]) -> Vec<MemoryAccess> {
+    lines
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            MemoryAccess::load(Pc::new(0x400000 + (l as u64 % 5) * 4), Address::new(l as u64 * 64), i as u64)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Belady's MIN is optimal: no online policy beats it in total hits on
+    /// any trace.
+    #[test]
+    fn belady_is_optimal(lines in proptest::collection::vec(0u8..24, 1..300)) {
+        let trace = trace_from_lines(&lines);
+        let cfg = CacheConfig::new("t", 1, 2, 6); // 2 sets x 2 ways
+        let replay = LlcReplay::new(cfg, &trace);
+        let opt = replay.run(BeladyPolicy::new());
+        for name in ["lru", "fifo", "random", "srrip", "ship"] {
+            let other = replay.run(cachemind_suite::policies::by_name(name).unwrap());
+            prop_assert!(
+                opt.stats.hits >= other.stats.hits,
+                "{} beat Belady: {} vs {}", name, other.stats.hits, opt.stats.hits
+            );
+        }
+    }
+
+    /// LRU has the stack (inclusion) property: increasing associativity can
+    /// only convert misses to hits, never the reverse.
+    #[test]
+    fn lru_inclusion_property(lines in proptest::collection::vec(0u8..32, 1..300)) {
+        let trace = trace_from_lines(&lines);
+        let small = LlcReplay::new(CacheConfig::new("s", 1, 2, 6), &trace)
+            .run(RecencyPolicy::lru());
+        let large = LlcReplay::new(CacheConfig::new("l", 1, 4, 6), &trace)
+            .run(RecencyPolicy::lru());
+        for (a, b) in small.records.iter().zip(&large.records) {
+            prop_assert!(
+                a.is_miss || !b.is_miss,
+                "hit in 2-way but miss in 4-way at index {}", a.index
+            );
+        }
+    }
+
+    /// The reuse oracle's next/prev indices are mutually consistent and its
+    /// distances match a naive recomputation.
+    #[test]
+    fn reuse_oracle_invariants(lines in proptest::collection::vec(0u8..16, 1..200)) {
+        let trace = trace_from_lines(&lines);
+        let oracle = ReuseOracle::from_accesses(&trace, 6);
+        for i in 0..oracle.len() {
+            let next = oracle.next_use(i);
+            if next != NEVER {
+                let j = next as usize;
+                prop_assert_eq!(oracle.prev_use(j), i as u64);
+                prop_assert_eq!(oracle.line(i), oracle.line(j));
+                // No intervening access to the same line.
+                for k in (i + 1)..j {
+                    prop_assert_ne!(oracle.line(k), oracle.line(i));
+                }
+            }
+            prop_assert_eq!(oracle.is_first_touch(i), oracle.prev_use(i) == NEVER);
+        }
+    }
+
+    /// The filter engine is sound and complete: `filter` returns exactly the
+    /// rows matching the predicate.
+    #[test]
+    fn filter_soundness(lines in proptest::collection::vec(0u8..16, 1..150), pc_pick in 0u8..5) {
+        let trace = trace_from_lines(&lines);
+        let replay = LlcReplay::new(CacheConfig::new("t", 1, 2, 6), &trace);
+        let report = replay.run(RecencyPolicy::lru());
+        let rows: Vec<TraceRow> =
+            report.records.iter().map(|r| TraceRow::from_record(r, true)).collect();
+        let frame = TraceFrame::new(rows, std::sync::Arc::new(ProgramImage::new()));
+        let pred = Predicate::PcEquals(Pc::new(0x400000 + (pc_pick as u64 % 5) * 4))
+            .and(Predicate::IsMiss(true));
+        let filtered = frame.filter(&pred);
+        prop_assert!(filtered.iter().all(|r| pred.matches(r)));
+        let manual = frame.rows().iter().filter(|r| pred.matches(r)).count();
+        prop_assert_eq!(filtered.len(), manual);
+        prop_assert_eq!(frame.count(&pred), manual);
+    }
+
+    /// The tokenizer is total and deterministic on arbitrary input, and hex
+    /// literals round-trip.
+    #[test]
+    fn tokenizer_total_and_hex_round_trip(s in ".{0,120}", v in 0u64..u64::MAX / 2) {
+        let a = cachemind_suite::lang::token::tokenize(&s);
+        let b = cachemind_suite::lang::token::tokenize(&s);
+        prop_assert_eq!(a, b);
+        let text = format!("PC 0x{v:x} accessed");
+        prop_assert_eq!(cachemind_suite::lang::token::hex_literals(&text), vec![v]);
+    }
+
+    /// Embeddings are unit-norm (or zero) for arbitrary text.
+    #[test]
+    fn embeddings_unit_norm(s in ".{0,200}") {
+        let e = HashedEmbedder::new(32);
+        let v = e.embed(&s);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-4, "norm {}", norm);
+    }
+
+    /// Miss classification is exhaustive: every miss gets exactly one type
+    /// and hits get none.
+    #[test]
+    fn miss_taxonomy_is_total(lines in proptest::collection::vec(0u8..48, 1..300)) {
+        let trace = trace_from_lines(&lines);
+        let replay = LlcReplay::new(CacheConfig::new("t", 2, 2, 6), &trace);
+        let report = replay.run(RecencyPolicy::lru());
+        let mut classified = 0u64;
+        for r in &report.records {
+            prop_assert_eq!(r.miss_type.is_some(), r.is_miss);
+            if r.miss_type.is_some() { classified += 1; }
+        }
+        prop_assert_eq!(classified, report.stats.misses);
+        prop_assert_eq!(
+            report.capacity_misses + report.conflict_misses + report.compulsory_misses,
+            report.stats.misses
+        );
+    }
+
+    /// Cache occupancy never exceeds capacity, and hits never change
+    /// occupancy.
+    #[test]
+    fn occupancy_bounded(lines in proptest::collection::vec(0u8..64, 1..200)) {
+        let trace = trace_from_lines(&lines);
+        let cfg = CacheConfig::new("t", 1, 2, 6);
+        let capacity = cfg.capacity_lines();
+        let mut cache = SetAssociativeCache::new(cfg, RecencyPolicy::lru());
+        for (i, a) in trace.iter().enumerate() {
+            let set = cache.set_of(a.address);
+            let before = cache.occupancy();
+            let out = cache.access(&AccessContext::demand(i as u64, a, set));
+            let after = cache.occupancy();
+            prop_assert!(after <= capacity);
+            if out.hit {
+                prop_assert_eq!(before, after);
+            }
+        }
+    }
+}
