@@ -57,9 +57,8 @@ fn ablation_embedding_dims(c: &mut Criterion) {
     let mut group = c.benchmark_group("embedding_dims");
     for dims in [16usize, 64, 256] {
         let embedder = HashedEmbedder::new(dims);
-        group.bench_function(BenchmarkId::from_parameter(dims), |b| {
-            b.iter(|| embedder.embed(text))
-        });
+        group
+            .bench_function(BenchmarkId::from_parameter(dims), |b| b.iter(|| embedder.embed(text)));
     }
     group.finish();
 }

@@ -35,5 +35,7 @@ fn main() {
         cachemind_bench::pct(sums[1] / n),
         cachemind_bench::pct(sums[2] / n)
     );
-    println!("\nPaper reference: accuracy rises monotonically with retrieval quality for every backend.");
+    println!(
+        "\nPaper reference: accuracy rises monotonically with retrieval quality for every backend."
+    );
 }

@@ -5,9 +5,9 @@
 
 use cachemind_benchsuite::catalog::Catalog;
 use cachemind_core::eval;
+use cachemind_lang::context::RetrievedContext;
 use cachemind_lang::profiles::BackendKind;
 use cachemind_lang::prompt::{Example, PromptBuilder};
-use cachemind_lang::context::RetrievedContext;
 
 fn main() {
     let db = cachemind_bench::load_db();
@@ -16,13 +16,11 @@ fn main() {
     // Render the Figure 6 one-shot prompt itself.
     println!("Figure 6 — the one-shot prompt (Cache Hit/Miss category)");
     cachemind_bench::rule(78);
-    let prompt = PromptBuilder::new()
-        .example(Example::figure6())
-        .render(
-            "Does the memory access with PC 0x401dc9 and address 0x47ea85d37f result in a \
+    let prompt = PromptBuilder::new().example(Example::figure6()).render(
+        "Does the memory access with PC 0x401dc9 and address 0x47ea85d37f result in a \
              cache hit or cache miss for the lbm workload and PARROT replacement policy?",
-            &RetrievedContext::empty("sieve"),
-        );
+        &RetrievedContext::empty("sieve"),
+    );
     for line in prompt.lines().take(12) {
         println!("  {line}");
     }
@@ -43,7 +41,5 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "\nPaper reference: totals barely move with shots; trick-question accuracy improves."
-    );
+    println!("\nPaper reference: totals barely move with shots; trick-question accuracy improves.");
 }

@@ -1,0 +1,139 @@
+//! Parallel policy × workload × configuration sweep driver.
+//!
+//! Replays every requested workload under every requested policy and LLC
+//! geometry using the rayon-parallel [`cachemind_sim::sweep::SweepGrid`]
+//! engine, then prints the canonical report. The output is byte-identical
+//! for any `RAYON_NUM_THREADS` setting — determinism across thread counts
+//! is part of the sweep engine's contract.
+//!
+//! Environment:
+//!
+//! - `CACHEMIND_SCALE` — workload scale (`tiny` | `small` | `full`,
+//!   default `small`), as for every other bench binary.
+//! - `RAYON_NUM_THREADS` — worker count (default: all cores).
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep_grid [--policies a,b,c] [--workloads x,y,z] [--json]
+//! ```
+//!
+//! Defaults sweep 5 policies × 4 workloads × 3 LLC geometries (60 cells).
+
+use cachemind_sim::config::CacheConfig;
+use cachemind_sim::sweep::{config_label, SweepGrid, SweepStream};
+use cachemind_workloads::workload::Scale;
+
+/// The default policy set: online baselines, modern RRIP-family policies,
+/// and the offline optimum as the lower bound.
+const DEFAULT_POLICIES: [&str; 5] = ["lru", "srrip", "ship", "mockingjay", "belady"];
+
+/// The default workload set: the three database workloads plus the
+/// pointer-chasing microbenchmark.
+const DEFAULT_WORKLOADS: [&str; 4] = ["astar", "lbm", "mcf", "ptrchase"];
+
+/// LLC geometries swept by default: the paper's LLC plus half-capacity and
+/// half-associativity variants (scaled down one notch at tiny scale so the
+/// sweep still exercises capacity pressure).
+fn default_configs(scale: Scale) -> Vec<CacheConfig> {
+    let shrink = match scale {
+        Scale::Tiny => 3,
+        _ => 0,
+    };
+    vec![
+        CacheConfig::new("LLC", 11 - shrink, 16, 6).with_latency(26).with_mshr(64),
+        CacheConfig::new("LLC-half", 10 - shrink, 16, 6).with_latency(26).with_mshr(64),
+        CacheConfig::new("LLC-8way", 11 - shrink, 8, 6).with_latency(26).with_mshr(64),
+    ]
+}
+
+fn parse_list(arg: Option<String>, default: &[&str]) -> Vec<String> {
+    match arg {
+        Some(list) => {
+            list.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
+        }
+        None => default.iter().map(|s| (*s).to_owned()).collect(),
+    }
+}
+
+fn main() {
+    let mut policies_arg = None;
+    let mut workloads_arg = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    let require_value = |flag: &str, value: Option<String>| match value {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("sweep_grid: {flag} requires a comma-separated value");
+            std::process::exit(2);
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policies" => policies_arg = require_value("--policies", args.next()),
+            "--workloads" => workloads_arg = require_value("--workloads", args.next()),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: sweep_grid [--policies a,b,c] [--workloads x,y,z] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("sweep_grid: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = cachemind_bench::scale_from_env();
+    let policies = parse_list(policies_arg, &DEFAULT_POLICIES);
+    let workload_names = parse_list(workloads_arg, &DEFAULT_WORKLOADS);
+
+    let mut grid = SweepGrid::default();
+    grid.policies = policies;
+    for name in &workload_names {
+        let workload = match cachemind_workloads::by_name(name, scale) {
+            Some(w) => w,
+            None => {
+                eprintln!("sweep_grid: unknown workload {name:?}");
+                std::process::exit(2);
+            }
+        };
+        grid.streams.push(SweepStream::new(workload.name.clone(), workload.accesses));
+    }
+    grid.configs = default_configs(scale);
+
+    eprintln!(
+        "[sweep_grid] {} policies x {} workloads x {} configs = {} cells at {:?} scale on {} worker(s)",
+        grid.policies.len(),
+        grid.streams.len(),
+        grid.configs.len(),
+        grid.cells(),
+        scale,
+        rayon::current_num_threads(),
+    );
+    for cfg in &grid.configs {
+        eprintln!(
+            "[sweep_grid]   config {}: {} KB, {} sets, {} ways",
+            config_label(cfg),
+            cfg.capacity_bytes() / 1024,
+            cfg.sets(),
+            cfg.ways,
+        );
+    }
+
+    let started = std::time::Instant::now();
+    let report = match grid.run(cachemind_policies::by_name) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("sweep_grid: {err}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("[sweep_grid] swept {} cells in {:?}", report.cells.len(), started.elapsed());
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    } else {
+        print!("{}", report.to_table());
+    }
+}

@@ -14,12 +14,7 @@ fn main() {
     println!(
         "Bypassed PCs ({}): {}",
         report.bypassed_pcs.len(),
-        report
-            .bypassed_pcs
-            .iter()
-            .map(|p| format!("{p}"))
-            .collect::<Vec<_>>()
-            .join(", ")
+        report.bypassed_pcs.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(", ")
     );
     println!(
         "Hit rate: {:.2}% -> {:.2}%  ({:+.2}% relative)",

@@ -22,11 +22,7 @@ fn main() {
             row.belady_hit_rate * 100.0,
             row.parrot_hit_rate * 100.0,
             row.inverted_pcs.len(),
-            row.inverted_pcs
-                .iter()
-                .map(|p| format!("{p}"))
-                .collect::<Vec<_>>()
-                .join(", ")
+            row.inverted_pcs.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(", ")
         );
     }
     println!(

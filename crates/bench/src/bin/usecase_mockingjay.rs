@@ -11,11 +11,7 @@ fn main() {
     cachemind_bench::rule(72);
     println!("{}", report.transcript);
     cachemind_bench::rule(72);
-    println!(
-        "Stable PCs: {}   Noisy PCs: {}",
-        report.stable_pcs.len(),
-        report.noisy_pcs.len()
-    );
+    println!("Stable PCs: {}   Noisy PCs: {}", report.stable_pcs.len(), report.noisy_pcs.len());
     println!(
         "Hit rate: {:.2}% -> {:.2}%",
         report.base_hit_rate * 100.0,

@@ -23,11 +23,7 @@ pub fn load_db() -> TraceDatabase {
     eprintln!("[cachemind-bench] building trace database at {scale:?} scale ...");
     let db = TraceDatabaseBuilder::new().scale(scale).build();
     let total_rows: usize = db.entries().map(|e| e.frame.len()).sum();
-    eprintln!(
-        "[cachemind-bench] database ready: {} traces, {} rows total",
-        db.len(),
-        total_rows
-    );
+    eprintln!("[cachemind-bench] database ready: {} traces, {} rows total", db.len(), total_rows);
     db
 }
 

@@ -145,10 +145,7 @@ fn gen_missrate(db: &TraceDatabase, n: usize) -> Vec<Question> {
                     policy_caps(&entry.id.policy)
                 ),
                 category: QueryCategory::MissRate,
-                expected: Expected::Number {
-                    value: stats.miss_rate() * 100.0,
-                    tolerance: 0.05,
-                },
+                expected: Expected::Number { value: stats.miss_rate() * 100.0, tolerance: 0.05 },
             });
         }
         i += 1;
@@ -179,8 +176,7 @@ fn policy_ranking(db: &TraceDatabase, workload: &str, pc: Pc, minimum: bool) -> 
     let expert = CacheStatisticalExpert::new();
     let mut values = Vec::new();
     for policy in db.policies() {
-        let Some(entry) =
-            db.get_id(&cachemind_tracedb::database::TraceId::new(workload, &policy))
+        let Some(entry) = db.get_id(&cachemind_tracedb::database::TraceId::new(workload, &policy))
         else {
             continue;
         };
@@ -206,9 +202,7 @@ fn gen_policy_comparison(db: &TraceDatabase, n: usize) -> Vec<Question> {
             if out.len() >= n {
                 break 'outer;
             }
-            let entry = db
-                .get(&format!("{w}_evictions_lru"))
-                .expect("lru trace present");
+            let entry = db.get(&format!("{w}_evictions_lru")).expect("lru trace present");
             let pcs = entry.frame.unique_pcs();
             if pcs.is_empty() {
                 continue;
@@ -656,8 +650,10 @@ mod tests {
             let addr = cachemind_sim::addr::Address::new(hexes[1]);
             let entry = db
                 .entries()
-                .find(|e| q.text.contains(&format!("the {} workload", e.id.workload))
-                    && q.text.to_lowercase().contains(&e.id.policy))
+                .find(|e| {
+                    q.text.contains(&format!("the {} workload", e.id.workload))
+                        && q.text.to_lowercase().contains(&e.id.policy)
+                })
                 .expect("workload/policy in text");
             let first = entry
                 .frame

@@ -231,12 +231,7 @@ mod tests {
         let cfg = HarnessConfig::default();
         let strong = run(&db, &sieve, BackendKind::Gpt4o, &catalog, &cfg);
         let weak = run(&db, &sieve, BackendKind::Gpt35Turbo, &catalog, &cfg);
-        assert!(
-            strong.total() > weak.total(),
-            "4o {} vs 3.5 {}",
-            strong.total(),
-            weak.total()
-        );
+        assert!(strong.total() > weak.total(), "4o {} vs 3.5 {}", strong.total(), weak.total());
     }
 
     #[test]
@@ -297,13 +292,8 @@ mod tests {
     #[test]
     fn few_shot_helps_trick_questions() {
         let (db, catalog) = setup();
-        let zero = run(
-            &db,
-            &SieveRetriever::new(),
-            BackendKind::O3,
-            &catalog,
-            &HarnessConfig::default(),
-        );
+        let zero =
+            run(&db, &SieveRetriever::new(), BackendKind::O3, &catalog, &HarnessConfig::default());
         let few = run(
             &db,
             &SieveRetriever::new(),

@@ -57,8 +57,7 @@ mod tests {
 
     #[test]
     fn ranking_scored_on_first() {
-        let question =
-            q(Expected::RankingFirst("belady".into()), QueryCategory::PolicyComparison);
+        let question = q(Expected::RankingFirst("belady".into()), QueryCategory::PolicyComparison);
         assert_eq!(score(&question, &a(Verdict::Ranking(vec!["belady".into()]))), 1.0);
         assert_eq!(
             score(&question, &a(Verdict::Ranking(vec!["lru".into(), "belady".into()]))),

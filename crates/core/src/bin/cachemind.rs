@@ -86,7 +86,10 @@ fn main() {
                 .with_backend(backend_kind(&args));
             let answer = mind.ask(&question);
             println!("{}", answer.text);
-            println!("\n-- evidence ({:?}, {}) --", answer.context.quality, answer.context.retriever);
+            println!(
+                "\n-- evidence ({:?}, {}) --",
+                answer.context.quality, answer.context.retriever
+            );
             for fact in answer.context.facts.iter().take(6) {
                 println!("{}", fact.render());
             }
@@ -167,12 +170,18 @@ fn main() {
             Some("mockingjay") => {
                 let r = insights::mockingjay::run(scale());
                 println!("{}", r.transcript);
-                println!("IPC {:.5} -> {:.5} ({:+.2}%)", r.base_ipc, r.stable_ipc, r.speedup_percent);
+                println!(
+                    "IPC {:.5} -> {:.5} ({:+.2}%)",
+                    r.base_ipc, r.stable_ipc, r.speedup_percent
+                );
             }
             Some("prefetch") => {
                 let r = insights::prefetch::run(scale(), 8);
                 println!("{}", r.transcript);
-                println!("IPC {:.5} -> {:.5} ({:+.2}%)", r.base_ipc, r.prefetch_ipc, r.speedup_percent);
+                println!(
+                    "IPC {:.5} -> {:.5} ({:+.2}%)",
+                    r.base_ipc, r.prefetch_ipc, r.speedup_percent
+                );
             }
             Some("sets") => {
                 let r = insights::set_hotness::run(scale());

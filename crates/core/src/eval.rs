@@ -27,17 +27,12 @@ pub struct Figure4 {
 pub fn figure4(db: &TraceDatabase, catalog: &Catalog) -> Figure4 {
     let sieve = SieveRetriever::new();
     let config = HarnessConfig::default();
-    let reports: Vec<BenchReport> = BackendKind::ALL
-        .iter()
-        .map(|&b| harness::run(db, &sieve, b, catalog, &config))
-        .collect();
+    let reports: Vec<BenchReport> =
+        BackendKind::ALL.iter().map(|&b| harness::run(db, &sieve, b, catalog, &config)).collect();
     let rows = QueryCategory::ALL
         .iter()
         .map(|&cat| {
-            (
-                cat.label().to_owned(),
-                reports.iter().map(|r| r.category_accuracy(cat)).collect(),
-            )
+            (cat.label().to_owned(), reports.iter().map(|r| r.category_accuracy(cat)).collect())
         })
         .collect();
     Figure4 {
@@ -150,11 +145,7 @@ pub fn figure8(db: &TraceDatabase, catalog: &Catalog) -> Figure8 {
     let rows = tg_categories
         .iter()
         .map(|&cat| {
-            (
-                cat.label().to_owned(),
-                sieve.category_accuracy(cat),
-                ranger.category_accuracy(cat),
-            )
+            (cat.label().to_owned(), sieve.category_accuracy(cat), ranger.category_accuracy(cat))
         })
         .collect();
     Figure8 {
@@ -163,10 +154,7 @@ pub fn figure8(db: &TraceDatabase, catalog: &Catalog) -> Figure8 {
             sieve.tier_accuracy(Tier::TraceGrounded),
             ranger.tier_accuracy(Tier::TraceGrounded),
         ),
-        ara_total: (
-            sieve.tier_accuracy(Tier::Reasoning),
-            ranger.tier_accuracy(Tier::Reasoning),
-        ),
+        ara_total: (sieve.tier_accuracy(Tier::Reasoning), ranger.tier_accuracy(Tier::Reasoning)),
     }
 }
 

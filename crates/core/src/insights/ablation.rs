@@ -36,21 +36,17 @@ pub struct AblationPoint {
 /// A cap large enough to cover every matching slice makes Sieve's counts
 /// complete, recovering the category; the paper's configuration (a small
 /// fixed window) is what zeroes it.
-pub fn sieve_slice_cap(db: &TraceDatabase, catalog: &Catalog, caps: &[usize]) -> Vec<AblationPoint> {
+pub fn sieve_slice_cap(
+    db: &TraceDatabase,
+    catalog: &Catalog,
+    caps: &[usize],
+) -> Vec<AblationPoint> {
     caps.iter()
         .map(|&cap| {
             let sieve = SieveRetriever::new().with_slice_cap(cap);
-            let report = harness::run(
-                db,
-                &sieve,
-                BackendKind::Gpt4o,
-                catalog,
-                &HarnessConfig::default(),
-            );
-            AblationPoint {
-                parameter: cap,
-                metric: report.category_accuracy(QueryCategory::Count),
-            }
+            let report =
+                harness::run(db, &sieve, BackendKind::Gpt4o, catalog, &HarnessConfig::default());
+            AblationPoint { parameter: cap, metric: report.category_accuracy(QueryCategory::Count) }
         })
         .collect()
 }
@@ -69,10 +65,7 @@ pub fn ranger_schema(db: &TraceDatabase, catalog: &Catalog) -> Vec<AblationPoint
                 catalog,
                 &HarnessConfig::default(),
             );
-            AblationPoint {
-                parameter,
-                metric: report.category_accuracy(QueryCategory::Arithmetic),
-            }
+            AblationPoint { parameter, metric: report.category_accuracy(QueryCategory::Arithmetic) }
         })
         .collect()
 }

@@ -31,8 +31,7 @@ pub struct InversionRow {
 pub fn run(scale: Scale) -> Vec<InversionRow> {
     let mut out = Vec::new();
     for name in cachemind_workloads::DATABASE_WORKLOADS {
-        let workload =
-            cachemind_workloads::by_name(name, scale).expect("known database workload");
+        let workload = cachemind_workloads::by_name(name, scale).expect("known database workload");
         let replay = LlcReplay::new(experiment_llc(), &workload.accesses);
         let belady = replay.run(BeladyPolicy::new());
         let parrot = replay.run(ImitationPolicy::new());

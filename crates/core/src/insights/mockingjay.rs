@@ -60,11 +60,8 @@ pub fn run(scale: Scale) -> MockingjayReport {
             0.0
         }
     };
-    let mut scored: Vec<(Pc, f64)> = samples
-        .iter()
-        .filter(|(_, v)| v.len() >= 20)
-        .map(|(pc, v)| (*pc, cv(v)))
-        .collect();
+    let mut scored: Vec<(Pc, f64)> =
+        samples.iter().filter(|(_, v)| v.len() >= 20).map(|(pc, v)| (*pc, cv(v))).collect();
     scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     let split = scored.len() / 2;
     let stable_pcs: Vec<Pc> = scored[..split.max(1)].iter().map(|(pc, _)| *pc).collect();
@@ -76,7 +73,8 @@ pub fn run(scale: Scale) -> MockingjayReport {
         replay.run(MockingjayPolicy::new().with_training_filter(stable_pcs.iter().copied()));
 
     let model = experiment_ipc_model();
-    let base_ipc = model.ipc_from_llc(workload.instr_count, base.stats.hits, base.stats.demand_misses);
+    let base_ipc =
+        model.ipc_from_llc(workload.instr_count, base.stats.hits, base.stats.demand_misses);
     let stable_ipc =
         model.ipc_from_llc(workload.instr_count, stable.stats.hits, stable.stats.demand_misses);
 

@@ -57,10 +57,8 @@ pub fn run(scale: Scale, distance: usize) -> PrefetchReport {
         e.1 += r.is_miss as u64;
     }
     let total_misses: u64 = miss_by_pc.values().map(|(_, m)| m).sum();
-    let (&dominant_pc, &(accesses, misses)) = miss_by_pc
-        .iter()
-        .max_by_key(|(_, (_, m))| *m)
-        .expect("non-empty trace");
+    let (&dominant_pc, &(accesses, misses)) =
+        miss_by_pc.iter().max_by_key(|(_, (_, m))| *m).expect("non-empty trace");
 
     // The fix: regenerate the benchmark with prefetches inserted.
     let fixed_workload = cachemind_workloads::ptrchase::generate_prefetched(scale, distance);
@@ -87,10 +85,7 @@ pub fn run(scale: Scale, distance: usize) -> PrefetchReport {
         dominant_miss_rate: misses as f64 / accesses as f64,
         base_ipc,
         prefetch_ipc,
-        speedup_percent: cachemind_sim::timing::IpcModel::speedup_percent(
-            base_ipc,
-            prefetch_ipc,
-        ),
+        speedup_percent: cachemind_sim::timing::IpcModel::speedup_percent(base_ipc, prefetch_ipc),
         transcript,
     }
 }

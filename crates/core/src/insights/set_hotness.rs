@@ -73,11 +73,8 @@ pub fn run(scale: Scale) -> SetHotnessReport {
 
     let lru_profile = profile("lru", &lru);
     let belady_profile = profile("belady", &belady);
-    let hot_overlap = lru_profile
-        .hot_sets
-        .iter()
-        .filter(|s| belady_profile.hot_sets.contains(s))
-        .count();
+    let hot_overlap =
+        lru_profile.hot_sets.iter().filter(|s| belady_profile.hot_sets.contains(s)).count();
 
     let transcript = format!(
         "User: For astar workload and Belady replacement policy, could you list unique \
@@ -88,7 +85,12 @@ pub fn run(scale: Scale) -> SetHotnessReport {
          User: Compare hot sets (LRU vs Belady) and derive insights.\n\
          Assistant: {} of 5 hot sets coincide; hot sets arise from intrinsic workload \
          locality, and Belady amplifies hotness by avoiding premature evictions.\n",
-        belady.records.iter().map(|r| r.set.index()).collect::<std::collections::HashSet<_>>().len(),
+        belady
+            .records
+            .iter()
+            .map(|r| r.set.index())
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
         belady_profile.hot_sets,
         belady_profile.cold_sets,
         hot_overlap,

@@ -130,10 +130,7 @@ impl CacheMind {
         use cachemind_retrieval::plan::Plan;
         let lower = question.to_lowercase();
         let intent = self.parse(question);
-        let workload = intent
-            .workload
-            .clone()
-            .or_else(|| self.db.workloads().first().cloned())?;
+        let workload = intent.workload.clone().or_else(|| self.db.workloads().first().cloned())?;
         let policy = intent.policy.clone().unwrap_or_else(|| "lru".to_owned());
 
         let plan = if lower.contains("unique pc") || lower.contains("all pcs") {
@@ -216,16 +213,13 @@ mod tests {
         let pc = db.get("astar_evictions_lru").unwrap().frame.rows()[0].pc;
         let q = format!("How many times did PC {pc} appear in astar under LRU?");
         let sieve_ctx = m.retrieve(&q);
-        let ranger_ctx =
-            CacheMind::new(TraceDatabaseBuilder::quick_demo().build())
-                .with_retriever(RetrieverKind::Ranger)
-                .retrieve(&q);
+        let ranger_ctx = CacheMind::new(TraceDatabaseBuilder::quick_demo().build())
+            .with_retriever(RetrieverKind::Ranger)
+            .retrieve(&q);
         // Sieve's count is truncated, Ranger's is complete.
         use cachemind_lang::context::Fact;
         let complete = |ctx: &RetrievedContext| {
-            ctx.facts
-                .iter()
-                .any(|f| matches!(f, Fact::CountValue { complete: true, .. }))
+            ctx.facts.iter().any(|f| matches!(f, Fact::CountValue { complete: true, .. }))
         };
         assert!(!complete(&sieve_ctx) || complete(&ranger_ctx));
         assert!(complete(&ranger_ctx));

@@ -32,9 +32,9 @@ fn mix(mut x: u64) -> u64 {
 
 fn token_seed(token: &Token) -> u64 {
     match token {
-        Token::Word(w) => w.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01B3)
-        }),
+        Token::Word(w) => w
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01B3)),
         Token::Hex(h) => mix(*h ^ 0x48),
         Token::Number(n) => mix(*n ^ 0x4E),
     }

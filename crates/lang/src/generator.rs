@@ -113,9 +113,7 @@ impl SimulatedBackend {
                     .facts
                     .iter()
                     .filter_map(|f| match f {
-                        Fact::PolicyValue { policy, value, .. } => {
-                            Some((policy.clone(), *value))
-                        }
+                        Fact::PolicyValue { policy, value, .. } => Some((policy.clone(), *value)),
                         _ => None,
                     })
                     .collect();
@@ -268,9 +266,7 @@ impl Generator for SimulatedBackend {
                             "{} (from example context)",
                             request.examples[0].answer.clone()
                         ),
-                        verdict: Verdict::HitMiss(
-                            request.examples[0].answer.contains("Miss"),
-                        ),
+                        verdict: Verdict::HitMiss(request.examples[0].answer.contains("Miss")),
                     }
                     .verdict
                 } else if self.kind.admits_missing_context() {

@@ -186,10 +186,13 @@ impl QueryIntent {
             && (has("policy") || has("policies") || mentioned.len() >= 2)
         {
             QueryCategory::PolicyComparison
-        } else if has("workload") && (has("highest") || has("lowest") || has("compare")) && pc.is_none()
+        } else if has("workload")
+            && (has("highest") || has("lowest") || has("compare"))
+            && pc.is_none()
         {
             QueryCategory::WorkloadAnalysis
-        } else if has("why") && (has("assembly") || has("semantic") || has("function") || has("source"))
+        } else if has("why")
+            && (has("assembly") || has("semantic") || has("function") || has("source"))
             || has_phrase("assembly context")
             || has_phrase("program behavior")
             || has_phrase("program behaviour")

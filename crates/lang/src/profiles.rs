@@ -178,9 +178,7 @@ pub fn unit_draw(parts: &[u64]) -> f64 {
 
 /// Hashes a string into a seed component.
 pub fn text_seed(text: &str) -> u64 {
-    text.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100_0000_01B3)
-    })
+    text.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01B3))
 }
 
 #[cfg(test)]

@@ -68,8 +68,9 @@ impl ReplacementPolicy for BeladyPolicy {
         lines
             .iter()
             .map(|slot| {
-                slot.as_ref()
-                    .map_or(u64::MAX, |meta| self.next_use.get(&meta.line).copied().unwrap_or(NEVER))
+                slot.as_ref().map_or(u64::MAX, |meta| {
+                    self.next_use.get(&meta.line).copied().unwrap_or(NEVER)
+                })
             })
             .collect()
     }

@@ -222,7 +222,12 @@ mod tests {
         let replay = LlcReplay::new(cfg, &s);
         let lip = replay.run(DipPolicy::lip());
         let lru = replay.run(RecencyPolicy::lru());
-        assert!(lip.stats.hits > lru.stats.hits, "lip {} vs lru {}", lip.stats.hits, lru.stats.hits);
+        assert!(
+            lip.stats.hits > lru.stats.hits,
+            "lip {} vs lru {}",
+            lip.stats.hits,
+            lru.stats.hits
+        );
         assert_eq!(lip.policy, "lip");
     }
 

@@ -66,11 +66,8 @@ impl SampledSet {
         let now = self.clock;
         // Reset the quantum that the advancing clock is about to reuse.
         self.occupancy[(now % HISTORY_QUANTA as u64) as usize] = 0;
-        let verdict = self
-            .last
-            .get(&line)
-            .copied()
-            .map(|(prev, _)| self.opt_would_hit(prev, now, ways));
+        let verdict =
+            self.last.get(&line).copied().map(|(prev, _)| self.opt_would_hit(prev, now, ways));
         self.last.insert(line, (now, pc_sig));
         self.clock += 1;
         // Bound the sampler.
@@ -125,8 +122,7 @@ impl HawkeyePolicy {
             return;
         }
         let sig = Self::sig(ctx);
-        let sampler =
-            self.samplers.entry(ctx.set.index()).or_insert_with(SampledSet::new);
+        let sampler = self.samplers.entry(ctx.set.index()).or_insert_with(SampledSet::new);
         // The label trains the PC of the access that *loaded* the interval:
         // the previous toucher. We approximate with the current PC, which is
         // identical for the dominant single-PC streams the classifier keys on.

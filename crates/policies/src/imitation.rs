@@ -133,8 +133,7 @@ impl ReplacementPolicy for ImitationPolicy {
         let victim = (0..lines.len())
             .filter(|&w| lines[w].is_some())
             .max_by(|&a, &b| {
-                self.score(ctx.set, a, ctx.index)
-                    .total_cmp(&self.score(ctx.set, b, ctx.index))
+                self.score(ctx.set, a, ctx.index).total_cmp(&self.score(ctx.set, b, ctx.index))
             })
             .expect("set cannot be empty in choose_victim");
         Decision::Evict(victim)
@@ -161,12 +160,12 @@ impl ReplacementPolicy for ImitationPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::belady::BeladyPolicy;
     use cachemind_sim::access::MemoryAccess;
     use cachemind_sim::addr::{Address, Pc};
     use cachemind_sim::config::CacheConfig;
     use cachemind_sim::replacement::RecencyPolicy;
     use cachemind_sim::replay::LlcReplay;
-    use crate::belady::BeladyPolicy;
 
     /// Short-reuse PC interleaved with never-reused streamers.
     fn workload(reps: u64) -> Vec<MemoryAccess> {
@@ -215,14 +214,8 @@ mod tests {
         for (i, a) in replay.stream().iter().enumerate() {
             let set = cache.set_of(a.address);
             let line = a.address.line(6);
-            let ctx = AccessContext::with_oracle(
-                i as u64,
-                a.pc,
-                line,
-                set,
-                a.kind,
-                oracle.next_use(i),
-            );
+            let ctx =
+                AccessContext::with_oracle(i as u64, a.pc, line, set, a.kind, oracle.next_use(i));
             let _ = cache.access(&ctx);
         }
         // After seeing the workload several times the RMS bucket error must

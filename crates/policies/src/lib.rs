@@ -124,8 +124,22 @@ mod tests {
     #[test]
     fn by_name_covers_documented_policies() {
         for name in [
-            "lru", "mru", "fifo", "random", "belady", "srrip", "brrip", "drrip", "dip", "lip",
-            "bip", "ship", "hawkeye", "mockingjay", "parrot", "mlp",
+            "lru",
+            "mru",
+            "fifo",
+            "random",
+            "belady",
+            "srrip",
+            "brrip",
+            "drrip",
+            "dip",
+            "lip",
+            "bip",
+            "ship",
+            "hawkeye",
+            "mockingjay",
+            "parrot",
+            "mlp",
         ] {
             let p = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(p.name(), name);

@@ -140,8 +140,7 @@ impl MockingjayPolicy {
         let sig = Self::sig(ctx.pc);
         let predicted = self.rdp[sig as usize];
         let etr_base = (predicted / GRANULARITY as f32).round() as i64;
-        *self.line.slot_mut(ctx.set, way, ways) =
-            MjLine { etr_base, stamped_at: now };
+        *self.line.slot_mut(ctx.set, way, ways) = MjLine { etr_base, stamped_at: now };
     }
 
     fn current_etr(&self, set: SetId, way: usize, now: u64) -> i64 {

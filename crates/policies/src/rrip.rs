@@ -157,13 +157,15 @@ impl ReplacementPolicy for RripPolicy {
 
     fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
         (0..lines.len())
-            .map(|way| {
-                if lines[way].is_some() {
-                    self.rrpv.slot(set, way) as u64
-                } else {
-                    u64::MAX
-                }
-            })
+            .map(
+                |way| {
+                    if lines[way].is_some() {
+                        self.rrpv.slot(set, way) as u64
+                    } else {
+                        u64::MAX
+                    }
+                },
+            )
             .collect()
     }
 }

@@ -274,8 +274,7 @@ impl Plan {
             }
             Plan::PcMissRate { workload, policy, pc } => {
                 let entry = Self::entry(db, workload, policy)?;
-                let stats =
-                    expert.pc_stats(&entry.frame, *pc).ok_or(PlanError::EmptyResult)?;
+                let stats = expert.pc_stats(&entry.frame, *pc).ok_or(PlanError::EmptyResult)?;
                 Ok(vec![Fact::MissRate {
                     scope: format!("PC {pc}"),
                     percent: stats.miss_rate() * 100.0,
@@ -367,9 +366,7 @@ impl Plan {
                     .filter(&pred)
                     .into_iter()
                     .filter_map(|r| match column {
-                        AggColumn::AccessedReuse => {
-                            r.accessed_reuse_distance.map(|d| d as f64)
-                        }
+                        AggColumn::AccessedReuse => r.accessed_reuse_distance.map(|d| d as f64),
                         AggColumn::EvictedReuse => r.evicted_reuse_distance.map(|d| d as f64),
                         AggColumn::Recency => r.recency.map(|d| d as f64),
                     })
@@ -407,7 +404,10 @@ impl Plan {
                     })
                     .collect::<Vec<_>>()
                     .join("\n");
-                Ok(vec![Fact::Snippet { title: format!("Per-PC table ({workload}/{policy})"), text }])
+                Ok(vec![Fact::Snippet {
+                    title: format!("Per-PC table ({workload}/{policy})"),
+                    text,
+                }])
             }
             Plan::PerSetTable { workload, policy } => {
                 let entry = Self::entry(db, workload, policy)?;
@@ -428,7 +428,10 @@ impl Plan {
                     })
                     .collect::<Vec<_>>()
                     .join("\n");
-                Ok(vec![Fact::Snippet { title: format!("Per-set table ({workload}/{policy})"), text }])
+                Ok(vec![Fact::Snippet {
+                    title: format!("Per-set table ({workload}/{policy})"),
+                    text,
+                }])
             }
             Plan::ContextBundle { workload, policy, pc } => {
                 let entry = Self::entry(db, workload, policy)?;
@@ -453,8 +456,7 @@ impl Plan {
                 if pcs.is_empty() {
                     return Err(PlanError::EmptyResult);
                 }
-                let text =
-                    pcs.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(", ");
+                let text = pcs.iter().map(|p| format!("{p}")).collect::<Vec<_>>().join(", ");
                 Ok(vec![
                     Fact::CountValue {
                         what: format!("unique PCs in {workload}_{policy}"),
@@ -470,11 +472,7 @@ impl Plan {
                 if sets.is_empty() {
                     return Err(PlanError::EmptyResult);
                 }
-                let text = sets
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ");
+                let text = sets.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ");
                 Ok(vec![
                     Fact::CountValue {
                         what: format!("unique cache sets in {workload}_{policy}"),
@@ -676,7 +674,9 @@ mod tests {
             misses_only: false,
         };
         let facts = plan.run(&db).unwrap();
-        assert!(matches!(facts[0], Fact::CountValue { value, complete: true, .. } if value == truth));
+        assert!(
+            matches!(facts[0], Fact::CountValue { value, complete: true, .. } if value == truth)
+        );
     }
 
     #[test]
@@ -735,18 +735,13 @@ mod tests {
         // milc is not in the quick demo; use mcf.
         assert!(entry.is_none());
 
-        let pcs = Plan::UniquePcs { workload: "mcf".into(), policy: "lru".into() }
-            .run(&db)
-            .unwrap();
+        let pcs =
+            Plan::UniquePcs { workload: "mcf".into(), policy: "lru".into() }.run(&db).unwrap();
         let Fact::CountValue { value, .. } = &pcs[0] else { panic!() };
-        assert_eq!(
-            *value as usize,
-            db.get("mcf_evictions_lru").unwrap().frame.unique_pcs().len()
-        );
+        assert_eq!(*value as usize, db.get("mcf_evictions_lru").unwrap().frame.unique_pcs().len());
 
-        let sets = Plan::UniqueSets { workload: "mcf".into(), policy: "lru".into() }
-            .run(&db)
-            .unwrap();
+        let sets =
+            Plan::UniqueSets { workload: "mcf".into(), policy: "lru".into() }.run(&db).unwrap();
         assert!(matches!(sets[0], Fact::CountValue { .. }));
 
         let grouped =

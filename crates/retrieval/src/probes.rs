@@ -25,7 +25,11 @@ pub struct Probe {
 
 #[derive(Debug, Clone)]
 enum Truth {
-    Outcome { pc: cachemind_sim::addr::Pc, address: cachemind_sim::addr::Address, is_miss: bool },
+    Outcome {
+        pc: cachemind_sim::addr::Pc,
+        address: cachemind_sim::addr::Address,
+        is_miss: bool,
+    },
     MissRatePercent(f64),
     PolicyCount(usize),
     Count(u64),
@@ -43,15 +47,17 @@ impl Probe {
                 matches!(f, Fact::Outcome { pc: Some(p), address: Some(a), is_miss: m, .. }
                     if p == pc && a == address && m == is_miss)
             }),
-            Truth::MissRatePercent(v) => ctx.facts.iter().any(|f| {
-                matches!(f, Fact::MissRate { percent, .. } if (percent - v).abs() < 0.05)
-            }),
+            Truth::MissRatePercent(v) => ctx
+                .facts
+                .iter()
+                .any(|f| matches!(f, Fact::MissRate { percent, .. } if (percent - v).abs() < 0.05)),
             Truth::PolicyCount(n) => {
                 ctx.facts.iter().filter(|f| matches!(f, Fact::PolicyValue { .. })).count() >= *n
             }
-            Truth::Count(v) => ctx.facts.iter().any(|f| {
-                matches!(f, Fact::CountValue { value, complete: true, .. } if value == v)
-            }),
+            Truth::Count(v) => ctx
+                .facts
+                .iter()
+                .any(|f| matches!(f, Fact::CountValue { value, complete: true, .. } if value == v)),
             Truth::Numeric(v) => ctx.facts.iter().any(|f| {
                 matches!(f, Fact::NumericValue { value, complete: true, .. }
                     if (value - v).abs() < 1e-6)
@@ -87,11 +93,7 @@ pub fn probe_queries(db: &TraceDatabase) -> Vec<Probe> {
                 row.pc, row.address
             ),
             category: QueryCategory::HitMiss,
-            truth: Truth::Outcome {
-                pc: first.pc,
-                address: first.address,
-                is_miss: first.is_miss,
-            },
+            truth: Truth::Outcome { pc: first.pc, address: first.address, is_miss: first.is_miss },
         });
     }
 
@@ -112,8 +114,7 @@ pub fn probe_queries(db: &TraceDatabase) -> Vec<Probe> {
         let rate =
             cachemind_tracedb::meta::extract_percent(&lbm.metadata, "miss rate").expect("rate");
         probes.push(Probe {
-            question: "What is the overall miss rate of the lbm workload under Belady?"
-                .to_owned(),
+            question: "What is the overall miss rate of the lbm workload under Belady?".to_owned(),
             category: QueryCategory::MissRate,
             truth: Truth::MissRatePercent(rate),
         });

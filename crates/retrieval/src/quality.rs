@@ -91,7 +91,7 @@ pub fn degrade(context: &RetrievedContext, target: ContextQuality) -> RetrievedC
 /// Assigns each question to a Low/Medium/High bucket deterministically
 /// (one third each), for the Figure 5 sweep.
 pub fn bucket_for(question: &str) -> ContextQuality {
-    let r = unit_draw(&[text_seed(question), 0xF1&0xFF]);
+    let r = unit_draw(&[text_seed(question), 0xF1 & 0xFF]);
     if r < 1.0 / 3.0 {
         ContextQuality::Low
     } else if r < 2.0 / 3.0 {
@@ -119,8 +119,7 @@ mod tests {
     #[test]
     fn direct_fact_is_high() {
         let i = intent("What is the miss rate for PC 0x40 in mcf under lru?");
-        let facts =
-            vec![Fact::MissRate { scope: "PC 0x40".into(), percent: 10.0, accesses: 5 }];
+        let facts = vec![Fact::MissRate { scope: "PC 0x40".into(), percent: 10.0, accesses: 5 }];
         assert_eq!(grade(&i, &facts), ContextQuality::High);
     }
 

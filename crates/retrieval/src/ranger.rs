@@ -91,10 +91,9 @@ impl RangerRetriever {
                 Some(pc) => {
                     Some(Plan::PcMissRate { workload: workload?, policy: fallback_policy(), pc })
                 }
-                None => Some(Plan::WorkloadMissRate {
-                    workload: workload?,
-                    policy: fallback_policy(),
-                }),
+                None => {
+                    Some(Plan::WorkloadMissRate { workload: workload?, policy: fallback_policy() })
+                }
             },
             QueryCategory::PolicyComparison => {
                 Some(Plan::CompareAcrossPolicies { workload: workload?, pc: intent.pc })

@@ -32,10 +32,7 @@ pub fn resolve_trace_slots(
         if semantic {
             // Prefix / containment fallback for morphological variants
             // ("astar's", "belady-opt").
-            vocab
-                .iter()
-                .find(|v| w.starts_with(v.as_str()) || v.starts_with(w))
-                .cloned()
+            vocab.iter().find(|v| w.starts_with(v.as_str()) || v.starts_with(w)).cloned()
         } else {
             None
         }
@@ -51,11 +48,7 @@ mod tests {
     use cachemind_workloads::Scale;
 
     fn db() -> TraceDatabase {
-        TraceDatabaseBuilder::new()
-            .workloads(["mcf"])
-            .policies(["lru"])
-            .scale(Scale::Tiny)
-            .build()
+        TraceDatabaseBuilder::new().workloads(["mcf"]).policies(["lru"]).scale(Scale::Tiny).build()
     }
 
     #[test]

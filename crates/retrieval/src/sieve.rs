@@ -90,8 +90,7 @@ impl SieveRetriever {
             return Some(Fact::PremiseViolation { reason });
         }
         if let Some(addr) = intent.address {
-            let pair_exists =
-                entry.frame.rows().iter().any(|r| r.pc == pc && r.address == addr);
+            let pair_exists = entry.frame.rows().iter().any(|r| r.pc == pc && r.address == addr);
             if !pair_exists {
                 return Some(Fact::PremiseViolation {
                     reason: format!("PC {pc} never accesses address {addr} in this trace"),
@@ -143,10 +142,9 @@ impl SieveRetriever {
         // Cross-policy statistics for policy analysis.
         if intent.category == QueryCategory::PolicyAnalysis {
             for policy in &intent.policies {
-                if let Some(other) = db.get_id(&cachemind_tracedb::database::TraceId::new(
-                    &entry.id.workload,
-                    policy,
-                )) {
+                if let Some(other) = db
+                    .get_id(&cachemind_tracedb::database::TraceId::new(&entry.id.workload, policy))
+                {
                     if let Some(pc) = intent.pc {
                         if let Some(stats) =
                             CacheStatisticalExpert::new().pc_stats(&other.frame, pc)
@@ -244,15 +242,15 @@ impl Retriever for SieveRetriever {
             QueryCategory::PolicyComparison => {
                 if let Some(w) = workload.as_deref() {
                     for policy in db.policies() {
-                        let Some(entry) = db
-                            .get_id(&cachemind_tracedb::database::TraceId::new(w, &policy))
+                        let Some(entry) =
+                            db.get_id(&cachemind_tracedb::database::TraceId::new(w, &policy))
                         else {
                             continue;
                         };
                         let value = match intent.pc {
-                            Some(pc) => expert
-                                .pc_stats(&entry.frame, pc)
-                                .map(|s| s.miss_rate() * 100.0),
+                            Some(pc) => {
+                                expert.pc_stats(&entry.frame, pc).map(|s| s.miss_rate() * 100.0)
+                            }
                             None => cachemind_tracedb::meta::extract_percent(
                                 &entry.metadata,
                                 "miss rate",

@@ -209,6 +209,39 @@ mod tests {
     }
 
     #[test]
+    fn set_index_extraction_across_geometries() {
+        // A full byte address decomposes as [tag | set | line offset]. For a
+        // 64 B line (6 offset bits) and 2^s sets, the set index is bits
+        // [6, 6+s) of the byte address.
+        let a = Address::new(0b1101_0110_1011_0100_1110); // arbitrary pattern
+        for sets_log2 in [0u32, 1, 4, 6, 11] {
+            let expect = (a.value() >> 6) & ((1 << sets_log2) - 1);
+            assert_eq!(a.line(6).set(sets_log2).index() as u64, expect, "sets_log2 = {sets_log2}");
+        }
+        // One set (sets_log2 = 0): every address maps to set 0.
+        assert_eq!(Address::new(u64::MAX).line(6).set(0).index(), 0);
+    }
+
+    #[test]
+    fn set_index_ignores_offset_bits_and_uses_line_bits() {
+        // Two addresses in the same 64 B line share a set under every
+        // geometry; the next line lands in the adjacent set.
+        let base = Address::new(0x4000);
+        let same_line = Address::new(0x403F);
+        let next_line = Address::new(0x4040);
+        for sets_log2 in [1u32, 4, 8] {
+            assert_eq!(base.line(6).set(sets_log2), same_line.line(6).set(sets_log2));
+            assert_eq!(
+                next_line.line(6).set(sets_log2).index(),
+                (base.line(6).set(sets_log2).index() + 1) % (1 << sets_log2)
+            );
+        }
+        // Larger lines consume more offset bits: with 128 B lines, 0x4040
+        // stays inside 0x4000's line.
+        assert_eq!(base.line(7), next_line.line(7));
+    }
+
+    #[test]
     fn display_is_hexadecimal() {
         assert_eq!(format!("{}", Pc::new(0x401e31)), "0x401e31");
         assert_eq!(format!("{}", Address::new(0x10)), "0x10");

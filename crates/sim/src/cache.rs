@@ -63,7 +63,12 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     /// Creates an empty cache with the given geometry and policy.
     pub fn new(config: CacheConfig, policy: P) -> Self {
         let capacity = config.capacity_lines();
-        SetAssociativeCache { config, lines: vec![None; capacity], policy, stats: CacheStats::default() }
+        SetAssociativeCache {
+            config,
+            lines: vec![None; capacity],
+            policy,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -143,9 +148,7 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
             self.lines[range.start + w].as_ref().is_some_and(|meta| meta.line == ctx.line)
         }) {
             {
-                let meta = self.lines[range.start + way]
-                    .as_mut()
-                    .expect("hit way must be valid");
+                let meta = self.lines[range.start + way].as_mut().expect("hit way must be valid");
                 meta.last_touch = ctx.index;
                 meta.last_pc = ctx.pc;
                 meta.dirty |= is_store;

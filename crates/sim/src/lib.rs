@@ -45,6 +45,7 @@ pub mod replacement;
 pub mod replay;
 pub mod reuse;
 pub mod stats;
+pub mod sweep;
 pub mod timing;
 
 pub use access::{AccessKind, MemoryAccess};
@@ -58,6 +59,7 @@ pub use replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy}
 pub use replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
 pub use reuse::ReuseOracle;
 pub use stats::CacheStats;
+pub use sweep::{SweepCell, SweepGrid, SweepReport, SweepStream};
 pub use timing::IpcModel;
 
 /// Commonly used types, for glob import.
@@ -72,5 +74,8 @@ pub mod prelude {
     pub use crate::replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
     pub use crate::reuse::ReuseOracle;
     pub use crate::stats::CacheStats;
+    pub use crate::sweep::{
+        PolicyTotal, SweepCell, SweepError, SweepGrid, SweepReport, SweepStream,
+    };
     pub use crate::timing::IpcModel;
 }

@@ -6,8 +6,8 @@
 //! completion time (in cycles) and reports the stall imposed on each new
 //! miss, plus merge hits for misses to a line that is already outstanding.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::addr::LineAddr;
 

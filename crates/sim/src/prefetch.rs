@@ -142,10 +142,10 @@ mod tests {
     fn stride_prefetcher_learns_strides() {
         // Stride-4 walk: the stride prefetcher should cover it, next-line
         // should not.
-        let demand: Vec<MemoryAccess> =
-            (0..512u64).map(|i| MemoryAccess::load(Pc::new(7), Address::new(i * 4 * 64), i)).collect();
-        let strided =
-            Prefetcher::new(PrefetcherKind::Stride { degree: 2 }).transform(&demand);
+        let demand: Vec<MemoryAccess> = (0..512u64)
+            .map(|i| MemoryAccess::load(Pc::new(7), Address::new(i * 4 * 64), i))
+            .collect();
+        let strided = Prefetcher::new(PrefetcherKind::Stride { degree: 2 }).transform(&demand);
         let nextline = Prefetcher::new(PrefetcherKind::NextLine).transform(&demand);
         let cfg = CacheConfig::new("LLC", 4, 4, 6);
         let s = LlcReplay::new(cfg.clone(), &strided).run(RecencyPolicy::lru());

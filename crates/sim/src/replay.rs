@@ -382,7 +382,9 @@ mod tests {
         addrs
             .iter()
             .enumerate()
-            .map(|(i, &a)| MemoryAccess::load(Pc::new(0x400000 + i as u64), Address::new(a), i as u64))
+            .map(|(i, &a)| {
+                MemoryAccess::load(Pc::new(0x400000 + i as u64), Address::new(a), i as u64)
+            })
             .collect()
     }
 
@@ -427,6 +429,76 @@ mod tests {
         let report = replay.run(RecencyPolicy::lru());
         assert_eq!(report.conflict_misses, 2);
         assert_eq!(report.capacity_misses, 0);
+    }
+
+    #[test]
+    fn taxonomy_hand_built_trace_has_known_classification() {
+        // Capacity side: 2 sets x 1 way, 64 B lines => capacity 2 lines; the
+        // FA LRU shadow also holds 2 lines and is touched on hits too.
+        // Lines: A=0x000 (set 0), B=0x040 (set 1), C=0x080 (set 0).
+        //
+        //   idx access  sa-cache          fa-shadow (cap 2)   expected
+        //   0   A       miss (cold)       {A}                 Compulsory
+        //   1   B       miss (cold)       {A,B}               Compulsory
+        //   2   C       miss, evicts A    {B,C} (A out)       Compulsory
+        //   3   A       miss (set 0 = C)  {C,A} (B out)       Capacity
+        //   4   B       hit  (set 1)      {A,B} (C out)       -
+        //   5   C       miss (set 0 = A)  {B,C} (A out)       Capacity
+        let cfg = CacheConfig::new("t", 1, 1, 6);
+        let s = stream(&[0x000, 0x040, 0x080, 0x000, 0x040, 0x080]);
+        let report = LlcReplay::new(cfg, &s).run(RecencyPolicy::lru());
+        let expected = [
+            Some(MissType::Compulsory),
+            Some(MissType::Compulsory),
+            Some(MissType::Compulsory),
+            Some(MissType::Capacity),
+            None,
+            Some(MissType::Capacity),
+        ];
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(report.records[i].miss_type, *want, "access {i}");
+        }
+        assert_eq!(report.compulsory_misses, 3);
+        assert_eq!(report.capacity_misses, 2);
+        assert_eq!(report.conflict_misses, 0);
+        assert_eq!(report.stats.hits, 1);
+
+        // Conflict side: 2 sets x 2 ways => capacity 4 lines, but the three
+        // even lines A=0x000, B=0x080, C=0x100 all map to set 0 and thrash
+        // its 2 ways, while the FA shadow (cap 4) retains all three: every
+        // post-cold miss is a set-mapping artefact.
+        let cfg = CacheConfig::new("t", 1, 2, 6);
+        let s = stream(&[0x000, 0x080, 0x100, 0x000, 0x080, 0x100]);
+        let report = LlcReplay::new(cfg, &s).run(RecencyPolicy::lru());
+        for i in 0..3 {
+            assert_eq!(report.records[i].miss_type, Some(MissType::Compulsory), "access {i}");
+        }
+        for i in 3..6 {
+            assert_eq!(report.records[i].miss_type, Some(MissType::Conflict), "access {i}");
+        }
+        assert_eq!(report.compulsory_misses, 3);
+        assert_eq!(report.conflict_misses, 3);
+        assert_eq!(report.capacity_misses, 0);
+        assert_eq!(report.stats.hits, 0);
+    }
+
+    #[test]
+    fn taxonomy_counters_equal_record_census() {
+        // Counters must agree with a recount over the per-access records on
+        // a mixed stream (reuse + streaming + conflicts).
+        let addrs: Vec<u64> =
+            (0..200u64).map(|i| if i % 3 == 0 { (i % 8) * 64 } else { i * 128 }).collect();
+        let report = LlcReplay::new(CacheConfig::new("t", 2, 2, 6), &stream(&addrs))
+            .run(RecencyPolicy::lru());
+        let census =
+            |t: MissType| report.records.iter().filter(|r| r.miss_type == Some(t)).count() as u64;
+        assert_eq!(report.compulsory_misses, census(MissType::Compulsory));
+        assert_eq!(report.capacity_misses, census(MissType::Capacity));
+        assert_eq!(report.conflict_misses, census(MissType::Conflict));
+        assert_eq!(
+            report.stats.misses,
+            report.compulsory_misses + report.capacity_misses + report.conflict_misses
+        );
     }
 
     #[test]

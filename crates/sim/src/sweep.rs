@@ -1,0 +1,463 @@
+//! Parallel policy × workload × configuration sweeps.
+//!
+//! The figure-generation binaries all share the same shape of work: replay
+//! every workload stream under every replacement policy for one or more LLC
+//! geometries, then tabulate hit rates and the miss taxonomy. Done serially
+//! that is `|policies| × |workloads| × |configs|` independent full replays —
+//! exactly the embarrassingly-parallel rollout a sweep engine should spread
+//! across cores.
+//!
+//! [`SweepGrid::run`] does so with rayon parallel iterators in two stages:
+//!
+//! 1. one task per `(workload, config)` pair builds the [`LlcReplay`]
+//!    (stream copy + reuse oracle) exactly once, so the oracle is shared by
+//!    every policy replaying that pair rather than rebuilt per cell;
+//! 2. one task per `(pair, policy)` cell runs the replay and reduces it to a
+//!    [`SweepCell`].
+//!
+//! **Determinism is a contract, not an accident.** Each cell's result
+//! depends only on its own inputs, and the engine aggregates by collecting
+//! keyed cells and sorting them by `(workload, config, policy)` before any
+//! reduction, so the report is byte-identical no matter how many worker
+//! threads ran the grid or in what order cells finished. The
+//! `sweep_determinism` integration test pins this down by diffing the
+//! rendered report across `RAYON_NUM_THREADS` settings.
+//!
+//! The engine lives in `cachemind-sim` and therefore cannot name concrete
+//! policies from `cachemind-policies`; callers supply a policy *factory*
+//! (for example `cachemind_policies::by_name`) which the driver binary in
+//! `cachemind-bench` wires up.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::access::MemoryAccess;
+use crate::config::CacheConfig;
+use crate::replacement::ReplacementPolicy;
+use crate::replay::LlcReplay;
+
+/// A named access stream to sweep over (typically one workload's LLC
+/// stream).
+#[derive(Debug, Clone)]
+pub struct SweepStream {
+    /// Stable workload name used as the aggregation key.
+    pub name: String,
+    /// The LLC access stream.
+    pub accesses: Vec<MemoryAccess>,
+}
+
+impl SweepStream {
+    /// Bundles a name and a stream.
+    pub fn new(name: impl Into<String>, accesses: Vec<MemoryAccess>) -> Self {
+        SweepStream { name: name.into(), accesses }
+    }
+}
+
+/// The full grid specification: every policy replays every stream under
+/// every configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SweepGrid {
+    /// Policy names, resolved through the caller's factory.
+    pub policies: Vec<String>,
+    /// Workload streams.
+    pub streams: Vec<SweepStream>,
+    /// LLC geometries.
+    pub configs: Vec<CacheConfig>,
+}
+
+/// One `(workload, config, policy)` cell of the grid, reduced to its
+/// aggregate counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Workload (stream) name.
+    pub workload: String,
+    /// Configuration label (`name@setsxways`, see [`config_label`]).
+    pub config: String,
+    /// Policy name.
+    pub policy: String,
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Miss rate over the stream.
+    pub miss_rate: f64,
+    /// Compulsory misses.
+    pub compulsory_misses: u64,
+    /// Capacity misses.
+    pub capacity_misses: u64,
+    /// Conflict misses.
+    pub conflict_misses: u64,
+    /// Evictions whose victim was needed sooner than the inserted line.
+    pub wrong_evictions: u64,
+    /// Total evictions.
+    pub evictions: u64,
+}
+
+/// A completed sweep: cells in canonical `(workload, config, policy)`
+/// order plus per-policy roll-ups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Every grid cell, canonically sorted.
+    pub cells: Vec<SweepCell>,
+    /// Per-policy totals across all workloads and configs, sorted by
+    /// policy name.
+    pub policy_totals: Vec<PolicyTotal>,
+}
+
+/// Aggregate counters for one policy across the whole grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTotal {
+    /// Policy name.
+    pub policy: String,
+    /// Cells aggregated.
+    pub cells: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Miss rate over all aggregated accesses.
+    pub miss_rate: f64,
+    /// Total wrong evictions.
+    pub wrong_evictions: u64,
+}
+
+/// Canonical label for a configuration: `name@<sets>x<ways>`.
+pub fn config_label(config: &CacheConfig) -> String {
+    format!("{}@{}x{}", config.name, config.sets(), config.ways)
+}
+
+/// Errors surfaced by [`SweepGrid::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// The policy factory returned `None` for a requested policy name.
+    UnknownPolicy(String),
+    /// The grid had no policies, streams, or configs.
+    EmptyGrid,
+    /// A policy name, stream name, or config label appears more than once;
+    /// `(workload, config, policy)` must uniquely key each cell or cells
+    /// would be silently duplicated and totals double-counted.
+    DuplicateKey(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownPolicy(name) => write!(f, "unknown policy {name:?}"),
+            SweepError::EmptyGrid => write!(f, "sweep grid has no policies, streams or configs"),
+            SweepError::DuplicateKey(key) => write!(f, "duplicate grid key {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl SweepGrid {
+    /// Builder-style: adds a policy name.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.policies.push(name.into());
+        self
+    }
+
+    /// Builder-style: adds a stream.
+    pub fn stream(mut self, stream: SweepStream) -> Self {
+        self.streams.push(stream);
+        self
+    }
+
+    /// Builder-style: adds a configuration.
+    pub fn config(mut self, config: CacheConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.policies.len() * self.streams.len() * self.configs.len()
+    }
+
+    /// Runs the full grid in parallel.
+    ///
+    /// `make_policy` is called once per cell, on the worker thread that
+    /// replays the cell, so policies need not be `Send`/`Sync` themselves —
+    /// only the factory must be shareable.
+    pub fn run<F>(&self, make_policy: F) -> Result<SweepReport, SweepError>
+    where
+        F: Fn(&str) -> Option<Box<dyn ReplacementPolicy>> + Sync,
+    {
+        if self.cells() == 0 {
+            return Err(SweepError::EmptyGrid);
+        }
+        // Fail fast (and deterministically) on unresolvable policy names
+        // instead of panicking from a worker mid-sweep.
+        for name in &self.policies {
+            if make_policy(name).is_none() {
+                return Err(SweepError::UnknownPolicy(name.clone()));
+            }
+        }
+        // Every grid axis must be duplicate-free, or cells lose their
+        // unique (workload, config, policy) key and totals double-count.
+        let mut seen = std::collections::HashSet::new();
+        let axes = self
+            .policies
+            .iter()
+            .cloned()
+            .chain(self.streams.iter().map(|s| format!("stream:{}", s.name)))
+            .chain(self.configs.iter().map(|c| format!("config:{}", config_label(c))));
+        for key in axes {
+            if !seen.insert(key.clone()) {
+                return Err(SweepError::DuplicateKey(key));
+            }
+        }
+
+        // Stage 1: one replay (stream copy + reuse oracle) per
+        // (stream, config) pair, shared across policies.
+        let pairs: Vec<(usize, usize)> = (0..self.streams.len())
+            .flat_map(|s| (0..self.configs.len()).map(move |c| (s, c)))
+            .collect();
+        let replays: Vec<(usize, usize, LlcReplay)> = pairs
+            .into_par_iter()
+            .map(|(s, c)| {
+                let replay = LlcReplay::new(self.configs[c].clone(), &self.streams[s].accesses);
+                (s, c, replay)
+            })
+            .collect();
+
+        // Stage 2: one task per (pair, policy) cell.
+        let cell_inputs: Vec<(usize, usize)> = (0..replays.len())
+            .flat_map(|r| (0..self.policies.len()).map(move |p| (r, p)))
+            .collect();
+        let mut cells: Vec<SweepCell> = cell_inputs
+            .into_par_iter()
+            .map(|(r, p)| {
+                let (s, c, ref replay) = replays[r];
+                let policy_name = &self.policies[p];
+                let policy = make_policy(policy_name).expect("policy resolved during validation");
+                let report = replay.run(policy);
+                SweepCell {
+                    workload: self.streams[s].name.clone(),
+                    config: config_label(&self.configs[c]),
+                    policy: policy_name.clone(),
+                    accesses: report.stats.accesses,
+                    hits: report.stats.hits,
+                    misses: report.stats.misses,
+                    miss_rate: report.miss_rate(),
+                    compulsory_misses: report.compulsory_misses,
+                    capacity_misses: report.capacity_misses,
+                    conflict_misses: report.conflict_misses,
+                    wrong_evictions: report.wrong_evictions,
+                    evictions: report.stats.evictions,
+                }
+            })
+            .collect();
+
+        // Canonical order before any reduction: aggregation must not observe
+        // scheduling order.
+        cells.sort_by(|a, b| {
+            (&a.workload, &a.config, &a.policy).cmp(&(&b.workload, &b.config, &b.policy))
+        });
+
+        let mut policy_totals: Vec<PolicyTotal> = Vec::new();
+        for name in &self.policies {
+            let mut total = PolicyTotal {
+                policy: name.clone(),
+                cells: 0,
+                accesses: 0,
+                hits: 0,
+                misses: 0,
+                miss_rate: 0.0,
+                wrong_evictions: 0,
+            };
+            for cell in cells.iter().filter(|c| &c.policy == name) {
+                total.cells += 1;
+                total.accesses += cell.accesses;
+                total.hits += cell.hits;
+                total.misses += cell.misses;
+                total.wrong_evictions += cell.wrong_evictions;
+            }
+            if total.accesses > 0 {
+                total.miss_rate = total.misses as f64 / total.accesses as f64;
+            }
+            policy_totals.push(total);
+        }
+        policy_totals.sort_by(|a, b| a.policy.cmp(&b.policy));
+
+        Ok(SweepReport { cells, policy_totals })
+    }
+}
+
+impl SweepReport {
+    /// Renders the report as a fixed-width text table (cells, then
+    /// per-policy totals). Stable across runs and thread counts.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<16} {:<11} {:>9} {:>9} {:>9} {:>7} {:>6} {:>6} {:>6} {:>7}\n",
+            "workload",
+            "config",
+            "policy",
+            "accesses",
+            "hits",
+            "misses",
+            "miss%",
+            "comp",
+            "cap",
+            "conf",
+            "wrong",
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<10} {:<16} {:<11} {:>9} {:>9} {:>9} {:>6.2}% {:>6} {:>6} {:>6} {:>7}\n",
+                c.workload,
+                c.config,
+                c.policy,
+                c.accesses,
+                c.hits,
+                c.misses,
+                c.miss_rate * 100.0,
+                c.compulsory_misses,
+                c.capacity_misses,
+                c.conflict_misses,
+                c.wrong_evictions,
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<11} {:>5} {:>10} {:>10} {:>10} {:>7} {:>7}\n",
+            "policy", "cells", "accesses", "hits", "misses", "miss%", "wrong",
+        ));
+        for t in &self.policy_totals {
+            out.push_str(&format!(
+                "{:<11} {:>5} {:>10} {:>10} {:>10} {:>6.2}% {:>7}\n",
+                t.policy,
+                t.cells,
+                t.accesses,
+                t.hits,
+                t.misses,
+                t.miss_rate * 100.0,
+                t.wrong_evictions,
+            ));
+        }
+        out
+    }
+
+    /// The cell for a `(workload, config, policy)` key, if present.
+    pub fn cell(&self, workload: &str, config: &str, policy: &str) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.config == config && c.policy == policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, Pc};
+    use crate::replacement::RecencyPolicy;
+
+    fn cyclic_stream(lines: u64, len: u64) -> Vec<MemoryAccess> {
+        (0..len)
+            .map(|i| MemoryAccess::load(Pc::new(0x400000), Address::new((i % lines) * 64), i))
+            .collect()
+    }
+
+    fn lru_only(name: &str) -> Option<Box<dyn ReplacementPolicy>> {
+        match name {
+            "lru" => Some(Box::new(RecencyPolicy::lru())),
+            "fifo" => Some(Box::new(RecencyPolicy::fifo())),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_cell_in_canonical_order() {
+        let grid = SweepGrid::default()
+            .policy("lru")
+            .policy("fifo")
+            .stream(SweepStream::new("cyc8", cyclic_stream(8, 200)))
+            .stream(SweepStream::new("cyc2", cyclic_stream(2, 200)))
+            .config(CacheConfig::new("a", 1, 2, 6))
+            .config(CacheConfig::new("b", 2, 2, 6));
+        let report = grid.run(lru_only).expect("grid runs");
+        assert_eq!(report.cells.len(), 8);
+        let keys: Vec<(String, String, String)> = report
+            .cells
+            .iter()
+            .map(|c| (c.workload.clone(), c.config.clone(), c.policy.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "cells must come out canonically sorted");
+        assert_eq!(report.policy_totals.len(), 2);
+    }
+
+    #[test]
+    fn cells_match_direct_replay() {
+        let stream = cyclic_stream(16, 300);
+        let cfg = CacheConfig::new("t", 1, 2, 6);
+        let grid = SweepGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("w", stream.clone()))
+            .config(cfg.clone());
+        let report = grid.run(lru_only).expect("grid runs");
+        let direct = LlcReplay::new(cfg.clone(), &stream).run(RecencyPolicy::lru());
+        let cell = report.cell("w", &config_label(&cfg), "lru").expect("cell exists");
+        assert_eq!(cell.hits, direct.stats.hits);
+        assert_eq!(cell.misses, direct.stats.misses);
+        assert_eq!(cell.compulsory_misses, direct.compulsory_misses);
+        assert_eq!(cell.wrong_evictions, direct.wrong_evictions);
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error_not_a_panic() {
+        let grid = SweepGrid::default()
+            .policy("nope")
+            .stream(SweepStream::new("w", cyclic_stream(4, 50)))
+            .config(CacheConfig::new("t", 1, 2, 6));
+        assert_eq!(grid.run(lru_only), Err(SweepError::UnknownPolicy("nope".into())));
+    }
+
+    #[test]
+    fn empty_grid_is_an_error() {
+        assert_eq!(SweepGrid::default().run(lru_only), Err(SweepError::EmptyGrid));
+    }
+
+    #[test]
+    fn duplicate_axis_entries_are_an_error() {
+        let base = |policies: &[&str]| {
+            let mut g = SweepGrid::default()
+                .stream(SweepStream::new("w", cyclic_stream(4, 50)))
+                .config(CacheConfig::new("t", 1, 2, 6));
+            g.policies = policies.iter().map(|s| (*s).to_owned()).collect();
+            g
+        };
+        assert_eq!(
+            base(&["lru", "lru"]).run(lru_only),
+            Err(SweepError::DuplicateKey("lru".into()))
+        );
+        let two_streams = base(&["lru"]).stream(SweepStream::new("w", cyclic_stream(2, 10)));
+        assert_eq!(two_streams.run(lru_only), Err(SweepError::DuplicateKey("stream:w".into())));
+        // Same config label (name + geometry) twice, even via distinct values.
+        let two_configs = base(&["lru"]).config(CacheConfig::new("t", 1, 2, 6).with_latency(5));
+        assert_eq!(two_configs.run(lru_only), Err(SweepError::DuplicateKey("config:t@2x2".into())));
+    }
+
+    #[test]
+    fn totals_sum_their_cells() {
+        let grid = SweepGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("a", cyclic_stream(8, 128)))
+            .stream(SweepStream::new("b", cyclic_stream(32, 128)))
+            .config(CacheConfig::new("t", 1, 2, 6));
+        let report = grid.run(lru_only).expect("grid runs");
+        let total = &report.policy_totals[0];
+        let hits: u64 = report.cells.iter().map(|c| c.hits).sum();
+        let misses: u64 = report.cells.iter().map(|c| c.misses).sum();
+        assert_eq!(total.hits, hits);
+        assert_eq!(total.misses, misses);
+        assert_eq!(total.cells, 2);
+    }
+}

@@ -71,7 +71,8 @@ impl IpcModel {
     /// compared on the same L1/L2 behaviour).
     pub fn ipc(&self, report: &HierarchyReport, llc_demand_misses: u64) -> f64 {
         let l1_misses = report.l1i.misses + report.l1d.misses;
-        let cycles = self.cycles(report.instr_count, l1_misses, report.l2.misses, llc_demand_misses);
+        let cycles =
+            self.cycles(report.instr_count, l1_misses, report.l2.misses, llc_demand_misses);
         if cycles <= 0.0 {
             0.0
         } else {
@@ -112,8 +113,7 @@ mod tests {
     fn report(instr: u64, l1_miss: u64, l2_miss: u64, llc_miss: u64) -> HierarchyReport {
         let l1d = CacheStats { misses: l1_miss, ..Default::default() };
         let l2 = CacheStats { misses: l2_miss, ..Default::default() };
-        let llc =
-            CacheStats { misses: llc_miss, demand_misses: llc_miss, ..Default::default() };
+        let llc = CacheStats { misses: llc_miss, demand_misses: llc_miss, ..Default::default() };
         HierarchyReport {
             llc_stream: Vec::new(),
             l1i: CacheStats::default(),

@@ -262,16 +262,16 @@ impl TraceDatabaseBuilder {
             let program = Arc::new(workload.program.clone());
             let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
             for pname in &self.policies {
-                let policy = policy_by_name(pname)
-                    .unwrap_or_else(|| panic!("unknown policy {pname:?}"));
+                let policy =
+                    policy_by_name(pname).unwrap_or_else(|| panic!("unknown policy {pname:?}"));
                 let report = replay.run(policy);
                 let rows: Vec<TraceRow> = report
                     .records
                     .iter()
                     .enumerate()
                     .map(|(i, r)| {
-                        let keep = self.keep_snapshots_every > 0
-                            && i % self.keep_snapshots_every == 0;
+                        let keep =
+                            self.keep_snapshots_every > 0 && i % self.keep_snapshots_every == 0;
                         TraceRow::from_record(r, keep)
                     })
                     .collect();

@@ -75,10 +75,8 @@ pub fn extract_correlation(metadata: &str) -> Option<f64> {
     let marker = "cache misses is ";
     let pos = metadata.find(marker)? + marker.len();
     let rest = &metadata[pos..];
-    let token: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
+    let token: String =
+        rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
     // The sentence ends with a period, which the scan captures.
     token.trim_end_matches('.').parse().ok()
 }

@@ -15,7 +15,10 @@ pub struct Column {
 /// The full per-access schema of §4.3, in paper order.
 pub const COLUMNS: &[Column] = &[
     Column { name: "program_counter", description: "Instruction identity (e.g., 0x401d9b)" },
-    Column { name: "memory_address", description: "Accessed memory location (e.g., 0x35e798a637f)" },
+    Column {
+        name: "memory_address",
+        description: "Accessed memory location (e.g., 0x35e798a637f)",
+    },
     Column { name: "cache_set_id", description: "Target cache set" },
     Column { name: "evict", description: "Access outcome (Cache Hit/Cache Miss)" },
     Column { name: "miss_type", description: "Miss taxonomy (Compulsory, Capacity, Conflict)" },

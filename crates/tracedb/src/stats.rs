@@ -152,9 +152,11 @@ impl CacheStatisticalExpert {
     pub fn per_set(&self, frame: &TraceFrame) -> Vec<SetStats> {
         let mut map: HashMap<usize, SetStats> = HashMap::new();
         for row in frame.rows() {
-            let s = map
-                .entry(row.set.index())
-                .or_insert(SetStats { set: row.set.index(), accesses: 0, hits: 0 });
+            let s = map.entry(row.set.index()).or_insert(SetStats {
+                set: row.set.index(),
+                accesses: 0,
+                hits: 0,
+            });
             s.accesses += 1;
             s.hits += (!row.is_miss) as u64;
         }
@@ -172,9 +174,7 @@ impl CacheStatisticalExpert {
     ) -> Vec<(cachemind_sim::access::AccessKind, u64, u64)> {
         use cachemind_sim::access::AccessKind;
         let mut out = Vec::new();
-        for kind in
-            [AccessKind::Load, AccessKind::Store, AccessKind::Fetch, AccessKind::Prefetch]
-        {
+        for kind in [AccessKind::Load, AccessKind::Store, AccessKind::Fetch, AccessKind::Prefetch] {
             let (mut accesses, mut misses) = (0u64, 0u64);
             for row in frame.rows() {
                 if row.kind == kind {

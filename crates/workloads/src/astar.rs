@@ -150,9 +150,10 @@ mod tests {
     #[test]
     fn mangled_symbol_is_resolvable() {
         let w = generate(Scale::Tiny);
-        let pc = w.accesses.iter().map(|a| a.pc).find(|&pc| {
-            w.program.function_of(pc).is_some_and(|f| f.name.contains("createwayar"))
-        });
+        let pc =
+            w.accesses.iter().map(|a| a.pc).find(|&pc| {
+                w.program.function_of(pc).is_some_and(|f| f.name.contains("createwayar"))
+            });
         assert!(pc.is_some());
     }
 }

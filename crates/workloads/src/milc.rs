@@ -123,17 +123,9 @@ mod tests {
             var.sqrt() / mean.max(1.0)
         };
         let pc_of = |func: &str| {
-            w.program
-                .functions()
-                .iter()
-                .find(|f| f.name == func)
-                .unwrap()
-                .base_pc
-                .value()
+            w.program.functions().iter().find(|f| f.name == func).unwrap().base_pc.value()
         };
-        let stable = samples
-            .get(&pc_of("scalar_mult_add_su3_vector"))
-            .expect("temp PC sampled");
+        let stable = samples.get(&pc_of("scalar_mult_add_su3_vector")).expect("temp PC sampled");
         let gauge = samples.get(&pc_of("dslash_fn_site")).expect("gauge PC sampled");
         assert!(stable.len() > 50 && gauge.len() > 50);
         assert!(

@@ -37,10 +37,7 @@ pub struct Function {
 impl Function {
     /// The PC one past the last instruction.
     pub fn end_pc(&self) -> Pc {
-        self.instructions
-            .last()
-            .map(|i| Pc::new(i.pc.value() + 4))
-            .unwrap_or(self.base_pc)
+        self.instructions.last().map(|i| Pc::new(i.pc.value() + 4)).unwrap_or(self.base_pc)
     }
 
     /// Whether `pc` falls inside this function's body.

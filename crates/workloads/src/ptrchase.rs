@@ -45,11 +45,7 @@ fn build_program(with_prefetch: bool) -> (crate::program::ProgramImage, Pcs) {
             "jne 400512 <chase+0x12>",
         ]
     } else {
-        &[
-            "mov (%rdi,%rax,8),%rax",
-            "add (%rsp,%rcx,8),%rbx",
-            "jne 400512 <chase+0x12>",
-        ]
+        &["mov (%rdi,%rax,8),%rax", "add (%rsp,%rcx,8),%rbx", "jne 400512 <chase+0x12>"]
     };
     let pcs = pb.function("chase", source, body);
     let image = pb.build();

@@ -21,7 +21,8 @@ fn main() {
         other => panic!("unknown retriever {other:?} (use sieve or ranger)"),
     };
 
-    let report = harness::run(&db, retriever, BackendKind::Gpt4o, &catalog, &HarnessConfig::default());
+    let report =
+        harness::run(&db, retriever, BackendKind::Gpt4o, &catalog, &HarnessConfig::default());
 
     println!("\nCacheMindBench — retriever: {}, backend: {}", report.retriever, report.backend);
     println!("{}", "-".repeat(56));

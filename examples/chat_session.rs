@@ -24,28 +24,15 @@ fn main() {
     chat.ask("Which workload has the highest cache miss rate under LRU?");
 
     // Turn 3: drill into a PC that the database really contains.
-    let pc = chat
-        .mind()
-        .database()
-        .get("astar_evictions_belady")
-        .expect("trace")
-        .frame
-        .rows()[0]
-        .pc;
+    let pc =
+        chat.mind().database().get("astar_evictions_belady").expect("trace").frame.rows()[0].pc;
     chat.ask(&format!(
         "Why does Belady outperform LRU on PC {pc} in the astar workload? Link the reuse \
          pattern to the policy mechanics."
     ));
 
     // Turn 4: a trick premise — CacheMind should reject it.
-    let mcf_pc = chat
-        .mind()
-        .database()
-        .get("mcf_evictions_lru")
-        .expect("trace")
-        .frame
-        .rows()[0]
-        .pc;
+    let mcf_pc = chat.mind().database().get("mcf_evictions_lru").expect("trace").frame.rows()[0].pc;
     chat.ask(&format!(
         "Does the memory access with PC {mcf_pc} result in a cache hit or cache miss for \
          the lbm workload and LRU replacement policy?"

@@ -8,10 +8,11 @@ use cachemind_policies::by_name;
 use cachemind_suite::prelude::*;
 
 fn main() {
-    let workload_name =
-        std::env::args().nth(1).unwrap_or_else(|| "lbm".to_owned());
+    let workload_name = std::env::args().nth(1).unwrap_or_else(|| "lbm".to_owned());
     let workload = cachemind_suite::workloads::by_name(&workload_name, Scale::Small)
-        .unwrap_or_else(|| panic!("unknown workload {workload_name:?} (try astar, lbm, mcf, milc, ptrchase)"));
+        .unwrap_or_else(|| {
+            panic!("unknown workload {workload_name:?} (try astar, lbm, mcf, milc, ptrchase)")
+        });
 
     let llc = TraceDatabaseBuilder::experiment_llc();
     println!(
@@ -29,15 +30,23 @@ fn main() {
         "policy", "hit rate", "misses", "wrong evicts", "IPC"
     );
     println!("{}", "-".repeat(64));
-    for name in
-        ["lru", "fifo", "random", "srrip", "drrip", "dip", "ship", "hawkeye", "mockingjay", "mlp", "parrot", "belady"]
-    {
+    for name in [
+        "lru",
+        "fifo",
+        "random",
+        "srrip",
+        "drrip",
+        "dip",
+        "ship",
+        "hawkeye",
+        "mockingjay",
+        "mlp",
+        "parrot",
+        "belady",
+    ] {
         let report = replay.run(by_name(name).expect("known policy"));
-        let ipc = model.ipc_from_llc(
-            workload.instr_count,
-            report.stats.hits,
-            report.stats.demand_misses,
-        );
+        let ipc =
+            model.ipc_from_llc(workload.instr_count, report.stats.hits, report.stats.demand_misses);
         println!(
             "{:<12} {:>9.2}% {:>12} {:>13.1}% {:>10.4}",
             name,

@@ -10,11 +10,7 @@ fn main() {
     //    annotated per access (PC, address, set, hit/miss, reuse, ...).
     println!("Building the trace database (tiny demo scale) ...");
     let db = TraceDatabaseBuilder::quick_demo().build();
-    println!(
-        "  {} traces: {}",
-        db.len(),
-        db.trace_ids().collect::<Vec<_>>().join(", ")
-    );
+    println!("  {} traces: {}", db.len(), db.trace_ids().collect::<Vec<_>>().join(", "));
 
     // Pick a real record so questions have verifiable answers.
     let entry = db.get("mcf_evictions_lru").expect("built trace");
@@ -38,7 +34,8 @@ fn main() {
     println!("\nQ: {q2}");
     println!("A: {}", a2.text);
 
-    let q3 = format!("Which policy has the lowest miss rate for PC {} in the mcf workload?", row.pc);
+    let q3 =
+        format!("Which policy has the lowest miss rate for PC {} in the mcf workload?", row.pc);
     let a3 = mind.ask(&q3);
     println!("\nQ: {q3}");
     println!("A: {}", a3.text);
@@ -49,10 +46,8 @@ fn main() {
     for fact in a1.context.facts.iter().take(3) {
         println!("  {}", fact.render().replace('\n', "\n  "));
     }
-    let program_view = mind
-        .database()
-        .get("mcf_evictions_lru")
-        .and_then(|e| e.frame.assembly_code(row.pc));
+    let program_view =
+        mind.database().get("mcf_evictions_lru").and_then(|e| e.frame.assembly_code(row.pc));
     if let Some(asm) = program_view {
         println!("  Assembly around {}:", row.pc);
         for line in asm.lines() {

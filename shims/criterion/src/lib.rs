@@ -1,0 +1,190 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macros, `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, and `Bencher::iter` with a
+//! simple wall-clock measurement loop (fixed warm-up, then timed batches,
+//! median-of-batches reporting). No statistics engine, plots, or baselines —
+//! it prints one line per benchmark.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Median per-iteration time of the measured batches.
+    median: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { median: Duration::ZERO, iterations: 0 }
+    }
+
+    /// Times `f`: one warm-up call, then batches sized to fit the
+    /// measurement window, reporting the median batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f()); // warm-up
+
+        // Size a batch so one batch takes roughly 10ms.
+        let probe_start = Instant::now();
+        std_black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+
+        const BATCHES: usize = 5;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            per_iter.push(start.elapsed() / batch as u32);
+        }
+        per_iter.sort();
+        self.median = per_iter[BATCHES / 2];
+        self.iterations = batch * BATCHES as u64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rate lines.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        let per_iter = bencher.median;
+        let mut line = format!(
+            "{}/{}: {:>12?} /iter ({} iters)",
+            self.name, id.id, per_iter, bencher.iterations
+        );
+        if let Some(tp) = self.throughput {
+            let nanos = per_iter.as_nanos().max(1) as f64;
+            match tp {
+                Throughput::Elements(n) => {
+                    let rate = n as f64 / (nanos / 1e9);
+                    line.push_str(&format!("  [{:.2e} elem/s]", rate));
+                }
+                Throughput::Bytes(n) => {
+                    let rate = n as f64 / (nanos / 1e9);
+                    line.push_str(&format!("  [{:.2e} B/s]", rate));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Variant receiving an input by reference.
+    pub fn bench_with_input<I, Inp, F>(&mut self, id: I, input: &Inp, mut f: F)
+    where
+        I: Into<BenchmarkId>,
+        Inp: ?Sized,
+        F: FnMut(&mut Bencher, &Inp),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// Declares a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator surface this workspace uses on top of
+//! `std::thread::scope`: [`IntoParallelIterator`]/[`ParallelIterator`] with
+//! `map`, `filter`, `flat_map`, `for_each`, `sum`, `reduce` and `collect`.
+//!
+//! Differences from real rayon, by design:
+//!
+//! - **Eager stages.** Each combinator runs its closure across worker
+//!   threads immediately instead of building a lazy fused pipeline. For the
+//!   coarse-grained work in this repo (one cache replay per item) fusion
+//!   does not matter.
+//! - **Order preservation.** Items are split into contiguous chunks, one
+//!   per worker, and results are reassembled in input order, so `collect`
+//!   is deterministic regardless of scheduling — the property the sweep
+//!   engine's determinism tests pin down.
+//! - **`RAYON_NUM_THREADS`** is honored (value `1` disables threading);
+//!   otherwise `std::thread::available_parallelism()` decides.
+
+use std::env;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads a parallel stage will use.
+pub fn current_num_threads() -> usize {
+    match env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] workers,
+/// reassembling results in input order.
+fn parallel_map_vec<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into contiguous chunks, one per worker; chunk i precedes chunk
+    // i+1 in input order, so concatenation restores the original order.
+    let len = items.len();
+    let chunk_size = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<O>> = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
+    });
+    let mut result = Vec::with_capacity(len);
+    for chunk in out.drain(..) {
+        result.extend(chunk);
+    }
+    result
+}
+
+/// An in-flight parallel computation: the (already materialized) items of
+/// the current stage.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParIter<O> {
+        ParIter { items: parallel_map_vec(self.items, f) }
+    }
+
+    /// Keeps items where `f` returns true (evaluated in parallel).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map_vec(self.items, |item| if f(&item) { Some(item) } else { None });
+        ParIter { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Maps each item to an iterator and flattens, preserving order.
+    pub fn flat_map<O, I, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        I: IntoIterator<Item = O>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map_vec(self.items, |item| f(item).into_iter().collect::<Vec<O>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_vec(self.items, |item| f(item));
+    }
+
+    /// Collects the stage's items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items at this stage.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Reduces with `op` starting from `identity()`. Reduction happens
+    /// sequentially over the ordered items, so non-commutative operators
+    /// still produce deterministic results.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Borrowing parallel iteration (`slice.par_iter()`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_and_flat_map_preserve_order() {
+        let evens: Vec<u64> = (0..100u64).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, (0..100u64).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+        let pairs: Vec<u64> = (0..10u64).into_par_iter().flat_map(|x| [x, x]).collect();
+        assert_eq!(pairs.len(), 20);
+        assert_eq!(pairs[0..4], [0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3];
+        let s: u64 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not available
+//! in this offline workspace. This crate re-implements just enough of the
+//! derive logic with a hand-rolled token walker: it understands named-field
+//! structs, tuple (newtype) structs, unit structs, and enums whose variants
+//! are unit, tuple, or struct-like. Generic type parameters get blanket
+//! `Serialize` bounds on every parameter, which is sufficient for the shapes
+//! this workspace derives.
+//!
+//! `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item a derive was applied to.
+enum Shape {
+    /// `struct S { a: A, b: B }` with the listed field names.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` with the field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }` with `(variant, fields)` pairs.
+    Enum(Vec<(String, VariantFields)>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Some(item) => item,
+        None => return TokenStream::new(),
+    };
+    emit_serialize(&item).parse().expect("serde_derive shim emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Some(item) => item,
+        None => return TokenStream::new(),
+    };
+    // Deserialization is not implemented by the shim; emit the marker impl so
+    // `T: Deserialize` bounds still typecheck.
+    let (impl_generics, ty) = generics_for(&item, "Deserialize");
+    format!("impl{} ::serde::Deserialize for {} {{}}", impl_generics, ty)
+        .parse()
+        .expect("serde_derive shim emitted invalid Rust")
+}
+
+/// Renders `impl<T: Bound, ...>` and `Name<T, ...>` for an item.
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> =
+            item.generics.iter().map(|g| format!("{g}: ::serde::{bound}")).collect();
+        (format!("<{}>", params.join(", ")), format!("{}<{}>", item.name, item.generics.join(", ")))
+    }
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let (impl_generics, ty) = generics_for(item, "Serialize");
+    let body = match &item.shape {
+        Shape::UnitStruct => "out.push_str(\"null\");".to_owned(),
+        Shape::TupleStruct(1) => "::serde::Serialize::json(&self.0, out);".to_owned(),
+        Shape::TupleStruct(n) => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!("::serde::Serialize::json(&self.{i}, out);\n"));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::json(&self.{f}, out);\n"
+                ));
+            }
+            b.push_str("out.push('}');");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!("Self::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut ser = format!("out.push_str(\"{{\\\"{v}\\\":\");\n");
+                        if *n == 1 {
+                            ser.push_str("::serde::Serialize::json(f0, out);\n");
+                        } else {
+                            ser.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    ser.push_str("out.push(',');\n");
+                                }
+                                ser.push_str(&format!("::serde::Serialize::json({b}, out);\n"));
+                            }
+                            ser.push_str("out.push(']');\n");
+                        }
+                        ser.push_str("out.push('}');");
+                        arms.push_str(&format!("Self::{v}({}) => {{ {ser} }}\n", binds.join(", ")));
+                    }
+                    VariantFields::Named(names) => {
+                        let mut ser =
+                            format!("out.push_str(\"{{\\\"{v}\\\":\");\nout.push('{{');\n");
+                        for (i, f) in names.iter().enumerate() {
+                            if i > 0 {
+                                ser.push_str("out.push(',');\n");
+                            }
+                            ser.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\");\n::serde::Serialize::json({f}, out);\n"
+                            ));
+                        }
+                        ser.push_str("out.push('}');\nout.push('}');");
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {} }} => {{ {ser} }}\n",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+         fn json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Walks the derive input and extracts the item name, generic parameter
+/// names, and field/variant structure.
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (doc comments included) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // `#`
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // `[...]`
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1; // `(crate)` / `(super)` ...
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+
+    // Generic parameter list: collect top-level parameter names (lifetimes
+    // and const params are not supported by the shim).
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_param = false,
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    generics.push(id.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Skip a `where` clause if present (up to the body group or `;`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = if kind == "enum" {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return None,
+        };
+        Shape::Enum(parse_variants(body))
+    } else if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        }
+    } else {
+        return None; // unions are unsupported
+    };
+    Some(Item { name, generics, shape })
+}
+
+/// Extracts field names from a named-field body: for each top-level
+/// comma-separated entry, the identifier immediately before the first `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false; // between `:` and the next top-level `,`
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                in_type = false;
+                last_ident = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type => {
+                if let Some(f) = last_ident.take() {
+                    fields.push(f);
+                }
+                in_type = true;
+            }
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields in a tuple-struct body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut depth = 0usize;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses enum variants: attribute-skipping, then `Name`, `Name(..)`, or
+/// `Name { .. }`, optionally followed by `= expr`, separated by commas.
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantFields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes on the variant.
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an explicit discriminant and advance to past the next comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}

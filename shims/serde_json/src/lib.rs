@@ -1,0 +1,221 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides [`to_string`] / [`to_string_pretty`] over the shim `serde`'s
+//! JSON-producing [`serde::Serialize`] trait, and a minimal [`Value`] tree
+//! for code that wants to build JSON documents imperatively.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serializes `value` to a compact JSON string. Infallible in the shim, but
+/// returns `Result` for source compatibility with real `serde_json`.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_string())
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_json_string()))
+}
+
+/// Re-formats compact JSON with newlines and two-space indentation.
+///
+/// Operates on the already-escaped string, so it only needs to track whether
+/// it is inside a string literal.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in compact.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                indent += 1;
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialization error (never produced by the shim).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON document tree, for imperative construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Object keys are kept sorted (BTreeMap) so rendering is deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Inserts into an object value; panics on non-objects.
+    pub fn insert(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Object(map) => {
+                map.insert(key.to_owned(), value);
+            }
+            _ => panic!("Value::insert on non-object"),
+        }
+    }
+
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+}
+
+impl serde::Serialize for Value {
+    fn json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => serde::write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::Serialize::json(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(k, out);
+                    out.push(':');
+                    serde::Serialize::json(v, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&serde::Serialize::to_json_string(self))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_renders_deterministically() {
+        let mut v = Value::object();
+        v.insert("z", Value::from(1u64));
+        v.insert("a", Value::from("hi"));
+        v.insert("list", Value::Array(vec![Value::Null, Value::from(true)]));
+        assert_eq!(v.to_string(), "{\"a\":\"hi\",\"list\":[null,true],\"z\":1}");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let compact = "{\"a\":[1,2],\"b\":\"x{y}\"}";
+        let p = pretty(compact);
+        assert!(p.contains("\"a\": ["));
+        // Braces inside string literals must not affect indentation.
+        assert!(p.contains("\"x{y}\""));
+    }
+}

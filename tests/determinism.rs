@@ -47,11 +47,7 @@ fn generator_seed_changes_results_but_stays_deterministic() {
     assert_eq!(r_seed1.total(), r_seed2.total());
     // A different seed perturbs at least some answers (the capability model
     // is stochastic across seeds).
-    let differs = r_base
-        .results
-        .iter()
-        .zip(&r_seed1.results)
-        .any(|(a, b)| a.verdict != b.verdict);
+    let differs = r_base.results.iter().zip(&r_seed1.results).any(|(a, b)| a.verdict != b.verdict);
     assert!(differs, "seed change should alter some verdicts");
 }
 

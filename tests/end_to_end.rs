@@ -77,11 +77,7 @@ fn trick_questions_are_detectable_through_both_retrievers() {
                 retriever.retrieve(&db, &intent).premise_violation().is_some()
             })
             .count();
-        assert!(
-            detected >= 4,
-            "{} detected only {detected}/5 false premises",
-            retriever.name()
-        );
+        assert!(detected >= 4, "{} detected only {detected}/5 false premises", retriever.name());
     }
 }
 

@@ -19,12 +19,8 @@ fn figure4_count_collapses_and_gpt4o_wins() {
     for (backend, acc) in fig.backends.iter().zip(&count_row.1) {
         assert!(*acc <= 20.0, "{backend} Count accuracy {acc} should collapse under Sieve");
     }
-    let (best_idx, _) = fig
-        .totals
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .expect("totals");
+    let (best_idx, _) =
+        fig.totals.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("totals");
     assert_eq!(fig.backends[best_idx], "GPT-4o", "totals: {:?}", fig.totals);
 }
 
@@ -77,7 +73,13 @@ fn figure9_retrieval_ordering_and_magnitudes() {
     let d = run_probes(&db, &dense, &probes);
     let s = run_probes(&db, &SieveRetriever::new(), &probes);
     let r = run_probes(&db, &RangerRetriever::new(), &probes);
-    assert!(r.correct > s.correct && s.correct > d.correct, "{} / {} / {}", d.correct, s.correct, r.correct);
+    assert!(
+        r.correct > s.correct && s.correct > d.correct,
+        "{} / {} / {}",
+        d.correct,
+        s.correct,
+        r.correct
+    );
     assert!(r.correct >= 8, "ranger {}", r.correct);
     assert!(d.correct <= 3, "dense {}", d.correct);
 }

@@ -11,7 +11,11 @@ fn trace_from_lines(lines: &[u8]) -> Vec<MemoryAccess> {
         .iter()
         .enumerate()
         .map(|(i, &l)| {
-            MemoryAccess::load(Pc::new(0x400000 + (l as u64 % 5) * 4), Address::new(l as u64 * 64), i as u64)
+            MemoryAccess::load(
+                Pc::new(0x400000 + (l as u64 % 5) * 4),
+                Address::new(l as u64 * 64),
+                i as u64,
+            )
         })
         .collect()
 }
@@ -130,6 +134,37 @@ proptest! {
             report.capacity_misses + report.conflict_misses + report.compulsory_misses,
             report.stats.misses
         );
+    }
+
+    /// LRU thrashes on a cyclic trace longer than the cache: when N distinct
+    /// lines, all mapping into one set of associativity < N, are accessed
+    /// round-robin, LRU always evicts exactly the line that is needed
+    /// furthest in the past — and the next access is always to the line
+    /// evicted N-ways accesses ago. After the compulsory pass, every access
+    /// misses: zero hits, the classic thrash invariant (and the worst case
+    /// Belady avoids).
+    #[test]
+    fn lru_thrashes_on_long_cyclic_traces(
+        extra_lines in 1u64..8,
+        laps in 2u64..6,
+    ) {
+        let cfg = CacheConfig::new("t", 0, 4, 6); // 1 set x 4 ways
+        let ways = cfg.ways as u64;
+        let cycle = ways + extra_lines; // strictly longer than associativity
+        let trace: Vec<MemoryAccess> = (0..cycle * laps)
+            .map(|i| {
+                MemoryAccess::load(Pc::new(0x400000), Address::new((i % cycle) * 64), i)
+            })
+            .collect();
+        let report = LlcReplay::new(cfg, &trace).run(RecencyPolicy::lru());
+        prop_assert_eq!(
+            report.stats.hits, 0,
+            "LRU must thrash: {} lines cycling through {} ways", cycle, ways
+        );
+        prop_assert_eq!(report.stats.misses, cycle * laps);
+        // First lap is compulsory, the rest is pure capacity thrash.
+        prop_assert_eq!(report.compulsory_misses, cycle);
+        prop_assert_eq!(report.capacity_misses + report.conflict_misses, cycle * (laps - 1));
     }
 
     /// Cache occupancy never exceeds capacity, and hits never change

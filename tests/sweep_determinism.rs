@@ -1,0 +1,53 @@
+//! The parallel sweep engine must be schedule-independent: the same grid
+//! aggregated on one worker thread and on many must produce byte-identical
+//! reports (table and JSON renderings both).
+//!
+//! These tests drive thread count through `RAYON_NUM_THREADS`, which the
+//! rayon shim re-reads per parallel stage. They run in one `#[test]` so the
+//! env-var mutation cannot race a sibling test in this binary.
+
+use cachemind_suite::policies::by_name;
+use cachemind_suite::prelude::*;
+use cachemind_suite::sim::sweep::{SweepGrid, SweepStream};
+use cachemind_suite::workloads::{self, Scale};
+
+fn demo_grid() -> SweepGrid {
+    let mut grid = SweepGrid::default()
+        .policy("lru")
+        .policy("srrip")
+        .policy("ship")
+        .policy("belady")
+        .config(CacheConfig::new("small", 4, 4, 6))
+        .config(CacheConfig::new("tiny", 2, 2, 6));
+    for name in ["astar", "lbm", "mcf"] {
+        let w = workloads::by_name(name, Scale::Tiny).expect("known workload");
+        grid.streams.push(SweepStream::new(w.name, w.accesses));
+    }
+    grid
+}
+
+fn run_with_threads(threads: &str) -> (String, String) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let report = demo_grid().run(by_name).expect("grid runs");
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let json = serde_json::to_string(&report).expect("report serializes");
+    (report.to_table(), json)
+}
+
+#[test]
+fn sweep_report_is_identical_across_thread_counts() {
+    let (table_1, json_1) = run_with_threads("1");
+    let (table_4, json_4) = run_with_threads("4");
+    let (table_13, json_13) = run_with_threads("13"); // odd count: ragged chunks
+
+    assert_eq!(table_1, table_4, "1-thread vs 4-thread table reports differ");
+    assert_eq!(table_1, table_13, "1-thread vs 13-thread table reports differ");
+    assert_eq!(json_1, json_4, "1-thread vs 4-thread JSON reports differ");
+    assert_eq!(json_1, json_13, "1-thread vs 13-thread JSON reports differ");
+
+    // Sanity: the grid actually covered the full 4 x 3 x 2 cross product.
+    let report = demo_grid().run(by_name).expect("grid runs");
+    assert_eq!(report.cells.len(), 24);
+    assert!(table_1.contains("belady"));
+    assert!(json_1.contains("\"policy_totals\""));
+}
