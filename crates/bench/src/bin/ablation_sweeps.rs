@@ -1,5 +1,11 @@
 //! Ablation sweeps for the DESIGN.md §5 design choices: Sieve slice cap,
 //! Ranger schema card, dense index stride.
+//!
+//! Every swept parameter point is an independent harness run; the
+//! `insights::ablation` module spreads them across cores with the sweep
+//! engine's `sweep_cells` primitive, so the sweeps no longer replay
+//! configurations serially (output stays byte-identical for any
+//! `RAYON_NUM_THREADS`).
 
 use cachemind_benchsuite::catalog::Catalog;
 use cachemind_core::insights::ablation;

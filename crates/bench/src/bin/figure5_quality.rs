@@ -1,6 +1,11 @@
 //! Figure 5: reasoning accuracy across retrieval-context quality
 //! (Low/Medium/High) for each backend. "Retrieval quality is the
 //! precondition for cache replacement policy high level reasoning."
+//!
+//! The per-backend harness runs ride the sweep engine
+//! (`cachemind_sim::sweep::sweep_cells` inside `eval::figure5`), so the
+//! five backends evaluate in parallel instead of replaying serially; the
+//! printed table is byte-identical for any `RAYON_NUM_THREADS`.
 
 use cachemind_benchsuite::catalog::Catalog;
 use cachemind_core::eval;

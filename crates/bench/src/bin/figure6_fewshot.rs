@@ -2,6 +2,10 @@
 //! prompting does not improve system performance significantly ... the
 //! given examples help the generator identify and assess trick questions
 //! better than zero-shot prompting."
+//!
+//! Each backend's three shot-count configurations run in parallel on the
+//! sweep engine (`sweep_cells` inside `eval::figure6`) rather than
+//! serially; output is byte-identical for any `RAYON_NUM_THREADS`.
 
 use cachemind_benchsuite::catalog::Catalog;
 use cachemind_core::eval;

@@ -138,7 +138,7 @@ pub fn run(
     catalog: &Catalog,
     config: &HarnessConfig,
 ) -> BenchReport {
-    let mut generator = match config.seed {
+    let generator = match config.seed {
         Some(seed) => SimulatedBackend::new(backend).with_seed(seed),
         None => SimulatedBackend::new(backend),
     };
@@ -193,7 +193,7 @@ pub fn run_single(
     let intent = QueryIntent::parse(&question.text, &wrefs, &prefs);
     let ctx = retriever.retrieve(db, &intent);
     let quality = ctx.quality;
-    let mut generator = SimulatedBackend::new(backend);
+    let generator = SimulatedBackend::new(backend);
     let answer = generator.answer(&GeneratorRequest {
         question: question.text.clone(),
         intent,

@@ -81,7 +81,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("ask") => {
             let question = args.get(1).cloned().unwrap_or_else(|| usage());
-            let mut mind = CacheMind::new(build_db())
+            let mind = CacheMind::new(build_db())
                 .with_retriever(retriever_kind(&args))
                 .with_backend(backend_kind(&args));
             let answer = mind.ask(&question);

@@ -1,5 +1,12 @@
 //! Figure-level data builders: one function per evaluation artefact of the
 //! paper, all driven by [`cachemind_benchsuite::harness`].
+//!
+//! Every builder that evaluates several independent configurations
+//! (backends, shot counts, retrievers) spreads them across cores with
+//! [`cachemind_sim::sweep::sweep_cells`] — the same order-preserving
+//! parallel primitive behind `SweepGrid` — so the figure binaries stop
+//! replaying configurations serially while their outputs stay
+//! byte-identical for any thread count.
 
 use serde::{Deserialize, Serialize};
 
@@ -10,6 +17,7 @@ use cachemind_lang::intent::{QueryCategory, Tier};
 use cachemind_lang::profiles::BackendKind;
 use cachemind_retrieval::ranger::RangerRetriever;
 use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_sim::sweep::sweep_cells;
 use cachemind_tracedb::database::TraceDatabase;
 
 /// Figure 4: accuracy per category for each backend (Sieve retrieval).
@@ -28,7 +36,7 @@ pub fn figure4(db: &TraceDatabase, catalog: &Catalog) -> Figure4 {
     let sieve = SieveRetriever::new();
     let config = HarnessConfig::default();
     let reports: Vec<BenchReport> =
-        BackendKind::ALL.iter().map(|&b| harness::run(db, &sieve, b, catalog, &config)).collect();
+        sweep_cells(BackendKind::ALL.to_vec(), |b| harness::run(db, &sieve, b, catalog, &config));
     let rows = QueryCategory::ALL
         .iter()
         .map(|&cat| {
@@ -53,20 +61,17 @@ pub struct Figure5 {
 pub fn figure5(db: &TraceDatabase, catalog: &Catalog) -> Figure5 {
     let sieve = SieveRetriever::new();
     let config = HarnessConfig { degrade_buckets: true, ..Default::default() };
-    let rows = BackendKind::ALL
-        .iter()
-        .map(|&b| {
-            let report = harness::run(db, &sieve, b, catalog, &config);
-            (
-                b.label().to_owned(),
-                [
-                    report.quality_accuracy(ContextQuality::Low).unwrap_or(0.0),
-                    report.quality_accuracy(ContextQuality::Medium).unwrap_or(0.0),
-                    report.quality_accuracy(ContextQuality::High).unwrap_or(0.0),
-                ],
-            )
-        })
-        .collect();
+    let rows = sweep_cells(BackendKind::ALL.to_vec(), |b| {
+        let report = harness::run(db, &sieve, b, catalog, &config);
+        (
+            b.label().to_owned(),
+            [
+                report.quality_accuracy(ContextQuality::Low).unwrap_or(0.0),
+                report.quality_accuracy(ContextQuality::Medium).unwrap_or(0.0),
+                report.quality_accuracy(ContextQuality::High).unwrap_or(0.0),
+            ],
+        )
+    });
     Figure5 { rows }
 }
 
@@ -80,19 +85,16 @@ pub struct Figure6 {
 /// Builds Figure 6's ablation for one backend.
 pub fn figure6(db: &TraceDatabase, catalog: &Catalog, backend: BackendKind) -> Figure6 {
     let sieve = SieveRetriever::new();
-    let rows = [0usize, 1, 3]
-        .iter()
-        .map(|&shots| {
-            let report = harness::run(
-                db,
-                &sieve,
-                backend,
-                catalog,
-                &HarnessConfig { shots, ..Default::default() },
-            );
-            (shots, report.total(), report.category_accuracy(QueryCategory::Trick))
-        })
-        .collect();
+    let rows = sweep_cells(vec![0usize, 1, 3], |shots| {
+        let report = harness::run(
+            db,
+            &sieve,
+            backend,
+            catalog,
+            &HarnessConfig { shots, ..Default::default() },
+        );
+        (shots, report.total(), report.category_accuracy(QueryCategory::Trick))
+    });
     Figure6 { rows }
 }
 
@@ -107,13 +109,10 @@ pub struct Figure7 {
 pub fn figure7(db: &TraceDatabase, catalog: &Catalog) -> Figure7 {
     let sieve = SieveRetriever::new();
     let config = HarnessConfig::default();
-    let rows = BackendKind::ALL
-        .iter()
-        .map(|&b| {
-            let report = harness::run(db, &sieve, b, catalog, &config);
-            (b.label().to_owned(), report.score_histogram())
-        })
-        .collect();
+    let rows = sweep_cells(BackendKind::ALL.to_vec(), |b| {
+        let report = harness::run(db, &sieve, b, catalog, &config);
+        (b.label().to_owned(), report.score_histogram())
+    });
     Figure7 { rows }
 }
 
@@ -132,8 +131,15 @@ pub struct Figure8 {
 pub fn figure8(db: &TraceDatabase, catalog: &Catalog) -> Figure8 {
     let config = HarnessConfig::default();
     let backend = BackendKind::Gpt4o;
-    let sieve = harness::run(db, &SieveRetriever::new(), backend, catalog, &config);
-    let ranger = harness::run(db, &RangerRetriever::new(), backend, catalog, &config);
+    let mut reports = sweep_cells(vec![false, true], |use_ranger| {
+        if use_ranger {
+            harness::run(db, &RangerRetriever::new(), backend, catalog, &config)
+        } else {
+            harness::run(db, &SieveRetriever::new(), backend, catalog, &config)
+        }
+    });
+    let ranger = reports.pop().expect("ranger report");
+    let sieve = reports.pop().expect("sieve report");
     let tg_categories = [
         QueryCategory::HitMiss,
         QueryCategory::MissRate,

@@ -20,6 +20,7 @@ use cachemind_retrieval::dense::DenseIndexRetriever;
 use cachemind_retrieval::probes::{probe_queries, run_probes};
 use cachemind_retrieval::ranger::RangerRetriever;
 use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_sim::sweep::sweep_cells;
 use cachemind_tracedb::database::TraceDatabase;
 
 /// One swept configuration and the metric it produced.
@@ -41,23 +42,21 @@ pub fn sieve_slice_cap(
     catalog: &Catalog,
     caps: &[usize],
 ) -> Vec<AblationPoint> {
-    caps.iter()
-        .map(|&cap| {
-            let sieve = SieveRetriever::new().with_slice_cap(cap);
-            let report =
-                harness::run(db, &sieve, BackendKind::Gpt4o, catalog, &HarnessConfig::default());
-            AblationPoint { parameter: cap, metric: report.category_accuracy(QueryCategory::Count) }
-        })
-        .collect()
+    sweep_cells(caps.to_vec(), |cap| {
+        let sieve = SieveRetriever::new().with_slice_cap(cap);
+        let report =
+            harness::run(db, &sieve, BackendKind::Gpt4o, catalog, &HarnessConfig::default());
+        AblationPoint { parameter: cap, metric: report.category_accuracy(QueryCategory::Count) }
+    })
 }
 
 /// Ranger with and without the schema card: Arithmetic accuracy.
 ///
 /// Returns `[without, with]` (parameter 0 = schema hidden, 1 = shown).
 pub fn ranger_schema(db: &TraceDatabase, catalog: &Catalog) -> Vec<AblationPoint> {
-    [(0usize, RangerRetriever::new().without_schema()), (1, RangerRetriever::new())]
-        .into_iter()
-        .map(|(parameter, retriever)| {
+    sweep_cells(
+        vec![(0usize, RangerRetriever::new().without_schema()), (1, RangerRetriever::new())],
+        |(parameter, retriever)| {
             let report = harness::run(
                 db,
                 &retriever,
@@ -66,21 +65,18 @@ pub fn ranger_schema(db: &TraceDatabase, catalog: &Catalog) -> Vec<AblationPoint
                 &HarnessConfig::default(),
             );
             AblationPoint { parameter, metric: report.category_accuracy(QueryCategory::Arithmetic) }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Dense-index stride sweep over the Figure 9 probes: retrieval success.
 pub fn dense_stride(db: &TraceDatabase, strides: &[usize]) -> Vec<AblationPoint> {
     let probes = probe_queries(db);
-    strides
-        .iter()
-        .map(|&stride| {
-            let dense = DenseIndexRetriever::build(db, stride);
-            let report = run_probes(db, &dense, &probes);
-            AblationPoint { parameter: stride, metric: report.success_rate() * 100.0 }
-        })
-        .collect()
+    sweep_cells(strides.to_vec(), |stride| {
+        let dense = DenseIndexRetriever::build(db, stride);
+        let report = run_probes(db, &dense, &probes);
+        AblationPoint { parameter: stride, metric: report.success_rate() * 100.0 }
+    })
 }
 
 #[cfg(test)]

@@ -1,4 +1,16 @@
 //! The CacheMind system: query-first, retrieval-augmented answering.
+//!
+//! [`CacheMind`] holds its trace store behind an `Arc<dyn TraceStore>`, so
+//! one database — monolithic or sharded — can be shared by any number of
+//! concurrent sessions (the serve layer's whole premise). Answering is a
+//! pure function of the question and the store, which is what makes the
+//! batched path ([`CacheMind::ask_batch`]) byte-identical to one-at-a-time
+//! [`CacheMind::ask`] calls regardless of worker count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rayon::prelude::*;
 
 use cachemind_lang::context::RetrievedContext;
 use cachemind_lang::generator::{Generator, GeneratorAnswer, GeneratorRequest, Verdict};
@@ -10,7 +22,8 @@ use cachemind_retrieval::dense::DenseIndexRetriever;
 use cachemind_retrieval::ranger::RangerRetriever;
 use cachemind_retrieval::retriever::Retriever;
 use cachemind_retrieval::sieve::SieveRetriever;
-use cachemind_tracedb::database::TraceDatabase;
+use cachemind_tracedb::database::{TraceDatabase, TraceId};
+use cachemind_tracedb::store::TraceStore;
 
 /// Which retriever the system routes queries through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,14 +49,92 @@ pub struct Answer {
     pub prompt: String,
 }
 
+/// A per-batch retrieval memo: serialized intent → retrieved context.
+///
+/// Retrieval is a pure function of `(store, intent)`, so replaying a cached
+/// context is indistinguishable from retrieving again — the cache changes
+/// the work done, never the answer. One cache lives per batch group (or per
+/// serve worker), so concurrent batches never contend on a lock.
+#[derive(Debug, Default)]
+pub struct ContextCache {
+    contexts: BTreeMap<String, RetrievedContext>,
+}
+
+impl ContextCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ContextCache::default()
+    }
+
+    /// Number of memoized contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Whether the cache holds no contexts.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+}
+
+/// A batch of concurrent questions answered together.
+///
+/// The batch path groups questions by the shard their resolved trace key
+/// lives on, runs the groups in parallel (rayon), memoizes retrieval per
+/// group, and fans the answers back out in input order. Answers are
+/// byte-identical to asking each question alone, in order.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBatch {
+    questions: Vec<String>,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        QueryBatch::default()
+    }
+
+    /// Adds a question.
+    pub fn question(mut self, q: impl Into<String>) -> Self {
+        self.questions.push(q.into());
+        self
+    }
+
+    /// The questions, in submission order.
+    pub fn questions(&self) -> &[String] {
+        &self.questions
+    }
+
+    /// Number of questions in the batch.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// Answers the whole batch against `mind`.
+    pub fn run(&self, mind: &CacheMind) -> Vec<Answer> {
+        mind.ask_batch(&self.questions)
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for QueryBatch {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        QueryBatch { questions: iter.into_iter().map(Into::into).collect() }
+    }
+}
+
 /// The CacheMind system.
 ///
-/// Owns the trace database, a retriever and a generator backend; turning a
-/// natural-language question into a trace-grounded answer is one
-/// [`CacheMind::ask`] call.
+/// Owns a shared handle to the trace store, a retriever and a generator
+/// backend; turning a natural-language question into a trace-grounded
+/// answer is one [`CacheMind::ask`] call.
 #[derive(Debug)]
 pub struct CacheMind {
-    db: TraceDatabase,
+    db: Arc<dyn TraceStore>,
     retriever: RetrieverKind,
     backend: SimulatedBackend,
     shots: Vec<Example>,
@@ -56,6 +147,12 @@ impl CacheMind {
     /// Creates the system over a database with the paper's default
     /// configuration: Sieve retrieval, GPT-4o backend, zero-shot.
     pub fn new(db: TraceDatabase) -> Self {
+        CacheMind::shared(Arc::new(db))
+    }
+
+    /// Creates the system over an already-shared trace store (the serve
+    /// layer hands every session the same `Arc` of one sharded database).
+    pub fn shared(db: Arc<dyn TraceStore>) -> Self {
         CacheMind {
             db,
             retriever: RetrieverKind::Sieve,
@@ -70,7 +167,7 @@ impl CacheMind {
     /// Selects the retriever.
     pub fn with_retriever(mut self, kind: RetrieverKind) -> Self {
         if kind == RetrieverKind::Dense && self.dense.is_none() {
-            self.dense = Some(DenseIndexRetriever::build(&self.db, 4));
+            self.dense = Some(DenseIndexRetriever::build(&*self.db, 4));
         }
         self.retriever = kind;
         self
@@ -88,9 +185,14 @@ impl CacheMind {
         self
     }
 
-    /// The underlying trace database.
-    pub fn database(&self) -> &TraceDatabase {
-        &self.db
+    /// The underlying trace store.
+    pub fn database(&self) -> &dyn TraceStore {
+        &*self.db
+    }
+
+    /// A second handle to the underlying trace store.
+    pub fn store(&self) -> Arc<dyn TraceStore> {
+        Arc::clone(&self.db)
     }
 
     /// Parses a question against the database vocabulary.
@@ -117,7 +219,7 @@ impl CacheMind {
     /// Retrieves the context bundle for a question without generating.
     pub fn retrieve(&self, question: &str) -> RetrievedContext {
         let intent = self.parse(question);
-        self.active_retriever().retrieve(&self.db, &intent)
+        self.active_retriever().retrieve(&*self.db, &intent)
     }
 
     /// Routes *exploration commands* — the Figure 10–13 chat vocabulary
@@ -149,7 +251,7 @@ impl CacheMind {
             return None;
         };
 
-        let facts = plan.run(&self.db).ok()?;
+        let facts = plan.run(&*self.db).ok()?;
         let context = RetrievedContext {
             facts,
             quality: cachemind_lang::context::ContextQuality::High,
@@ -164,14 +266,60 @@ impl CacheMind {
         })
     }
 
-    /// Answers a question: exploration-command routing, then
-    /// parse → retrieve → generate.
-    pub fn ask(&mut self, question: &str) -> Answer {
+    /// The memo key for an intent: its full serialization (including the
+    /// raw question, which some retrieval templates consult), so a cache
+    /// hit can only replay a byte-identical retrieval.
+    fn context_key(intent: &QueryIntent) -> String {
+        serde_json::to_string(intent).unwrap_or_else(|_| intent.raw.clone())
+    }
+
+    /// The shard whose trace the intent's resolved `(workload, policy)`
+    /// pair lives on — the deterministic scheduling key the batch path
+    /// groups questions by. Questions that pin down neither slot fall back
+    /// to the store's first workload, mirroring retrieval's own defaults.
+    /// `workloads` is the store's sorted vocabulary, computed once per
+    /// batch.
+    fn home_shard(&self, intent: &QueryIntent, workloads: &[String]) -> usize {
+        let workload =
+            match intent.workload.as_deref().or_else(|| workloads.first().map(String::as_str)) {
+                Some(w) => w,
+                None => return 0,
+            };
+        let policy = intent.policy.as_deref().unwrap_or("lru");
+        self.db.shard_of(&TraceId::new(workload, policy).key())
+    }
+
+    /// The shared parse → retrieve → generate pipeline behind [`ask`] and
+    /// [`ask_batch`]: one code path, so batching cannot change answers.
+    ///
+    /// [`ask`]: CacheMind::ask
+    /// [`ask_batch`]: CacheMind::ask_batch
+    fn answer_cached(
+        &self,
+        question: &str,
+        intent: &QueryIntent,
+        cache: Option<&mut ContextCache>,
+    ) -> Answer {
         if let Some(answer) = self.try_exploration(question) {
             return answer;
         }
-        let intent = self.parse(question);
-        let context = self.active_retriever().retrieve(&self.db, &intent);
+        // Memo-key construction and the extra context clone only happen
+        // when a caller actually supplied a cache; the solo `ask` path
+        // retrieves directly.
+        let context = match cache {
+            None => self.active_retriever().retrieve(&*self.db, intent),
+            Some(cache) => {
+                let key = Self::context_key(intent);
+                match cache.contexts.get(&key) {
+                    Some(ctx) => ctx.clone(),
+                    None => {
+                        let ctx = self.active_retriever().retrieve(&*self.db, intent);
+                        cache.contexts.insert(key, ctx.clone());
+                        ctx
+                    }
+                }
+            }
+        };
         let mut builder = PromptBuilder::new();
         for ex in &self.shots {
             builder = builder.example(ex.clone());
@@ -179,12 +327,66 @@ impl CacheMind {
         let prompt = builder.render(question, &context);
         let request = GeneratorRequest {
             question: question.to_owned(),
-            intent,
+            intent: intent.clone(),
             context: context.clone(),
             examples: self.shots.clone(),
         };
         let GeneratorAnswer { text, verdict } = self.backend.answer(&request);
         Answer { text, verdict, context, prompt }
+    }
+
+    /// Answers a question with an externally owned retrieval memo (the
+    /// serve workers keep one per worker, amortizing repeated retrievals
+    /// across the sessions a worker serves).
+    pub fn ask_with_cache(&self, question: &str, cache: &mut ContextCache) -> Answer {
+        let intent = self.parse(question);
+        self.answer_cached(question, &intent, Some(cache))
+    }
+
+    /// Answers a question: exploration-command routing, then
+    /// parse → retrieve → generate.
+    pub fn ask(&self, question: &str) -> Answer {
+        let intent = self.parse(question);
+        self.answer_cached(question, &intent, None)
+    }
+
+    /// Answers a batch of concurrent questions.
+    ///
+    /// Questions are grouped by home shard, the groups run in parallel on
+    /// rayon workers (honoring `RAYON_NUM_THREADS`), retrieval is memoized
+    /// within each group, and answers fan back out in input order. The
+    /// result is byte-identical to calling [`CacheMind::ask`] on each
+    /// question serially, for any thread count.
+    pub fn ask_batch(&self, questions: &[String]) -> Vec<Answer> {
+        // One vocabulary snapshot for the whole batch: parsing against it is
+        // identical to per-question `parse` calls (the store is immutable),
+        // without re-scanning every shard per question.
+        let workloads = self.db.workloads();
+        let policies = self.db.policies();
+        let workload_refs: Vec<&str> = workloads.iter().map(String::as_str).collect();
+        let policy_refs: Vec<&str> = policies.iter().map(String::as_str).collect();
+        let intents: Vec<QueryIntent> =
+            questions.iter().map(|q| QueryIntent::parse(q, &workload_refs, &policy_refs)).collect();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, intent) in intents.iter().enumerate() {
+            groups.entry(self.home_shard(intent, &workloads)).or_default().push(i);
+        }
+        let group_list: Vec<Vec<usize>> = groups.into_values().collect();
+        let answered: Vec<Vec<(usize, Answer)>> = group_list
+            .into_par_iter()
+            .map(|indices| {
+                let mut cache = ContextCache::new();
+                indices
+                    .into_iter()
+                    .map(|i| (i, self.answer_cached(&questions[i], &intents[i], Some(&mut cache))))
+                    .collect()
+            })
+            .collect();
+        let mut out: Vec<Option<Answer>> = questions.iter().map(|_| None).collect();
+        for (i, answer) in answered.into_iter().flatten() {
+            out[i] = Some(answer);
+        }
+        out.into_iter().map(|a| a.expect("every question answered exactly once")).collect()
     }
 }
 
@@ -199,7 +401,7 @@ mod tests {
 
     #[test]
     fn ask_produces_grounded_answer() {
-        let mut m = mind().with_retriever(RetrieverKind::Ranger);
+        let m = mind().with_retriever(RetrieverKind::Ranger);
         let a = m.ask("What is the overall miss rate of the lbm workload under LRU?");
         assert!(matches!(a.verdict, Verdict::Number(_)), "verdict {:?}", a.verdict);
         assert!(!a.context.facts.is_empty());
@@ -227,7 +429,7 @@ mod tests {
 
     #[test]
     fn exploration_commands_route_to_plans() {
-        let mut m = mind();
+        let m = mind();
         let a = m.ask("List all unique PCs in the mcf trace under LRU.");
         assert!(a.text.contains("0x"), "expected PC list, got {}", a.text);
         assert!(a.prompt.contains("program_counter.unique"), "prompt shows generated code");
@@ -245,17 +447,64 @@ mod tests {
     #[test]
     fn k_shot_examples_enter_the_prompt() {
         use cachemind_lang::prompt::Example;
-        let mut m = mind().with_examples(vec![Example::figure6()]);
+        let m = mind().with_examples(vec![Example::figure6()]);
         let a = m.ask("Does PC 0x999999 hit on lbm under LRU?");
         assert!(a.prompt.contains("EXAMPLE 1:"), "prompt must carry the example");
     }
 
     #[test]
     fn dense_baseline_is_available() {
-        let mut m = mind().with_retriever(RetrieverKind::Dense);
+        let m = mind().with_retriever(RetrieverKind::Dense);
         let a = m.ask("Does PC 0x401380 hit on mcf under LRU?");
         // The baseline may answer anything, but it must not panic and must
         // label its retriever.
         assert_eq!(a.context.retriever, "dense");
+    }
+
+    #[test]
+    fn sharded_store_answers_like_the_monolith() {
+        let sharded =
+            TraceDatabaseBuilder::quick_demo().shards(3).try_build_sharded().expect("valid names");
+        let shared = CacheMind::shared(Arc::new(sharded));
+        let flat = mind();
+        for q in [
+            "What is the overall miss rate of the lbm workload under LRU?",
+            "Which policy has the lowest miss rate in astar?",
+            "Why does Belady outperform LRU in mcf?",
+        ] {
+            let a = shared.ask(q);
+            let b = flat.ask(q);
+            assert_eq!(a.text, b.text, "{q}");
+            assert_eq!(a.prompt, b.prompt, "{q}");
+        }
+    }
+
+    #[test]
+    fn batched_ask_is_byte_identical_to_serial() {
+        let m = mind().with_retriever(RetrieverKind::Ranger);
+        let db = m.database();
+        let pc = db.get("astar_evictions_lru").unwrap().frame.rows()[0].pc;
+        let questions: Vec<String> = vec![
+            "What is the overall miss rate of the lbm workload under LRU?".into(),
+            format!("How many times did PC {pc} appear in astar under LRU?"),
+            "List all unique PCs in the mcf trace under LRU.".into(),
+            "Which workload has the highest cache miss rate under Belady?".into(),
+            // An exact duplicate: exercises the retrieval memo.
+            "What is the overall miss rate of the lbm workload under LRU?".into(),
+        ];
+        let serial: Vec<Answer> = questions.iter().map(|q| m.ask(q)).collect();
+        let batched = m.ask_batch(&questions);
+        assert_eq!(serial.len(), batched.len());
+        for (s, b) in serial.iter().zip(&batched) {
+            assert_eq!(s.text, b.text);
+            assert_eq!(s.prompt, b.prompt);
+            assert_eq!(s.verdict, b.verdict);
+        }
+        // The QueryBatch wrapper takes the same path.
+        let via_batch: QueryBatch = questions.iter().cloned().collect();
+        let again = via_batch.run(&m);
+        for (s, b) in serial.iter().zip(&again) {
+            assert_eq!(s.text, b.text);
+        }
     }
 }

@@ -62,7 +62,7 @@ pub trait Generator {
     fn name(&self) -> &'static str;
 
     /// Produces an answer for the request.
-    fn answer(&mut self, request: &GeneratorRequest) -> GeneratorAnswer;
+    fn answer(&self, request: &GeneratorRequest) -> GeneratorAnswer;
 }
 
 /// The simulated backend: grounded reasoning + calibrated noise.
@@ -230,7 +230,7 @@ impl Generator for SimulatedBackend {
         self.kind.label()
     }
 
-    fn answer(&mut self, request: &GeneratorRequest) -> GeneratorAnswer {
+    fn answer(&self, request: &GeneratorRequest) -> GeneratorAnswer {
         let category = request.intent.category;
         let ideal = self.ground(request);
 

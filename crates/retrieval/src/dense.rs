@@ -11,7 +11,8 @@
 use cachemind_lang::context::{Fact, RetrievedContext};
 use cachemind_lang::intent::QueryIntent;
 use cachemind_lang::vector::VectorStore;
-use cachemind_tracedb::database::{TraceDatabase, TraceId};
+use cachemind_tracedb::database::TraceId;
+use cachemind_tracedb::store::TraceStore;
 
 use crate::quality::grade;
 use crate::retriever::Retriever;
@@ -40,7 +41,7 @@ impl DenseIndexRetriever {
     /// # Panics
     ///
     /// Panics if `stride` is zero.
-    pub fn build(db: &TraceDatabase, stride: usize) -> Self {
+    pub fn build(db: &dyn TraceStore, stride: usize) -> Self {
         assert!(stride > 0, "stride must be positive");
         let mut store = VectorStore::new(64);
         let mut refs = Vec::new();
@@ -92,7 +93,7 @@ impl Retriever for DenseIndexRetriever {
         "dense"
     }
 
-    fn retrieve(&self, db: &TraceDatabase, intent: &QueryIntent) -> RetrievedContext {
+    fn retrieve(&self, db: &dyn TraceStore, intent: &QueryIntent) -> RetrievedContext {
         let hits = self.store.search(&intent.raw, self.top_k);
         let mut facts = Vec::new();
         for hit in hits {
@@ -131,7 +132,7 @@ impl Retriever for DenseIndexRetriever {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cachemind_tracedb::TraceDatabaseBuilder;
+    use cachemind_tracedb::{TraceDatabase, TraceDatabaseBuilder};
 
     fn db() -> TraceDatabase {
         TraceDatabaseBuilder::quick_demo().build()

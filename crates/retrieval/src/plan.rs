@@ -14,10 +14,11 @@ use serde::{Deserialize, Serialize};
 
 use cachemind_lang::context::Fact;
 use cachemind_sim::addr::{Address, Pc};
-use cachemind_tracedb::database::{TraceDatabase, TraceId};
+use cachemind_tracedb::database::TraceId;
 use cachemind_tracedb::filter::Predicate;
 use cachemind_tracedb::meta;
 use cachemind_tracedb::stats::CacheStatisticalExpert;
+use cachemind_tracedb::store::TraceStore;
 
 /// Numeric columns a plan may aggregate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -233,7 +234,7 @@ pub enum Plan {
 
 impl Plan {
     fn entry<'d>(
-        db: &'d TraceDatabase,
+        db: &'d dyn TraceStore,
         workload: &str,
         policy: &str,
     ) -> Result<&'d cachemind_tracedb::database::TraceEntry, PlanError> {
@@ -248,7 +249,7 @@ impl Plan {
     /// Returns [`PlanError::UnknownTrace`] for a bad key and
     /// [`PlanError::EmptyResult`] when the filters matched nothing — the
     /// runtime signal Ranger turns into a premise check.
-    pub fn run(&self, db: &TraceDatabase) -> Result<Vec<Fact>, PlanError> {
+    pub fn run(&self, db: &dyn TraceStore) -> Result<Vec<Fact>, PlanError> {
         let expert = CacheStatisticalExpert::new();
         match self {
             Plan::Lookup { workload, policy, pc, address } => {
@@ -635,7 +636,7 @@ mod tests {
     use super::*;
     use cachemind_tracedb::TraceDatabaseBuilder;
 
-    fn db() -> TraceDatabase {
+    fn db() -> cachemind_tracedb::TraceDatabase {
         TraceDatabaseBuilder::quick_demo().build()
     }
 

@@ -14,8 +14,8 @@
 
 use cachemind_lang::context::{ContextQuality, Fact, RetrievedContext};
 use cachemind_lang::intent::{QueryCategory, QueryIntent, Tier};
-use cachemind_tracedb::database::TraceDatabase;
 use cachemind_tracedb::schema;
+use cachemind_tracedb::store::TraceStore;
 
 use crate::plan::{AggColumn, AggFunc, Plan, PlanError};
 use crate::quality::grade;
@@ -49,7 +49,7 @@ impl RangerRetriever {
     }
 
     /// The system prompt handed to the code-writing model (Figure 3).
-    pub fn system_prompt(db: &TraceDatabase) -> String {
+    pub fn system_prompt(db: &dyn TraceStore) -> String {
         let workloads = db.workloads();
         let policies = db.policies();
         let mut out = String::from(
@@ -77,7 +77,7 @@ impl RangerRetriever {
 
     /// The planner: compiles an intent into a plan. `None` when the query
     /// gives the planner nothing to bind to.
-    pub fn compile(&self, db: &TraceDatabase, intent: &QueryIntent) -> Option<Plan> {
+    pub fn compile(&self, db: &dyn TraceStore, intent: &QueryIntent) -> Option<Plan> {
         let (workload, policy) = resolve_trace_slots(db, intent, true);
         let fallback_policy = || policy.clone().unwrap_or_else(|| "lru".to_owned());
         match intent.category {
@@ -150,7 +150,7 @@ impl RangerRetriever {
     }
 
     /// The premise investigation run on an empty result.
-    fn investigate_empty(db: &TraceDatabase, intent: &QueryIntent) -> Option<Fact> {
+    fn investigate_empty(db: &dyn TraceStore, intent: &QueryIntent) -> Option<Fact> {
         let pc = intent.pc?;
         let homes: Vec<String> = db
             .entries()
@@ -179,7 +179,7 @@ impl Retriever for RangerRetriever {
         "ranger"
     }
 
-    fn retrieve(&self, db: &TraceDatabase, intent: &QueryIntent) -> RetrievedContext {
+    fn retrieve(&self, db: &dyn TraceStore, intent: &QueryIntent) -> RetrievedContext {
         let Some(plan) = self.compile(db, intent) else {
             return RetrievedContext::empty("ranger");
         };
@@ -218,7 +218,7 @@ impl Retriever for RangerRetriever {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cachemind_tracedb::TraceDatabaseBuilder;
+    use cachemind_tracedb::{TraceDatabase, TraceDatabaseBuilder};
 
     fn db() -> TraceDatabase {
         TraceDatabaseBuilder::quick_demo().build()

@@ -2,23 +2,30 @@
 
 use cachemind_lang::context::RetrievedContext;
 use cachemind_lang::intent::QueryIntent;
-use cachemind_tracedb::database::TraceDatabase;
+use cachemind_tracedb::store::TraceStore;
 
 /// A retrieval strategy: maps a parsed query to a context bundle over the
 /// external trace database.
+///
+/// Retrievers are written against the [`TraceStore`] trait, so they work
+/// identically over a monolithic [`TraceDatabase`] and a
+/// [`ShardedTraceDatabase`](cachemind_tracedb::shard::ShardedTraceDatabase)
+/// — call sites pass either and the reference coerces.
+///
+/// [`TraceDatabase`]: cachemind_tracedb::database::TraceDatabase
 pub trait Retriever {
     /// Stable retriever name (`"sieve"`, `"ranger"`, `"dense"`).
     fn name(&self) -> &'static str;
 
     /// Retrieves a context bundle for the query.
-    fn retrieve(&self, db: &TraceDatabase, intent: &QueryIntent) -> RetrievedContext;
+    fn retrieve(&self, db: &dyn TraceStore, intent: &QueryIntent) -> RetrievedContext;
 }
 
 /// Resolves the (workload, policy) pair an intent refers to, against the
 /// database's vocabulary, with optional fuzzy ("semantic") matching for
 /// near-miss names. Returns `None` for a slot the query does not pin down.
 pub fn resolve_trace_slots(
-    db: &TraceDatabase,
+    db: &dyn TraceStore,
     intent: &QueryIntent,
     semantic: bool,
 ) -> (Option<String>, Option<String>) {
@@ -44,7 +51,7 @@ pub fn resolve_trace_slots(
 mod tests {
     use super::*;
     use cachemind_lang::intent::QueryIntent;
-    use cachemind_tracedb::TraceDatabaseBuilder;
+    use cachemind_tracedb::{TraceDatabase, TraceDatabaseBuilder};
     use cachemind_workloads::Scale;
 
     fn db() -> TraceDatabase {

@@ -22,9 +22,10 @@
 use cachemind_lang::context::{Fact, RetrievedContext};
 use cachemind_lang::intent::{QueryCategory, QueryIntent};
 use cachemind_sim::addr::Pc;
-use cachemind_tracedb::database::{policy_description, TraceDatabase, TraceEntry};
+use cachemind_tracedb::database::{policy_description, TraceEntry};
 use cachemind_tracedb::filter::Predicate;
 use cachemind_tracedb::stats::CacheStatisticalExpert;
+use cachemind_tracedb::store::TraceStore;
 
 use crate::quality::grade;
 use crate::retriever::{resolve_trace_slots, Retriever};
@@ -71,7 +72,11 @@ impl SieveRetriever {
     /// Checks whether a PC that produced an empty slice is a premise
     /// violation, and renders the reason (e.g. "PC 0x4037aa appears only in
     /// mcf").
-    fn premise_check(db: &TraceDatabase, entry: &TraceEntry, intent: &QueryIntent) -> Option<Fact> {
+    fn premise_check(
+        db: &dyn TraceStore,
+        entry: &TraceEntry,
+        intent: &QueryIntent,
+    ) -> Option<Fact> {
         let pc = intent.pc?;
         let pc_in_trace = entry.frame.rows().iter().any(|r| r.pc == pc);
         if !pc_in_trace {
@@ -111,7 +116,7 @@ impl SieveRetriever {
 
     fn assemble_reasoning_bundle(
         &self,
-        db: &TraceDatabase,
+        db: &dyn TraceStore,
         entry: &TraceEntry,
         intent: &QueryIntent,
         facts: &mut Vec<Fact>,
@@ -171,7 +176,7 @@ impl Retriever for SieveRetriever {
         "sieve"
     }
 
-    fn retrieve(&self, db: &TraceDatabase, intent: &QueryIntent) -> RetrievedContext {
+    fn retrieve(&self, db: &dyn TraceStore, intent: &QueryIntent) -> RetrievedContext {
         let (workload, policy) = resolve_trace_slots(db, intent, self.semantic);
         let expert = CacheStatisticalExpert::new();
         let mut facts: Vec<Fact> = Vec::new();
@@ -363,7 +368,7 @@ impl Retriever for SieveRetriever {
 mod tests {
     use super::*;
     use cachemind_lang::context::ContextQuality;
-    use cachemind_tracedb::TraceDatabaseBuilder;
+    use cachemind_tracedb::{TraceDatabase, TraceDatabaseBuilder};
     use cachemind_workloads::Scale;
 
     fn db() -> TraceDatabase {

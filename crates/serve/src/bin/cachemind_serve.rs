@@ -1,0 +1,156 @@
+//! `cachemind-serve` — the CacheMind serving front-end.
+//!
+//! ```text
+//! # serve newline-delimited JSON requests from stdin
+//! cachemind-serve [--retriever sieve|ranger] [--scale tiny|small|full]
+//!                 [--shards S] [--threads N]
+//!
+//! # synthetic load driver: N sessions x M questions, batched rounds
+//! cachemind-serve --load-driver [--sessions N] [--questions M]
+//!                 [--report BENCH_serve.json] [--no-timing] [...]
+//! ```
+//!
+//! The worker-pool width comes from `--threads`, else `SERVE_NUM_THREADS`,
+//! else the machine. With `--no-timing` the load driver prints only the
+//! deterministic report (no thread count, no wall-clock fields) — the form
+//! CI diffs across thread counts. `--report PATH` additionally writes the
+//! full report including throughput and latency percentiles.
+
+use std::io::{BufRead, Write as _};
+
+use cachemind_core::system::RetrieverKind;
+use cachemind_serve::engine::{ServeConfig, ServeEngine};
+use cachemind_serve::load::{run_load_driver, LoadSpec};
+use cachemind_serve::protocol::{AskRequest, AskResponse, ProtocolError};
+use cachemind_workloads::workload::Scale;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn usize_flag(args: &[String], name: &str, default: usize) -> usize {
+    match flag(args, name) {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a positive integer, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cachemind-serve [--load-driver] [--sessions N] [--questions M]\n\
+         \x20                      [--retriever sieve|ranger] [--scale tiny|small|full]\n\
+         \x20                      [--shards S] [--threads N] [--report PATH] [--no-timing]\n\
+         without --load-driver, serves newline-delimited JSON requests from stdin:\n\
+         \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has(&args, "--help") || has(&args, "-h") {
+        usage();
+    }
+
+    let retriever = match flag(&args, "--retriever").as_deref() {
+        None | Some("sieve") => RetrieverKind::Sieve,
+        Some("ranger") => RetrieverKind::Ranger,
+        Some(other) => {
+            eprintln!("error: unknown retriever {other:?} (expected sieve or ranger)");
+            std::process::exit(2);
+        }
+    };
+    let scale = match flag(&args, "--scale").as_deref() {
+        None | Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        Some(other) => {
+            eprintln!("error: unknown scale {other:?} (expected tiny, small or full)");
+            std::process::exit(2);
+        }
+    };
+    let config = ServeConfig {
+        retriever,
+        scale,
+        shards: usize_flag(&args, "--shards", ServeConfig::default().shards),
+        threads: flag(&args, "--threads").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --threads expects a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+        }),
+        ..Default::default()
+    };
+
+    eprintln!(
+        "[cachemind-serve] building sharded trace database ({:?}, {} shards) ...",
+        config.scale, config.shards
+    );
+    let engine = match ServeEngine::build(config) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[cachemind-serve] ready: {} traces across {} shards, {} worker threads",
+        engine.store().len(),
+        engine.config().shards,
+        engine.num_threads()
+    );
+
+    if has(&args, "--load-driver") {
+        let spec = LoadSpec {
+            sessions: usize_flag(&args, "--sessions", LoadSpec::default().sessions),
+            questions: usize_flag(&args, "--questions", LoadSpec::default().questions),
+        };
+        let outcome = run_load_driver(&engine, spec);
+        let with_timing = !has(&args, "--no-timing");
+        println!("{}", outcome.render(&engine, with_timing));
+        if let Some(path) = flag(&args, "--report") {
+            let full = outcome.render(&engine, true);
+            if let Err(e) = std::fs::write(&path, full + "\n") {
+                eprintln!("error: cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[cachemind-serve] wrote full report to {path}");
+        }
+        return;
+    }
+
+    // Event loop: one JSON request per stdin line, one JSON response per
+    // stdout line. Parse errors come back in-band so every line answers.
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "exit" || trimmed == "quit" {
+            break;
+        }
+        let response = match AskRequest::from_json(trimmed) {
+            Ok(request) => engine.handle(&request),
+            Err(error @ (ProtocolError::InvalidJson(_) | ProtocolError::BadRequest(_))) => {
+                AskResponse::failure(0, &error)
+            }
+            Err(error) => AskResponse::failure(0, &error),
+        };
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{}", response.to_json(true));
+        let _ = out.flush();
+    }
+}

@@ -1,0 +1,348 @@
+//! [`ServeEngine`] — the multi-session, batched query-serving front-end.
+//!
+//! One engine owns many concurrent [`ChatSession`]s over a single shared
+//! (`Arc`) sharded trace database. Requests are answered in *rounds*: the
+//! event loop gathers the pending question of every session, a worker pool
+//! (sized by `SERVE_NUM_THREADS`) answers the round in parallel through the
+//! stateless CacheMind pipeline, and the answers fan back out into each
+//! session's conversation memory in input order.
+//!
+//! Determinism contract: answering is a pure function of `(store,
+//! question)`, workers receive contiguous chunks whose results are
+//! reassembled in input order, and session bookkeeping happens serially
+//! after the parallel phase — so every response, transcript and memory
+//! state is byte-identical for any `SERVE_NUM_THREADS`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cachemind_core::chat::ChatSession;
+use cachemind_core::system::{CacheMind, ContextCache, RetrieverKind};
+use cachemind_lang::profiles::BackendKind;
+use cachemind_tracedb::database::BuildError;
+use cachemind_tracedb::shard::ShardedTraceDatabase;
+use cachemind_tracedb::store::TraceStore;
+use cachemind_tracedb::TraceDatabaseBuilder;
+use cachemind_workloads::workload::Scale;
+
+use crate::protocol::{AskRequest, AskResponse, ProtocolError};
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Retriever every session routes through ([`RetrieverKind::Dense`] is
+    /// not servable: its per-session index build is a benchmark artefact,
+    /// not a serving path).
+    pub retriever: RetrieverKind,
+    /// Generator backend.
+    pub backend: BackendKind,
+    /// Trace-database scale.
+    pub scale: Scale,
+    /// Shard count for the sharded build.
+    pub shards: usize,
+    /// Worker threads; `None` reads `SERVE_NUM_THREADS`, falling back to
+    /// the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            retriever: RetrieverKind::Sieve,
+            backend: BackendKind::Gpt4o,
+            scale: Scale::Tiny,
+            shards: TraceDatabaseBuilder::DEFAULT_SHARDS,
+            threads: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolves the worker count: explicit setting, then the
+    /// `SERVE_NUM_THREADS` environment variable, then available
+    /// parallelism.
+    pub fn num_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.max(1);
+        }
+        match std::env::var("SERVE_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+        }
+    }
+}
+
+/// The serving front-end: session manager + batched ask rounds.
+#[derive(Debug)]
+pub struct ServeEngine {
+    store: Arc<dyn TraceStore>,
+    mind: CacheMind,
+    sessions: Mutex<BTreeMap<u64, ChatSession>>,
+    next_session: AtomicU64,
+    config: ServeConfig,
+}
+
+impl ServeEngine {
+    /// Builds the sharded trace database described by `config` and starts
+    /// an engine over it.
+    ///
+    /// Unknown workload/policy names surface as a clean [`BuildError`] —
+    /// the builder validates before any shard worker runs.
+    pub fn build(config: ServeConfig) -> Result<Self, BuildError> {
+        let db = TraceDatabaseBuilder::new()
+            .scale(config.scale)
+            .shards(config.shards)
+            .try_build_sharded()?;
+        Ok(Self::over(db, config))
+    }
+
+    /// Starts an engine over an already-built sharded database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.retriever` is [`RetrieverKind::Dense`] (not a
+    /// serving retriever; see [`ServeConfig::retriever`]).
+    pub fn over(db: ShardedTraceDatabase, mut config: ServeConfig) -> Self {
+        assert!(
+            config.retriever != RetrieverKind::Dense,
+            "the dense baseline is not servable; use Sieve or Ranger"
+        );
+        // The builder clamps to one shard minimum; keep the recorded config
+        // in agreement with the physical layout it describes.
+        config.shards = config.shards.max(1);
+        let store: Arc<dyn TraceStore> = Arc::new(db);
+        let mind = CacheMind::shared(Arc::clone(&store))
+            .with_retriever(config.retriever)
+            .with_backend(config.backend);
+        ServeEngine {
+            store,
+            mind,
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session: AtomicU64::new(1),
+            config,
+        }
+    }
+
+    /// The shared trace store.
+    pub fn store(&self) -> &dyn TraceStore {
+        &*self.store
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Resolved worker-pool width.
+    pub fn num_threads(&self) -> usize {
+        self.config.num_threads()
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session map lock").len()
+    }
+
+    /// Allocates an id and constructs a session around its own
+    /// [`CacheMind`] sharing the engine's store.
+    ///
+    /// Serving answers always flow through the engine's shared pipeline
+    /// (`self.mind`); the per-session mind is configured identically by
+    /// construction, so a session used directly (outside a round) answers
+    /// exactly as the engine would.
+    fn fresh_session(&self) -> (u64, ChatSession) {
+        let id = self.next_session.fetch_add(1, Ordering::SeqCst);
+        let session = ChatSession::new(
+            CacheMind::shared(Arc::clone(&self.store))
+                .with_retriever(self.config.retriever)
+                .with_backend(self.config.backend),
+        );
+        (id, session)
+    }
+
+    /// Opens a fresh chat session sharing the engine's database, returning
+    /// its id. Ids are assigned 1, 2, 3, ... in open order.
+    pub fn open_session(&self) -> u64 {
+        let (id, session) = self.fresh_session();
+        self.sessions.lock().expect("session map lock").insert(id, session);
+        id
+    }
+
+    /// The `(question, answer)` transcript of a session.
+    pub fn transcript(&self, session: u64) -> Option<Vec<(String, String)>> {
+        self.sessions
+            .lock()
+            .expect("session map lock")
+            .get(&session)
+            .map(|s| s.transcript().to_vec())
+    }
+
+    /// Vector-memory recall within one session (for isolation checks and
+    /// the chat tooling).
+    pub fn recall(&self, session: u64, query: &str, k: usize) -> Option<Vec<String>> {
+        self.sessions.lock().expect("session map lock").get(&session).map(|s| s.recall(query, k))
+    }
+
+    /// Answers a single request (a one-element round).
+    pub fn handle(&self, request: &AskRequest) -> AskResponse {
+        self.ask_round(std::slice::from_ref(request)).pop().expect("one response per request")
+    }
+
+    /// Answers one round of requests — the batched, multi-session path.
+    ///
+    /// Produces exactly one response per request, in request order.
+    /// Unknown sessions yield in-band error responses; requests without a
+    /// session id open a new session (in request order, so id assignment
+    /// is deterministic too).
+    pub fn ask_round(&self, requests: &[AskRequest]) -> Vec<AskResponse> {
+        // Phase 0 (serial, one lock for the round): resolve or open
+        // sessions in request order.
+        let mut items: Vec<(usize, u64, &str)> = Vec::with_capacity(requests.len());
+        let mut failures: Vec<(usize, AskResponse)> = Vec::new();
+        {
+            let mut sessions = self.sessions.lock().expect("session map lock");
+            for (index, request) in requests.iter().enumerate() {
+                match request.session {
+                    Some(id) if sessions.contains_key(&id) => {
+                        items.push((index, id, request.question.as_str()));
+                    }
+                    Some(id) => failures.push((
+                        index,
+                        AskResponse::failure(id, &ProtocolError::UnknownSession(id)),
+                    )),
+                    None => {
+                        let (id, session) = self.fresh_session();
+                        sessions.insert(id, session);
+                        items.push((index, id, request.question.as_str()));
+                    }
+                }
+            }
+        }
+
+        // Phase 1 (parallel): answer every question through the shared
+        // stateless pipeline; each worker keeps a retrieval memo for the
+        // chunk it serves.
+        let answered = run_chunked(items, self.num_threads(), |chunk| {
+            let mut cache = ContextCache::new();
+            chunk
+                .into_iter()
+                .map(|(index, session, question)| {
+                    let started = Instant::now();
+                    let answer = self.mind.ask_with_cache(question, &mut cache);
+                    let micros = started.elapsed().as_micros() as u64;
+                    (index, session, question.to_owned(), answer, micros)
+                })
+                .collect::<Vec<_>>()
+        });
+
+        // Phase 2 (serial, input order): record turns into sessions and
+        // assemble responses.
+        let mut responses: Vec<Option<AskResponse>> = requests.iter().map(|_| None).collect();
+        {
+            let mut sessions = self.sessions.lock().expect("session map lock");
+            for (index, session_id, question, answer, micros) in answered {
+                let session = sessions.get_mut(&session_id).expect("session resolved in phase 0");
+                session.log(&question, &answer.text);
+                responses[index] = Some(AskResponse {
+                    session: session_id,
+                    turn: session.transcript().len(),
+                    answer: Some(answer.text),
+                    verdict: Some(format!("{:?}", answer.verdict)),
+                    error: None,
+                    micros,
+                });
+            }
+        }
+        for (index, failure) in failures {
+            responses[index] = Some(failure);
+        }
+        responses.into_iter().map(|r| r.expect("response per request")).collect()
+    }
+}
+
+/// The worker pool: `rayon::parallel_chunks` with the pool width answering
+/// to `SERVE_NUM_THREADS` (via the caller) rather than rayon's own env —
+/// same contiguous-chunk, input-order-preserving discipline as every other
+/// parallel stage in the workspace.
+fn run_chunked<T, O, F>(items: Vec<T>, workers: usize, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(Vec<T>) -> Vec<O> + Sync,
+{
+    rayon::parallel_chunks(items, workers, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(threads: usize) -> ServeEngine {
+        let config = ServeConfig { threads: Some(threads), shards: 3, ..Default::default() };
+        let db = TraceDatabaseBuilder::quick_demo()
+            .shards(config.shards)
+            .try_build_sharded()
+            .expect("demo build");
+        ServeEngine::over(db, config)
+    }
+
+    #[test]
+    fn fresh_requests_open_sessions_in_order() {
+        let engine = engine(2);
+        let reqs = vec![
+            AskRequest::new("What is the overall miss rate of the mcf workload under LRU?"),
+            AskRequest::new("What is the overall miss rate of the lbm workload under LRU?"),
+        ];
+        let responses = engine.ask_round(&reqs);
+        assert_eq!(responses[0].session, 1);
+        assert_eq!(responses[1].session, 2);
+        assert_eq!(engine.session_count(), 2);
+        assert!(responses.iter().all(AskResponse::is_ok));
+        assert_eq!(responses[0].turn, 1);
+    }
+
+    #[test]
+    fn unknown_sessions_fail_in_band() {
+        let engine = engine(1);
+        let responses = engine.ask_round(&[AskRequest::in_session(42, "hello?")]);
+        assert_eq!(responses.len(), 1);
+        assert!(!responses[0].is_ok());
+        assert!(responses[0].error.as_deref().unwrap().contains("unknown session 42"));
+    }
+
+    #[test]
+    fn rounds_record_turns_into_the_right_sessions() {
+        let engine = engine(4);
+        let a = engine.open_session();
+        let b = engine.open_session();
+        let round = vec![
+            AskRequest::in_session(
+                a,
+                "What is the overall miss rate of the mcf workload under LRU?",
+            ),
+            AskRequest::in_session(b, "Which policy has the lowest miss rate in astar?"),
+            AskRequest::in_session(a, "List all unique PCs in the mcf trace under LRU."),
+        ];
+        let responses = engine.ask_round(&round);
+        assert_eq!(responses[0].turn, 1);
+        assert_eq!(responses[1].turn, 1);
+        assert_eq!(responses[2].turn, 2, "second question to session a is its turn 2");
+        let ta = engine.transcript(a).unwrap();
+        assert_eq!(ta.len(), 2);
+        assert!(ta[1].0.contains("unique PCs"));
+        assert_eq!(engine.transcript(b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn handle_matches_round_of_one() {
+        let first = engine(2);
+        let other = engine(2);
+        let q = "Why does Belady outperform LRU in mcf?";
+        let via_handle = first.handle(&AskRequest::new(q));
+        let via_round = other.ask_round(&[AskRequest::new(q)]).pop().unwrap();
+        assert_eq!(via_handle.answer, via_round.answer);
+        assert_eq!(via_handle.verdict, via_round.verdict);
+    }
+}

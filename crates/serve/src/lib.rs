@@ -1,0 +1,44 @@
+//! # cachemind-serve
+//!
+//! The CacheMind serving subsystem: a batched, multi-session front-end
+//! over one shared, sharded trace database.
+//!
+//! * [`engine::ServeEngine`] — the session manager and worker-pool event
+//!   loop. Many concurrent [`ChatSession`](cachemind_core::chat::ChatSession)s
+//!   share a single `Arc`'d [`ShardedTraceDatabase`](cachemind_tracedb::shard::ShardedTraceDatabase);
+//!   each *round* batches the pending question of every session and
+//!   answers them in parallel on `SERVE_NUM_THREADS` workers.
+//! * [`protocol`] — the newline-delimited JSON wire format
+//!   ([`AskRequest`](protocol::AskRequest) / [`AskResponse`](protocol::AskResponse))
+//!   with in-band errors and per-request timing.
+//! * [`load`] — the synthetic load driver behind
+//!   `cachemind-serve --load-driver`: replays N sessions × M questions and
+//!   reports throughput and latency percentiles as JSON
+//!   (`BENCH_serve.json`).
+//!
+//! Determinism is the backbone: answers, transcripts and the aggregate
+//! report are byte-identical for any worker count, which is what the
+//! `serve determinism` integration tests and the CI smoke step diff.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use cachemind_serve::engine::{ServeConfig, ServeEngine};
+//! use cachemind_serve::protocol::AskRequest;
+//! use cachemind_tracedb::TraceDatabaseBuilder;
+//!
+//! let db = TraceDatabaseBuilder::quick_demo().shards(3).try_build_sharded().unwrap();
+//! let engine = ServeEngine::over(db, ServeConfig { threads: Some(2), ..Default::default() });
+//! let response = engine.handle(&AskRequest::new(
+//!     "What is the overall miss rate of the mcf workload under LRU?",
+//! ));
+//! assert!(response.is_ok());
+//! ```
+
+pub mod engine;
+pub mod load;
+pub mod protocol;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use load::{run_load_driver, LoadOutcome, LoadSpec};
+pub use protocol::{AskRequest, AskResponse, ProtocolError};

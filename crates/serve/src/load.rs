@@ -1,0 +1,282 @@
+//! The synthetic load driver: N sessions × M questions, answered in
+//! batched rounds, with a JSON throughput/latency report.
+//!
+//! Question synthesis is a pure function of `(store, session, turn)` —
+//! templates cycle over the store's real workloads, policies and trace
+//! rows — so a run is fully reproducible. The report separates
+//! deterministic content (answers, transcripts, aggregate counters) from
+//! wall-clock content (throughput, latency percentiles); the former is
+//! byte-identical across `SERVE_NUM_THREADS`, the latter seeds
+//! `BENCH_serve.json`.
+
+use serde_json::Value;
+
+use cachemind_core::system::RetrieverKind;
+use cachemind_tracedb::store::TraceStore;
+
+use crate::engine::ServeEngine;
+use crate::protocol::{AskRequest, AskResponse};
+
+/// Load-driver shape: how many sessions, how many questions each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Concurrent sessions to open.
+    pub sessions: usize,
+    /// Questions per session (one per round).
+    pub questions: usize,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec { sessions: 8, questions: 4 }
+    }
+}
+
+/// The checksum the aggregate report uses to pin every answer without
+/// embedding megabytes of text twice — the workspace's shared FNV-1a.
+pub use cachemind_tracedb::store::fnv64;
+
+/// The deterministic question a given `(session, turn)` asks, synthesized
+/// from the store's actual vocabulary and trace rows.
+pub fn synthetic_question(store: &dyn TraceStore, session: usize, turn: usize) -> String {
+    let workloads = store.workloads();
+    let policies = store.policies();
+    assert!(!workloads.is_empty() && !policies.is_empty(), "load driver needs a populated store");
+    let workload = &workloads[(session + turn) % workloads.len()];
+    let policy = &policies[(session + 3 * turn) % policies.len()];
+    let entry = store
+        .get(&format!("{workload}_evictions_{policy}"))
+        .expect("builder produced every workload x policy pair");
+    let rows = entry.frame.rows();
+    let row = &rows[(7 * session + 13 * turn) % rows.len()];
+    match (session + 2 * turn) % 6 {
+        0 => format!("What is the overall miss rate of the {workload} workload under {policy}?"),
+        1 => format!("How many times did PC {} appear in {workload} under {policy}?", row.pc),
+        2 => format!(
+            "Does the memory access with PC {} and address {} result in a cache hit or \
+             cache miss for the {workload} workload and {policy} replacement policy?",
+            row.pc, row.address
+        ),
+        3 => format!("Which policy has the lowest miss rate for the {workload} workload?"),
+        4 => format!("List all unique PCs in the {workload} trace under {policy}."),
+        _ => format!("Why does belady outperform lru on PC {} in {workload}?", row.pc),
+    }
+}
+
+/// Everything a load-driver run produced.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The driven shape.
+    pub spec: LoadSpec,
+    /// `questions[s][t]` — the question session `s` asked on turn `t`.
+    pub questions: Vec<Vec<String>>,
+    /// `responses[s][t]` — the matching response.
+    pub responses: Vec<Vec<AskResponse>>,
+    /// Wall-clock time for all rounds, in microseconds.
+    pub total_micros: u64,
+}
+
+impl LoadOutcome {
+    /// Every per-request latency, ascending.
+    pub fn sorted_latencies(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self.responses.iter().flatten().map(|r| r.micros).collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Number of requests answered without error.
+    pub fn answered(&self) -> usize {
+        self.responses.iter().flatten().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of error responses.
+    pub fn errors(&self) -> usize {
+        self.responses.iter().flatten().filter(|r| !r.is_ok()).count()
+    }
+
+    /// The deterministic half of the report: configuration echo, per-turn
+    /// answers, and aggregate counters. Byte-identical across
+    /// `SERVE_NUM_THREADS` (no thread count, no wall-clock content).
+    pub fn deterministic_value(&self, engine: &ServeEngine) -> Value {
+        let config = engine.config();
+        let mut conf = Value::object();
+        conf.insert(
+            "retriever",
+            Value::from(match config.retriever {
+                RetrieverKind::Sieve => "sieve",
+                RetrieverKind::Ranger => "ranger",
+                RetrieverKind::Dense => "dense",
+            }),
+        );
+        conf.insert("backend", Value::from(config.backend.label()));
+        conf.insert("scale", Value::from(format!("{:?}", config.scale).to_lowercase()));
+        conf.insert("shards", Value::from(engine.store().shard_count()));
+        conf.insert("traces", Value::from(engine.store().len()));
+
+        let mut sessions = Vec::new();
+        let mut answer_bytes = 0usize;
+        let mut digest: u64 = fnv64(&[]);
+        let mut verdicts: std::collections::BTreeMap<String, usize> = Default::default();
+        for (s, (qs, rs)) in self.questions.iter().zip(&self.responses).enumerate() {
+            let mut turns = Vec::new();
+            for (t, (question, response)) in qs.iter().zip(rs).enumerate() {
+                let mut turn = Value::object();
+                turn.insert("turn", Value::from(t + 1));
+                turn.insert("question", Value::from(question.as_str()));
+                if let Some(answer) = &response.answer {
+                    turn.insert("answer", Value::from(answer.as_str()));
+                    answer_bytes += answer.len();
+                    digest = fnv64(format!("{s}:{t}:{answer}:{digest:016x}").as_bytes());
+                }
+                if let Some(verdict) = &response.verdict {
+                    turn.insert("verdict", Value::from(verdict.as_str()));
+                    let kind = verdict.split(['(', ' ']).next().unwrap_or("?").to_owned();
+                    *verdicts.entry(kind).or_default() += 1;
+                }
+                if let Some(error) = &response.error {
+                    turn.insert("error", Value::from(error.as_str()));
+                }
+                turns.push(turn);
+            }
+            let mut sess = Value::object();
+            sess.insert("id", Value::from(rs.first().map(|r| r.session).unwrap_or(0)));
+            sess.insert("turns", Value::Array(turns));
+            sessions.push(sess);
+        }
+
+        let mut verdict_counts = Value::object();
+        for (kind, count) in verdicts {
+            verdict_counts.insert(&kind, Value::from(count));
+        }
+        let mut aggregate = Value::object();
+        aggregate.insert("sessions", Value::from(self.spec.sessions));
+        aggregate.insert("questions_per_session", Value::from(self.spec.questions));
+        aggregate.insert("questions", Value::from(self.spec.sessions * self.spec.questions));
+        aggregate.insert("answered", Value::from(self.answered()));
+        aggregate.insert("errors", Value::from(self.errors()));
+        aggregate.insert("answer_bytes", Value::from(answer_bytes));
+        aggregate.insert("answers_fnv64", Value::from(format!("{digest:016x}")));
+        aggregate.insert("verdicts", verdict_counts);
+
+        let mut root = Value::object();
+        root.insert("config", conf);
+        root.insert("aggregate", aggregate);
+        root.insert("sessions", Value::Array(sessions));
+        root
+    }
+
+    /// The full report: deterministic content plus the wall-clock `timing`
+    /// block (worker count, throughput, latency percentiles).
+    pub fn report_value(&self, engine: &ServeEngine) -> Value {
+        let mut root = self.deterministic_value(engine);
+        let latencies = self.sorted_latencies();
+        let percentile = |q: f64| -> u64 {
+            if latencies.is_empty() {
+                return 0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx]
+        };
+        let questions = (self.spec.sessions * self.spec.questions).max(1);
+        let seconds = self.total_micros as f64 / 1_000_000.0;
+        let mut latency = Value::object();
+        latency.insert("p50", Value::from(percentile(0.50)));
+        latency.insert("p95", Value::from(percentile(0.95)));
+        latency.insert("p99", Value::from(percentile(0.99)));
+        latency.insert("max", Value::from(latencies.last().copied().unwrap_or(0)));
+        let mut timing = Value::object();
+        timing.insert("threads", Value::from(engine.num_threads()));
+        timing.insert("total_micros", Value::from(self.total_micros));
+        timing.insert(
+            "throughput_qps",
+            Value::from(if seconds > 0.0 { questions as f64 / seconds } else { 0.0 }),
+        );
+        timing.insert("latency_micros", latency);
+        root.insert("timing", timing);
+        root
+    }
+
+    /// Renders the report as pretty JSON; `with_timing` selects between
+    /// the full report and the deterministic half.
+    pub fn render(&self, engine: &ServeEngine, with_timing: bool) -> String {
+        let value =
+            if with_timing { self.report_value(engine) } else { self.deterministic_value(engine) };
+        serde_json::to_string_pretty(&value).expect("shim serialization is infallible")
+    }
+}
+
+/// Replays `spec.sessions × spec.questions` synthetic questions through
+/// the engine, one batched round per turn (every session's next question
+/// answered together).
+pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
+    let session_ids: Vec<u64> = (0..spec.sessions).map(|_| engine.open_session()).collect();
+    let questions: Vec<Vec<String>> = (0..spec.sessions)
+        .map(|s| (0..spec.questions).map(|t| synthetic_question(engine.store(), s, t)).collect())
+        .collect();
+
+    let mut responses: Vec<Vec<AskResponse>> =
+        (0..spec.sessions).map(|_| Vec::with_capacity(spec.questions)).collect();
+    let started = std::time::Instant::now();
+    for turn in 0..spec.questions {
+        let round: Vec<AskRequest> = session_ids
+            .iter()
+            .enumerate()
+            .map(|(s, id)| AskRequest::in_session(*id, questions[s][turn].clone()))
+            .collect();
+        for (s, response) in engine.ask_round(&round).into_iter().enumerate() {
+            responses[s].push(response);
+        }
+    }
+    let total_micros = started.elapsed().as_micros() as u64;
+
+    LoadOutcome { spec, questions, responses, total_micros }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use cachemind_tracedb::TraceDatabaseBuilder;
+
+    fn engine(threads: usize) -> ServeEngine {
+        let config = ServeConfig { threads: Some(threads), shards: 3, ..Default::default() };
+        let db = TraceDatabaseBuilder::quick_demo()
+            .shards(config.shards)
+            .try_build_sharded()
+            .expect("demo build");
+        ServeEngine::over(db, config)
+    }
+
+    #[test]
+    fn synthetic_questions_are_pure_and_varied() {
+        let eng = engine(1);
+        let engine = &eng;
+        let a = synthetic_question(engine.store(), 2, 1);
+        let b = synthetic_question(engine.store(), 2, 1);
+        assert_eq!(a, b, "synthesis must be a pure function");
+        let distinct: std::collections::BTreeSet<String> = (0..4)
+            .flat_map(|s| (0..4).map(move |t| (s, t)))
+            .map(|(s, t)| synthetic_question(engine.store(), s, t))
+            .collect();
+        assert!(distinct.len() >= 8, "templates should spread: {}", distinct.len());
+    }
+
+    #[test]
+    fn load_driver_answers_everything() {
+        let engine = engine(2);
+        let outcome = run_load_driver(&engine, LoadSpec { sessions: 3, questions: 2 });
+        assert_eq!(outcome.answered(), 6);
+        assert_eq!(outcome.errors(), 0);
+        assert_eq!(engine.session_count(), 3);
+        for (s, per_session) in outcome.responses.iter().enumerate() {
+            for (t, response) in per_session.iter().enumerate() {
+                assert_eq!(response.turn, t + 1, "session {s} turn {t}");
+            }
+        }
+        let rendered = outcome.render(&engine, true);
+        assert!(rendered.contains("\"throughput_qps\""));
+        let deterministic = outcome.render(&engine, false);
+        assert!(!deterministic.contains("micros"));
+        assert!(!deterministic.contains("threads"));
+    }
+}

@@ -1,0 +1,209 @@
+//! The serve wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line on stdin, one response per line on stdout:
+//!
+//! ```json
+//! {"question": "What is the miss rate of mcf under LRU?", "session": 3}
+//! {"session": 3, "turn": 2, "answer": "...", "verdict": "Number(41.2)", "micros": 512}
+//! ```
+//!
+//! `session` is optional in requests — omitting it (or sending `null`)
+//! opens a fresh session and the response carries the assigned id. Errors
+//! come back in-band as `{"session": ..., "error": "..."}` so a batch of
+//! requests always yields a response per request.
+
+use serde_json::Value;
+
+/// A protocol-level failure, reported in-band per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The request line was not valid JSON.
+    InvalidJson(String),
+    /// The request was valid JSON but not a valid request object.
+    BadRequest(String),
+    /// The named session does not exist.
+    UnknownSession(u64),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::InvalidJson(detail) => write!(f, "invalid JSON: {detail}"),
+            ProtocolError::BadRequest(detail) => write!(f, "bad request: {detail}"),
+            ProtocolError::UnknownSession(id) => write!(f, "unknown session {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A question addressed to one chat session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AskRequest {
+    /// The target session; `None` opens a new one.
+    pub session: Option<u64>,
+    /// The natural-language question.
+    pub question: String,
+}
+
+impl AskRequest {
+    /// A request opening a fresh session.
+    pub fn new(question: impl Into<String>) -> Self {
+        AskRequest { session: None, question: question.into() }
+    }
+
+    /// A request against an existing session.
+    pub fn in_session(session: u64, question: impl Into<String>) -> Self {
+        AskRequest { session: Some(session), question: question.into() }
+    }
+
+    /// Parses one request line.
+    pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
+        let value =
+            serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
+        let question = value
+            .get("question")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ProtocolError::BadRequest("missing string field 'question'".into()))?
+            .to_owned();
+        if question.trim().is_empty() {
+            return Err(ProtocolError::BadRequest("'question' must be non-empty".into()));
+        }
+        let session = match value.get("session") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                ProtocolError::BadRequest("'session' must be a non-negative integer".into())
+            })?),
+        };
+        Ok(AskRequest { session, question })
+    }
+
+    /// Renders the request as a compact JSON line.
+    pub fn to_json(&self) -> String {
+        let mut obj = Value::object();
+        obj.insert("question", Value::from(self.question.as_str()));
+        if let Some(id) = self.session {
+            obj.insert("session", Value::from(id));
+        }
+        obj.to_string()
+    }
+}
+
+/// The answer (or error) for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AskResponse {
+    /// The session the question ran in (0 when the request never reached a
+    /// session, e.g. a parse error).
+    pub session: u64,
+    /// 1-based turn number within the session (0 on error).
+    pub turn: usize,
+    /// The grounded answer text, on success.
+    pub answer: Option<String>,
+    /// The machine-checkable verdict, rendered (`Number(41.2)`, ...).
+    pub verdict: Option<String>,
+    /// The protocol error, on failure.
+    pub error: Option<String>,
+    /// Wall-clock time answering took, in microseconds. Excluded from
+    /// deterministic renderings.
+    pub micros: u64,
+}
+
+impl AskResponse {
+    /// A failure response.
+    pub fn failure(session: u64, error: &ProtocolError) -> Self {
+        AskResponse {
+            session,
+            turn: 0,
+            answer: None,
+            verdict: None,
+            error: Some(error.to_string()),
+            micros: 0,
+        }
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The response as a JSON object. With `with_timing` false the
+    /// wall-clock field is omitted, leaving only deterministic content —
+    /// the form the determinism tests and CI smoke diff byte-for-byte.
+    pub fn to_value(&self, with_timing: bool) -> Value {
+        let mut obj = Value::object();
+        obj.insert("session", Value::from(self.session));
+        obj.insert("turn", Value::from(self.turn));
+        if let Some(answer) = &self.answer {
+            obj.insert("answer", Value::from(answer.as_str()));
+        }
+        if let Some(verdict) = &self.verdict {
+            obj.insert("verdict", Value::from(verdict.as_str()));
+        }
+        if let Some(error) = &self.error {
+            obj.insert("error", Value::from(error.as_str()));
+        }
+        if with_timing {
+            obj.insert("micros", Value::from(self.micros));
+        }
+        obj
+    }
+
+    /// Renders the response as a compact JSON line.
+    pub fn to_json(&self, with_timing: bool) -> String {
+        self.to_value(with_timing).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = AskRequest::in_session(9, "What is the miss rate of mcf under LRU?");
+        let parsed = AskRequest::from_json(&req.to_json()).expect("round trip");
+        assert_eq!(parsed, req);
+
+        let fresh = AskRequest::new("hello");
+        let parsed = AskRequest::from_json(&fresh.to_json()).expect("round trip");
+        assert_eq!(parsed.session, None);
+    }
+
+    #[test]
+    fn null_session_opens_fresh() {
+        let parsed = AskRequest::from_json("{\"question\": \"q\", \"session\": null}").unwrap();
+        assert_eq!(parsed.session, None);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(matches!(AskRequest::from_json("not json"), Err(ProtocolError::InvalidJson(_))));
+        assert!(matches!(
+            AskRequest::from_json("{\"session\": 1}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        assert!(matches!(
+            AskRequest::from_json("{\"question\": \"  \"}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        assert!(matches!(
+            AskRequest::from_json("{\"question\": \"q\", \"session\": -2}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_rendering_controls_timing() {
+        let resp = AskResponse {
+            session: 2,
+            turn: 1,
+            answer: Some("yes".into()),
+            verdict: Some("HitMiss(false)".into()),
+            error: None,
+            micros: 1234,
+        };
+        assert!(resp.to_json(true).contains("\"micros\":1234"));
+        assert!(!resp.to_json(false).contains("micros"));
+    }
+}

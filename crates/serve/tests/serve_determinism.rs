@@ -1,0 +1,136 @@
+//! Serving determinism and isolation, pinned end to end:
+//!
+//! * the batched multi-session path produces byte-identical answers to a
+//!   serial one-at-a-time replay, for any worker count;
+//! * the load driver's deterministic report is byte-identical across
+//!   `SERVE_NUM_THREADS` equivalents (explicit thread counts, so the tests
+//!   stay parallel-safe without mutating the environment);
+//! * one session's conversation memory never leaks into another session's
+//!   prompt or recall.
+
+use cachemind_core::system::{CacheMind, RetrieverKind};
+use cachemind_serve::engine::{ServeConfig, ServeEngine};
+use cachemind_serve::load::{run_load_driver, synthetic_question, LoadSpec};
+use cachemind_serve::protocol::AskRequest;
+use cachemind_tracedb::store::TraceStore;
+use cachemind_tracedb::TraceDatabaseBuilder;
+
+fn engine_with(threads: usize, retriever: RetrieverKind) -> ServeEngine {
+    let config = ServeConfig { threads: Some(threads), shards: 3, retriever, ..Default::default() };
+    let db = TraceDatabaseBuilder::quick_demo()
+        .shards(config.shards)
+        .try_build_sharded()
+        .expect("demo build");
+    ServeEngine::over(db, config)
+}
+
+#[test]
+fn load_driver_is_byte_identical_across_worker_counts() {
+    let spec = LoadSpec { sessions: 5, questions: 3 };
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let engine = engine_with(threads, RetrieverKind::Sieve);
+        let outcome = run_load_driver(&engine, spec);
+        reports.push((threads, outcome.render(&engine, false)));
+    }
+    let (_, reference) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report, reference,
+            "deterministic load report diverged between 1 and {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn batched_rounds_match_serial_replay() {
+    let spec = LoadSpec { sessions: 4, questions: 3 };
+    let batched_engine = engine_with(8, RetrieverKind::Ranger);
+    let outcome = run_load_driver(&batched_engine, spec);
+
+    // Serial replay: a fresh single-threaded engine answers the same
+    // questions one at a time, in the same (turn-major) order the rounds
+    // processed them.
+    let serial_engine = engine_with(1, RetrieverKind::Ranger);
+    let ids: Vec<u64> = (0..spec.sessions).map(|_| serial_engine.open_session()).collect();
+    for turn in 0..spec.questions {
+        for (s, id) in ids.iter().enumerate() {
+            let question = synthetic_question(serial_engine.store(), s, turn);
+            assert_eq!(question, outcome.questions[s][turn], "question synthesis must agree");
+            let serial = serial_engine.handle(&AskRequest::in_session(*id, question));
+            let batched = &outcome.responses[s][turn];
+            assert_eq!(serial.answer, batched.answer, "session {s} turn {turn}");
+            assert_eq!(serial.verdict, batched.verdict, "session {s} turn {turn}");
+            assert_eq!(serial.turn, batched.turn, "session {s} turn {turn}");
+        }
+    }
+
+    // Transcripts agree too (memory state is part of the contract).
+    for (s, id) in ids.iter().enumerate() {
+        let serial = serial_engine.transcript(*id).expect("session exists");
+        let batched = batched_engine.transcript((s + 1) as u64).expect("session exists");
+        assert_eq!(serial, batched, "transcript diverged for session {s}");
+    }
+}
+
+#[test]
+fn sessions_are_isolated() {
+    let engine = engine_with(4, RetrieverKind::Sieve);
+    let a = engine.open_session();
+    let b = engine.open_session();
+    let secret = "List all unique PCs in the mcf trace under LRU.";
+    let other = "What is the overall miss rate of the lbm workload under LRU?";
+    engine.ask_round(&[AskRequest::in_session(a, secret), AskRequest::in_session(b, other)]);
+
+    // Session b's memory knows nothing about session a's question.
+    let recalled = engine.recall(b, "unique PCs mcf", 3).expect("session exists");
+    assert!(
+        recalled.iter().all(|turn| !turn.contains("unique PCs")),
+        "session b recalled session a's turn: {recalled:?}"
+    );
+    let recalled_a = engine.recall(a, "unique PCs mcf", 3).expect("session exists");
+    assert!(
+        recalled_a.iter().any(|turn| turn.contains("unique PCs")),
+        "session a must recall its own turn: {recalled_a:?}"
+    );
+    // Transcripts never cross.
+    let tb = engine.transcript(b).unwrap();
+    assert!(tb.iter().all(|(q, _)| !q.contains("unique PCs")));
+    assert_eq!(tb.len(), 1);
+}
+
+#[test]
+fn session_memory_never_enters_prompts() {
+    // Prompts are a pure function of (question, retrieval, shots): a mind
+    // that has answered many other questions renders the same prompt as a
+    // fresh one, so no conversation state can leak between sessions.
+    let store =
+        TraceDatabaseBuilder::quick_demo().shards(3).try_build_sharded().expect("demo build");
+    let shared = CacheMind::shared(std::sync::Arc::new(store));
+    let poison = "List all unique PCs in the mcf trace under LRU.";
+    let _ = shared.ask(poison);
+    let q = "What is the overall miss rate of the lbm workload under LRU?";
+    let after_other_traffic = shared.ask(q);
+    let fresh = CacheMind::new(TraceDatabaseBuilder::quick_demo().build()).ask(q);
+    assert_eq!(after_other_traffic.prompt, fresh.prompt);
+    assert!(!after_other_traffic.prompt.contains("unique PCs"));
+}
+
+#[test]
+fn sharded_build_is_identical_to_serial_build_end_to_end() {
+    // The acceptance criterion at the database layer, re-checked from the
+    // serve crate's vantage point: the store the engine serves from is the
+    // database the serial builder produces.
+    let serial = TraceDatabaseBuilder::quick_demo().build_serial().expect("serial reference build");
+    let engine = engine_with(2, RetrieverKind::Sieve);
+    let store = engine.store();
+    assert_eq!(store.len(), serial.len());
+    assert_eq!(store.trace_keys(), serial.trace_ids().map(str::to_owned).collect::<Vec<_>>());
+    for key in store.trace_keys() {
+        let sharded_entry = store.get(&key).expect("sharded entry");
+        let serial_entry = serial.get(&key).expect("serial entry");
+        assert_eq!(sharded_entry.metadata, serial_entry.metadata, "{key}");
+        assert_eq!(sharded_entry.description, serial_entry.description, "{key}");
+        assert_eq!(sharded_entry.frame.rows(), serial_entry.frame.rows(), "{key} rows diverge");
+    }
+}

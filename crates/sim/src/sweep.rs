@@ -130,6 +130,23 @@ pub fn config_label(config: &CacheConfig) -> String {
     format!("{}@{}x{}", config.name, config.sets(), config.ways)
 }
 
+/// Order-preserving parallel map over independent sweep configurations —
+/// the primitive behind both [`SweepGrid::run`] stages, exposed so the
+/// figure binaries (`figure5_quality`, `figure6_fewshot`,
+/// `ablation_sweeps`, ...) can spread their per-backend / per-parameter
+/// replays across cores under the same determinism contract: each output
+/// cell depends only on its own input, and results come back in input
+/// order no matter how many worker threads ran them or in what order they
+/// finished.
+pub fn sweep_cells<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    items.into_par_iter().map(f).collect()
+}
+
 /// Errors surfaced by [`SweepGrid::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepError {
@@ -218,41 +235,35 @@ impl SweepGrid {
         let pairs: Vec<(usize, usize)> = (0..self.streams.len())
             .flat_map(|s| (0..self.configs.len()).map(move |c| (s, c)))
             .collect();
-        let replays: Vec<(usize, usize, LlcReplay)> = pairs
-            .into_par_iter()
-            .map(|(s, c)| {
-                let replay = LlcReplay::new(self.configs[c].clone(), &self.streams[s].accesses);
-                (s, c, replay)
-            })
-            .collect();
+        let replays: Vec<(usize, usize, LlcReplay)> = sweep_cells(pairs, |(s, c)| {
+            let replay = LlcReplay::new(self.configs[c].clone(), &self.streams[s].accesses);
+            (s, c, replay)
+        });
 
         // Stage 2: one task per (pair, policy) cell.
         let cell_inputs: Vec<(usize, usize)> = (0..replays.len())
             .flat_map(|r| (0..self.policies.len()).map(move |p| (r, p)))
             .collect();
-        let mut cells: Vec<SweepCell> = cell_inputs
-            .into_par_iter()
-            .map(|(r, p)| {
-                let (s, c, ref replay) = replays[r];
-                let policy_name = &self.policies[p];
-                let policy = make_policy(policy_name).expect("policy resolved during validation");
-                let report = replay.run(policy);
-                SweepCell {
-                    workload: self.streams[s].name.clone(),
-                    config: config_label(&self.configs[c]),
-                    policy: policy_name.clone(),
-                    accesses: report.stats.accesses,
-                    hits: report.stats.hits,
-                    misses: report.stats.misses,
-                    miss_rate: report.miss_rate(),
-                    compulsory_misses: report.compulsory_misses,
-                    capacity_misses: report.capacity_misses,
-                    conflict_misses: report.conflict_misses,
-                    wrong_evictions: report.wrong_evictions,
-                    evictions: report.stats.evictions,
-                }
-            })
-            .collect();
+        let mut cells: Vec<SweepCell> = sweep_cells(cell_inputs, |(r, p)| {
+            let (s, c, ref replay) = replays[r];
+            let policy_name = &self.policies[p];
+            let policy = make_policy(policy_name).expect("policy resolved during validation");
+            let report = replay.run(policy);
+            SweepCell {
+                workload: self.streams[s].name.clone(),
+                config: config_label(&self.configs[c]),
+                policy: policy_name.clone(),
+                accesses: report.stats.accesses,
+                hits: report.stats.hits,
+                misses: report.stats.misses,
+                miss_rate: report.miss_rate(),
+                compulsory_misses: report.compulsory_misses,
+                capacity_misses: report.capacity_misses,
+                conflict_misses: report.conflict_misses,
+                wrong_evictions: report.wrong_evictions,
+                evictions: report.stats.evictions,
+            }
+        });
 
         // Canonical order before any reduction: aggregation must not observe
         // scheduling order.

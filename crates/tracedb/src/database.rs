@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use cachemind_policies::by_name as policy_by_name;
@@ -16,6 +17,8 @@ use cachemind_workloads::{by_name as workload_by_name, DATABASE_WORKLOADS};
 use crate::frame::TraceFrame;
 use crate::meta;
 use crate::record::TraceRow;
+use crate::shard::ShardedTraceDatabase;
+use crate::store::TraceStore;
 
 /// A parsed trace identifier: `<workload>_evictions_<policy>`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -145,7 +148,72 @@ impl TraceDatabase {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Records the LLC geometry the traces were produced under.
+    pub fn set_llc_config(&mut self, config: CacheConfig) {
+        self.llc = Some(config);
+    }
+
+    /// Consumes the database, yielding its entries in ascending key order.
+    pub fn into_entries(self) -> impl Iterator<Item = TraceEntry> {
+        self.entries.into_values()
+    }
 }
+
+impl TraceStore for TraceDatabase {
+    fn get(&self, key: &str) -> Option<&TraceEntry> {
+        TraceDatabase::get(self, key)
+    }
+
+    fn trace_keys(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    fn entries<'a>(&'a self) -> Box<dyn Iterator<Item = &'a TraceEntry> + 'a> {
+        Box::new(self.entries.values())
+    }
+
+    fn workloads(&self) -> Vec<String> {
+        TraceDatabase::workloads(self)
+    }
+
+    fn policies(&self) -> Vec<String> {
+        TraceDatabase::policies(self)
+    }
+
+    fn llc_config(&self) -> Option<&CacheConfig> {
+        TraceDatabase::llc_config(self)
+    }
+
+    fn len(&self) -> usize {
+        TraceDatabase::len(self)
+    }
+}
+
+/// An unresolvable builder configuration: the name does not exist in the
+/// workload or policy registry.
+///
+/// Surfaced by [`TraceDatabaseBuilder::try_build`] and friends *before* any
+/// simulation starts, so shard workers never panic mid-build and service
+/// layers can turn the failure into a clean protocol error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A workload name the registry does not know.
+    UnknownWorkload(String),
+    /// A policy name the registry does not know.
+    UnknownPolicy(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            BuildError::UnknownPolicy(name) => write!(f, "unknown policy {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Builds a [`TraceDatabase`] by simulating workloads under policies.
 ///
@@ -169,6 +237,7 @@ pub struct TraceDatabaseBuilder {
     scale: Scale,
     llc: CacheConfig,
     keep_snapshots_every: usize,
+    num_shards: usize,
 }
 
 impl Default for TraceDatabaseBuilder {
@@ -197,6 +266,7 @@ impl TraceDatabaseBuilder {
             scale: Scale::Small,
             llc: Self::experiment_llc(),
             keep_snapshots_every: 1,
+            num_shards: Self::DEFAULT_SHARDS,
         }
     }
 
@@ -248,49 +318,156 @@ impl TraceDatabaseBuilder {
         self
     }
 
+    /// The default shard count for [`TraceDatabaseBuilder::try_build_sharded`].
+    ///
+    /// A fixed constant — **not** the worker count — so the physical layout
+    /// of the database is identical regardless of how many threads built it.
+    pub const DEFAULT_SHARDS: usize = 4;
+
+    /// Sets the number of shards the sharded build partitions the
+    /// `workload × policy` pairs into (clamped to at least 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.num_shards = n.max(1);
+        self
+    }
+
+    /// Simulates one `(workload, policy)` pair into its trace entry.
+    fn build_entry(
+        &self,
+        wname: &str,
+        workload: &Workload,
+        program: &Arc<cachemind_workloads::program::ProgramImage>,
+        replay: &LlcReplay,
+        pname: &str,
+    ) -> TraceEntry {
+        let policy = policy_by_name(pname).expect("policy validated before simulation");
+        let report = replay.run(policy);
+        let rows: Vec<TraceRow> = report
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let keep = self.keep_snapshots_every > 0 && i % self.keep_snapshots_every == 0;
+                TraceRow::from_record(r, keep)
+            })
+            .collect();
+        let metadata = meta::render(&report);
+        let description = format!(
+            "Workload: {}. Replacement Policy: {}. {}",
+            wname,
+            policy_description(pname),
+            workload.description
+        );
+        TraceEntry {
+            id: TraceId::new(wname, pname),
+            frame: TraceFrame::new(rows, Arc::clone(program)),
+            metadata,
+            description,
+        }
+    }
+
+    /// Validates every configured name against the registries, failing fast
+    /// (and deterministically: first offending workload in configuration
+    /// order, then first offending policy) before any simulation runs.
+    fn validate(&self) -> Result<(), BuildError> {
+        for wname in &self.workloads {
+            if !cachemind_workloads::is_known(wname) {
+                return Err(BuildError::UnknownWorkload(wname.clone()));
+            }
+        }
+        for pname in &self.policies {
+            if policy_by_name(pname).is_none() {
+                return Err(BuildError::UnknownPolicy(pname.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates everything and assembles the sharded database.
+    ///
+    /// Work is spread across rayon workers in two stages mirroring
+    /// [`SweepGrid`](cachemind_sim::sweep::SweepGrid): one task per workload
+    /// generates the access stream and reuse oracle (shared by every policy
+    /// replaying that workload), then one task per `workload × policy` pair
+    /// runs the replay. Entries are routed to shards by the deterministic
+    /// [`shard_index`](crate::store::shard_index) assignment, so the result
+    /// is identical no matter how many threads ran the build.
+    ///
+    /// Unknown workload or policy names surface as a [`BuildError`] before
+    /// any simulation starts — shard workers never panic on bad names.
+    pub fn try_build_sharded(self) -> Result<ShardedTraceDatabase, BuildError> {
+        self.validate()?;
+
+        // Stage 1: one task per workload — trace generation plus the reuse
+        // oracle are the expensive, policy-independent parts.
+        type Prepared =
+            (String, Workload, Arc<cachemind_workloads::program::ProgramImage>, LlcReplay);
+        let prepared: Vec<Result<Prepared, BuildError>> = self
+            .workloads
+            .clone()
+            .into_par_iter()
+            .map(|wname| {
+                let workload = workload_by_name(&wname, self.scale)
+                    .ok_or_else(|| BuildError::UnknownWorkload(wname.clone()))?;
+                let program = Arc::new(workload.program.clone());
+                let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
+                Ok((wname, workload, program, replay))
+            })
+            .collect();
+        let mut workloads = Vec::with_capacity(prepared.len());
+        for result in prepared {
+            workloads.push(result?);
+        }
+
+        // Stage 2: one task per (workload, policy) pair.
+        let pairs: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|w| (0..self.policies.len()).map(move |p| (w, p)))
+            .collect();
+        let entries: Vec<TraceEntry> = pairs
+            .into_par_iter()
+            .map(|(w, p)| {
+                let (wname, workload, program, replay) = &workloads[w];
+                self.build_entry(wname, workload, program, replay, &self.policies[p])
+            })
+            .collect();
+
+        Ok(ShardedTraceDatabase::from_entries(entries, self.num_shards, Some(self.llc.clone())))
+    }
+
+    /// Simulates everything in parallel and assembles a monolithic
+    /// database (the sharded build, unified).
+    pub fn try_build(self) -> Result<TraceDatabase, BuildError> {
+        Ok(self.try_build_sharded()?.into_unified())
+    }
+
+    /// The serial reference implementation of [`TraceDatabaseBuilder::try_build`]:
+    /// a plain double loop over `workload × policy` on the calling thread.
+    /// Kept as the oracle the parallel/sharded builds are tested against.
+    pub fn build_serial(self) -> Result<TraceDatabase, BuildError> {
+        self.validate()?;
+        let mut db = TraceDatabase { entries: BTreeMap::new(), llc: Some(self.llc.clone()) };
+        for wname in &self.workloads {
+            let workload: Workload = workload_by_name(wname, self.scale)
+                .ok_or_else(|| BuildError::UnknownWorkload(wname.clone()))?;
+            let program = Arc::new(workload.program.clone());
+            let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
+            for pname in &self.policies {
+                db.insert(self.build_entry(wname, &workload, &program, &replay, pname));
+            }
+        }
+        Ok(db)
+    }
+
     /// Simulates everything and assembles the database.
     ///
     /// # Panics
     ///
     /// Panics if a workload or policy name is unknown (the builder is the
-    /// trusted configuration surface; unknown names are programming errors).
+    /// trusted configuration surface at this call site; services that take
+    /// names from the network use [`TraceDatabaseBuilder::try_build`] and
+    /// surface [`BuildError`] instead).
     pub fn build(self) -> TraceDatabase {
-        let mut db = TraceDatabase { entries: BTreeMap::new(), llc: Some(self.llc.clone()) };
-        for wname in &self.workloads {
-            let workload: Workload = workload_by_name(wname, self.scale)
-                .unwrap_or_else(|| panic!("unknown workload {wname:?}"));
-            let program = Arc::new(workload.program.clone());
-            let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
-            for pname in &self.policies {
-                let policy =
-                    policy_by_name(pname).unwrap_or_else(|| panic!("unknown policy {pname:?}"));
-                let report = replay.run(policy);
-                let rows: Vec<TraceRow> = report
-                    .records
-                    .iter()
-                    .enumerate()
-                    .map(|(i, r)| {
-                        let keep =
-                            self.keep_snapshots_every > 0 && i % self.keep_snapshots_every == 0;
-                        TraceRow::from_record(r, keep)
-                    })
-                    .collect();
-                let metadata = meta::render(&report);
-                let description = format!(
-                    "Workload: {}. Replacement Policy: {}. {}",
-                    wname,
-                    policy_description(pname),
-                    workload.description
-                );
-                db.insert(TraceEntry {
-                    id: TraceId::new(wname, pname),
-                    frame: TraceFrame::new(rows, Arc::clone(&program)),
-                    metadata,
-                    description,
-                });
-            }
-        }
-        db
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -406,6 +583,57 @@ mod tests {
             .policies(["optimal-prime"])
             .scale(Scale::Tiny)
             .build();
+    }
+
+    #[test]
+    fn unknown_names_surface_as_errors_not_panics() {
+        let err = TraceDatabaseBuilder::new()
+            .workloads(["mcf"])
+            .policies(["optimal-prime"])
+            .scale(Scale::Tiny)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::UnknownPolicy("optimal-prime".into()));
+        assert_eq!(err.to_string(), "unknown policy \"optimal-prime\"");
+
+        let err = TraceDatabaseBuilder::new()
+            .workloads(["spectre"])
+            .policies(["lru"])
+            .scale(Scale::Tiny)
+            .try_build_sharded()
+            .unwrap_err();
+        assert_eq!(err, BuildError::UnknownWorkload("spectre".into()));
+
+        // Documented order: workloads are validated before policies.
+        let err = TraceDatabaseBuilder::new()
+            .workloads(["mcf", "spectre"])
+            .policies(["optimal-prime"])
+            .scale(Scale::Tiny)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::UnknownWorkload("spectre".into()));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_reference() {
+        let make = || {
+            TraceDatabaseBuilder::new()
+                .workloads(["mcf", "lbm"])
+                .policies(["lru", "belady"])
+                .scale(Scale::Tiny)
+        };
+        let serial = make().build_serial().expect("serial build");
+        for shards in [1usize, 3, 16] {
+            let parallel = make().shards(shards).try_build().expect("parallel build");
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in parallel.entries().zip(serial.entries()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.metadata, b.metadata);
+                assert_eq!(a.description, b.description);
+                assert_eq!(a.frame.rows(), b.frame.rows(), "{} rows diverge", a.id);
+            }
+            assert_eq!(parallel.llc_config(), serial.llc_config());
+        }
     }
 
     #[test]

@@ -35,19 +35,27 @@ pub mod frame;
 pub mod meta;
 pub mod record;
 pub mod schema;
+pub mod shard;
 pub mod stats;
+pub mod store;
 
-pub use database::{TraceDatabase, TraceDatabaseBuilder, TraceEntry, TraceId};
+pub use database::{BuildError, TraceDatabase, TraceDatabaseBuilder, TraceEntry, TraceId};
 pub use filter::Predicate;
 pub use frame::TraceFrame;
 pub use record::TraceRow;
+pub use shard::ShardedTraceDatabase;
 pub use stats::{CacheStatisticalExpert, PcStats, SetStats};
+pub use store::{fnv64, shard_index, TraceStore};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
-    pub use crate::database::{TraceDatabase, TraceDatabaseBuilder, TraceEntry, TraceId};
+    pub use crate::database::{
+        BuildError, TraceDatabase, TraceDatabaseBuilder, TraceEntry, TraceId,
+    };
     pub use crate::filter::Predicate;
     pub use crate::frame::TraceFrame;
     pub use crate::record::TraceRow;
+    pub use crate::shard::ShardedTraceDatabase;
     pub use crate::stats::{CacheStatisticalExpert, PcStats, SetStats};
+    pub use crate::store::TraceStore;
 }

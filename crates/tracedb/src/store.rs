@@ -1,0 +1,145 @@
+//! [`TraceStore`] — the query surface shared by the monolithic
+//! [`TraceDatabase`](crate::database::TraceDatabase) and the
+//! [`ShardedTraceDatabase`](crate::shard::ShardedTraceDatabase).
+//!
+//! Retrievers and the CacheMind system layer are written against this
+//! trait, so they work unchanged whether the traces live in one `BTreeMap`
+//! or are partitioned across shards built in parallel. The trait is
+//! object-safe (`&dyn TraceStore`) because the system layer holds an
+//! `Arc<dyn TraceStore>` shared by many concurrent chat sessions.
+
+use cachemind_sim::config::CacheConfig;
+
+use crate::database::{TraceEntry, TraceId};
+
+/// Read access to a collection of stored traces.
+///
+/// Iteration order is part of the contract: [`TraceStore::trace_keys`] and
+/// [`TraceStore::entries`] yield traces in ascending key order regardless of
+/// physical layout, so everything computed over a store is deterministic.
+pub trait TraceStore: std::fmt::Debug + Send + Sync {
+    /// Looks up a trace by its `<workload>_evictions_<policy>` key.
+    fn get(&self, key: &str) -> Option<&TraceEntry>;
+
+    /// Looks up a trace by parsed id.
+    fn get_id(&self, id: &TraceId) -> Option<&TraceEntry> {
+        self.get(&id.key())
+    }
+
+    /// All trace keys, in ascending order.
+    fn trace_keys(&self) -> Vec<String>;
+
+    /// All entries, in ascending key order.
+    fn entries<'a>(&'a self) -> Box<dyn Iterator<Item = &'a TraceEntry> + 'a>;
+
+    /// Distinct workload names present, sorted.
+    fn workloads(&self) -> Vec<String>;
+
+    /// Distinct policy names present, sorted.
+    fn policies(&self) -> Vec<String>;
+
+    /// The LLC geometry the traces were produced under (if known).
+    fn llc_config(&self) -> Option<&CacheConfig>;
+
+    /// Number of stored traces.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no traces.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of physical shards behind the store (1 for a monolithic
+    /// database).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard a trace key is (or would be) assigned to. Monolithic
+    /// stores map everything to shard 0. The assignment is a pure function
+    /// of the key, so callers may use it as a deterministic scheduling key
+    /// for batched work.
+    fn shard_of(&self, _key: &str) -> usize {
+        0
+    }
+}
+
+impl<T: TraceStore + ?Sized> TraceStore for &T {
+    fn get(&self, key: &str) -> Option<&TraceEntry> {
+        (**self).get(key)
+    }
+    fn trace_keys(&self) -> Vec<String> {
+        (**self).trace_keys()
+    }
+    fn entries<'a>(&'a self) -> Box<dyn Iterator<Item = &'a TraceEntry> + 'a> {
+        (**self).entries()
+    }
+    fn workloads(&self) -> Vec<String> {
+        (**self).workloads()
+    }
+    fn policies(&self) -> Vec<String> {
+        (**self).policies()
+    }
+    fn llc_config(&self) -> Option<&CacheConfig> {
+        (**self).llc_config()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+    fn shard_of(&self, key: &str) -> usize {
+        (**self).shard_of(key)
+    }
+}
+
+/// FNV-1a over arbitrary bytes — the stable hash behind shard assignment
+/// and the serve layer's report checksums. (`cachemind-lang` keeps its own
+/// private copies for embeddings/profiles; crate layering prevents sharing
+/// one implementation with it.)
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The deterministic shard assignment used across the workspace:
+/// [`fnv64`] over the trace key, reduced modulo the shard count. A pure
+/// function of `(key, shards)` — independent of build order, thread count,
+/// and insertion history.
+pub fn shard_index(key: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    (fnv64(key.as_bytes()) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8, 64] {
+            for key in ["mcf_evictions_lru", "lbm_evictions_belady", ""] {
+                let a = shard_index(key, shards);
+                let b = shard_index(key, shards);
+                assert_eq!(a, b, "assignment must be pure");
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_index_spreads_keys() {
+        // With enough keys and several shards, more than one shard is used.
+        let keys: Vec<String> = (0..32).map(|i| format!("w{i}_evictions_lru")).collect();
+        let used: std::collections::BTreeSet<usize> =
+            keys.iter().map(|k| shard_index(k, 4)).collect();
+        assert!(used.len() > 1, "keys all collapsed onto one shard: {used:?}");
+    }
+}

@@ -53,6 +53,10 @@ pub use workload::{Scale, Workload};
 /// The three paper workloads used to populate the trace database.
 pub const DATABASE_WORKLOADS: [&str; 3] = ["astar", "lbm", "mcf"];
 
+/// Every workload name [`by_name`] can generate. Keep this list and
+/// `by_name`'s match in lockstep (the registry test cross-checks them).
+pub const KNOWN_WORKLOADS: [&str; 6] = ["astar", "lbm", "mcf", "milc", "ptrchase", "bzip2"];
+
 /// Generates one of the named workloads (`astar`, `lbm`, `mcf`, `milc`,
 /// `ptrchase`, `bzip2`) at the given scale.
 ///
@@ -73,6 +77,12 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
     })
 }
 
+/// Whether [`by_name`] knows `name` — without generating the workload, so
+/// configuration surfaces can validate names before any simulation runs.
+pub fn is_known(name: &str) -> bool {
+    KNOWN_WORKLOADS.contains(&name)
+}
+
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::program::{Function, Instruction, ProgramImage};
@@ -90,6 +100,16 @@ mod tests {
             let w = by_name(name, Scale::Tiny).unwrap();
             assert_eq!(w.name, name);
             assert!(w.instr_count > 0);
+        }
+    }
+
+    #[test]
+    fn is_known_agrees_with_by_name() {
+        for name in KNOWN_WORKLOADS {
+            assert!(is_known(name) && by_name(name, Scale::Tiny).is_some(), "{name}");
+        }
+        for name in ["specfp", "astarx", ""] {
+            assert!(!is_known(name) && by_name(name, Scale::Tiny).is_none(), "{name}");
         }
     }
 

@@ -1,0 +1,43 @@
+//! Minimal serving-subsystem tour: build a sharded database, open two chat
+//! sessions, answer one batched round, and print the transcripts.
+//!
+//! ```sh
+//! cargo run --release --example serve_round
+//! ```
+
+use cachemind_suite::serve::engine::{ServeConfig, ServeEngine};
+use cachemind_suite::serve::protocol::AskRequest;
+use cachemind_suite::tracedb::{TraceDatabaseBuilder, TraceStore};
+
+fn main() {
+    let db = TraceDatabaseBuilder::quick_demo()
+        .shards(3)
+        .try_build_sharded()
+        .expect("demo names are valid");
+    println!("sharded database: {} traces across {} shards", db.len(), db.num_shards());
+
+    let engine = ServeEngine::over(db, ServeConfig { threads: Some(2), ..Default::default() });
+    let alice = engine.open_session();
+    let bob = engine.open_session();
+
+    let round = vec![
+        AskRequest::in_session(
+            alice,
+            "What is the overall miss rate of the mcf workload under LRU?",
+        ),
+        AskRequest::in_session(bob, "Which policy has the lowest miss rate in astar?"),
+        AskRequest::in_session(alice, "List all unique PCs in the mcf trace under LRU."),
+    ];
+    for response in engine.ask_round(&round) {
+        println!("\nsession {} turn {}:", response.session, response.turn);
+        println!("  {}", response.answer.as_deref().unwrap_or("<error>"));
+    }
+
+    println!("\n--- transcripts ---");
+    for (name, id) in [("alice", alice), ("bob", bob)] {
+        println!("{name} ({} turns):", engine.transcript(id).map(|t| t.len()).unwrap_or(0));
+        for (q, _) in engine.transcript(id).unwrap_or_default() {
+            println!("  Q: {q}");
+        }
+    }
+}

@@ -29,22 +29,28 @@ pub fn current_num_threads() -> usize {
     }
 }
 
-/// Runs `f` over `items` on up to [`current_num_threads`] workers,
-/// reassembling results in input order.
-fn parallel_map_vec<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+/// Splits `items` into at most `workers` contiguous chunks, maps each
+/// chunk on its own scoped thread with `f`, and concatenates the results
+/// in input order.
+///
+/// This is the order-preserving discipline every parallel stage in the
+/// workspace shares; it is public (beyond real rayon's surface) so callers
+/// with their own worker-count policy — e.g. the serve engine's
+/// `SERVE_NUM_THREADS` pool — reuse one implementation instead of
+/// re-rolling the chunking.
+pub fn parallel_chunks<T, O, F>(items: Vec<T>, workers: usize, f: F) -> Vec<O>
 where
     T: Send,
     O: Send,
-    F: Fn(T) -> O + Sync,
+    F: Fn(Vec<T>) -> Vec<O> + Sync,
 {
-    let workers = current_num_threads().min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return f(items);
     }
-    // Split into contiguous chunks, one per worker; chunk i precedes chunk
-    // i+1 in input order, so concatenation restores the original order.
-    let len = items.len();
-    let chunk_size = len.div_ceil(workers);
+    // Chunk i precedes chunk i+1 in input order, so concatenation restores
+    // the original order.
+    let chunk_size = items.len().div_ceil(workers);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
     let mut iter = items.into_iter();
     loop {
@@ -55,18 +61,24 @@ where
         chunks.push(chunk);
     }
     let f = &f;
-    let mut out: Vec<Vec<O>> = thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
+    let results: Vec<Vec<O>> = thread::scope(|scope| {
+        let handles: Vec<_> =
+            chunks.into_iter().map(|chunk| scope.spawn(move || f(chunk))).collect();
         handles.into_iter().map(|h| h.join().expect("rayon shim worker panicked")).collect()
     });
-    let mut result = Vec::with_capacity(len);
-    for chunk in out.drain(..) {
-        result.extend(chunk);
-    }
-    result
+    results.into_iter().flatten().collect()
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] workers,
+/// reassembling results in input order.
+fn parallel_map_vec<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let f = &f;
+    parallel_chunks(items, current_num_threads(), move |chunk| chunk.into_iter().map(f).collect())
 }
 
 /// An in-flight parallel computation: the (already materialized) items of

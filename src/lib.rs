@@ -19,6 +19,7 @@ pub use cachemind_core as core;
 pub use cachemind_lang as lang;
 pub use cachemind_policies as policies;
 pub use cachemind_retrieval as retrieval;
+pub use cachemind_serve as serve;
 pub use cachemind_sim as sim;
 pub use cachemind_tracedb as tracedb;
 pub use cachemind_workloads as workloads;
