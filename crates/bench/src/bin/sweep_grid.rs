@@ -1,10 +1,22 @@
-//! Parallel policy × workload × configuration sweep driver.
+//! Parallel scenario sweep driver: workload × machine × prefetcher ×
+//! policy.
 //!
-//! Replays every requested workload under every requested policy and LLC
-//! geometry using the rayon-parallel [`cachemind_sim::sweep::SweepGrid`]
-//! engine, then prints the canonical report. The output is byte-identical
-//! for any `RAYON_NUM_THREADS` setting — determinism across thread counts
-//! is part of the sweep engine's contract.
+//! Replays every requested workload under every requested policy using the
+//! rayon-parallel sweep engine, then prints the canonical report. The
+//! output is byte-identical for any `RAYON_NUM_THREADS` setting —
+//! determinism across thread counts is part of the sweep engine's contract.
+//!
+//! Two modes:
+//!
+//! * **Legacy geometry mode** (default): sweeps the LLC geometries of the
+//!   original `SweepGrid` — `(workload × LLC CacheConfig × policy)` — and
+//!   prints the legacy report, so existing CI diffs stay stable.
+//! * **Scenario mode** (any of `--machines`, `--prefetchers`,
+//!   `--dram-latency` present): sweeps full
+//!   `(workload × machine × prefetcher × policy)` scenario cells through
+//!   [`cachemind_sim::sweep::ScenarioGrid`], reporting the miss taxonomy
+//!   plus prefetch accuracy/coverage and model-estimated IPC with per-axis
+//!   roll-ups.
 //!
 //! Environment:
 //!
@@ -16,12 +28,23 @@
 //!
 //! ```text
 //! sweep_grid [--policies a,b,c] [--workloads x,y,z] [--json]
+//!            [--machines table2,small] [--prefetchers none,nextline,stride4]
+//!            [--dram-latency 200,400] [--bench-json PATH] [--no-timing]
 //! ```
 //!
-//! Defaults sweep 5 policies × 4 workloads × 3 LLC geometries (60 cells).
+//! The worked example from the README:
+//!
+//! ```text
+//! sweep_grid --prefetchers stride --dram-latency 200,400
+//! ```
+//!
+//! sweeps every default workload and policy over the Table-2 machine at two
+//! DRAM latencies with a degree-4 stride prefetcher, and reports per-cell
+//! IPC.
 
-use cachemind_sim::config::CacheConfig;
-use cachemind_sim::sweep::{config_label, SweepGrid, SweepStream};
+use cachemind_sim::config::{CacheConfig, MachineConfig};
+use cachemind_sim::prefetch::PrefetcherKind;
+use cachemind_sim::sweep::{config_label, ScenarioGrid, SweepGrid, SweepStream};
 use cachemind_workloads::workload::Scale;
 
 /// The default policy set: online baselines, modern RRIP-family policies,
@@ -32,9 +55,9 @@ const DEFAULT_POLICIES: [&str; 5] = ["lru", "srrip", "ship", "mockingjay", "bela
 /// pointer-chasing microbenchmark.
 const DEFAULT_WORKLOADS: [&str; 4] = ["astar", "lbm", "mcf", "ptrchase"];
 
-/// LLC geometries swept by default: the paper's LLC plus half-capacity and
-/// half-associativity variants (scaled down one notch at tiny scale so the
-/// sweep still exercises capacity pressure).
+/// LLC geometries swept in legacy mode: the paper's LLC plus half-capacity
+/// and half-associativity variants (scaled down one notch at tiny scale so
+/// the sweep still exercises capacity pressure).
 fn default_configs(scale: Scale) -> Vec<CacheConfig> {
     let shrink = match scale {
         Scale::Tiny => 3,
@@ -56,84 +79,198 @@ fn parse_list(arg: Option<String>, default: &[&str]) -> Vec<String> {
     }
 }
 
+fn fail(message: String) -> ! {
+    eprintln!("sweep_grid: {message}");
+    std::process::exit(2);
+}
+
+/// The machine-performance record written by `--bench-json` — the
+/// `BENCH_sweep.json` schema. With `--no-timing` every machine-dependent
+/// field (wall clock, throughput, worker count) is zeroed so the record is
+/// byte-identical for any `RAYON_NUM_THREADS`.
+fn bench_record(
+    mode: &str,
+    cells: usize,
+    threads: usize,
+    scale: Scale,
+    wall: Option<std::time::Duration>,
+) -> String {
+    let (wall_ms, cells_per_sec) = match wall {
+        Some(wall) => {
+            let secs = wall.as_secs_f64();
+            let rate = if secs > 0.0 { cells as f64 / secs } else { 0.0 };
+            (secs * 1_000.0, rate)
+        }
+        None => (0.0, 0.0),
+    };
+    format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"mode\": \"{mode}\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"cells\": {cells},\n  \"threads\": {threads},\n  \"wall_ms\": {wall_ms:.3},\n  \
+         \"cells_per_sec\": {cells_per_sec:.1}\n}}"
+    )
+}
+
 fn main() {
     let mut policies_arg = None;
     let mut workloads_arg = None;
+    let mut machines_arg: Option<String> = None;
+    let mut prefetchers_arg: Option<String> = None;
+    let mut dram_arg: Option<String> = None;
+    let mut bench_json: Option<String> = None;
+    let mut no_timing = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     let require_value = |flag: &str, value: Option<String>| match value {
         Some(v) => Some(v),
-        None => {
-            eprintln!("sweep_grid: {flag} requires a comma-separated value");
-            std::process::exit(2);
-        }
+        None => fail(format!("{flag} requires a value")),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--policies" => policies_arg = require_value("--policies", args.next()),
             "--workloads" => workloads_arg = require_value("--workloads", args.next()),
+            "--machines" => machines_arg = require_value("--machines", args.next()),
+            "--prefetchers" => prefetchers_arg = require_value("--prefetchers", args.next()),
+            "--dram-latency" => dram_arg = require_value("--dram-latency", args.next()),
+            "--bench-json" => bench_json = require_value("--bench-json", args.next()),
+            "--no-timing" => no_timing = true,
             "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: sweep_grid [--policies a,b,c] [--workloads x,y,z] [--json]");
+                eprintln!(
+                    "usage: sweep_grid [--policies a,b,c] [--workloads x,y,z] [--json]\n\
+                     \x20                 [--machines table2,small] [--prefetchers none,nextline,stride4]\n\
+                     \x20                 [--dram-latency 200,400] [--bench-json PATH] [--no-timing]"
+                );
                 return;
             }
-            other => {
-                eprintln!("sweep_grid: unknown argument {other:?} (try --help)");
-                std::process::exit(2);
-            }
+            other => fail(format!("unknown argument {other:?} (try --help)")),
         }
     }
 
     let scale = cachemind_bench::scale_from_env();
     let policies = parse_list(policies_arg, &DEFAULT_POLICIES);
     let workload_names = parse_list(workloads_arg, &DEFAULT_WORKLOADS);
+    let scenario_mode = machines_arg.is_some() || prefetchers_arg.is_some() || dram_arg.is_some();
 
-    let mut grid = SweepGrid::default();
-    grid.policies = policies;
+    let mut streams = Vec::new();
     for name in &workload_names {
         let workload = match cachemind_workloads::by_name(name, scale) {
             Some(w) => w,
-            None => {
-                eprintln!("sweep_grid: unknown workload {name:?}");
-                std::process::exit(2);
-            }
+            None => fail(format!("unknown workload {name:?}")),
         };
-        grid.streams.push(SweepStream::new(workload.name.clone(), workload.accesses));
-    }
-    grid.configs = default_configs(scale);
-
-    eprintln!(
-        "[sweep_grid] {} policies x {} workloads x {} configs = {} cells at {:?} scale on {} worker(s)",
-        grid.policies.len(),
-        grid.streams.len(),
-        grid.configs.len(),
-        grid.cells(),
-        scale,
-        rayon::current_num_threads(),
-    );
-    for cfg in &grid.configs {
-        eprintln!(
-            "[sweep_grid]   config {}: {} KB, {} sets, {} ways",
-            config_label(cfg),
-            cfg.capacity_bytes() / 1024,
-            cfg.sets(),
-            cfg.ways,
+        streams.push(
+            SweepStream::new(workload.name.clone(), workload.accesses)
+                .with_instr_count(workload.instr_count),
         );
     }
 
+    let threads = rayon::current_num_threads();
     let started = std::time::Instant::now();
-    let report = match grid.run(cachemind_policies::by_name) {
-        Ok(report) => report,
-        Err(err) => {
-            eprintln!("sweep_grid: {err}");
-            std::process::exit(2);
+    let (mode, cells, rendered) = if scenario_mode {
+        // Machine axis: named presets × DRAM latency variants.
+        let machine_names = parse_list(machines_arg, &["table2"]);
+        let mut machines = Vec::new();
+        for name in &machine_names {
+            let base = match MachineConfig::preset(name) {
+                Some(m) => m,
+                None => fail(format!("unknown machine preset {name:?} (try table2, small)")),
+            };
+            match &dram_arg {
+                None => machines.push(base),
+                Some(list) => {
+                    for token in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                        let cycles: u64 = match token.parse() {
+                            Ok(c) => c,
+                            Err(_) => fail(format!("bad --dram-latency value {token:?}")),
+                        };
+                        machines.push(base.clone().with_dram_latency(cycles));
+                    }
+                }
+            }
         }
+        let mut prefetchers = Vec::new();
+        for name in parse_list(prefetchers_arg, &["none"]) {
+            match PrefetcherKind::parse(&name) {
+                Some(kind) => prefetchers.push(kind),
+                None => fail(format!(
+                    "unknown prefetcher {name:?} (try none, nextline, stride, stride<N>)"
+                )),
+            }
+        }
+
+        let grid = ScenarioGrid { policies, streams, machines, prefetchers, mlp_override: None };
+        eprintln!(
+            "[sweep_grid] {} policies x {} workloads x {} machines x {} prefetchers = {} cells \
+             at {:?} scale on {} worker(s)",
+            grid.policies.len(),
+            grid.streams.len(),
+            grid.machines.len(),
+            grid.prefetchers.len(),
+            grid.cells(),
+            scale,
+            threads,
+        );
+        for machine in &grid.machines {
+            eprintln!("[sweep_grid]   machine {}", machine.machine_label());
+        }
+        let report = match grid.run(cachemind_policies::by_name) {
+            Ok(report) => report,
+            Err(err) => fail(err.to_string()),
+        };
+        let rendered = if json {
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        } else {
+            report.to_table()
+        };
+        ("scenario", report.cells.len(), rendered)
+    } else {
+        let mut grid = SweepGrid::default();
+        grid.policies = policies;
+        grid.streams = streams;
+        grid.configs = default_configs(scale);
+        eprintln!(
+            "[sweep_grid] {} policies x {} workloads x {} configs = {} cells at {:?} scale on {} worker(s)",
+            grid.policies.len(),
+            grid.streams.len(),
+            grid.configs.len(),
+            grid.cells(),
+            scale,
+            threads,
+        );
+        for cfg in &grid.configs {
+            eprintln!(
+                "[sweep_grid]   config {}: {} KB, {} sets, {} ways",
+                config_label(cfg),
+                cfg.capacity_bytes() / 1024,
+                cfg.sets(),
+                cfg.ways,
+            );
+        }
+        let report = match grid.run(cachemind_policies::by_name) {
+            Ok(report) => report,
+            Err(err) => fail(err.to_string()),
+        };
+        let rendered = if json {
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        } else {
+            report.to_table()
+        };
+        ("llc", report.cells.len(), rendered)
     };
-    eprintln!("[sweep_grid] swept {} cells in {:?}", report.cells.len(), started.elapsed());
+    let wall = started.elapsed();
+    eprintln!("[sweep_grid] swept {cells} cells in {wall:?}");
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+        println!("{rendered}");
     } else {
-        print!("{}", report.to_table());
+        print!("{rendered}");
+    }
+
+    if let Some(path) = bench_json {
+        let timing = if no_timing { None } else { Some(wall) };
+        let record = bench_record(mode, cells, if no_timing { 0 } else { threads }, scale, timing);
+        if let Err(err) = std::fs::write(&path, format!("{record}\n")) {
+            fail(format!("cannot write {path}: {err}"));
+        }
+        eprintln!("[sweep_grid] wrote bench record to {path}");
     }
 }

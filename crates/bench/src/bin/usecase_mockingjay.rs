@@ -18,8 +18,8 @@ fn main() {
         report.stable_hit_rate * 100.0
     );
     println!(
-        "IPC:      {:.5} -> {:.5}  ({:+.2}% speedup)",
-        report.base_ipc, report.stable_ipc, report.speedup_percent
+        "IPC on {}: {:.5} -> {:.5}  ({:+.2}% speedup)",
+        report.machine, report.base_ipc, report.stable_ipc, report.speedup_percent
     );
     println!("\nPaper reference: IPC 0.47698 -> 0.480307 (+0.7% speedup) on milc.");
 }

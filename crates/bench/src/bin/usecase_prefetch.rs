@@ -18,8 +18,13 @@ fn main() {
         report.dominant_miss_rate * 100.0
     );
     println!(
-        "IPC: {:.6} -> {:.6}  ({:+.2}% speedup)",
-        report.base_ipc, report.prefetch_ipc, report.speedup_percent
+        "IPC on {}: {:.6} -> {:.6}  ({:+.2}% speedup)",
+        report.machine, report.base_ipc, report.prefetch_ipc, report.speedup_percent
+    );
+    println!(
+        "Inserted prefetches: {:.1}% accurate, {:.1}% coverage",
+        report.swpf_accuracy * 100.0,
+        report.swpf_coverage * 100.0
     );
     println!("\nPaper reference: IPC 0.131452 -> 0.231261 (+76% speedup).");
 }

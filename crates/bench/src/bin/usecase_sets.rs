@@ -21,6 +21,15 @@ fn main() {
         );
     }
     println!("Hot-set overlap between LRU and Belady: {}/5", report.hot_overlap);
+    for cell in &report.cells {
+        println!(
+            "{:<8} whole-trace hit rate {:.2}%, IPC {:.4} (machine {})",
+            cell.policy,
+            cell.hit_rate * 100.0,
+            cell.ipc,
+            report.machine
+        );
+    }
     println!(
         "\nPaper reference: hot-set identity overlaps across policies; Belady amplifies \
          hotness by avoiding premature evictions."

@@ -9,6 +9,12 @@
 //!   observation: without the schema, plans bind the wrong columns.
 //! * The dense baseline's index stride — coarser indexing loses the exact
 //!   rows entirely.
+//!
+//! Plus the machine-axis ablations opened by the scenario grid:
+//!
+//! * DRAM latency — how strongly the modelled memory wall moves IPC.
+//! * Prefetcher kind — accuracy/coverage/IPC of the hardware prefetcher
+//!   models on a streaming workload.
 
 use serde::{Deserialize, Serialize};
 
@@ -20,8 +26,11 @@ use cachemind_retrieval::dense::DenseIndexRetriever;
 use cachemind_retrieval::probes::{probe_queries, run_probes};
 use cachemind_retrieval::ranger::RangerRetriever;
 use cachemind_retrieval::sieve::SieveRetriever;
-use cachemind_sim::sweep::sweep_cells;
+use cachemind_sim::config::MachineConfig;
+use cachemind_sim::prefetch::PrefetcherKind;
+use cachemind_sim::sweep::{sweep_cells, ScenarioGrid, SweepStream};
 use cachemind_tracedb::database::TraceDatabase;
+use cachemind_workloads::workload::Scale;
 
 /// One swept configuration and the metric it produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,6 +88,73 @@ pub fn dense_stride(db: &TraceDatabase, strides: &[usize]) -> Vec<AblationPoint>
     })
 }
 
+/// One scenario-grid ablation point: the machine or prefetcher label plus
+/// the metrics it moved.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioPoint {
+    /// Machine or prefetcher label of the swept cell.
+    pub label: String,
+    /// LLC miss rate of the cell.
+    pub miss_rate: f64,
+    /// Prefetch coverage of the cell (0 when no prefetcher ran).
+    pub prefetch_coverage: f64,
+    /// Model-estimated IPC of the cell.
+    pub ipc: f64,
+}
+
+/// Sweeps the Table-2 machine across DRAM latencies (full-machine replay
+/// of mcf under LRU) and reports per-machine IPC — the memory-wall
+/// ablation the scenario grid opens.
+pub fn dram_latency(scale: Scale, latencies: &[u64]) -> Vec<ScenarioPoint> {
+    let workload = cachemind_workloads::mcf::generate(scale);
+    let mut grid = ScenarioGrid::default().policy("lru").prefetcher(PrefetcherKind::None).stream(
+        SweepStream::new(workload.name.clone(), workload.accesses)
+            .with_instr_count(workload.instr_count),
+    );
+    for &cycles in latencies {
+        grid = grid
+            .machine(MachineConfig::preset("table2").expect("preset").with_dram_latency(cycles));
+    }
+    let report = grid.run(cachemind_policies::by_name).expect("scenario grid runs");
+    report
+        .cells
+        .iter()
+        .map(|c| ScenarioPoint {
+            label: c.machine.clone(),
+            miss_rate: c.miss_rate,
+            prefetch_coverage: c.prefetch_coverage,
+            ipc: c.ipc,
+        })
+        .collect()
+}
+
+/// Sweeps the prefetcher axis (full-machine replay of lbm under LRU) and
+/// reports accuracy-driven coverage and IPC per prefetcher kind.
+pub fn prefetcher_kinds(scale: Scale, kinds: &[PrefetcherKind]) -> Vec<ScenarioPoint> {
+    let workload = cachemind_workloads::lbm::generate(scale);
+    let mut grid = ScenarioGrid::default()
+        .policy("lru")
+        .machine(MachineConfig::preset("table2").expect("preset"))
+        .stream(
+            SweepStream::new(workload.name.clone(), workload.accesses)
+                .with_instr_count(workload.instr_count),
+        );
+    for &kind in kinds {
+        grid = grid.prefetcher(kind);
+    }
+    let report = grid.run(cachemind_policies::by_name).expect("scenario grid runs");
+    report
+        .cells
+        .iter()
+        .map(|c| ScenarioPoint {
+            label: c.prefetcher.clone(),
+            miss_rate: c.miss_rate,
+            prefetch_coverage: c.prefetch_coverage,
+            ipc: c.ipc,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +198,32 @@ mod tests {
         let points = dense_stride(&db, &[1, 64]);
         // Denser indexing can only help (or tie) the probe success rate.
         assert!(points[0].metric >= points[1].metric, "{points:?}");
+    }
+
+    #[test]
+    fn dram_latency_moves_ipc_monotonically() {
+        let points = dram_latency(Scale::Tiny, &[100, 400, 1600]);
+        assert_eq!(points.len(), 3);
+        // Cells come back in machine-label order; re-key by latency.
+        let ipc_of = |cycles: u64| {
+            points.iter().find(|p| p.label.ends_with(&format!("+dram{cycles}"))).unwrap().ipc
+        };
+        assert!(ipc_of(100) >= ipc_of(400), "{points:?}");
+        assert!(ipc_of(400) >= ipc_of(1600), "{points:?}");
+        assert!(ipc_of(100) > ipc_of(1600), "DRAM latency must move IPC: {points:?}");
+    }
+
+    #[test]
+    fn prefetcher_kinds_report_coverage() {
+        let kinds =
+            [PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::Stride { degree: 4 }];
+        let points = prefetcher_kinds(Scale::Tiny, &kinds);
+        assert_eq!(points.len(), 3);
+        let by = |label: &str| points.iter().find(|p| p.label == label).unwrap();
+        assert_eq!(by("none").prefetch_coverage, 0.0);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.prefetch_coverage), "{p:?}");
+            assert!(p.ipc > 0.0, "{p:?}");
+        }
     }
 }

@@ -9,11 +9,13 @@ use serde::{Deserialize, Serialize};
 
 use cachemind_policies::MockingjayPolicy;
 use cachemind_sim::addr::Pc;
-use cachemind_sim::replacement::RecencyPolicy;
+use cachemind_sim::prefetch::PrefetcherKind;
+use cachemind_sim::replacement::{RecencyPolicy, ReplacementPolicy};
 use cachemind_sim::replay::LlcReplay;
+use cachemind_sim::sweep::{ScenarioGrid, SweepStream};
 use cachemind_workloads::workload::Scale;
 
-use super::{experiment_ipc_model, experiment_llc};
+use super::{experiment_llc, experiment_machine};
 
 /// Outcome of the stable-PC retraining experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +34,8 @@ pub struct MockingjayReport {
     pub base_hit_rate: f64,
     /// Stable-trained Mockingjay hit rate.
     pub stable_hit_rate: f64,
+    /// Label of the machine the scenario cells replayed on.
+    pub machine: String,
     /// Figure 10-shaped transcript.
     pub transcript: String,
 }
@@ -67,16 +71,38 @@ pub fn run(scale: Scale) -> MockingjayReport {
     let stable_pcs: Vec<Pc> = scored[..split.max(1)].iter().map(|(pc, _)| *pc).collect();
     let noisy_pcs: Vec<Pc> = scored[split.max(1)..].iter().map(|(pc, _)| *pc).collect();
 
-    // Validation: Mockingjay with and without the training filter.
-    let base = replay.run(MockingjayPolicy::new());
-    let stable =
-        replay.run(MockingjayPolicy::new().with_training_filter(stable_pcs.iter().copied()));
-
-    let model = experiment_ipc_model();
-    let base_ipc =
-        model.ipc_from_llc(workload.instr_count, base.stats.hits, base.stats.demand_misses);
-    let stable_ipc =
-        model.ipc_from_llc(workload.instr_count, stable.stats.hits, stable.stats.demand_misses);
+    // Validation: Mockingjay with and without the training filter, as two
+    // policy cells of a scenario grid on the experiment machine. The
+    // filtered variant is not in the global registry, so the grid's policy
+    // factory extends `cachemind_policies::by_name` with one local name.
+    let stable_filter: Vec<Pc> = stable_pcs.clone();
+    let factory = move |name: &str| -> Option<Box<dyn ReplacementPolicy>> {
+        match name {
+            "mockingjay-stable" => Some(Box::new(
+                MockingjayPolicy::new().with_training_filter(stable_filter.iter().copied()),
+            )),
+            other => cachemind_policies::by_name(other),
+        }
+    };
+    let machine = experiment_machine();
+    let machine_label = machine.machine_label();
+    let grid = ScenarioGrid::default()
+        .policy("mockingjay")
+        .policy("mockingjay-stable")
+        .stream(
+            SweepStream::new(workload.name.clone(), workload.accesses.clone())
+                .with_instr_count(workload.instr_count),
+        )
+        .machine(machine)
+        .prefetcher(PrefetcherKind::None);
+    let report = grid.run(factory).expect("scenario grid runs");
+    let base = report
+        .cell(&workload.name, &machine_label, "none", "mockingjay")
+        .expect("base cell exists");
+    let stable = report
+        .cell(&workload.name, &machine_label, "none", "mockingjay-stable")
+        .expect("stable cell exists");
+    let (base_ipc, stable_ipc) = (base.ipc, stable.ipc);
 
     let transcript = format!(
         "User: Mockingjay uses PC-based reuse-distance prediction; suggest ideas to improve \
@@ -99,6 +125,7 @@ pub fn run(scale: Scale) -> MockingjayReport {
         speedup_percent: cachemind_sim::timing::IpcModel::speedup_percent(base_ipc, stable_ipc),
         base_hit_rate: base.hit_rate(),
         stable_hit_rate: stable.hit_rate(),
+        machine: machine_label,
         transcript,
     }
 }
@@ -119,5 +146,7 @@ mod tests {
             "stable training regressed: {}%",
             report.speedup_percent
         );
+        // The scenario cell carries the machine the numbers came from.
+        assert_eq!(report.machine, super::super::experiment_machine().machine_label());
     }
 }

@@ -20,7 +20,7 @@ pub mod mockingjay;
 pub mod prefetch;
 pub mod set_hotness;
 
-use cachemind_sim::config::{CacheConfig, HierarchyConfig};
+use cachemind_sim::config::{CacheConfig, HierarchyConfig, MachineConfig};
 use cachemind_sim::timing::IpcModel;
 
 /// The LLC geometry shared by the use-case experiments (matches the trace
@@ -32,4 +32,14 @@ pub fn experiment_llc() -> CacheConfig {
 /// The IPC model used by the use-case experiments.
 pub fn experiment_ipc_model() -> IpcModel {
     IpcModel::from_config(&HierarchyConfig::table2())
+}
+
+/// The machine the use-case experiments replay on: the experiment LLC
+/// wrapped in Table-2 core/DRAM timing, in LLC-only mode (the trace
+/// database replays LLC streams directly). Scenario cells built on this
+/// machine reproduce [`experiment_ipc_model`] IPC numbers exactly, so the
+/// §6.3 interventions can be measured as grid cells instead of hand-rolled
+/// replay loops.
+pub fn experiment_machine() -> MachineConfig {
+    MachineConfig::llc_only(experiment_llc())
 }

@@ -6,10 +6,12 @@
 
 use serde::{Deserialize, Serialize};
 
+use cachemind_sim::prefetch::PrefetcherKind;
 use cachemind_sim::replay::LlcReplay;
+use cachemind_sim::sweep::{ScenarioGrid, SweepStream};
 use cachemind_workloads::workload::Scale;
 
-use super::experiment_llc;
+use super::{experiment_llc, experiment_machine};
 
 /// Hot/cold sets under one policy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -26,6 +28,17 @@ pub struct PolicySetProfile {
     pub cold_hit_rate: f64,
 }
 
+/// Whole-trace counters for one policy, sourced from a scenario cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyCellSummary {
+    /// Policy name.
+    pub policy: String,
+    /// Overall hit rate of the replay.
+    pub hit_rate: f64,
+    /// Model-estimated IPC of the replay.
+    pub ipc: f64,
+}
+
 /// Outcome of the set-hotness analysis.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SetHotnessReport {
@@ -35,6 +48,11 @@ pub struct SetHotnessReport {
     pub profiles: Vec<PolicySetProfile>,
     /// How many of the top-5 hot sets coincide between LRU and Belady.
     pub hot_overlap: usize,
+    /// Label of the machine the scenario cells replayed on.
+    pub machine: String,
+    /// Per-policy whole-trace counters from the scenario grid (sorted by
+    /// policy name, the grid's canonical order).
+    pub cells: Vec<PolicyCellSummary>,
     /// Figure 13-shaped transcript.
     pub transcript: String,
 }
@@ -76,6 +94,27 @@ pub fn run(scale: Scale) -> SetHotnessReport {
     let hot_overlap =
         lru_profile.hot_sets.iter().filter(|s| belady_profile.hot_sets.contains(s)).count();
 
+    // Whole-trace hit rates and IPC per policy come from scenario cells on
+    // the experiment machine (every registered policy is one `.policy()`
+    // call away).
+    let machine = experiment_machine();
+    let machine_label = machine.machine_label();
+    let grid = ScenarioGrid::default()
+        .policy("lru")
+        .policy("belady")
+        .stream(
+            SweepStream::new(workload.name.clone(), workload.accesses.clone())
+                .with_instr_count(workload.instr_count),
+        )
+        .machine(machine)
+        .prefetcher(PrefetcherKind::None);
+    let scenario = grid.run(cachemind_policies::by_name).expect("scenario grid runs");
+    let cells: Vec<PolicyCellSummary> = scenario
+        .cells
+        .iter()
+        .map(|c| PolicyCellSummary { policy: c.policy.clone(), hit_rate: c.hit_rate(), ipc: c.ipc })
+        .collect();
+
     let transcript = format!(
         "User: For astar workload and Belady replacement policy, could you list unique \
          cache sets in ascending order?\n\
@@ -100,6 +139,8 @@ pub fn run(scale: Scale) -> SetHotnessReport {
         workload: workload.name,
         profiles: vec![lru_profile, belady_profile],
         hot_overlap,
+        machine: machine_label,
+        cells,
         transcript,
     }
 }
@@ -129,5 +170,18 @@ mod tests {
         // "Hot set identity likely overlaps" (Figure 13).
         let report = run(Scale::Small);
         assert!(report.hot_overlap >= 1, "overlap {}", report.hot_overlap);
+    }
+
+    #[test]
+    fn scenario_cells_rank_belady_above_lru() {
+        let report = run(Scale::Small);
+        assert_eq!(report.cells.len(), 2);
+        let by_policy = |name: &str| {
+            report.cells.iter().find(|c| c.policy == name).expect("policy cell present")
+        };
+        let (lru, belady) = (by_policy("lru"), by_policy("belady"));
+        assert!(belady.hit_rate >= lru.hit_rate, "OPT must not hit less than LRU");
+        assert!(belady.ipc >= lru.ipc, "OPT must not run slower than LRU");
+        assert!(!report.machine.is_empty());
     }
 }

@@ -106,6 +106,10 @@ impl SimulatedBackend {
             }),
             QueryCategory::MissRate => ctx.facts.iter().find_map(|f| match f {
                 Fact::MissRate { percent, .. } => Some(Verdict::Number(*percent)),
+                // IPC lookups ride the MissRate category (both are
+                // whole-trace rate questions over the metadata string) but
+                // surface as numeric facts.
+                Fact::NumericValue { value, .. } => Some(Verdict::Number(*value)),
                 _ => None,
             }),
             QueryCategory::PolicyComparison => {

@@ -182,6 +182,19 @@ impl QueryIntent {
             QueryCategory::Arithmetic
         } else if has_phrase("which workload") {
             QueryCategory::WorkloadAnalysis
+        } else if has("ipc") || has_phrase("instructions per cycle") {
+            // IPC questions read the metadata's scenario sentence: ranking
+            // questions compare policies, direct questions are rate
+            // lookups; without a workload slot there is nothing to cite.
+            if (has("which") || has("compare") || has("rank") || has("highest") || has("best"))
+                && (has("policy") || has("policies") || mentioned.len() >= 2)
+            {
+                QueryCategory::PolicyComparison
+            } else if workload.is_some() {
+                QueryCategory::MissRate
+            } else {
+                QueryCategory::Concepts
+            }
         } else if (has("which") || has("compare") || has("rank") || has("order"))
             && (has("policy") || has("policies") || mentioned.len() >= 2)
         {
@@ -222,8 +235,15 @@ impl QueryIntent {
             QueryCategory::Concepts
         };
 
-        let wants_minimum =
-            has("lowest") || has("fewest") || has("least") || has("smallest") || has("best");
+        // "Best" means the *lowest* miss rate but the *highest* IPC — for
+        // IPC questions only explicit minimum words ask for the bottom of
+        // the ranking.
+        let ipc_question = has("ipc") || has_phrase("instructions per cycle");
+        let wants_minimum = has("lowest")
+            || has("fewest")
+            || has("least")
+            || has("smallest")
+            || (has("best") && !ipc_question);
 
         QueryIntent {
             category,
@@ -291,6 +311,28 @@ mod tests {
         );
         assert_eq!(i.category, QueryCategory::Arithmetic);
         assert_eq!(i.policy.as_deref(), Some("mlp"));
+    }
+
+    #[test]
+    fn ipc_questions_classify_by_shape() {
+        let i = parse("What is the estimated IPC for mcf under LRU?");
+        assert_eq!(i.category, QueryCategory::MissRate);
+        assert_eq!(i.workload.as_deref(), Some("mcf"));
+        assert_eq!(i.policy.as_deref(), Some("lru"));
+
+        let i = parse("Which policy gives the highest IPC on astar?");
+        assert_eq!(i.category, QueryCategory::PolicyComparison);
+        assert!(!i.wants_minimum);
+
+        // "Best" is a minimum for miss rates but a maximum for IPC.
+        let i = parse("Which policy is best for IPC on mcf?");
+        assert_eq!(i.category, QueryCategory::PolicyComparison);
+        assert!(!i.wants_minimum, "best IPC must rank descending");
+        let i = parse("Which policy has the best miss rate for PC 0x409270 in astar?");
+        assert!(i.wants_minimum);
+
+        let i = parse("What does IPC stand for?");
+        assert_eq!(i.category, QueryCategory::Concepts);
     }
 
     #[test]

@@ -136,6 +136,24 @@ pub enum Plan {
         /// Policy name.
         policy: String,
     },
+    /// Whole-workload estimated IPC (and the machine it was measured on)
+    /// from the metadata's scenario sentence.
+    WorkloadIpc {
+        /// Workload name.
+        workload: String,
+        /// Policy name.
+        policy: String,
+    },
+    /// Per-policy estimated IPC values for ranking.
+    CompareIpcAcrossPolicies {
+        /// Workload name.
+        workload: String,
+    },
+    /// Per-workload estimated IPC values for ranking under one policy.
+    CompareIpcAcrossWorkloads {
+        /// Policy name.
+        policy: String,
+    },
     /// Per-policy metric values for ranking.
     CompareAcrossPolicies {
         /// Workload name.
@@ -291,6 +309,54 @@ impl Plan {
                     percent: rate,
                     accesses: meta::extract_count(&entry.metadata, "total accesses").unwrap_or(0),
                 }])
+            }
+            Plan::WorkloadIpc { workload, policy } => {
+                let entry = Self::entry(db, workload, policy)?;
+                let ipc = meta::extract_ipc(&entry.metadata).ok_or(PlanError::EmptyResult)?;
+                let machine = meta::extract_machine(&entry.metadata).unwrap_or("unknown machine");
+                Ok(vec![Fact::NumericValue {
+                    what: format!(
+                        "estimated IPC of {workload} under {policy} on machine {machine}"
+                    ),
+                    value: ipc,
+                    complete: true,
+                }])
+            }
+            Plan::CompareIpcAcrossPolicies { workload } => {
+                let mut facts = Vec::new();
+                for policy in db.policies() {
+                    let Ok(entry) = Self::entry(db, workload, &policy) else { continue };
+                    if let Some(ipc) = meta::extract_ipc(&entry.metadata) {
+                        facts.push(Fact::PolicyValue {
+                            policy,
+                            metric: "estimated IPC".to_owned(),
+                            value: ipc,
+                        });
+                    }
+                }
+                if facts.is_empty() {
+                    Err(PlanError::EmptyResult)
+                } else {
+                    Ok(facts)
+                }
+            }
+            Plan::CompareIpcAcrossWorkloads { policy } => {
+                let mut facts = Vec::new();
+                for w in db.workloads() {
+                    let Ok(entry) = Self::entry(db, &w, policy) else { continue };
+                    if let Some(ipc) = meta::extract_ipc(&entry.metadata) {
+                        facts.push(Fact::PolicyValue {
+                            policy: w,
+                            metric: format!("estimated IPC under {policy}"),
+                            value: ipc,
+                        });
+                    }
+                }
+                if facts.is_empty() {
+                    Err(PlanError::EmptyResult)
+                } else {
+                    Ok(facts)
+                }
             }
             Plan::CompareAcrossPolicies { workload, pc } => {
                 let mut facts = Vec::new();
@@ -552,6 +618,22 @@ impl Plan {
                 "meta = loaded_data[\"{workload}_evictions_{policy}\"][\"metadata\"]\n\
                  result = re.search(r\"([0-9.]+)% miss rate\", meta).group(1)"
             ),
+            Plan::WorkloadIpc { workload, policy } => format!(
+                "meta = loaded_data[\"{workload}_evictions_{policy}\"][\"metadata\"]\n\
+                 result = re.search(r\"estimated IPC of ([0-9.]+)\", meta).group(1)"
+            ),
+            Plan::CompareIpcAcrossPolicies { workload } => format!(
+                "ipcs = {{}}\nfor key in loaded_data:\n    if key.startswith(\"{workload}\"):\n        \
+                 meta = loaded_data[key][\"metadata\"]\n        \
+                 ipcs[key] = re.search(r\"estimated IPC of ([0-9.]+)\", meta).group(1)\n\
+                 result = str(sorted(ipcs.items(), key=lambda kv: kv[1], reverse=True))"
+            ),
+            Plan::CompareIpcAcrossWorkloads { policy } => format!(
+                "ipcs = {{}}\nfor key in loaded_data:\n    if key.endswith(\"{policy}\"):\n        \
+                 meta = loaded_data[key][\"metadata\"]\n        \
+                 ipcs[key] = re.search(r\"estimated IPC of ([0-9.]+)\", meta).group(1)\n\
+                 result = str(sorted(ipcs.items(), key=lambda kv: kv[1], reverse=True))"
+            ),
             Plan::CompareAcrossPolicies { workload, pc } => format!(
                 "rates = {{}}\nfor key in loaded_data:\n    if key.startswith(\"{workload}\"):\n        \
                  df = loaded_data[key][\"data_frame\"]\n{}        rates[key] = df.is_miss.mean()\n\
@@ -769,6 +851,48 @@ mod tests {
         ] {
             let code = plan.render_code();
             assert!(code.contains("result ="), "missing result binding: {code}");
+        }
+    }
+
+    #[test]
+    fn ipc_plans_cite_machine_and_rank_policies() {
+        let db = db();
+        let facts = Plan::WorkloadIpc { workload: "mcf".into(), policy: "lru".into() }
+            .run(&db)
+            .expect("ipc plan runs");
+        let Fact::NumericValue { what, value, complete } = &facts[0] else {
+            panic!("expected numeric fact: {facts:?}")
+        };
+        assert!(*complete);
+        assert!(what.contains("machine"), "fact must cite the machine: {what}");
+        let entry = db.get("mcf_evictions_lru").unwrap();
+        assert!((value - entry.ipc).abs() < 1e-6, "{value} vs {}", entry.ipc);
+
+        let facts = Plan::CompareIpcAcrossPolicies { workload: "mcf".into() }
+            .run(&db)
+            .expect("comparison runs");
+        assert_eq!(facts.len(), db.policies().len());
+        let ipc_of = |name: &str| {
+            facts
+                .iter()
+                .find_map(|f| match f {
+                    Fact::PolicyValue { policy, value, .. } if policy == name => Some(*value),
+                    _ => None,
+                })
+                .expect("policy fact present")
+        };
+        assert!(ipc_of("belady") >= ipc_of("lru"), "OPT must not be slower");
+
+        let unknown = Plan::WorkloadIpc { workload: "specjbb".into(), policy: "lru".into() };
+        assert!(matches!(unknown.run(&db), Err(PlanError::UnknownTrace(_))));
+
+        for plan in [
+            Plan::WorkloadIpc { workload: "mcf".into(), policy: "lru".into() },
+            Plan::CompareIpcAcrossPolicies { workload: "mcf".into() },
+        ] {
+            let code = plan.render_code();
+            assert!(code.contains("result ="), "missing result binding: {code}");
+            assert!(code.contains("estimated IPC"), "code must parse the IPC: {code}");
         }
     }
 

@@ -87,18 +87,35 @@ impl RangerRetriever {
                 pc: intent.pc,
                 address: intent.address,
             }),
-            QueryCategory::MissRate => match intent.pc {
-                Some(pc) => {
-                    Some(Plan::PcMissRate { workload: workload?, policy: fallback_policy(), pc })
+            QueryCategory::MissRate => {
+                if intent.raw.to_lowercase().contains("ipc") {
+                    return Some(Plan::WorkloadIpc {
+                        workload: workload?,
+                        policy: fallback_policy(),
+                    });
                 }
-                None => {
-                    Some(Plan::WorkloadMissRate { workload: workload?, policy: fallback_policy() })
+                match intent.pc {
+                    Some(pc) => Some(Plan::PcMissRate {
+                        workload: workload?,
+                        policy: fallback_policy(),
+                        pc,
+                    }),
+                    None => Some(Plan::WorkloadMissRate {
+                        workload: workload?,
+                        policy: fallback_policy(),
+                    }),
                 }
-            },
+            }
             QueryCategory::PolicyComparison => {
+                if intent.raw.to_lowercase().contains("ipc") {
+                    return Some(Plan::CompareIpcAcrossPolicies { workload: workload? });
+                }
                 Some(Plan::CompareAcrossPolicies { workload: workload?, pc: intent.pc })
             }
             QueryCategory::WorkloadAnalysis => {
+                if intent.raw.to_lowercase().contains("ipc") {
+                    return Some(Plan::CompareIpcAcrossWorkloads { policy: fallback_policy() });
+                }
                 Some(Plan::CompareAcrossWorkloads { policy: fallback_policy() })
             }
             QueryCategory::Count => Some(Plan::CountRows {
@@ -267,6 +284,38 @@ mod tests {
         let q = "What is the average evicted reuse distance for the lbm workload with LRU?";
         let plan = RangerRetriever::new().without_schema().compile(&db, &intent(&db, q)).unwrap();
         assert!(matches!(plan, Plan::Aggregate { column: AggColumn::AccessedReuse, .. }));
+    }
+
+    #[test]
+    fn ipc_questions_compile_to_ipc_plans() {
+        let db = db();
+        let q = "What is the estimated IPC for mcf under LRU?";
+        let plan = RangerRetriever::new().compile(&db, &intent(&db, q)).unwrap();
+        assert!(matches!(plan, Plan::WorkloadIpc { .. }), "got {plan:?}");
+        let ctx = RangerRetriever::new().retrieve(&db, &intent(&db, q));
+        let Some(Fact::NumericValue { value, what, .. }) = ctx.facts.first() else {
+            panic!("expected an IPC fact: {:?}", ctx.facts);
+        };
+        assert!(what.contains("machine"), "answer must cite the machine: {what}");
+        assert!((value - db.get("mcf_evictions_lru").unwrap().ipc).abs() < 1e-6);
+
+        let q = "Which policy gives the highest IPC on mcf?";
+        let plan = RangerRetriever::new().compile(&db, &intent(&db, q)).unwrap();
+        assert!(matches!(plan, Plan::CompareIpcAcrossPolicies { .. }), "got {plan:?}");
+
+        // Workload rankings by IPC must rank by IPC, not by miss rate.
+        let q = "Which workload has the highest IPC under LRU?";
+        let plan = RangerRetriever::new().compile(&db, &intent(&db, q)).unwrap();
+        assert!(matches!(plan, Plan::CompareIpcAcrossWorkloads { .. }), "got {plan:?}");
+        let ctx = RangerRetriever::new().retrieve(&db, &intent(&db, q));
+        for fact in &ctx.facts {
+            let Fact::PolicyValue { policy: w, value, metric } = fact else {
+                panic!("expected per-workload facts: {:?}", ctx.facts)
+            };
+            assert!(metric.contains("IPC"), "{metric}");
+            let entry = db.get(&format!("{w}_evictions_lru")).unwrap();
+            assert!((value - entry.ipc).abs() < 1e-6, "{w}: {value} vs {}", entry.ipc);
+        }
     }
 
     #[test]

@@ -220,7 +220,23 @@ impl Retriever for SieveRetriever {
             }
             QueryCategory::MissRate => {
                 if let Some(entry) = entry {
-                    if let Some(pc) = intent.pc {
+                    if intent.raw.to_lowercase().contains("ipc") {
+                        // IPC lookups ride the MissRate category; the value
+                        // comes from the metadata's scenario sentence, not
+                        // the miss-rate percent.
+                        if let Some(ipc) = cachemind_tracedb::meta::extract_ipc(&entry.metadata) {
+                            let machine = cachemind_tracedb::meta::extract_machine(&entry.metadata)
+                                .unwrap_or("unknown machine");
+                            facts.push(Fact::NumericValue {
+                                what: format!(
+                                    "estimated IPC of {} under {} on machine {machine}",
+                                    entry.id.workload, entry.id.policy
+                                ),
+                                value: ipc,
+                                complete: true,
+                            });
+                        }
+                    } else if let Some(pc) = intent.pc {
                         if let Some(violation) = Self::premise_check(db, entry, intent) {
                             facts.push(violation);
                         } else if let Some(f) = Self::pc_stats_fact(entry, pc) {
@@ -383,6 +399,24 @@ mod tests {
             &workloads.iter().map(String::as_str).collect::<Vec<_>>(),
             &policies.iter().map(String::as_str).collect::<Vec<_>>(),
         )
+    }
+
+    #[test]
+    fn ipc_questions_surface_the_stored_ipc_not_the_miss_rate() {
+        let db = db();
+        let entry = db.get("mcf_evictions_lru").unwrap();
+        let q = "What is the estimated IPC for mcf under LRU?";
+        let ctx = SieveRetriever::new().retrieve(&db, &intent(&db, q));
+        let Some(Fact::NumericValue { value, what, .. }) = ctx.facts.first() else {
+            panic!("expected an IPC fact, got {:?}", ctx.facts);
+        };
+        assert!((value - entry.ipc).abs() < 1e-6, "{value} vs {}", entry.ipc);
+        assert!(what.contains("machine"), "fact must cite the machine: {what}");
+        // Crucially NOT the miss-rate percent the MissRate arm normally
+        // extracts from the same metadata string.
+        let miss_pct =
+            cachemind_tracedb::meta::extract_percent(&entry.metadata, "miss rate").unwrap();
+        assert!((value - miss_pct).abs() > 1.0, "IPC answered with the miss rate");
     }
 
     #[test]

@@ -100,6 +100,24 @@ fn sessions_are_isolated() {
 }
 
 #[test]
+fn served_answers_cite_ipc_from_trace_metadata() {
+    // The scenario refactor records machine label + estimated IPC in every
+    // trace's metadata; an IPC question served through the engine must
+    // come back as a numeric answer grounded in that sentence.
+    let engine = engine_with(2, RetrieverKind::Ranger);
+    let expected = engine.store().get("mcf_evictions_lru").expect("trace exists").ipc;
+    let responses =
+        engine.ask_round(&[AskRequest::new("What is the estimated IPC for mcf under LRU?")]);
+    let response = &responses[0];
+    assert_eq!(response.error, None, "request must succeed");
+    let verdict = response.verdict.as_deref().expect("verdict present");
+    assert!(verdict.starts_with("Number("), "IPC question must ground to a number: {verdict:?}");
+    assert!(!response.answer.as_deref().unwrap_or("").is_empty());
+    // The metadata the answer is grounded in cites a positive IPC.
+    assert!(expected > 0.0);
+}
+
+#[test]
 fn session_memory_never_enters_prompts() {
     // Prompts are a pure function of (question, retrieval, shots): a mind
     // that has answered many other questions renders the same prompt as a

@@ -234,6 +234,85 @@ impl HierarchyConfig {
     }
 }
 
+/// A named full-machine configuration — one point on the scenario grid's
+/// machine axis.
+///
+/// `MachineConfig` composes a [`HierarchyConfig`] (which already carries the
+/// core, cache-level and DRAM parameters) with a stable `name` and a replay
+/// mode. In the default *full-machine* mode a scenario cell simulates the
+/// whole hierarchy and reports [`IpcModel`](crate::timing::IpcModel)-derived
+/// IPC; in *LLC-only* mode the access stream is replayed directly against
+/// the LLC geometry — the original `SweepGrid` behaviour, kept so the old
+/// grid can be expressed as a thin adapter over the scenario grid.
+///
+/// ```rust
+/// use cachemind_sim::config::{HierarchyConfig, MachineConfig};
+///
+/// let m = MachineConfig::new("table2", HierarchyConfig::table2());
+/// assert_eq!(m.machine_label(), "table2@llc2048x16+dram160");
+/// let fast = m.clone().with_dram_latency(80);
+/// assert_eq!(fast.machine_label(), "table2@llc2048x16+dram80");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Stable machine name used in labels ("table2", "small", ...).
+    pub name: String,
+    /// The composed core + cache + DRAM parameters.
+    pub hierarchy: HierarchyConfig,
+    /// When set, scenario cells skip the L1/L2 filter and replay the stream
+    /// directly against `hierarchy.llc` (the legacy `SweepGrid` mode).
+    pub llc_only: bool,
+}
+
+impl MachineConfig {
+    /// A full-machine configuration.
+    pub fn new(name: impl Into<String>, hierarchy: HierarchyConfig) -> Self {
+        MachineConfig { name: name.into(), hierarchy, llc_only: false }
+    }
+
+    /// Wraps a bare LLC geometry as an LLC-only machine (Table-2 core and
+    /// DRAM defaults around it). Its label is the legacy config label
+    /// (`name@<sets>x<ways>`), so `SweepGrid` reports convert losslessly.
+    pub fn llc_only(llc: CacheConfig) -> Self {
+        let name = llc.name.clone();
+        let hierarchy = HierarchyConfig { llc, ..HierarchyConfig::default() };
+        MachineConfig { name, hierarchy, llc_only: true }
+    }
+
+    /// Overrides the DRAM latency, returning `self` for chaining — the
+    /// sweep driver's `--dram-latency` axis.
+    pub fn with_dram_latency(mut self, cycles: u64) -> Self {
+        self.hierarchy.dram.latency_cycles = cycles;
+        self
+    }
+
+    /// Canonical label: `name@llc<sets>x<ways>+dram<latency>` for a full
+    /// machine, the legacy `name@<sets>x<ways>` config label when LLC-only.
+    pub fn machine_label(&self) -> String {
+        let llc = &self.hierarchy.llc;
+        if self.llc_only {
+            format!("{}@{}x{}", self.name, llc.sets(), llc.ways)
+        } else {
+            format!(
+                "{}@llc{}x{}+dram{}",
+                self.name,
+                llc.sets(),
+                llc.ways,
+                self.hierarchy.dram.latency_cycles
+            )
+        }
+    }
+
+    /// Named machine presets for drivers: `table2` and `small`.
+    pub fn preset(name: &str) -> Option<MachineConfig> {
+        match name {
+            "table2" => Some(MachineConfig::new("table2", HierarchyConfig::table2())),
+            "small" => Some(MachineConfig::new("small", HierarchyConfig::small())),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +338,18 @@ mod tests {
         for name in ["L1I", "L1D", "L2", "LLC", "DRAM"] {
             assert!(text.contains(name), "missing {name} in {text}");
         }
+    }
+
+    #[test]
+    fn machine_labels_are_canonical() {
+        let full = MachineConfig::new("table2", HierarchyConfig::table2());
+        assert_eq!(full.machine_label(), "table2@llc2048x16+dram160");
+        assert_eq!(full.with_dram_latency(400).machine_label(), "table2@llc2048x16+dram400");
+        let llc = MachineConfig::llc_only(CacheConfig::new("LLC-half", 10, 16, 6));
+        assert_eq!(llc.machine_label(), "LLC-half@1024x16");
+        assert!(MachineConfig::preset("table2").is_some());
+        assert!(MachineConfig::preset("small").unwrap().hierarchy.llc.ways == 4);
+        assert!(MachineConfig::preset("cray-1").is_none());
     }
 
     #[test]

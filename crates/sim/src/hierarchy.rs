@@ -27,6 +27,13 @@ pub struct HierarchyReport {
     pub l2: CacheStats,
     /// LLC counters under the baseline (LRU) policy.
     pub llc: CacheStats,
+    /// Prefetch accesses that filled a line anywhere in the hierarchy
+    /// (prefetches that missed L1D).
+    pub prefetch_fills: u64,
+    /// Demand accesses served from a line a prefetch brought in — at
+    /// whatever level the demand found it (L1 hit on a freshly-prefetched
+    /// line, or an L2/LLC hit after the L1 copy was evicted).
+    pub useful_prefetches: u64,
     /// Total dynamic instructions in the workload.
     pub instr_count: u64,
 }
@@ -84,8 +91,24 @@ impl CacheHierarchy {
     /// workload (used by the IPC model).
     pub fn run(&mut self, accesses: &[MemoryAccess], instr_count: u64) -> HierarchyReport {
         let mut llc_stream = Vec::new();
+        // Prefetch-usefulness bookkeeping: lines a prefetch brought into
+        // the hierarchy that no demand access has touched yet. A line
+        // leaves the set when a demand access is served from it (useful)
+        // or when the LLC copy — the last one standing — is evicted.
+        // Keyed in the LLC's line space so eviction keys (LLC `LineAddr`
+        // values) and access keys always agree, whatever the L1 line size.
+        let line_bits = self.config.llc.line_size_log2;
+        let mut prefetched: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut prefetch_fills = 0u64;
+        let mut useful_prefetches = 0u64;
         for (i, access) in accesses.iter().enumerate() {
             let idx = i as u64;
+            let line = access.address.value() >> line_bits;
+            let is_prefetch = access.kind == AccessKind::Prefetch;
+            // A pending line only becomes *useful* if this demand access is
+            // actually served from it (a hit at some level); a demand miss
+            // on a stale pending line is a wasted prefetch either way.
+            let was_pending = !is_prefetch && prefetched.remove(&line);
             let l1 = match access.kind {
                 AccessKind::Fetch => &mut self.l1i,
                 _ => &mut self.l1d,
@@ -93,18 +116,34 @@ impl CacheHierarchy {
             let set = l1.set_of(access.address);
             let l1_out = l1.access(&AccessContext::demand(idx, access, set));
             if l1_out.hit {
+                if was_pending {
+                    useful_prefetches += 1;
+                }
                 continue;
+            }
+            if is_prefetch {
+                prefetch_fills += 1;
+                prefetched.insert(line);
             }
             let set = self.l2.set_of(access.address);
             let l2_out = self.l2.access(&AccessContext::demand(idx, access, set));
             if l2_out.hit {
+                if was_pending {
+                    useful_prefetches += 1;
+                }
                 continue;
             }
             // The access reaches the LLC; this is the stream that policy
             // replays consume.
             llc_stream.push(*access);
             let set = self.llc.set_of(access.address);
-            let _ = self.llc.access(&AccessContext::demand(idx, access, set));
+            let llc_out = self.llc.access(&AccessContext::demand(idx, access, set));
+            if llc_out.hit && was_pending {
+                useful_prefetches += 1;
+            }
+            if let Some(evicted) = llc_out.evicted {
+                prefetched.remove(&evicted.line.value());
+            }
         }
         HierarchyReport {
             llc_stream,
@@ -112,6 +151,8 @@ impl CacheHierarchy {
             l1d: *self.l1d.stats(),
             l2: *self.l2.stats(),
             llc: *self.llc.stats(),
+            prefetch_fills,
+            useful_prefetches,
             instr_count,
         }
     }
@@ -159,6 +200,20 @@ mod tests {
         assert_eq!(report.l1d.accesses, 2);
         assert_eq!(report.l1d.hits, 1);
         assert_eq!(report.llc_stream.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_usefulness_counts_served_demands_only() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::small());
+        let pf_used = MemoryAccess::prefetch(Pc::new(0x400000), Address::new(0x9000), 0);
+        let ld_hit = MemoryAccess::load(Pc::new(0x400000), Address::new(0x9000), 1);
+        let pf_wasted = MemoryAccess::prefetch(Pc::new(0x400000), Address::new(0xA000), 2);
+        let ld_cold = MemoryAccess::load(Pc::new(0x400000), Address::new(0xB000), 3);
+        let report = h.run(&[pf_used, ld_hit, pf_wasted, ld_cold], 4);
+        assert_eq!(report.prefetch_fills, 2);
+        // Only the load served from the prefetched 0x9000 line is useful:
+        // 0xA000 was never demanded and 0xB000 was a plain cold miss.
+        assert_eq!(report.useful_prefetches, 1);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod timing;
 pub use access::{AccessKind, MemoryAccess};
 pub use addr::{Address, LineAddr, Pc, SetId};
 pub use cache::{AccessOutcome, LineMeta, SetAssociativeCache};
-pub use config::{CacheConfig, DramConfig, HierarchyConfig, ProcessorConfig};
+pub use config::{CacheConfig, DramConfig, HierarchyConfig, MachineConfig, ProcessorConfig};
 pub use hierarchy::{CacheHierarchy, HierarchyReport};
 pub use mshr::Mshr;
 pub use prefetch::{Prefetcher, PrefetcherKind};
@@ -59,7 +59,10 @@ pub use replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy}
 pub use replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
 pub use reuse::ReuseOracle;
 pub use stats::CacheStats;
-pub use sweep::{SweepCell, SweepGrid, SweepReport, SweepStream};
+pub use sweep::{
+    AxisTotal, ScenarioCell, ScenarioGrid, ScenarioReport, SweepCell, SweepGrid, SweepReport,
+    SweepStream,
+};
 pub use timing::IpcModel;
 
 /// Commonly used types, for glob import.
@@ -67,7 +70,9 @@ pub mod prelude {
     pub use crate::access::{AccessKind, MemoryAccess};
     pub use crate::addr::{Address, LineAddr, Pc, SetId};
     pub use crate::cache::{AccessOutcome, LineMeta, SetAssociativeCache};
-    pub use crate::config::{CacheConfig, DramConfig, HierarchyConfig, ProcessorConfig};
+    pub use crate::config::{
+        CacheConfig, DramConfig, HierarchyConfig, MachineConfig, ProcessorConfig,
+    };
     pub use crate::hierarchy::{CacheHierarchy, HierarchyReport};
     pub use crate::prefetch::{Prefetcher, PrefetcherKind};
     pub use crate::replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy};
@@ -75,7 +80,8 @@ pub mod prelude {
     pub use crate::reuse::ReuseOracle;
     pub use crate::stats::CacheStats;
     pub use crate::sweep::{
-        PolicyTotal, SweepCell, SweepError, SweepGrid, SweepReport, SweepStream,
+        AxisTotal, PolicyTotal, ScenarioCell, ScenarioGrid, ScenarioReport, SweepCell, SweepError,
+        SweepGrid, SweepReport, SweepStream,
     };
     pub use crate::timing::IpcModel;
 }

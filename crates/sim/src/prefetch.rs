@@ -16,8 +16,11 @@ use crate::access::{AccessKind, MemoryAccess};
 use crate::addr::{Address, Pc};
 
 /// Which hardware prefetcher to model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PrefetcherKind {
+    /// No prefetching: the stream passes through untouched (the baseline
+    /// point on the scenario grid's prefetcher axis).
+    None,
     /// Fetch line N+1 on every demand access to line N.
     NextLine,
     /// Per-PC stride detection: after two accesses with the same delta,
@@ -26,6 +29,38 @@ pub enum PrefetcherKind {
         /// How many strides ahead to fetch.
         degree: u8,
     },
+}
+
+impl PrefetcherKind {
+    /// The degree used when `"stride"` is requested without a number.
+    pub const DEFAULT_STRIDE_DEGREE: u8 = 4;
+
+    /// Parses a stable prefetcher name: `none`, `nextline` (or
+    /// `next-line`), `stride` (degree 4) or `stride<N>` (e.g. `stride2`).
+    pub fn parse(name: &str) -> Option<PrefetcherKind> {
+        match name {
+            "none" => Some(PrefetcherKind::None),
+            "nextline" | "next-line" => Some(PrefetcherKind::NextLine),
+            "stride" => Some(PrefetcherKind::Stride { degree: Self::DEFAULT_STRIDE_DEGREE }),
+            other => {
+                let degree: u8 = other.strip_prefix("stride")?.parse().ok()?;
+                if degree == 0 {
+                    return None;
+                }
+                Some(PrefetcherKind::Stride { degree })
+            }
+        }
+    }
+
+    /// The canonical label, round-tripping through [`PrefetcherKind::parse`]:
+    /// `none`, `nextline`, `stride<degree>`.
+    pub fn label(&self) -> String {
+        match self {
+            PrefetcherKind::None => "none".to_owned(),
+            PrefetcherKind::NextLine => "nextline".to_owned(),
+            PrefetcherKind::Stride { degree } => format!("stride{degree}"),
+        }
+    }
 }
 
 /// Per-PC stride-detection state.
@@ -68,6 +103,9 @@ impl Prefetcher {
     /// Rewrites a demand stream, inserting prefetches after the accesses
     /// that trigger them. Only demand loads/stores train the prefetcher.
     pub fn transform(&mut self, accesses: &[MemoryAccess]) -> Vec<MemoryAccess> {
+        if self.kind == PrefetcherKind::None {
+            return accesses.to_vec();
+        }
         let mut out = Vec::with_capacity(accesses.len() * 2);
         for access in accesses {
             out.push(*access);
@@ -76,6 +114,7 @@ impl Prefetcher {
             }
             let line = access.address.value() >> 6;
             match self.kind {
+                PrefetcherKind::None => unreachable!("handled by the early return"),
                 PrefetcherKind::NextLine => {
                     out.push(MemoryAccess::prefetch(
                         access.pc,
@@ -156,6 +195,28 @@ mod tests {
             s.stats.demand_misses,
             n.stats.demand_misses
         );
+    }
+
+    #[test]
+    fn none_is_the_identity_transform() {
+        let demand = sequential(32, 0x400000);
+        let out = Prefetcher::new(PrefetcherKind::None).transform(&demand);
+        assert_eq!(out, demand);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse_and_label() {
+        for name in ["none", "nextline", "stride4", "stride2"] {
+            let kind = PrefetcherKind::parse(name).unwrap_or_else(|| panic!("parses {name}"));
+            assert_eq!(kind.label(), name);
+        }
+        assert_eq!(
+            PrefetcherKind::parse("stride"),
+            Some(PrefetcherKind::Stride { degree: PrefetcherKind::DEFAULT_STRIDE_DEGREE })
+        );
+        assert_eq!(PrefetcherKind::parse("next-line"), Some(PrefetcherKind::NextLine));
+        assert_eq!(PrefetcherKind::parse("stride0"), None);
+        assert_eq!(PrefetcherKind::parse("markov"), None);
     }
 
     #[test]

@@ -1,60 +1,91 @@
-//! Parallel policy × workload × configuration sweeps.
+//! Parallel scenario sweeps: workload × machine × prefetcher × policy.
 //!
-//! The figure-generation binaries all share the same shape of work: replay
-//! every workload stream under every replacement policy for one or more LLC
-//! geometries, then tabulate hit rates and the miss taxonomy. Done serially
-//! that is `|policies| × |workloads| × |configs|` independent full replays —
-//! exactly the embarrassingly-parallel rollout a sweep engine should spread
-//! across cores.
+//! The figure-generation binaries and the paper's use cases (§6.3) share
+//! the same shape of work: replay every workload under every replacement
+//! policy for one or more machine configurations, then tabulate hit rates,
+//! the miss taxonomy, prefetch usefulness and IPC. Done serially that is
+//! `|workloads| × |machines| × |prefetchers| × |policies|` independent full
+//! replays — exactly the embarrassingly-parallel rollout a sweep engine
+//! should spread across cores.
 //!
-//! [`SweepGrid::run`] does so with rayon parallel iterators in two stages:
+//! Two grids are exposed:
 //!
-//! 1. one task per `(workload, config)` pair builds the [`LlcReplay`]
-//!    (stream copy + reuse oracle) exactly once, so the oracle is shared by
-//!    every policy replaying that pair rather than rebuilt per cell;
-//! 2. one task per `(pair, policy)` cell runs the replay and reduces it to a
-//!    [`SweepCell`].
+//! * [`ScenarioGrid`] — the first-class engine. Each cell transforms the
+//!   workload stream through a [`Prefetcher`], replays it on a
+//!   [`MachineConfig`] (full hierarchy, or LLC-only for legacy geometry
+//!   sweeps), and reduces to a [`ScenarioCell`] carrying the miss taxonomy,
+//!   prefetch accuracy/coverage and [`IpcModel`]-derived IPC.
+//! * [`SweepGrid`] — the original `(workload × LLC CacheConfig × policy)`
+//!   grid, kept as a thin adapter over [`ScenarioGrid`]: every config
+//!   becomes an LLC-only machine with the `none` prefetcher, and the
+//!   scenario cells convert losslessly back into [`SweepCell`]s.
+//!
+//! [`ScenarioGrid::run`] parallelises with rayon in two stages:
+//!
+//! 1. one task per `(workload, machine, prefetcher)` triple transforms the
+//!    stream, runs the hierarchy filter (full-machine mode) and builds the
+//!    [`LlcReplay`] (stream copy + reuse oracle) exactly once, so that work
+//!    is shared by every policy replaying the triple;
+//! 2. one task per `(triple, policy)` cell runs the replay and reduces it
+//!    to a [`ScenarioCell`].
 //!
 //! **Determinism is a contract, not an accident.** Each cell's result
 //! depends only on its own inputs, and the engine aggregates by collecting
-//! keyed cells and sorting them by `(workload, config, policy)` before any
-//! reduction, so the report is byte-identical no matter how many worker
-//! threads ran the grid or in what order cells finished. The
-//! `sweep_determinism` integration test pins this down by diffing the
-//! rendered report across `RAYON_NUM_THREADS` settings.
+//! keyed cells and sorting them by `(workload, machine, prefetcher,
+//! policy)` before any reduction, so the report is byte-identical no matter
+//! how many worker threads ran the grid or in what order cells finished.
+//! The `sweep_determinism` integration test pins this down by diffing the
+//! rendered reports across `RAYON_NUM_THREADS` settings.
 //!
 //! The engine lives in `cachemind-sim` and therefore cannot name concrete
 //! policies from `cachemind-policies`; callers supply a policy *factory*
 //! (for example `cachemind_policies::by_name`) which the driver binary in
 //! `cachemind-bench` wires up.
 
+use std::collections::HashSet;
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::access::MemoryAccess;
-use crate::config::CacheConfig;
+use crate::access::{AccessKind, MemoryAccess};
+use crate::config::{CacheConfig, MachineConfig};
+use crate::hierarchy::CacheHierarchy;
+use crate::prefetch::{Prefetcher, PrefetcherKind};
 use crate::replacement::ReplacementPolicy;
-use crate::replay::LlcReplay;
+use crate::replay::{EvictionRecord, LlcReplay};
+use crate::timing::IpcModel;
 
-/// A named access stream to sweep over (typically one workload's LLC
-/// stream).
+/// A named access stream to sweep over (typically one workload's demand
+/// stream), with the dynamic instruction count the IPC model charges for.
 #[derive(Debug, Clone)]
 pub struct SweepStream {
     /// Stable workload name used as the aggregation key.
     pub name: String,
-    /// The LLC access stream.
+    /// The access stream.
     pub accesses: Vec<MemoryAccess>,
+    /// Total dynamic instructions behind the stream (defaults to the
+    /// stream length; real workloads override with their instruction
+    /// count so per-cell IPC is meaningful).
+    pub instr_count: u64,
 }
 
 impl SweepStream {
-    /// Bundles a name and a stream.
+    /// Bundles a name and a stream; `instr_count` defaults to the stream
+    /// length.
     pub fn new(name: impl Into<String>, accesses: Vec<MemoryAccess>) -> Self {
-        SweepStream { name: name.into(), accesses }
+        let instr_count = accesses.len() as u64;
+        SweepStream { name: name.into(), accesses, instr_count }
+    }
+
+    /// Sets the dynamic instruction count, returning `self` for chaining.
+    pub fn with_instr_count(mut self, instr_count: u64) -> Self {
+        self.instr_count = instr_count;
+        self
     }
 }
 
-/// The full grid specification: every policy replays every stream under
-/// every configuration.
+/// The legacy grid specification: every policy replays every stream under
+/// every LLC configuration. A thin adapter over [`ScenarioGrid`].
 #[derive(Debug, Clone, Default)]
 pub struct SweepGrid {
     /// Policy names, resolved through the caller's factory.
@@ -65,8 +96,8 @@ pub struct SweepGrid {
     pub configs: Vec<CacheConfig>,
 }
 
-/// One `(workload, config, policy)` cell of the grid, reduced to its
-/// aggregate counters.
+/// One `(workload, config, policy)` cell of the legacy grid, reduced to
+/// its aggregate counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepCell {
     /// Workload (stream) name.
@@ -95,8 +126,8 @@ pub struct SweepCell {
     pub evictions: u64,
 }
 
-/// A completed sweep: cells in canonical `(workload, config, policy)`
-/// order plus per-policy roll-ups.
+/// A completed legacy sweep: cells in canonical `(workload, config,
+/// policy)` order plus per-policy roll-ups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
     /// Every grid cell, canonically sorted.
@@ -131,7 +162,7 @@ pub fn config_label(config: &CacheConfig) -> String {
 }
 
 /// Order-preserving parallel map over independent sweep configurations —
-/// the primitive behind both [`SweepGrid::run`] stages, exposed so the
+/// the primitive behind both [`ScenarioGrid::run`] stages, exposed so the
 /// figure binaries (`figure5_quality`, `figure6_fewshot`,
 /// `ablation_sweeps`, ...) can spread their per-backend / per-parameter
 /// replays across cores under the same determinism contract: each output
@@ -147,16 +178,17 @@ where
     items.into_par_iter().map(f).collect()
 }
 
-/// Errors surfaced by [`SweepGrid::run`].
+/// Errors surfaced by [`ScenarioGrid::run`] and [`SweepGrid::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepError {
     /// The policy factory returned `None` for a requested policy name.
     UnknownPolicy(String),
-    /// The grid had no policies, streams, or configs.
+    /// The grid had an empty axis (no policies, streams, machines or
+    /// prefetchers).
     EmptyGrid,
-    /// A policy name, stream name, or config label appears more than once;
-    /// `(workload, config, policy)` must uniquely key each cell or cells
-    /// would be silently duplicated and totals double-counted.
+    /// A policy name, stream name, machine label or prefetcher label
+    /// appears more than once; each axis must uniquely key its cells or
+    /// cells would be silently duplicated and totals double-counted.
     DuplicateKey(String),
 }
 
@@ -164,13 +196,506 @@ impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SweepError::UnknownPolicy(name) => write!(f, "unknown policy {name:?}"),
-            SweepError::EmptyGrid => write!(f, "sweep grid has no policies, streams or configs"),
+            SweepError::EmptyGrid => write!(f, "sweep grid has an empty axis"),
             SweepError::DuplicateKey(key) => write!(f, "duplicate grid key {key:?}"),
         }
     }
 }
 
 impl std::error::Error for SweepError {}
+
+/// One `(workload, machine, prefetcher, policy)` cell of the scenario
+/// grid, reduced to its aggregate counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCell {
+    /// Workload (stream) name.
+    pub workload: String,
+    /// Machine label (see [`MachineConfig::machine_label`]).
+    pub machine: String,
+    /// Prefetcher label (see [`PrefetcherKind::label`]).
+    pub prefetcher: String,
+    /// Policy name.
+    pub policy: String,
+    /// LLC accesses replayed (demand + prefetch).
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Miss rate over the replayed LLC stream.
+    pub miss_rate: f64,
+    /// Demand (load/store/fetch) misses only — what the IPC model charges
+    /// DRAM latency for.
+    pub demand_misses: u64,
+    /// Compulsory misses.
+    pub compulsory_misses: u64,
+    /// Capacity misses.
+    pub capacity_misses: u64,
+    /// Conflict misses.
+    pub conflict_misses: u64,
+    /// Evictions whose victim was needed sooner than the inserted line.
+    pub wrong_evictions: u64,
+    /// Total evictions.
+    pub evictions: u64,
+    /// Prefetch accesses that reached the LLC replay.
+    pub prefetches: u64,
+    /// Prefetch accesses that actually filled a line: prefetch misses in
+    /// the LLC replay (LLC-only machines) or anywhere in the hierarchy
+    /// (full machines).
+    pub prefetch_fills: u64,
+    /// Demand accesses served from a line a prefetch brought in, at the
+    /// level the demand found it.
+    pub useful_prefetches: u64,
+    /// `useful_prefetches / prefetch_fills` (0 when nothing was fetched).
+    pub prefetch_accuracy: f64,
+    /// `useful_prefetches / (useful_prefetches + demand_misses)` — the
+    /// fraction of would-be misses the prefetcher covered.
+    pub prefetch_coverage: f64,
+    /// Dynamic instructions charged by the IPC model.
+    pub instr_count: u64,
+    /// Model-estimated IPC for this cell.
+    pub ipc: f64,
+}
+
+impl ScenarioCell {
+    /// Hit rate over the replayed LLC stream (zero when nothing replayed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Aggregate counters for one value of a scenario axis (policy,
+/// prefetcher or machine) across the whole grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisTotal {
+    /// The axis value (policy name, prefetcher label or machine label).
+    pub key: String,
+    /// Cells aggregated.
+    pub cells: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Total misses.
+    pub misses: u64,
+    /// Miss rate over all aggregated accesses.
+    pub miss_rate: f64,
+    /// Total wrong evictions.
+    pub wrong_evictions: u64,
+    /// Unweighted mean of the per-cell IPC estimates.
+    pub mean_ipc: f64,
+}
+
+/// A completed scenario sweep: cells in canonical `(workload, machine,
+/// prefetcher, policy)` order plus per-axis roll-ups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Every grid cell, canonically sorted.
+    pub cells: Vec<ScenarioCell>,
+    /// Per-policy roll-up, sorted by policy name.
+    pub policy_totals: Vec<AxisTotal>,
+    /// Per-prefetcher roll-up, sorted by prefetcher label.
+    pub prefetcher_totals: Vec<AxisTotal>,
+    /// Per-machine roll-up, sorted by machine label.
+    pub machine_totals: Vec<AxisTotal>,
+}
+
+/// The scenario grid specification: every policy replays every stream
+/// under every machine and prefetcher.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioGrid {
+    /// Policy names, resolved through the caller's factory.
+    pub policies: Vec<String>,
+    /// Workload streams.
+    pub streams: Vec<SweepStream>,
+    /// Machine configurations.
+    pub machines: Vec<MachineConfig>,
+    /// Prefetcher kinds.
+    pub prefetchers: Vec<PrefetcherKind>,
+    /// Optional memory-level-parallelism override applied to every cell's
+    /// IPC model (pointer-chasing studies use 1.0).
+    pub mlp_override: Option<f64>,
+}
+
+/// Walks a replay's records and counts prefetch usefulness: a prefetch
+/// *fill* (prefetch miss) marks its line pending; a demand hit on a pending
+/// line is a *useful* prefetch; eviction or a demand miss clears the line.
+fn prefetch_usefulness(records: &[EvictionRecord], line_bits: u32) -> (u64, u64) {
+    let mut pending: HashSet<u64> = HashSet::new();
+    let mut fills = 0u64;
+    let mut useful = 0u64;
+    for r in records {
+        if let Some(evicted) = r.evicted_address {
+            pending.remove(&(evicted.value() >> line_bits));
+        }
+        let line = r.address.value() >> line_bits;
+        if r.kind == AccessKind::Prefetch {
+            if r.is_miss && !r.bypassed {
+                fills += 1;
+                pending.insert(line);
+            }
+        } else if !r.is_miss && pending.remove(&line) {
+            useful += 1;
+        } else {
+            pending.remove(&line);
+        }
+    }
+    (fills, useful)
+}
+
+fn axis_totals<'c, K>(cells: &'c [ScenarioCell], key: K) -> Vec<AxisTotal>
+where
+    K: Fn(&'c ScenarioCell) -> &'c str,
+{
+    let mut keys: Vec<&str> = cells.iter().map(&key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let mut total = AxisTotal {
+                key: k.to_owned(),
+                cells: 0,
+                accesses: 0,
+                hits: 0,
+                misses: 0,
+                miss_rate: 0.0,
+                wrong_evictions: 0,
+                mean_ipc: 0.0,
+            };
+            let mut ipc_sum = 0.0;
+            for cell in cells.iter().filter(|c| key(c) == k) {
+                total.cells += 1;
+                total.accesses += cell.accesses;
+                total.hits += cell.hits;
+                total.misses += cell.misses;
+                total.wrong_evictions += cell.wrong_evictions;
+                ipc_sum += cell.ipc;
+            }
+            if total.accesses > 0 {
+                total.miss_rate = total.misses as f64 / total.accesses as f64;
+            }
+            if total.cells > 0 {
+                total.mean_ipc = ipc_sum / total.cells as f64;
+            }
+            total
+        })
+        .collect()
+}
+
+impl ScenarioGrid {
+    /// Builder-style: adds a policy name.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.policies.push(name.into());
+        self
+    }
+
+    /// Builder-style: adds a stream.
+    pub fn stream(mut self, stream: SweepStream) -> Self {
+        self.streams.push(stream);
+        self
+    }
+
+    /// Builder-style: adds a machine.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machines.push(machine);
+        self
+    }
+
+    /// Builder-style: adds a prefetcher kind.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetchers.push(kind);
+        self
+    }
+
+    /// Overrides the IPC model's effective memory-level parallelism for
+    /// every cell (pointer-chasing studies use 1.0).
+    pub fn with_mlp(mut self, mlp: f64) -> Self {
+        self.mlp_override = Some(mlp);
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.policies.len() * self.streams.len() * self.machines.len() * self.prefetchers.len()
+    }
+
+    fn validate<F>(&self, make_policy: &F) -> Result<(), SweepError>
+    where
+        F: Fn(&str) -> Option<Box<dyn ReplacementPolicy>> + Sync,
+    {
+        if self.cells() == 0 {
+            return Err(SweepError::EmptyGrid);
+        }
+        // Fail fast (and deterministically) on unresolvable policy names
+        // instead of panicking from a worker mid-sweep.
+        for name in &self.policies {
+            if make_policy(name).is_none() {
+                return Err(SweepError::UnknownPolicy(name.clone()));
+            }
+        }
+        // Every grid axis must be duplicate-free, or cells lose their
+        // unique (workload, machine, prefetcher, policy) key and totals
+        // double-count.
+        let mut seen = HashSet::new();
+        let axes = self
+            .policies
+            .iter()
+            .cloned()
+            .chain(self.streams.iter().map(|s| format!("stream:{}", s.name)))
+            .chain(self.machines.iter().map(|m| format!("machine:{}", m.machine_label())))
+            .chain(self.prefetchers.iter().map(|p| format!("prefetcher:{}", p.label())));
+        for key in axes {
+            if !seen.insert(key.clone()) {
+                return Err(SweepError::DuplicateKey(key));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the full grid in parallel.
+    ///
+    /// `make_policy` is called once per cell, on the worker thread that
+    /// replays the cell, so policies need not be `Send`/`Sync` themselves —
+    /// only the factory must be shareable.
+    pub fn run<F>(&self, make_policy: F) -> Result<ScenarioReport, SweepError>
+    where
+        F: Fn(&str) -> Option<Box<dyn ReplacementPolicy>> + Sync,
+    {
+        self.validate(&make_policy)?;
+
+        // Stage 1a: one task per (stream, prefetcher) pair — the
+        // transform depends only on those two axes, so every machine
+        // replaying the pair shares one transformed stream instead of
+        // rebuilding its own copy. `None` (the whole legacy adapter path)
+        // borrows the original stream rather than cloning it.
+        let pairs: Vec<(usize, usize)> = (0..self.streams.len())
+            .flat_map(|s| (0..self.prefetchers.len()).map(move |p| (s, p)))
+            .collect();
+        let transformed_streams: Vec<Option<Vec<MemoryAccess>>> =
+            sweep_cells(pairs, |(s, p)| match self.prefetchers[p] {
+                PrefetcherKind::None => None,
+                kind => Some(Prefetcher::new(kind).transform(&self.streams[s].accesses)),
+            });
+
+        // Stage 1b: one task per (stream, machine, prefetcher) triple —
+        // hierarchy filter (full-machine mode) and the replay's reuse
+        // oracle are the expensive, policy-independent parts, shared by
+        // every policy replaying the triple.
+        struct PreparedTriple {
+            stream: usize,
+            machine: usize,
+            prefetcher: usize,
+            replay: LlcReplay,
+            /// Baseline hierarchy counters (full-machine mode only), with
+            /// the captured LLC stream drained into the replay.
+            hierarchy: Option<crate::hierarchy::HierarchyReport>,
+        }
+        let triples: Vec<(usize, usize, usize)> = (0..self.streams.len())
+            .flat_map(|s| {
+                (0..self.machines.len())
+                    .flat_map(move |m| (0..self.prefetchers.len()).map(move |p| (s, m, p)))
+            })
+            .collect();
+        let prepared: Vec<PreparedTriple> = sweep_cells(triples, |(s, m, p)| {
+            let stream = &self.streams[s];
+            let machine = &self.machines[m];
+            let transformed: &[MemoryAccess] =
+                match &transformed_streams[s * self.prefetchers.len() + p] {
+                    Some(rewritten) => rewritten,
+                    None => &stream.accesses,
+                };
+            if machine.llc_only {
+                let replay = LlcReplay::new(machine.hierarchy.llc.clone(), transformed);
+                PreparedTriple { stream: s, machine: m, prefetcher: p, replay, hierarchy: None }
+            } else {
+                let mut hierarchy = CacheHierarchy::new(machine.hierarchy.clone());
+                let mut report = hierarchy.run(transformed, stream.instr_count);
+                let llc_stream = std::mem::take(&mut report.llc_stream);
+                let replay = LlcReplay::new(machine.hierarchy.llc.clone(), &llc_stream);
+                PreparedTriple {
+                    stream: s,
+                    machine: m,
+                    prefetcher: p,
+                    replay,
+                    hierarchy: Some(report),
+                }
+            }
+        });
+
+        // Stage 2: one task per (triple, policy) cell.
+        let cell_inputs: Vec<(usize, usize)> = (0..prepared.len())
+            .flat_map(|t| (0..self.policies.len()).map(move |p| (t, p)))
+            .collect();
+        let mut cells: Vec<ScenarioCell> = sweep_cells(cell_inputs, |(t, p)| {
+            let triple = &prepared[t];
+            let stream = &self.streams[triple.stream];
+            let machine = &self.machines[triple.machine];
+            let policy_name = &self.policies[p];
+            let policy = make_policy(policy_name).expect("policy resolved during validation");
+            let report = triple.replay.run(policy);
+            // LLC-only cells measure prefetch usefulness inside the replay;
+            // full-machine cells take the hierarchy's counters, because a
+            // useful prefetch is typically consumed by an L1 hit the LLC
+            // replay never sees.
+            let (prefetch_fills, useful_prefetches) = match &triple.hierarchy {
+                Some(hreport) => (hreport.prefetch_fills, hreport.useful_prefetches),
+                None => {
+                    let line_bits = machine.hierarchy.llc.line_size_log2;
+                    prefetch_usefulness(&report.records, line_bits)
+                }
+            };
+
+            let mut model = IpcModel::from_config(&machine.hierarchy);
+            if let Some(mlp) = self.mlp_override {
+                model = model.with_mlp(mlp);
+            }
+            let demand_misses = report.stats.demand_misses;
+            let ipc = match &triple.hierarchy {
+                Some(hreport) => model.ipc(hreport, demand_misses),
+                None => {
+                    // LLC-only mode: demand accesses pay the LLC hit
+                    // latency, demand misses pay DRAM; prefetches do not
+                    // stall the core.
+                    let demand_accesses = report.stats.accesses - report.stats.prefetches;
+                    let demand_hits = demand_accesses.saturating_sub(demand_misses);
+                    model.ipc_from_llc(stream.instr_count, demand_hits, demand_misses)
+                }
+            };
+            let prefetch_accuracy = if prefetch_fills == 0 {
+                0.0
+            } else {
+                useful_prefetches as f64 / prefetch_fills as f64
+            };
+            let covered = useful_prefetches + demand_misses;
+            let prefetch_coverage =
+                if covered == 0 { 0.0 } else { useful_prefetches as f64 / covered as f64 };
+
+            ScenarioCell {
+                workload: stream.name.clone(),
+                machine: machine.machine_label(),
+                prefetcher: self.prefetchers[triple.prefetcher].label(),
+                policy: policy_name.clone(),
+                accesses: report.stats.accesses,
+                hits: report.stats.hits,
+                misses: report.stats.misses,
+                miss_rate: report.miss_rate(),
+                demand_misses,
+                compulsory_misses: report.compulsory_misses,
+                capacity_misses: report.capacity_misses,
+                conflict_misses: report.conflict_misses,
+                wrong_evictions: report.wrong_evictions,
+                evictions: report.stats.evictions,
+                prefetches: report.stats.prefetches,
+                prefetch_fills,
+                useful_prefetches,
+                prefetch_accuracy,
+                prefetch_coverage,
+                instr_count: stream.instr_count,
+                ipc,
+            }
+        });
+
+        // Canonical order before any reduction: aggregation must not
+        // observe scheduling order.
+        cells.sort_by(|a, b| {
+            (&a.workload, &a.machine, &a.prefetcher, &a.policy).cmp(&(
+                &b.workload,
+                &b.machine,
+                &b.prefetcher,
+                &b.policy,
+            ))
+        });
+
+        let policy_totals = axis_totals(&cells, |c| c.policy.as_str());
+        let prefetcher_totals = axis_totals(&cells, |c| c.prefetcher.as_str());
+        let machine_totals = axis_totals(&cells, |c| c.machine.as_str());
+
+        Ok(ScenarioReport { cells, policy_totals, prefetcher_totals, machine_totals })
+    }
+}
+
+impl ScenarioReport {
+    /// The cell for a `(workload, machine, prefetcher, policy)` key, if
+    /// present.
+    pub fn cell(
+        &self,
+        workload: &str,
+        machine: &str,
+        prefetcher: &str,
+        policy: &str,
+    ) -> Option<&ScenarioCell> {
+        self.cells.iter().find(|c| {
+            c.workload == workload
+                && c.machine == machine
+                && c.prefetcher == prefetcher
+                && c.policy == policy
+        })
+    }
+
+    /// Renders the report as a fixed-width text table (cells, then the
+    /// three axis roll-ups). Stable across runs and thread counts.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<26} {:<10} {:<11} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>8}\n",
+            "workload",
+            "machine",
+            "prefetch",
+            "policy",
+            "accesses",
+            "misses",
+            "miss%",
+            "pf-acc%",
+            "pf-cov%",
+            "wrong",
+            "ipc",
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<10} {:<26} {:<10} {:<11} {:>9} {:>9} {:>6.2}% {:>6.2}% {:>6.2}% {:>7} {:>8.4}\n",
+                c.workload,
+                c.machine,
+                c.prefetcher,
+                c.policy,
+                c.accesses,
+                c.misses,
+                c.miss_rate * 100.0,
+                c.prefetch_accuracy * 100.0,
+                c.prefetch_coverage * 100.0,
+                c.wrong_evictions,
+                c.ipc,
+            ));
+        }
+        for (title, totals) in [
+            ("policy", &self.policy_totals),
+            ("prefetcher", &self.prefetcher_totals),
+            ("machine", &self.machine_totals),
+        ] {
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<26} {:>5} {:>10} {:>10} {:>7} {:>7} {:>8}\n",
+                title, "cells", "accesses", "misses", "miss%", "wrong", "mean-ipc",
+            ));
+            for t in totals.iter() {
+                out.push_str(&format!(
+                    "{:<26} {:>5} {:>10} {:>10} {:>6.2}% {:>7} {:>8.4}\n",
+                    t.key,
+                    t.cells,
+                    t.accesses,
+                    t.misses,
+                    t.miss_rate * 100.0,
+                    t.wrong_evictions,
+                    t.mean_ipc,
+                ));
+            }
+        }
+        out
+    }
+}
 
 impl SweepGrid {
     /// Builder-style: adds a policy name.
@@ -196,106 +721,63 @@ impl SweepGrid {
         self.policies.len() * self.streams.len() * self.configs.len()
     }
 
-    /// Runs the full grid in parallel.
-    ///
-    /// `make_policy` is called once per cell, on the worker thread that
-    /// replays the cell, so policies need not be `Send`/`Sync` themselves —
-    /// only the factory must be shareable.
+    /// The equivalent scenario grid: every LLC geometry becomes an
+    /// LLC-only [`MachineConfig`] and the prefetcher axis is pinned to
+    /// [`PrefetcherKind::None`].
+    pub fn to_scenario(&self) -> ScenarioGrid {
+        ScenarioGrid {
+            policies: self.policies.clone(),
+            streams: self.streams.clone(),
+            machines: self.configs.iter().map(|c| MachineConfig::llc_only(c.clone())).collect(),
+            prefetchers: vec![PrefetcherKind::None],
+            mlp_override: None,
+        }
+    }
+
+    /// Runs the full grid in parallel by delegating to
+    /// [`ScenarioGrid::run`] and converting the scenario cells back into
+    /// the legacy report shape. Numbers are identical to the original
+    /// LLC-only engine: an LLC-only machine replays the untouched stream
+    /// directly against the configured geometry.
     pub fn run<F>(&self, make_policy: F) -> Result<SweepReport, SweepError>
     where
         F: Fn(&str) -> Option<Box<dyn ReplacementPolicy>> + Sync,
     {
-        if self.cells() == 0 {
-            return Err(SweepError::EmptyGrid);
-        }
-        // Fail fast (and deterministically) on unresolvable policy names
-        // instead of panicking from a worker mid-sweep.
-        for name in &self.policies {
-            if make_policy(name).is_none() {
-                return Err(SweepError::UnknownPolicy(name.clone()));
-            }
-        }
-        // Every grid axis must be duplicate-free, or cells lose their
-        // unique (workload, config, policy) key and totals double-count.
-        let mut seen = std::collections::HashSet::new();
-        let axes = self
-            .policies
-            .iter()
-            .cloned()
-            .chain(self.streams.iter().map(|s| format!("stream:{}", s.name)))
-            .chain(self.configs.iter().map(|c| format!("config:{}", config_label(c))));
-        for key in axes {
-            if !seen.insert(key.clone()) {
-                return Err(SweepError::DuplicateKey(key));
-            }
-        }
-
-        // Stage 1: one replay (stream copy + reuse oracle) per
-        // (stream, config) pair, shared across policies.
-        let pairs: Vec<(usize, usize)> = (0..self.streams.len())
-            .flat_map(|s| (0..self.configs.len()).map(move |c| (s, c)))
+        let report = self.to_scenario().run(make_policy)?;
+        // (workload, machine, none, policy) order == (workload, config,
+        // policy) order: the prefetcher axis is a single constant and
+        // llc-only machine labels are exactly the legacy config labels.
+        let cells: Vec<SweepCell> = report
+            .cells
+            .into_iter()
+            .map(|c| SweepCell {
+                workload: c.workload,
+                config: c.machine,
+                policy: c.policy,
+                accesses: c.accesses,
+                hits: c.hits,
+                misses: c.misses,
+                miss_rate: c.miss_rate,
+                compulsory_misses: c.compulsory_misses,
+                capacity_misses: c.capacity_misses,
+                conflict_misses: c.conflict_misses,
+                wrong_evictions: c.wrong_evictions,
+                evictions: c.evictions,
+            })
             .collect();
-        let replays: Vec<(usize, usize, LlcReplay)> = sweep_cells(pairs, |(s, c)| {
-            let replay = LlcReplay::new(self.configs[c].clone(), &self.streams[s].accesses);
-            (s, c, replay)
-        });
-
-        // Stage 2: one task per (pair, policy) cell.
-        let cell_inputs: Vec<(usize, usize)> = (0..replays.len())
-            .flat_map(|r| (0..self.policies.len()).map(move |p| (r, p)))
+        let policy_totals: Vec<PolicyTotal> = report
+            .policy_totals
+            .into_iter()
+            .map(|t| PolicyTotal {
+                policy: t.key,
+                cells: t.cells,
+                accesses: t.accesses,
+                hits: t.hits,
+                misses: t.misses,
+                miss_rate: t.miss_rate,
+                wrong_evictions: t.wrong_evictions,
+            })
             .collect();
-        let mut cells: Vec<SweepCell> = sweep_cells(cell_inputs, |(r, p)| {
-            let (s, c, ref replay) = replays[r];
-            let policy_name = &self.policies[p];
-            let policy = make_policy(policy_name).expect("policy resolved during validation");
-            let report = replay.run(policy);
-            SweepCell {
-                workload: self.streams[s].name.clone(),
-                config: config_label(&self.configs[c]),
-                policy: policy_name.clone(),
-                accesses: report.stats.accesses,
-                hits: report.stats.hits,
-                misses: report.stats.misses,
-                miss_rate: report.miss_rate(),
-                compulsory_misses: report.compulsory_misses,
-                capacity_misses: report.capacity_misses,
-                conflict_misses: report.conflict_misses,
-                wrong_evictions: report.wrong_evictions,
-                evictions: report.stats.evictions,
-            }
-        });
-
-        // Canonical order before any reduction: aggregation must not observe
-        // scheduling order.
-        cells.sort_by(|a, b| {
-            (&a.workload, &a.config, &a.policy).cmp(&(&b.workload, &b.config, &b.policy))
-        });
-
-        let mut policy_totals: Vec<PolicyTotal> = Vec::new();
-        for name in &self.policies {
-            let mut total = PolicyTotal {
-                policy: name.clone(),
-                cells: 0,
-                accesses: 0,
-                hits: 0,
-                misses: 0,
-                miss_rate: 0.0,
-                wrong_evictions: 0,
-            };
-            for cell in cells.iter().filter(|c| &c.policy == name) {
-                total.cells += 1;
-                total.accesses += cell.accesses;
-                total.hits += cell.hits;
-                total.misses += cell.misses;
-                total.wrong_evictions += cell.wrong_evictions;
-            }
-            if total.accesses > 0 {
-                total.miss_rate = total.misses as f64 / total.accesses as f64;
-            }
-            policy_totals.push(total);
-        }
-        policy_totals.sort_by(|a, b| a.policy.cmp(&b.policy));
-
         Ok(SweepReport { cells, policy_totals })
     }
 }
@@ -367,12 +849,17 @@ impl SweepReport {
 mod tests {
     use super::*;
     use crate::addr::{Address, Pc};
+    use crate::config::HierarchyConfig;
     use crate::replacement::RecencyPolicy;
 
     fn cyclic_stream(lines: u64, len: u64) -> Vec<MemoryAccess> {
         (0..len)
             .map(|i| MemoryAccess::load(Pc::new(0x400000), Address::new((i % lines) * 64), i))
             .collect()
+    }
+
+    fn sequential_stream(len: u64) -> Vec<MemoryAccess> {
+        (0..len).map(|i| MemoryAccess::load(Pc::new(0x400100), Address::new(i * 64), i)).collect()
     }
 
     fn lru_only(name: &str) -> Option<Box<dyn ReplacementPolicy>> {
@@ -434,6 +921,7 @@ mod tests {
     #[test]
     fn empty_grid_is_an_error() {
         assert_eq!(SweepGrid::default().run(lru_only), Err(SweepError::EmptyGrid));
+        assert_eq!(ScenarioGrid::default().run(lru_only), Err(SweepError::EmptyGrid));
     }
 
     #[test]
@@ -453,7 +941,18 @@ mod tests {
         assert_eq!(two_streams.run(lru_only), Err(SweepError::DuplicateKey("stream:w".into())));
         // Same config label (name + geometry) twice, even via distinct values.
         let two_configs = base(&["lru"]).config(CacheConfig::new("t", 1, 2, 6).with_latency(5));
-        assert_eq!(two_configs.run(lru_only), Err(SweepError::DuplicateKey("config:t@2x2".into())));
+        assert_eq!(
+            two_configs.run(lru_only),
+            Err(SweepError::DuplicateKey("machine:t@2x2".into()))
+        );
+        // Scenario axes: duplicate prefetcher labels are rejected too.
+        let grid = SweepGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("w", cyclic_stream(4, 50)))
+            .config(CacheConfig::new("t", 1, 2, 6))
+            .to_scenario()
+            .prefetcher(PrefetcherKind::None);
+        assert_eq!(grid.run(lru_only), Err(SweepError::DuplicateKey("prefetcher:none".into())));
     }
 
     #[test]
@@ -470,5 +969,184 @@ mod tests {
         assert_eq!(total.hits, hits);
         assert_eq!(total.misses, misses);
         assert_eq!(total.cells, 2);
+    }
+
+    #[test]
+    fn scenario_covers_full_cross_product() {
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .policy("fifo")
+            .stream(SweepStream::new("seq", sequential_stream(600)))
+            .stream(SweepStream::new("cyc", cyclic_stream(16, 600)))
+            .machine(MachineConfig::new("table2", HierarchyConfig::table2()))
+            .machine(MachineConfig::new("small", HierarchyConfig::small()))
+            .prefetcher(PrefetcherKind::None)
+            .prefetcher(PrefetcherKind::NextLine);
+        assert_eq!(grid.cells(), 16);
+        let report = grid.run(lru_only).expect("grid runs");
+        assert_eq!(report.cells.len(), 16);
+        let keys: Vec<_> = report
+            .cells
+            .iter()
+            .map(|c| {
+                (c.workload.clone(), c.machine.clone(), c.prefetcher.clone(), c.policy.clone())
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "cells must come out canonically sorted");
+        assert_eq!(report.policy_totals.len(), 2);
+        assert_eq!(report.prefetcher_totals.len(), 2);
+        assert_eq!(report.machine_totals.len(), 2);
+        for cell in &report.cells {
+            assert!(cell.ipc > 0.0, "cell {cell:?} must report IPC");
+        }
+        // The rendered table mentions every axis section.
+        let table = report.to_table();
+        for needle in ["prefetcher", "machine", "mean-ipc", "table2@llc2048x16+dram160"] {
+            assert!(table.contains(needle), "table missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn next_line_prefetching_covers_a_sequential_stream() {
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("seq", sequential_stream(2048)))
+            .machine(MachineConfig::llc_only(CacheConfig::new("LLC", 4, 4, 6)))
+            .prefetcher(PrefetcherKind::None)
+            .prefetcher(PrefetcherKind::NextLine);
+        let report = grid.run(lru_only).expect("grid runs");
+        let base = report.cell("seq", "LLC@16x4", "none", "lru").expect("baseline cell");
+        let pf = report.cell("seq", "LLC@16x4", "nextline", "lru").expect("prefetch cell");
+        assert_eq!(base.prefetches, 0);
+        assert_eq!(base.prefetch_accuracy, 0.0);
+        assert!(pf.prefetch_fills > 0);
+        assert!(
+            pf.prefetch_accuracy > 0.9,
+            "next-line on a sequential stream should be accurate: {}",
+            pf.prefetch_accuracy
+        );
+        assert!(
+            pf.prefetch_coverage > 0.9,
+            "next-line should cover the stream: {}",
+            pf.prefetch_coverage
+        );
+        assert!(pf.demand_misses < base.demand_misses);
+        assert!(pf.ipc > base.ipc, "covered misses must raise IPC");
+    }
+
+    #[test]
+    fn full_machine_prefetch_counters_come_from_the_hierarchy() {
+        // On a full machine a useful next-line prefetch is consumed by an
+        // L1 hit the LLC replay never observes — the cell must still
+        // report high accuracy/coverage (from the hierarchy's counters).
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("seq", sequential_stream(2048)))
+            .machine(MachineConfig::new("small", HierarchyConfig::small()))
+            .prefetcher(PrefetcherKind::NextLine);
+        let report = grid.run(lru_only).expect("grid runs");
+        let cell = &report.cells[0];
+        assert!(cell.prefetch_fills > 0);
+        assert!(cell.prefetch_accuracy > 0.9, "accuracy {}", cell.prefetch_accuracy);
+        assert!(cell.prefetch_coverage > 0.9, "coverage {}", cell.prefetch_coverage);
+    }
+
+    #[test]
+    fn llc_only_ipc_matches_manual_model() {
+        let cfg = CacheConfig::new("LLC", 3, 4, 6);
+        let stream = cyclic_stream(64, 500);
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("w", stream.clone()).with_instr_count(5_000))
+            .machine(MachineConfig::llc_only(cfg.clone()))
+            .prefetcher(PrefetcherKind::None);
+        let report = grid.run(lru_only).expect("grid runs");
+        let cell = &report.cells[0];
+        assert_eq!(cell.instr_count, 5_000);
+        let direct = LlcReplay::new(cfg.clone(), &stream).run(RecencyPolicy::lru());
+        let machine = MachineConfig::llc_only(cfg);
+        let model = IpcModel::from_config(&machine.hierarchy);
+        let expected = model.ipc_from_llc(
+            5_000,
+            direct.stats.accesses - direct.stats.demand_misses,
+            direct.stats.demand_misses,
+        );
+        assert!((cell.ipc - expected).abs() < 1e-12, "{} vs {}", cell.ipc, expected);
+    }
+
+    #[test]
+    fn full_machine_cells_filter_through_the_hierarchy() {
+        // A hot 4-line loop: L1 absorbs nearly everything, so the
+        // full-machine cell sees far fewer LLC accesses than the LLC-only
+        // cell replaying the raw stream.
+        let stream = cyclic_stream(4, 400);
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("hot", stream.clone()))
+            .machine(MachineConfig::new("small", HierarchyConfig::small()))
+            .machine(MachineConfig::llc_only(CacheConfig::small_llc()))
+            .prefetcher(PrefetcherKind::None);
+        let report = grid.run(lru_only).expect("grid runs");
+        let full = report.cell("hot", "small@llc64x4+dram160", "none", "lru").unwrap();
+        let raw = report.cell("hot", "LLC@64x4", "none", "lru").unwrap();
+        assert!(full.accesses < raw.accesses / 10, "{} vs {}", full.accesses, raw.accesses);
+        assert!(full.ipc > raw.ipc, "an L1-resident loop must run faster with caches modelled");
+    }
+
+    #[test]
+    fn dram_latency_lowers_ipc() {
+        let stream = sequential_stream(1500);
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("seq", stream))
+            .machine(MachineConfig::new("fast", HierarchyConfig::small()).with_dram_latency(100))
+            .machine(MachineConfig::new("slow", HierarchyConfig::small()).with_dram_latency(800))
+            .prefetcher(PrefetcherKind::None);
+        let report = grid.run(lru_only).expect("grid runs");
+        let fast = report.cell("seq", "fast@llc64x4+dram100", "none", "lru").unwrap();
+        let slow = report.cell("seq", "slow@llc64x4+dram800", "none", "lru").unwrap();
+        assert!(fast.ipc > slow.ipc, "fast {} vs slow {}", fast.ipc, slow.ipc);
+    }
+
+    #[test]
+    fn mlp_override_serialises_misses() {
+        let stream = sequential_stream(1000);
+        let base = ScenarioGrid::default()
+            .policy("lru")
+            .stream(SweepStream::new("seq", stream.clone()))
+            .machine(MachineConfig::llc_only(CacheConfig::new("LLC", 3, 4, 6).with_mshr(64)))
+            .prefetcher(PrefetcherKind::None);
+        let parallel = base.clone().run(lru_only).expect("runs");
+        let serial = base.with_mlp(1.0).run(lru_only).expect("runs");
+        assert!(
+            serial.cells[0].ipc < parallel.cells[0].ipc,
+            "MLP=1 must hurt a miss-heavy stream: {} vs {}",
+            serial.cells[0].ipc,
+            parallel.cells[0].ipc
+        );
+    }
+
+    #[test]
+    fn adapter_report_is_lossless() {
+        let grid = SweepGrid::default()
+            .policy("lru")
+            .policy("fifo")
+            .stream(SweepStream::new("cyc", cyclic_stream(8, 200)))
+            .config(CacheConfig::new("a", 1, 2, 6))
+            .config(CacheConfig::new("b", 2, 2, 6));
+        let legacy = grid.run(lru_only).expect("legacy runs");
+        let scenario = grid.to_scenario().run(lru_only).expect("scenario runs");
+        assert_eq!(legacy.cells.len(), scenario.cells.len());
+        for (l, s) in legacy.cells.iter().zip(&scenario.cells) {
+            assert_eq!(l.workload, s.workload);
+            assert_eq!(l.config, s.machine);
+            assert_eq!(l.policy, s.policy);
+            assert_eq!(l.hits, s.hits);
+            assert_eq!(l.misses, s.misses);
+            assert_eq!(l.miss_rate, s.miss_rate);
+            assert_eq!(s.prefetcher, "none");
+        }
     }
 }

@@ -120,6 +120,8 @@ mod tests {
             l1d,
             l2,
             llc,
+            prefetch_fills: 0,
+            useful_prefetches: 0,
             instr_count: instr,
         }
     }

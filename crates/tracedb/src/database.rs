@@ -9,8 +9,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use cachemind_policies::by_name as policy_by_name;
-use cachemind_sim::config::CacheConfig;
+use cachemind_sim::config::{CacheConfig, MachineConfig};
 use cachemind_sim::replay::LlcReplay;
+use cachemind_sim::timing::IpcModel;
 use cachemind_workloads::workload::{Scale, Workload};
 use cachemind_workloads::{by_name as workload_by_name, DATABASE_WORKLOADS};
 
@@ -56,17 +57,23 @@ impl fmt::Display for TraceId {
     }
 }
 
-/// One stored trace: frame + metadata string + description (§4.3).
+/// One stored trace: frame + metadata string + description (§4.3), plus
+/// the machine the trace was produced on and its model-estimated IPC.
 #[derive(Debug, Clone)]
 pub struct TraceEntry {
     /// The trace identifier.
     pub id: TraceId,
     /// Per-access rows with program context.
     pub frame: TraceFrame,
-    /// The "Cache Performance Summary" string.
+    /// The "Cache Performance Summary" string (includes the scenario
+    /// sentence: machine label + estimated IPC).
     pub metadata: String,
     /// Human-readable workload + policy description.
     pub description: String,
+    /// Canonical label of the machine the trace replayed on.
+    pub machine: String,
+    /// Model-estimated IPC of the replay.
+    pub ipc: f64,
 }
 
 /// The external store: trace id -> entry.
@@ -351,7 +358,16 @@ impl TraceDatabaseBuilder {
                 TraceRow::from_record(r, keep)
             })
             .collect();
-        let metadata = meta::render(&report);
+        // The scenario sentence: which machine the trace replayed on and
+        // the model-estimated IPC (the same LLC-only estimate a scenario
+        // cell on this machine reports).
+        let machine = MachineConfig::llc_only(self.llc.clone());
+        let machine_label = machine.machine_label();
+        let model = IpcModel::from_config(&machine.hierarchy);
+        let demand_accesses = report.stats.accesses - report.stats.prefetches;
+        let demand_hits = demand_accesses.saturating_sub(report.stats.demand_misses);
+        let ipc = model.ipc_from_llc(workload.instr_count, demand_hits, report.stats.demand_misses);
+        let metadata = meta::render_scenario(&report, &machine_label, ipc);
         let description = format!(
             "Workload: {}. Replacement Policy: {}. {}",
             wname,
@@ -363,6 +379,8 @@ impl TraceDatabaseBuilder {
             frame: TraceFrame::new(rows, Arc::clone(program)),
             metadata,
             description,
+            machine: machine_label,
+            ipc,
         }
     }
 
@@ -532,6 +550,26 @@ mod tests {
         assert!(entry.metadata.contains("miss rate"));
         assert!(entry.description.contains("Belady"));
         assert!(!entry.frame.is_empty());
+    }
+
+    #[test]
+    fn entries_record_machine_and_ipc() {
+        let db = TraceDatabaseBuilder::quick_demo().build();
+        let llc = db.llc_config().expect("builder records llc").clone();
+        let expected_label = cachemind_sim::config::MachineConfig::llc_only(llc).machine_label();
+        for entry in db.entries() {
+            assert_eq!(entry.machine, expected_label, "{}", entry.id);
+            assert!(entry.ipc > 0.0, "{} has no IPC", entry.id);
+            assert_eq!(meta::extract_machine(&entry.metadata), Some(entry.machine.as_str()));
+            let cited = meta::extract_ipc(&entry.metadata).expect("metadata cites IPC");
+            assert!((cited - entry.ipc).abs() < 1e-6, "{} vs {}", cited, entry.ipc);
+        }
+        // Belady's IPC dominates LRU's on every workload, as its misses do.
+        for w in db.workloads() {
+            let opt = db.get(&format!("{w}_evictions_belady")).unwrap();
+            let lru = db.get(&format!("{w}_evictions_lru")).unwrap();
+            assert!(opt.ipc >= lru.ipc, "OPT slower than LRU on {w}");
+        }
     }
 
     #[test]

@@ -52,6 +52,37 @@ pub fn render(report: &ReplayReport) -> String {
     )
 }
 
+/// Renders the paper-format metadata string plus the scenario sentence:
+/// which machine the trace was produced on and the model-estimated IPC of
+/// the replay. Retrieval plans and serve answers cite both through
+/// [`extract_machine`] and [`extract_ipc`].
+pub fn render_scenario(report: &ReplayReport, machine_label: &str, ipc: f64) -> String {
+    format!(
+        "{} Simulated on machine {machine_label} with an estimated IPC of {ipc:.6}.",
+        render(report)
+    )
+}
+
+/// Extracts the machine label from the scenario sentence.
+pub fn extract_machine(metadata: &str) -> Option<&str> {
+    let marker = "Simulated on machine ";
+    let pos = metadata.find(marker)? + marker.len();
+    let rest = &metadata[pos..];
+    let end = rest.find(' ')?;
+    Some(&rest[..end])
+}
+
+/// Extracts the estimated IPC from the scenario sentence.
+pub fn extract_ipc(metadata: &str) -> Option<f64> {
+    let marker = "estimated IPC of ";
+    let pos = metadata.find(marker)? + marker.len();
+    let rest = &metadata[pos..];
+    let token: String =
+        rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    // The sentence ends with a period, which the scan captures.
+    token.trim_end_matches('.').parse().ok()
+}
+
 /// Extracts the first number appearing before `label` in `metadata`
 /// (e.g. `extract_count(meta, "total misses")`).
 pub fn extract_count(metadata: &str, label: &str) -> Option<u64> {
@@ -133,5 +164,19 @@ mod tests {
         assert_eq!(extract_count("no numbers here", "total misses"), None);
         assert_eq!(extract_percent("", "miss rate"), None);
         assert_eq!(extract_correlation("nothing"), None);
+        assert_eq!(extract_machine("no scenario sentence"), None);
+        assert_eq!(extract_ipc("no scenario sentence"), None);
+    }
+
+    #[test]
+    fn scenario_sentence_round_trips() {
+        let m = render_scenario(&report(), "LLC@256x8", 0.476981);
+        assert!(m.starts_with("Cache Performance Summary:"));
+        assert!(m.contains("Simulated on machine LLC@256x8"));
+        assert_eq!(extract_machine(&m), Some("LLC@256x8"));
+        assert_eq!(extract_ipc(&m), Some(0.476981));
+        // The scenario sentence must not confuse the legacy extractors.
+        assert_eq!(extract_percent(&m, "miss rate"), Some(94.91));
+        assert_eq!(extract_correlation(&m), Some(0.0));
     }
 }

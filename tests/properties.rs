@@ -167,6 +167,44 @@ proptest! {
         prop_assert_eq!(report.capacity_misses + report.conflict_misses, cycle * (laps - 1));
     }
 
+    /// The analytic IPC model is monotone in LLC demand misses: with
+    /// everything else fixed, fewer demand misses never decrease IPC — the
+    /// invariant the scenario grid's per-cell IPC column relies on — and
+    /// IPC never exceeds the core's issue width.
+    #[test]
+    fn ipc_model_is_monotone_in_demand_misses(
+        instr in 1u64..5_000_000,
+        l1_misses in 0u64..100_000,
+        l2_misses in 0u64..100_000,
+        misses_a in 0u64..200_000,
+        misses_b in 0u64..200_000,
+        dram_latency in 80u64..800,
+    ) {
+        let mut config = HierarchyConfig::table2();
+        config.dram.latency_cycles = dram_latency;
+        let model = IpcModel::from_config(&config);
+        let report = HierarchyReport {
+            llc_stream: Vec::new(),
+            l1i: CacheStats::default(),
+            l1d: CacheStats { misses: l1_misses, ..Default::default() },
+            l2: CacheStats { misses: l2_misses, ..Default::default() },
+            llc: CacheStats::default(),
+            prefetch_fills: 0,
+            useful_prefetches: 0,
+            instr_count: instr,
+        };
+        let (fewer, more) = (misses_a.min(misses_b), misses_a.max(misses_b));
+        let ipc_fewer = model.ipc(&report, fewer);
+        let ipc_more = model.ipc(&report, more);
+        prop_assert!(
+            ipc_fewer >= ipc_more,
+            "fewer misses lowered IPC: {} misses -> {}, {} misses -> {}",
+            fewer, ipc_fewer, more, ipc_more
+        );
+        prop_assert!(ipc_fewer <= config.processor.width as f64 + 1e-9);
+        prop_assert!(ipc_more >= 0.0);
+    }
+
     /// Cache occupancy never exceeds capacity, and hits never change
     /// occupancy.
     #[test]

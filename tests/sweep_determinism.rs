@@ -1,6 +1,7 @@
 //! The parallel sweep engine must be schedule-independent: the same grid
 //! aggregated on one worker thread and on many must produce byte-identical
-//! reports (table and JSON renderings both).
+//! reports (table and JSON renderings both) — for the legacy LLC-only
+//! `SweepGrid` *and* the full `ScenarioGrid` (machines × prefetchers).
 //!
 //! These tests drive thread count through `RAYON_NUM_THREADS`, which the
 //! rayon shim re-reads per parallel stage. They run in one `#[test]` so the
@@ -8,7 +9,8 @@
 
 use cachemind_suite::policies::by_name;
 use cachemind_suite::prelude::*;
-use cachemind_suite::sim::sweep::{SweepGrid, SweepStream};
+use cachemind_suite::sim::prefetch::PrefetcherKind;
+use cachemind_suite::sim::sweep::{ScenarioGrid, SweepGrid, SweepStream};
 use cachemind_suite::workloads::{self, Scale};
 
 fn demo_grid() -> SweepGrid {
@@ -21,33 +23,65 @@ fn demo_grid() -> SweepGrid {
         .config(CacheConfig::new("tiny", 2, 2, 6));
     for name in ["astar", "lbm", "mcf"] {
         let w = workloads::by_name(name, Scale::Tiny).expect("known workload");
-        grid.streams.push(SweepStream::new(w.name, w.accesses));
+        grid.streams.push(SweepStream::new(w.name, w.accesses).with_instr_count(w.instr_count));
     }
     grid
 }
 
-fn run_with_threads(threads: &str) -> (String, String) {
+fn scenario_grid() -> ScenarioGrid {
+    let mut grid = ScenarioGrid::default()
+        .policy("lru")
+        .policy("srrip")
+        .machine(MachineConfig::preset("table2").expect("preset"))
+        .machine(MachineConfig::preset("small").expect("preset"))
+        .prefetcher(PrefetcherKind::None)
+        .prefetcher(PrefetcherKind::Stride { degree: 4 });
+    for name in ["lbm", "mcf"] {
+        let w = workloads::by_name(name, Scale::Tiny).expect("known workload");
+        grid.streams.push(SweepStream::new(w.name, w.accesses).with_instr_count(w.instr_count));
+    }
+    grid
+}
+
+fn run_with_threads(threads: &str) -> [String; 4] {
     std::env::set_var("RAYON_NUM_THREADS", threads);
-    let report = demo_grid().run(by_name).expect("grid runs");
+    let legacy = demo_grid().run(by_name).expect("legacy grid runs");
+    let scenario = scenario_grid().run(by_name).expect("scenario grid runs");
     std::env::remove_var("RAYON_NUM_THREADS");
-    let json = serde_json::to_string(&report).expect("report serializes");
-    (report.to_table(), json)
+    [
+        legacy.to_table(),
+        serde_json::to_string(&legacy).expect("legacy report serializes"),
+        scenario.to_table(),
+        serde_json::to_string(&scenario).expect("scenario report serializes"),
+    ]
 }
 
 #[test]
 fn sweep_report_is_identical_across_thread_counts() {
-    let (table_1, json_1) = run_with_threads("1");
-    let (table_4, json_4) = run_with_threads("4");
-    let (table_13, json_13) = run_with_threads("13"); // odd count: ragged chunks
+    let reference = run_with_threads("1");
+    for threads in ["2", "8", "13"] {
+        let other = run_with_threads(threads);
+        for (i, kind) in
+            ["legacy table", "legacy JSON", "scenario table", "scenario JSON"].iter().enumerate()
+        {
+            assert_eq!(
+                reference[i], other[i],
+                "1-thread vs {threads}-thread {kind} reports differ"
+            );
+        }
+    }
 
-    assert_eq!(table_1, table_4, "1-thread vs 4-thread table reports differ");
-    assert_eq!(table_1, table_13, "1-thread vs 13-thread table reports differ");
-    assert_eq!(json_1, json_4, "1-thread vs 4-thread JSON reports differ");
-    assert_eq!(json_1, json_13, "1-thread vs 13-thread JSON reports differ");
+    // Sanity: the grids actually covered their full cross products.
+    let legacy = demo_grid().run(by_name).expect("legacy grid runs");
+    assert_eq!(legacy.cells.len(), 24); // 4 policies x 3 workloads x 2 configs
+    assert!(reference[0].contains("belady"));
+    assert!(reference[1].contains("\"policy_totals\""));
 
-    // Sanity: the grid actually covered the full 4 x 3 x 2 cross product.
-    let report = demo_grid().run(by_name).expect("grid runs");
-    assert_eq!(report.cells.len(), 24);
-    assert!(table_1.contains("belady"));
-    assert!(json_1.contains("\"policy_totals\""));
+    let scenario = scenario_grid().run(by_name).expect("scenario grid runs");
+    assert_eq!(scenario.cells.len(), 16); // 2 policies x 2 workloads x 2 machines x 2 prefetchers
+    assert_eq!(scenario.machine_totals.len(), 2);
+    assert_eq!(scenario.prefetcher_totals.len(), 2);
+    assert!(scenario.cells.iter().all(|c| c.ipc > 0.0), "every scenario cell reports IPC");
+    assert!(reference[3].contains("\"prefetcher_totals\""));
+    assert!(reference[3].contains("\"machine_totals\""));
 }
