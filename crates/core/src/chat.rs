@@ -7,7 +7,7 @@
 
 use cachemind_lang::memory::{ConversationMemory, Role};
 
-use crate::system::{Answer, CacheMind};
+use crate::system::{Answer, CacheMind, Query};
 
 /// A multi-turn chat session over one CacheMind instance.
 #[derive(Debug)]
@@ -31,10 +31,17 @@ impl ChatSession {
     /// Asks a question within the session; the turn is recorded in memory
     /// and the transcript.
     pub fn ask(&mut self, question: &str) -> Answer {
-        self.memory.push(Role::User, question);
-        let answer = self.mind.ask(question);
+        self.ask_query(&Query::new(question))
+    }
+
+    /// Asks a typed, scenario-scoped query within the session — the
+    /// scoped form of [`ChatSession::ask`]; the turn is recorded in memory
+    /// and the transcript.
+    pub fn ask_query(&mut self, query: &Query) -> Answer {
+        self.memory.push(Role::User, &query.text);
+        let answer = self.mind.ask_query(query);
         self.memory.push(Role::Assistant, &answer.text);
-        self.transcript.push((question.to_owned(), answer.text.clone()));
+        self.transcript.push((query.text.clone(), answer.text.clone()));
         answer
     }
 

@@ -34,14 +34,14 @@ pub mod insights;
 pub mod system;
 
 pub use chat::ChatSession;
-pub use system::{Answer, CacheMind, RetrieverKind};
+pub use system::{Answer, CacheMind, Query, QueryOptions, RetrieverKind};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
     pub use crate::chat::ChatSession;
     pub use crate::eval;
     pub use crate::insights;
-    pub use crate::system::{Answer, CacheMind, RetrieverKind};
+    pub use crate::system::{Answer, CacheMind, Query, QueryOptions, RetrieverKind};
     pub use cachemind_benchsuite::prelude::*;
     pub use cachemind_lang::prelude::*;
     pub use cachemind_retrieval::prelude::*;

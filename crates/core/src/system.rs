@@ -22,6 +22,7 @@ use cachemind_retrieval::dense::DenseIndexRetriever;
 use cachemind_retrieval::ranger::RangerRetriever;
 use cachemind_retrieval::retriever::Retriever;
 use cachemind_retrieval::sieve::SieveRetriever;
+use cachemind_sim::scenario::ScenarioSelector;
 use cachemind_tracedb::database::{TraceDatabase, TraceId};
 use cachemind_tracedb::store::TraceStore;
 
@@ -34,6 +35,74 @@ pub enum RetrieverKind {
     Ranger,
     /// The dense-embedding baseline (for comparisons).
     Dense,
+}
+
+/// Options modulating how a query is answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Route the Figure 10–13 exploration vocabulary ("list all unique
+    /// PCs", ...) straight to the Ranger plan runtime before the RAG
+    /// pipeline. On by default; disable to force retrieval-augmented
+    /// answering even for exploration commands.
+    pub explore: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { explore: true }
+    }
+}
+
+/// A typed query: the question text plus its scenario scope and options —
+/// the primary input of [`CacheMind::ask_query`]. A bare string converts
+/// into an unscoped query, which answers byte-identically to the legacy
+/// [`CacheMind::ask`] path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Query {
+    /// The natural-language question.
+    pub text: String,
+    /// The scenario scope: slot defaults for workload/policy, a hard
+    /// machine/prefetcher scope for retrieval. Inline `@machine` syntax in
+    /// `text` wins per-field over this selector.
+    pub selector: ScenarioSelector,
+    /// Answering options.
+    pub options: QueryOptions,
+}
+
+impl Query {
+    /// An unscoped query.
+    pub fn new(text: impl Into<String>) -> Self {
+        Query { text: text.into(), ..Query::default() }
+    }
+
+    /// A query scoped by a selector.
+    pub fn scoped(text: impl Into<String>, selector: ScenarioSelector) -> Self {
+        Query { text: text.into(), selector, options: QueryOptions::default() }
+    }
+
+    /// Replaces the selector.
+    pub fn with_selector(mut self, selector: ScenarioSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: QueryOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+impl From<&str> for Query {
+    fn from(text: &str) -> Self {
+        Query::new(text)
+    }
+}
+
+impl From<String> for Query {
+    fn from(text: String) -> Self {
+        Query::new(text)
+    }
 }
 
 /// A grounded answer: text, verdict and the evidence behind it.
@@ -195,14 +264,21 @@ impl CacheMind {
         Arc::clone(&self.db)
     }
 
-    /// Parses a question against the database vocabulary.
+    /// Parses a question against the database vocabulary (unscoped).
     pub fn parse(&self, question: &str) -> QueryIntent {
+        self.parse_scoped(question, &ScenarioSelector::all())
+    }
+
+    /// Parses a question against the database vocabulary within a
+    /// scenario scope (a session-pinned or wire-level selector).
+    pub fn parse_scoped(&self, question: &str, scope: &ScenarioSelector) -> QueryIntent {
         let workloads = self.db.workloads();
         let policies = self.db.policies();
-        QueryIntent::parse(
+        QueryIntent::parse_scoped(
             question,
             &workloads.iter().map(String::as_str).collect::<Vec<_>>(),
             &policies.iter().map(String::as_str).collect::<Vec<_>>(),
+            scope,
         )
     }
 
@@ -229,9 +305,16 @@ impl CacheMind {
     /// sets". Returns `None` when the question is not an exploration
     /// command.
     pub fn try_exploration(&self, question: &str) -> Option<Answer> {
+        let intent = self.parse(question);
+        self.try_exploration_intent(question, &intent)
+    }
+
+    /// [`CacheMind::try_exploration`] over a pre-parsed intent — the form
+    /// the shared answer pipeline uses, so a query's scenario scope rides
+    /// into the exploration plans too.
+    fn try_exploration_intent(&self, question: &str, intent: &QueryIntent) -> Option<Answer> {
         use cachemind_retrieval::plan::Plan;
         let lower = question.to_lowercase();
-        let intent = self.parse(question);
         let workload = intent.workload.clone().or_else(|| self.db.workloads().first().cloned())?;
         let policy = intent.policy.clone().unwrap_or_else(|| "lru".to_owned());
 
@@ -251,7 +334,7 @@ impl CacheMind {
             return None;
         };
 
-        let facts = plan.run(&*self.db).ok()?;
+        let facts = plan.run_scoped(&*self.db, &intent.selector.machine_scope()).ok()?;
         let context = RetrievedContext {
             facts,
             quality: cachemind_lang::context::ContextQuality::High,
@@ -289,19 +372,24 @@ impl CacheMind {
         self.db.shard_of(&TraceId::new(workload, policy).key())
     }
 
-    /// The shared parse → retrieve → generate pipeline behind [`ask`] and
-    /// [`ask_batch`]: one code path, so batching cannot change answers.
+    /// The shared retrieve → generate pipeline behind every ask variant
+    /// ([`ask_query`], [`ask`], [`ask_batch`], the serve rounds): one code
+    /// path, so neither batching nor the entry point can change answers.
     ///
+    /// [`ask_query`]: CacheMind::ask_query
     /// [`ask`]: CacheMind::ask
     /// [`ask_batch`]: CacheMind::ask_batch
     fn answer_cached(
         &self,
         question: &str,
         intent: &QueryIntent,
+        options: &QueryOptions,
         cache: Option<&mut ContextCache>,
     ) -> Answer {
-        if let Some(answer) = self.try_exploration(question) {
-            return answer;
+        if options.explore {
+            if let Some(answer) = self.try_exploration_intent(question, intent) {
+                return answer;
+            }
         }
         // Memo-key construction and the extra context clone only happen
         // when a caller actually supplied a cache; the solo `ask` path
@@ -335,38 +423,58 @@ impl CacheMind {
         Answer { text, verdict, context, prompt }
     }
 
-    /// Answers a question with an externally owned retrieval memo (the
-    /// serve workers keep one per worker, amortizing repeated retrievals
-    /// across the sessions a worker serves).
+    /// Answers a typed query — the primary entry point: the query's
+    /// selector scopes parsing (slot defaults) and retrieval (machine /
+    /// prefetcher scope), inline `@machine` syntax in the text wins
+    /// per-field, and the options gate exploration-command routing.
+    /// Selector-free queries answer byte-identically to [`CacheMind::ask`].
+    pub fn ask_query(&self, query: &Query) -> Answer {
+        let intent = self.parse_scoped(&query.text, &query.selector);
+        self.answer_cached(&query.text, &intent, &query.options, None)
+    }
+
+    /// [`CacheMind::ask_query`] with an externally owned retrieval memo
+    /// (the serve workers keep one per worker, amortizing repeated
+    /// retrievals across the sessions a worker serves). The memo key
+    /// includes the resolved selector, so scoped and unscoped retrievals
+    /// never alias.
+    pub fn ask_query_with_cache(&self, query: &Query, cache: &mut ContextCache) -> Answer {
+        let intent = self.parse_scoped(&query.text, &query.selector);
+        self.answer_cached(&query.text, &intent, &query.options, Some(cache))
+    }
+
+    /// Answers a question with an externally owned retrieval memo — the
+    /// unscoped wrapper over [`CacheMind::ask_query_with_cache`].
     pub fn ask_with_cache(&self, question: &str, cache: &mut ContextCache) -> Answer {
-        let intent = self.parse(question);
-        self.answer_cached(question, &intent, Some(cache))
+        self.ask_query_with_cache(&Query::new(question), cache)
     }
 
     /// Answers a question: exploration-command routing, then
-    /// parse → retrieve → generate.
+    /// parse → retrieve → generate — the unscoped wrapper over
+    /// [`CacheMind::ask_query`].
     pub fn ask(&self, question: &str) -> Answer {
-        let intent = self.parse(question);
-        self.answer_cached(question, &intent, None)
+        self.ask_query(&Query::new(question))
     }
 
-    /// Answers a batch of concurrent questions.
+    /// Answers a batch of concurrent typed queries.
     ///
-    /// Questions are grouped by home shard, the groups run in parallel on
+    /// Queries are grouped by home shard, the groups run in parallel on
     /// rayon workers (honoring `RAYON_NUM_THREADS`), retrieval is memoized
     /// within each group, and answers fan back out in input order. The
-    /// result is byte-identical to calling [`CacheMind::ask`] on each
-    /// question serially, for any thread count.
-    pub fn ask_batch(&self, questions: &[String]) -> Vec<Answer> {
+    /// result is byte-identical to calling [`CacheMind::ask_query`] on
+    /// each query serially, for any thread count.
+    pub fn ask_query_batch(&self, queries: &[Query]) -> Vec<Answer> {
         // One vocabulary snapshot for the whole batch: parsing against it is
-        // identical to per-question `parse` calls (the store is immutable),
-        // without re-scanning every shard per question.
+        // identical to per-query `parse_scoped` calls (the store is
+        // immutable), without re-scanning every shard per query.
         let workloads = self.db.workloads();
         let policies = self.db.policies();
         let workload_refs: Vec<&str> = workloads.iter().map(String::as_str).collect();
         let policy_refs: Vec<&str> = policies.iter().map(String::as_str).collect();
-        let intents: Vec<QueryIntent> =
-            questions.iter().map(|q| QueryIntent::parse(q, &workload_refs, &policy_refs)).collect();
+        let intents: Vec<QueryIntent> = queries
+            .iter()
+            .map(|q| QueryIntent::parse_scoped(&q.text, &workload_refs, &policy_refs, &q.selector))
+            .collect();
         let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, intent) in intents.iter().enumerate() {
             groups.entry(self.home_shard(intent, &workloads)).or_default().push(i);
@@ -378,15 +486,26 @@ impl CacheMind {
                 let mut cache = ContextCache::new();
                 indices
                     .into_iter()
-                    .map(|i| (i, self.answer_cached(&questions[i], &intents[i], Some(&mut cache))))
+                    .map(|i| {
+                        let q = &queries[i];
+                        (i, self.answer_cached(&q.text, &intents[i], &q.options, Some(&mut cache)))
+                    })
                     .collect()
             })
             .collect();
-        let mut out: Vec<Option<Answer>> = questions.iter().map(|_| None).collect();
+        let mut out: Vec<Option<Answer>> = queries.iter().map(|_| None).collect();
         for (i, answer) in answered.into_iter().flatten() {
             out[i] = Some(answer);
         }
-        out.into_iter().map(|a| a.expect("every question answered exactly once")).collect()
+        out.into_iter().map(|a| a.expect("every query answered exactly once")).collect()
+    }
+
+    /// Answers a batch of plain questions — the unscoped wrapper over
+    /// [`CacheMind::ask_query_batch`], byte-identical to serial
+    /// [`CacheMind::ask`] calls.
+    pub fn ask_batch(&self, questions: &[String]) -> Vec<Answer> {
+        let queries: Vec<Query> = questions.iter().map(|q| Query::new(q.clone())).collect();
+        self.ask_query_batch(&queries)
     }
 }
 
@@ -477,6 +596,71 @@ mod tests {
             assert_eq!(a.text, b.text, "{q}");
             assert_eq!(a.prompt, b.prompt, "{q}");
         }
+    }
+
+    #[test]
+    fn ask_is_a_thin_wrapper_over_ask_query() {
+        // The redesign's compatibility pin: for selector-free queries the
+        // typed path answers byte-identically to the legacy string path —
+        // text, prompt, verdict and evidence.
+        let m = mind().with_retriever(RetrieverKind::Ranger);
+        for q in [
+            "What is the overall miss rate of the lbm workload under LRU?",
+            "Which policy has the lowest miss rate in astar?",
+            "List all unique PCs in the mcf trace under LRU.",
+            "What is the estimated IPC for mcf under LRU?",
+            "Why does Belady outperform LRU in mcf?",
+        ] {
+            let legacy = m.ask(q);
+            let typed = m.ask_query(&Query::new(q));
+            assert_eq!(legacy.text, typed.text, "{q}");
+            assert_eq!(legacy.prompt, typed.prompt, "{q}");
+            assert_eq!(legacy.verdict, typed.verdict, "{q}");
+        }
+    }
+
+    #[test]
+    fn scoped_queries_answer_from_the_selected_machine() {
+        use cachemind_sim::config::MachineConfig;
+
+        let db = TraceDatabaseBuilder::quick_demo()
+            .workloads(["mcf", "lbm"])
+            .policies(["lru", "belady"])
+            .machine(MachineConfig::preset("table2").expect("preset"))
+            .machine(MachineConfig::preset("small").expect("preset"))
+            .build();
+        let m = CacheMind::new(db).with_retriever(RetrieverKind::Ranger);
+        let q = "What is the estimated IPC for mcf under LRU?";
+
+        let mut cited = Vec::new();
+        for machine in ["table2", "small"] {
+            let query = Query::scoped(q, ScenarioSelector::all().with_machine(machine));
+            let answer = m.ask_query(&query);
+            let fact = answer.context.facts.first().expect("IPC fact").render();
+            assert!(
+                fact.contains(&format!("{machine}@")),
+                "{machine}: answer must cite its machine, got {fact}"
+            );
+            cited.push(fact);
+        }
+        assert_ne!(cited[0], cited[1], "different machines, different cited facts");
+
+        // The unscoped query still answers from the primary machine.
+        let primary = m.ask_query(&Query::new(q));
+        let fact = primary.context.facts.first().expect("IPC fact").render();
+        let label = m.database().get("mcf_evictions_lru").unwrap().machine.clone();
+        assert!(fact.contains(&label), "unscoped answers stay primary: {fact}");
+    }
+
+    #[test]
+    fn query_options_gate_exploration_routing() {
+        let m = mind();
+        let q = "List all unique PCs in the mcf trace under LRU.";
+        let explored = m.ask_query(&Query::new(q));
+        assert!(explored.prompt.contains("program_counter.unique"), "plan runtime");
+        let rag = m.ask_query(&Query::new(q).with_options(QueryOptions { explore: false }));
+        assert!(!rag.prompt.contains("program_counter.unique"), "forced RAG path");
+        assert!(rag.prompt.contains("SYSTEM:"), "RAG prompt rendered");
     }
 
     #[test]

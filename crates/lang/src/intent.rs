@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use cachemind_sim::addr::{Address, Pc};
+use cachemind_sim::scenario::ScenarioSelector;
 
 use crate::token::{hex_literals, words};
 
@@ -117,20 +118,92 @@ pub struct QueryIntent {
     /// Whether the query asks for the minimum ("lowest", "fewest") rather
     /// than the maximum of a ranked quantity.
     pub wants_minimum: bool,
+    /// The scenario scope of the question: inline `@machine` syntax found
+    /// in the text, merged over whatever scope the caller supplied (a
+    /// session-pinned selector, a wire-protocol `scenario` field). Inline
+    /// syntax wins per-field.
+    pub selector: ScenarioSelector,
     /// The original question text.
     pub raw: String,
 }
 
+/// Whether a machine component extracted from free text plausibly names a
+/// machine: a known [`MachineConfig::preset`] name, or something carrying
+/// a canonical geometry segment (`llc2048x16+dram160`, `1024x16`). This
+/// is what keeps incidental `@`-tokens in prose (quoted emails, paths)
+/// from being adopted as scenario scopes and silently de-scoping
+/// retrieval to a machine that cannot exist.
+fn plausible_machine(machine: &str) -> bool {
+    use cachemind_sim::config::MachineConfig;
+    let looks_like_geometry = |segment: &str| {
+        let segment = segment.strip_prefix("llc").unwrap_or(segment);
+        match segment.split_once('x') {
+            Some((sets, rest)) => {
+                !sets.is_empty()
+                    && sets.chars().all(|c| c.is_ascii_digit())
+                    && rest.chars().next().is_some_and(|c| c.is_ascii_digit())
+            }
+            None => false,
+        }
+    };
+    MachineConfig::preset(machine).is_some() || machine.split('@').any(looks_like_geometry)
+}
+
+/// Extracts the first inline selector token (`mcf@table2`, `@small/lru`)
+/// from a question. Only tokens containing `@` are considered — plain
+/// words never parse as selectors, so questions without the syntax are
+/// untouched. A token is adopted only when it is *credibly* a selector:
+/// its workload component (if any) must be in the database vocabulary and
+/// its machine component must name a preset or carry a canonical
+/// geometry segment ([`plausible_machine`]) — so quoted emails and other
+/// incidental `@`-text are ignored rather than silently scoping retrieval
+/// to a machine that does not exist.
+fn inline_selector(question: &str, workloads: &[&str]) -> ScenarioSelector {
+    question
+        .split_whitespace()
+        .map(|tok| tok.trim_matches(|c: char| ".,;:!?()\"'".contains(c)))
+        .filter(|tok| tok.contains('@'))
+        .filter_map(|tok| ScenarioSelector::parse(tok).ok())
+        .find(|sel| {
+            sel.workload.as_deref().is_none_or(|w| workloads.contains(&w))
+                && sel.machine.as_deref().is_some_and(plausible_machine)
+        })
+        .unwrap_or_default()
+}
+
 impl QueryIntent {
     /// Parses `question` against the database's workload and policy
-    /// vocabularies.
+    /// vocabularies, with no surrounding scenario scope (inline `@machine`
+    /// syntax in the text is still honoured).
     pub fn parse(question: &str, workloads: &[&str], policies: &[&str]) -> QueryIntent {
+        QueryIntent::parse_scoped(question, workloads, policies, &ScenarioSelector::all())
+    }
+
+    /// Parses `question` within a scenario scope: the selector's workload
+    /// and policy act as defaults for slots the question leaves open
+    /// (validated against the vocabularies, and applied *before*
+    /// category classification, so a pinned session classifies "what is
+    /// the IPC?" the way "what is the IPC for mcf?" classifies), and its
+    /// machine/prefetcher scope rides along for retrieval. Inline
+    /// `@machine` syntax in the text wins per-field over `scope`. With the
+    /// unscoped selector this is exactly [`QueryIntent::parse`].
+    pub fn parse_scoped(
+        question: &str,
+        workloads: &[&str],
+        policies: &[&str],
+        scope: &ScenarioSelector,
+    ) -> QueryIntent {
+        let selector = inline_selector(question, workloads).merged_over(scope);
         let ws = words(question);
         let has = |w: &str| ws.iter().any(|x| x == w);
         let has_phrase = |p: &str| question.to_lowercase().contains(p);
 
-        let workload = ws.iter().find(|w| workloads.contains(&w.as_str())).cloned();
-        let mentioned: Vec<String> = {
+        let workload = ws
+            .iter()
+            .find(|w| workloads.contains(&w.as_str()))
+            .cloned()
+            .or_else(|| selector.workload.clone().filter(|w| workloads.contains(&w.as_str())));
+        let mut mentioned: Vec<String> = {
             let mut seen = std::collections::HashSet::new();
             ws.iter()
                 .filter(|w| policies.contains(&w.as_str()))
@@ -138,6 +211,11 @@ impl QueryIntent {
                 .cloned()
                 .collect()
         };
+        if mentioned.is_empty() {
+            if let Some(p) = selector.policy.clone().filter(|p| policies.contains(&p.as_str())) {
+                mentioned.push(p);
+            }
+        }
 
         // Slot extraction: PCs are small (< 2^32, code addresses), data
         // addresses are large in our traces; fall back to order.
@@ -253,6 +331,7 @@ impl QueryIntent {
             policy: mentioned.first().cloned(),
             policies: mentioned,
             wants_minimum,
+            selector,
             raw: question.to_owned(),
         }
     }
@@ -378,6 +457,101 @@ mod tests {
         assert_eq!(i.category, QueryCategory::HitMiss);
         assert_eq!(i.address, Some(Address::new(0x47ea85d37f)));
         assert_eq!(i.pc, None);
+    }
+
+    #[test]
+    fn inline_machine_syntax_lands_in_the_selector() {
+        let i = parse("What is the estimated IPC for mcf@table2 under LRU?");
+        assert_eq!(i.category, QueryCategory::MissRate, "IPC lookup shape");
+        assert_eq!(i.workload.as_deref(), Some("mcf"));
+        assert_eq!(i.selector.machine.as_deref(), Some("table2"));
+        assert_eq!(i.selector.workload.as_deref(), Some("mcf"));
+
+        let i = parse("What is the miss rate of lbm @small under LRU?");
+        assert_eq!(i.selector.machine.as_deref(), Some("small"));
+        assert_eq!(i.workload.as_deref(), Some("lbm"));
+
+        // Trailing punctuation is stripped before parsing the token.
+        let i = parse("Which policy gives the highest IPC on astar@small?");
+        assert_eq!(i.selector.machine.as_deref(), Some("small"));
+        assert_eq!(i.category, QueryCategory::PolicyComparison);
+
+        // Questions without the syntax carry the unscoped selector.
+        let i = parse("What is the miss rate of mcf under LRU?");
+        assert!(i.selector.is_unscoped());
+
+        // Full canonical labels are accepted even without a preset name.
+        let i = parse("What is the IPC for mcf@LLC-half@1024x16 under LRU?");
+        assert_eq!(i.selector.machine.as_deref(), Some("LLC-half@1024x16"));
+    }
+
+    #[test]
+    fn incidental_at_tokens_are_not_adopted_as_selectors() {
+        // Quoted emails, handles and paths must not scope retrieval to a
+        // machine that cannot exist — the question keeps answering from
+        // the primary machine.
+        for q in [
+            "Why does PC 0x409200 miss in astar? contact bob@example.com",
+            "As @reviewer asked: what is the miss rate of mcf under LRU?",
+            "What is the miss rate of unknownwl@table2 under LRU?",
+        ] {
+            let i = parse(q);
+            assert!(i.selector.is_unscoped(), "{q:?} adopted {:?}", i.selector);
+        }
+        // ... while credible selector tokens still are adopted.
+        let i = parse("What is the IPC for mcf@table2 under LRU?");
+        assert_eq!(i.selector.machine.as_deref(), Some("table2"));
+    }
+
+    #[test]
+    fn scoped_parse_fills_open_slots_before_classification() {
+        use cachemind_sim::scenario::ScenarioSelector;
+        let pinned = ScenarioSelector::all().with_workload("mcf").with_policy("lru");
+        // Without scope: no workload slot, so an IPC question degrades to
+        // Concepts. With a pinned session it classifies as a rate lookup.
+        let bare = parse("What is the estimated IPC?");
+        assert_eq!(bare.category, QueryCategory::Concepts);
+        let scoped =
+            QueryIntent::parse_scoped("What is the estimated IPC?", &WORKLOADS, &POLICIES, &pinned);
+        assert_eq!(scoped.category, QueryCategory::MissRate);
+        assert_eq!(scoped.workload.as_deref(), Some("mcf"));
+        assert_eq!(scoped.policy.as_deref(), Some("lru"));
+
+        // Slots the question pins stay the question's: inline text wins.
+        let scoped = QueryIntent::parse_scoped(
+            "What is the estimated IPC for lbm under belady?",
+            &WORKLOADS,
+            &POLICIES,
+            &pinned,
+        );
+        assert_eq!(scoped.workload.as_deref(), Some("lbm"));
+        assert_eq!(scoped.policy.as_deref(), Some("belady"));
+
+        // A pinned name outside the vocabulary is ignored.
+        let alien = ScenarioSelector::all().with_workload("spectre");
+        let scoped = QueryIntent::parse_scoped("miss rate?", &WORKLOADS, &POLICIES, &alien);
+        assert_eq!(scoped.workload, None);
+
+        // The unscoped selector reproduces plain parse exactly.
+        let q = "Which policy has the lowest miss rate for PC 0x409270 in astar?";
+        let a = parse(q);
+        let b = QueryIntent::parse_scoped(q, &WORKLOADS, &POLICIES, &ScenarioSelector::all());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inline_selector_wins_over_session_scope_per_field() {
+        use cachemind_sim::scenario::ScenarioSelector;
+        let pinned = ScenarioSelector::all().with_machine("table2").with_policy("lru");
+        let i = QueryIntent::parse_scoped(
+            "What is the estimated IPC for mcf@small?",
+            &WORKLOADS,
+            &POLICIES,
+            &pinned,
+        );
+        assert_eq!(i.selector.machine.as_deref(), Some("small"), "inline machine wins");
+        assert_eq!(i.selector.policy.as_deref(), Some("lru"), "pinned policy fills the gap");
+        assert_eq!(i.policy.as_deref(), Some("lru"));
     }
 
     #[test]

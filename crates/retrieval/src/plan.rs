@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use cachemind_lang::context::Fact;
 use cachemind_sim::addr::{Address, Pc};
+use cachemind_sim::scenario::ScenarioSelector;
 use cachemind_tracedb::database::TraceId;
 use cachemind_tracedb::filter::Predicate;
 use cachemind_tracedb::meta;
@@ -255,12 +256,15 @@ impl Plan {
         db: &'d dyn TraceStore,
         workload: &str,
         policy: &str,
+        scope: &ScenarioSelector,
     ) -> Result<&'d cachemind_tracedb::database::TraceEntry, PlanError> {
         let id = TraceId::new(workload, policy);
-        db.get_id(&id).ok_or_else(|| PlanError::UnknownTrace(id.key()))
+        db.get_scoped(&id, scope).ok_or_else(|| PlanError::UnknownTrace(id.key()))
     }
 
-    /// Executes the plan against the database, producing facts.
+    /// Executes the plan against the database with no scenario scope —
+    /// [`Plan::run_scoped`] over the unscoped selector, byte-identical to
+    /// the pre-selector runtime.
     ///
     /// # Errors
     ///
@@ -268,10 +272,27 @@ impl Plan {
     /// [`PlanError::EmptyResult`] when the filters matched nothing — the
     /// runtime signal Ranger turns into a premise check.
     pub fn run(&self, db: &dyn TraceStore) -> Result<Vec<Fact>, PlanError> {
+        self.run_scoped(db, &ScenarioSelector::all())
+    }
+
+    /// Executes the plan against the database, scoping every trace lookup
+    /// to the selector's machine/prefetcher half: on a multi-machine
+    /// store, the same plan answers from whichever machine's traces the
+    /// scope picks (the workload/policy the plan itself names are already
+    /// resolved slots and are not re-filtered).
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::run`].
+    pub fn run_scoped(
+        &self,
+        db: &dyn TraceStore,
+        scope: &ScenarioSelector,
+    ) -> Result<Vec<Fact>, PlanError> {
         let expert = CacheStatisticalExpert::new();
         match self {
             Plan::Lookup { workload, policy, pc, address } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut pred = Predicate::True;
                 if let Some(pc) = pc {
                     pred = pred.and(Predicate::PcEquals(*pc));
@@ -292,7 +313,7 @@ impl Plan {
                 }])
             }
             Plan::PcMissRate { workload, policy, pc } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let stats = expert.pc_stats(&entry.frame, *pc).ok_or(PlanError::EmptyResult)?;
                 Ok(vec![Fact::MissRate {
                     scope: format!("PC {pc}"),
@@ -301,7 +322,7 @@ impl Plan {
                 }])
             }
             Plan::WorkloadMissRate { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let rate = meta::extract_percent(&entry.metadata, "miss rate")
                     .ok_or(PlanError::EmptyResult)?;
                 Ok(vec![Fact::MissRate {
@@ -311,7 +332,7 @@ impl Plan {
                 }])
             }
             Plan::WorkloadIpc { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let ipc = meta::extract_ipc(&entry.metadata).ok_or(PlanError::EmptyResult)?;
                 let machine = meta::extract_machine(&entry.metadata).unwrap_or("unknown machine");
                 Ok(vec![Fact::NumericValue {
@@ -325,7 +346,7 @@ impl Plan {
             Plan::CompareIpcAcrossPolicies { workload } => {
                 let mut facts = Vec::new();
                 for policy in db.policies() {
-                    let Ok(entry) = Self::entry(db, workload, &policy) else { continue };
+                    let Ok(entry) = Self::entry(db, workload, &policy, scope) else { continue };
                     if let Some(ipc) = meta::extract_ipc(&entry.metadata) {
                         facts.push(Fact::PolicyValue {
                             policy,
@@ -343,7 +364,7 @@ impl Plan {
             Plan::CompareIpcAcrossWorkloads { policy } => {
                 let mut facts = Vec::new();
                 for w in db.workloads() {
-                    let Ok(entry) = Self::entry(db, &w, policy) else { continue };
+                    let Ok(entry) = Self::entry(db, &w, policy, scope) else { continue };
                     if let Some(ipc) = meta::extract_ipc(&entry.metadata) {
                         facts.push(Fact::PolicyValue {
                             policy: w,
@@ -361,7 +382,7 @@ impl Plan {
             Plan::CompareAcrossPolicies { workload, pc } => {
                 let mut facts = Vec::new();
                 for policy in db.policies() {
-                    let Ok(entry) = Self::entry(db, workload, &policy) else { continue };
+                    let Ok(entry) = Self::entry(db, workload, &policy, scope) else { continue };
                     let value = match pc {
                         Some(pc) => {
                             expert.pc_stats(&entry.frame, *pc).map(|s| s.miss_rate() * 100.0)
@@ -385,7 +406,7 @@ impl Plan {
             Plan::CompareAcrossWorkloads { policy } => {
                 let mut facts = Vec::new();
                 for w in db.workloads() {
-                    let Ok(entry) = Self::entry(db, &w, policy) else { continue };
+                    let Ok(entry) = Self::entry(db, &w, policy, scope) else { continue };
                     if let Some(rate) = meta::extract_percent(&entry.metadata, "miss rate") {
                         facts.push(Fact::PolicyValue {
                             policy: w,
@@ -401,7 +422,7 @@ impl Plan {
                 }
             }
             Plan::CountRows { workload, policy, pc, address, misses_only } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut pred = Predicate::True;
                 if let Some(pc) = pc {
                     pred = pred.and(Predicate::PcEquals(*pc));
@@ -423,7 +444,7 @@ impl Plan {
                 }])
             }
             Plan::Aggregate { workload, policy, pc, column, func } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut pred = Predicate::True;
                 if let Some(pc) = pc {
                     pred = pred.and(Predicate::PcEquals(*pc));
@@ -446,7 +467,7 @@ impl Plan {
                 }])
             }
             Plan::PerPcTable { workload, policy, limit } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut stats = expert.per_pc(&entry.frame);
                 stats.sort_by_key(|s| std::cmp::Reverse(s.misses));
                 if *limit > 0 {
@@ -477,7 +498,7 @@ impl Plan {
                 }])
             }
             Plan::PerSetTable { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let sets = expert.per_set(&entry.frame);
                 if sets.is_empty() {
                     return Err(PlanError::EmptyResult);
@@ -501,7 +522,7 @@ impl Plan {
                 }])
             }
             Plan::ContextBundle { workload, policy, pc } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut facts = vec![Fact::Snippet {
                     title: "Trace metadata".to_owned(),
                     text: entry.metadata.clone(),
@@ -518,7 +539,7 @@ impl Plan {
                 Ok(facts)
             }
             Plan::UniquePcs { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let pcs = entry.frame.unique_pcs();
                 if pcs.is_empty() {
                     return Err(PlanError::EmptyResult);
@@ -534,7 +555,7 @@ impl Plan {
                 ])
             }
             Plan::UniqueSets { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let sets = entry.frame.unique_sets();
                 if sets.is_empty() {
                     return Err(PlanError::EmptyResult);
@@ -550,7 +571,7 @@ impl Plan {
                 ])
             }
             Plan::GroupPcsByReuseVariance { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut scored: Vec<(Pc, f64)> = expert
                     .per_pc(&entry.frame)
                     .into_iter()
@@ -574,7 +595,7 @@ impl Plan {
                 }])
             }
             Plan::HotColdSets { workload, policy } => {
-                let entry = Self::entry(db, workload, policy)?;
+                let entry = Self::entry(db, workload, policy, scope)?;
                 let mut sets = expert.per_set(&entry.frame);
                 sets.retain(|s| s.accesses >= 10);
                 if sets.is_empty() {

@@ -166,11 +166,14 @@ impl RangerRetriever {
         }
     }
 
-    /// The premise investigation run on an empty result.
+    /// The premise investigation run on an empty result. The scan ranges
+    /// over every workload and policy but stays inside the intent's
+    /// machine/prefetcher scope — a PC that only exists on another machine
+    /// is still a premise violation for this one.
     fn investigate_empty(db: &dyn TraceStore, intent: &QueryIntent) -> Option<Fact> {
         let pc = intent.pc?;
         let homes: Vec<String> = db
-            .entries()
+            .select(&intent.selector.machine_scope())
             .filter(|e| e.frame.rows().iter().any(|r| r.pc == pc))
             .map(|e| e.id.workload.clone())
             .collect::<std::collections::BTreeSet<_>>()
@@ -200,7 +203,7 @@ impl Retriever for RangerRetriever {
         let Some(plan) = self.compile(db, intent) else {
             return RetrievedContext::empty("ranger");
         };
-        let mut facts = match plan.run(db) {
+        let mut facts = match plan.run_scoped(db, &intent.selector.machine_scope()) {
             Ok(facts) => facts,
             Err(PlanError::EmptyResult) => {
                 let mut facts = Vec::new();
@@ -316,6 +319,53 @@ mod tests {
             let entry = db.get(&format!("{w}_evictions_lru")).unwrap();
             assert!((value - entry.ipc).abs() < 1e-6, "{w}: {value} vs {}", entry.ipc);
         }
+    }
+
+    #[test]
+    fn selector_scope_picks_the_machine_a_plan_answers_from() {
+        use cachemind_sim::config::MachineConfig;
+        use cachemind_sim::scenario::ScenarioSelector;
+        use cachemind_tracedb::database::TraceId;
+        use cachemind_tracedb::store::TraceStore;
+
+        let db = TraceDatabaseBuilder::quick_demo()
+            .workloads(["mcf"])
+            .policies(["lru"])
+            .machine(MachineConfig::preset("table2").expect("preset"))
+            .machine(MachineConfig::preset("small").expect("preset"))
+            .build();
+        let plan = Plan::WorkloadIpc { workload: "mcf".into(), policy: "lru".into() };
+
+        // Unscoped: the primary machine answers, exactly as before.
+        let unscoped = plan.run(&db).expect("primary runs");
+        let primary = db.get("mcf_evictions_lru").unwrap();
+        let Fact::NumericValue { value, what, .. } = &unscoped[0] else { panic!("IPC fact") };
+        assert!((value - primary.ipc).abs() < 1e-6);
+        assert!(what.contains(&primary.machine), "{what}");
+
+        // Scoped: each machine cites its own label and IPC.
+        for name in ["table2", "small"] {
+            let scope = ScenarioSelector::all().with_machine(name);
+            let entry = db.get_scoped(&TraceId::new("mcf", "lru"), &scope).expect("scoped entry");
+            let facts = plan.run_scoped(&db, &scope).expect("scoped run");
+            let Fact::NumericValue { value, what, .. } = &facts[0] else { panic!("IPC fact") };
+            assert!((value - entry.ipc).abs() < 1e-6, "{name}: {value} vs {}", entry.ipc);
+            assert!(what.contains(&entry.machine), "{name}: {what}");
+            assert!(entry.machine.starts_with(&format!("{name}@")));
+        }
+
+        // End-to-end through the retriever: the inline @machine syntax
+        // scopes retrieval without any new plumbing at the call site.
+        let q = "What is the estimated IPC for mcf@small under LRU?";
+        let ctx = RangerRetriever::new().retrieve(&db, &intent(&db, q));
+        let Some(Fact::NumericValue { value, what, .. }) = ctx.facts.first() else {
+            panic!("expected an IPC fact: {:?}", ctx.facts);
+        };
+        let small = db
+            .get_scoped(&TraceId::new("mcf", "lru"), &ScenarioSelector::all().with_machine("small"))
+            .unwrap();
+        assert!((value - small.ipc).abs() < 1e-6);
+        assert!(what.contains(&small.machine), "{what}");
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub trait Retriever {
 
 /// Resolves the (workload, policy) pair an intent refers to, against the
 /// database's vocabulary, with optional fuzzy ("semantic") matching for
-/// near-miss names. Returns `None` for a slot the query does not pin down.
+/// near-miss names. Slots the question text leaves open fall back to the
+/// intent's scenario selector (a session-pinned or inline `@` scope)
+/// before resolution, so a scoped query binds like an explicit one.
+/// Returns `None` for a slot neither the query nor its scope pins down.
 pub fn resolve_trace_slots(
     db: &dyn TraceStore,
     intent: &QueryIntent,
@@ -31,20 +34,23 @@ pub fn resolve_trace_slots(
 ) -> (Option<String>, Option<String>) {
     let workloads = db.workloads();
     let policies = db.policies();
-    let resolve = |want: &Option<String>, vocab: &[String]| -> Option<String> {
-        let w = want.as_deref()?;
-        if vocab.iter().any(|v| v == w) {
-            return Some(w.to_owned());
+    let resolve = |want: Option<String>, vocab: &[String]| -> Option<String> {
+        let w = want?;
+        if vocab.iter().any(|v| *v == w) {
+            return Some(w);
         }
         if semantic {
             // Prefix / containment fallback for morphological variants
             // ("astar's", "belady-opt").
-            vocab.iter().find(|v| w.starts_with(v.as_str()) || v.starts_with(w)).cloned()
+            vocab.iter().find(|v| w.starts_with(v.as_str()) || v.starts_with(&w)).cloned()
         } else {
             None
         }
     };
-    (resolve(&intent.workload, &workloads), resolve(&intent.policy, &policies))
+    (
+        resolve(intent.workload.clone().or_else(|| intent.selector.workload.clone()), &workloads),
+        resolve(intent.policy.clone().or_else(|| intent.selector.policy.clone()), &policies),
+    )
 }
 
 #[cfg(test)]

@@ -81,7 +81,7 @@ impl SieveRetriever {
         let pc_in_trace = entry.frame.rows().iter().any(|r| r.pc == pc);
         if !pc_in_trace {
             let elsewhere: Vec<String> = db
-                .entries()
+                .select(&intent.selector.machine_scope())
                 .filter(|e| e.frame.rows().iter().any(|r| r.pc == pc))
                 .map(|e| e.id.workload.clone())
                 .collect::<std::collections::BTreeSet<_>>()
@@ -147,9 +147,10 @@ impl SieveRetriever {
         // Cross-policy statistics for policy analysis.
         if intent.category == QueryCategory::PolicyAnalysis {
             for policy in &intent.policies {
-                if let Some(other) = db
-                    .get_id(&cachemind_tracedb::database::TraceId::new(&entry.id.workload, policy))
-                {
+                if let Some(other) = db.get_scoped(
+                    &cachemind_tracedb::database::TraceId::new(&entry.id.workload, policy),
+                    &intent.selector,
+                ) {
                     if let Some(pc) = intent.pc {
                         if let Some(stats) =
                             CacheStatisticalExpert::new().pc_stats(&other.frame, pc)
@@ -181,11 +182,12 @@ impl Retriever for SieveRetriever {
         let expert = CacheStatisticalExpert::new();
         let mut facts: Vec<Fact> = Vec::new();
 
-        // Stage 1: trace-level filtering. Without a workload Sieve's
-        // templates have nothing to bind to (except workload comparisons).
+        // Stage 1: trace-level filtering, scoped to the intent's scenario
+        // selector. Without a workload Sieve's templates have nothing to
+        // bind to (except workload comparisons).
         let entry = workload.as_deref().and_then(|w| {
             let p = policy.as_deref().unwrap_or("lru");
-            db.get_id(&cachemind_tracedb::database::TraceId::new(w, p))
+            db.get_scoped(&cachemind_tracedb::database::TraceId::new(w, p), &intent.selector)
         });
 
         match intent.category {
@@ -263,9 +265,10 @@ impl Retriever for SieveRetriever {
             QueryCategory::PolicyComparison => {
                 if let Some(w) = workload.as_deref() {
                     for policy in db.policies() {
-                        let Some(entry) =
-                            db.get_id(&cachemind_tracedb::database::TraceId::new(w, &policy))
-                        else {
+                        let Some(entry) = db.get_scoped(
+                            &cachemind_tracedb::database::TraceId::new(w, &policy),
+                            &intent.selector,
+                        ) else {
                             continue;
                         };
                         let value = match intent.pc {
@@ -332,9 +335,10 @@ impl Retriever for SieveRetriever {
             QueryCategory::WorkloadAnalysis => {
                 let p = policy.as_deref().unwrap_or("lru");
                 for w in db.workloads() {
-                    if let Some(entry) =
-                        db.get_id(&cachemind_tracedb::database::TraceId::new(&w, p))
-                    {
+                    if let Some(entry) = db.get_scoped(
+                        &cachemind_tracedb::database::TraceId::new(&w, p),
+                        &intent.selector,
+                    ) {
                         if let Some(rate) =
                             cachemind_tracedb::meta::extract_percent(&entry.metadata, "miss rate")
                         {
@@ -417,6 +421,33 @@ mod tests {
         let miss_pct =
             cachemind_tracedb::meta::extract_percent(&entry.metadata, "miss rate").unwrap();
         assert!((value - miss_pct).abs() > 1.0, "IPC answered with the miss rate");
+    }
+
+    #[test]
+    fn inline_machine_scope_changes_the_cited_ipc() {
+        use cachemind_sim::config::MachineConfig;
+        use cachemind_sim::scenario::ScenarioSelector;
+        use cachemind_tracedb::database::TraceId;
+        use cachemind_tracedb::store::TraceStore;
+
+        let db = TraceDatabaseBuilder::quick_demo()
+            .workloads(["mcf"])
+            .policies(["lru"])
+            .machine(MachineConfig::preset("small").expect("preset"))
+            .build();
+        let scoped_entry = db
+            .get_scoped(&TraceId::new("mcf", "lru"), &ScenarioSelector::all().with_machine("small"))
+            .expect("small entry");
+        let q = "What is the estimated IPC for mcf@small under LRU?";
+        let ctx = SieveRetriever::new().retrieve(&db, &intent(&db, q));
+        let Some(Fact::NumericValue { value, what, .. }) = ctx.facts.first() else {
+            panic!("expected an IPC fact, got {:?}", ctx.facts);
+        };
+        assert!((value - scoped_entry.ipc).abs() < 1e-6, "{value} vs {}", scoped_entry.ipc);
+        assert!(what.contains(&scoped_entry.machine), "must cite the scoped machine: {what}");
+        // And the primary machine answers differently.
+        let primary = db.get("mcf_evictions_lru").unwrap();
+        assert_ne!(*value, primary.ipc, "scope must change the cited value");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use cachemind_core::system::RetrieverKind;
 use cachemind_serve::engine::{ServeConfig, ServeEngine};
 use cachemind_serve::load::{run_load_driver, LoadSpec};
 use cachemind_serve::protocol::{AskRequest, AskResponse, ProtocolError};
+use cachemind_tracedb::ScenarioSelector;
 use cachemind_workloads::workload::Scale;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -47,8 +48,13 @@ fn usage() -> ! {
         "usage: cachemind-serve [--load-driver] [--sessions N] [--questions M]\n\
          \x20                      [--retriever sieve|ranger] [--scale tiny|small|full]\n\
          \x20                      [--shards S] [--threads N] [--report PATH] [--no-timing]\n\
+         \x20                      [--machines table2,small] [--scenarios @table2,@small]\n\
+         --machines adds machine-qualified traces (MachineConfig presets) to the build;\n\
+         --scenarios pins load-driver sessions round-robin to selectors\n\
+         \x20   (canonical form workload@machine+prefetcher/policy, all parts optional).\n\
          without --load-driver, serves newline-delimited JSON requests from stdin:\n\
-         \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)"
+         \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)\n\
+         \x20   {{\"question\": \"...\", \"scenario\": \"@table2\", \"protocol_version\": 2}}"
     );
     std::process::exit(2)
 }
@@ -76,6 +82,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let machines: Vec<String> = flag(&args, "--machines")
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned).collect())
+        .unwrap_or_default();
+    let scenarios: Vec<ScenarioSelector> = flag(&args, "--scenarios")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    ScenarioSelector::parse(s).unwrap_or_else(|e| {
+                        eprintln!("error: --scenarios: {e}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let config = ServeConfig {
         retriever,
         scale,
@@ -86,6 +109,7 @@ fn main() {
                 std::process::exit(2);
             })
         }),
+        machines,
         ..Default::default()
     };
 
@@ -111,6 +135,7 @@ fn main() {
         let spec = LoadSpec {
             sessions: usize_flag(&args, "--sessions", LoadSpec::default().sessions),
             questions: usize_flag(&args, "--questions", LoadSpec::default().questions),
+            scenarios,
         };
         let outcome = run_load_driver(&engine, spec);
         let with_timing = !has(&args, "--no-timing");

@@ -19,12 +19,13 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use cachemind_core::chat::ChatSession;
-use cachemind_core::system::{CacheMind, ContextCache, RetrieverKind};
+use cachemind_core::system::{CacheMind, ContextCache, Query, RetrieverKind};
 use cachemind_lang::profiles::BackendKind;
+use cachemind_sim::config::MachineConfig;
 use cachemind_tracedb::database::BuildError;
 use cachemind_tracedb::shard::ShardedTraceDatabase;
 use cachemind_tracedb::store::TraceStore;
-use cachemind_tracedb::TraceDatabaseBuilder;
+use cachemind_tracedb::{ScenarioSelector, TraceDatabaseBuilder};
 use cachemind_workloads::workload::Scale;
 
 use crate::protocol::{AskRequest, AskResponse, ProtocolError};
@@ -45,6 +46,10 @@ pub struct ServeConfig {
     /// Worker threads; `None` reads `SERVE_NUM_THREADS`, falling back to
     /// the machine's available parallelism.
     pub threads: Option<usize>,
+    /// Extra [`MachineConfig`] preset names (`"table2"`, `"small"`) to
+    /// build machine-qualified traces for, on top of the primary machine —
+    /// the database behind scenario-pinned (protocol v2) sessions.
+    pub machines: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +60,7 @@ impl Default for ServeConfig {
             scale: Scale::Tiny,
             shards: TraceDatabaseBuilder::DEFAULT_SHARDS,
             threads: None,
+            machines: Vec::new(),
         }
     }
 }
@@ -74,26 +80,50 @@ impl ServeConfig {
     }
 }
 
+/// One served session: the chat state plus its pinned scenario scope.
+#[derive(Debug)]
+struct SessionState {
+    chat: ChatSession,
+    /// The session's default scenario scope, pinned at open (unscoped for
+    /// v1 sessions). A request-level `scenario` overrides it per turn.
+    pinned: ScenarioSelector,
+}
+
 /// The serving front-end: session manager + batched ask rounds.
 #[derive(Debug)]
 pub struct ServeEngine {
     store: Arc<dyn TraceStore>,
     mind: CacheMind,
-    sessions: Mutex<BTreeMap<u64, ChatSession>>,
+    sessions: Mutex<BTreeMap<u64, SessionState>>,
     next_session: AtomicU64,
     config: ServeConfig,
+    /// The store's canonical machine labels, snapshotted once at engine
+    /// construction (the store is immutable for the engine's lifetime):
+    /// used to canonicalize preset-name scopes into keyed lookups and to
+    /// resolve the machine a scoped answer cites.
+    machine_labels: Vec<String>,
 }
 
 impl ServeEngine {
     /// Builds the sharded trace database described by `config` and starts
-    /// an engine over it.
+    /// an engine over it. `config.machines` preset names add
+    /// machine-qualified traces to the build, so scenario-pinned sessions
+    /// have per-machine entries to answer from.
     ///
-    /// Unknown workload/policy names surface as a clean [`BuildError`] —
-    /// the builder validates before any shard worker runs.
+    /// Unknown workload/policy/machine-preset names surface as a clean
+    /// [`BuildError`] — validation happens before any shard worker runs.
     pub fn build(config: ServeConfig) -> Result<Self, BuildError> {
+        let mut machines = Vec::with_capacity(config.machines.len());
+        for name in &config.machines {
+            machines.push(
+                MachineConfig::preset(name)
+                    .ok_or_else(|| BuildError::UnknownMachine(name.clone()))?,
+            );
+        }
         let db = TraceDatabaseBuilder::new()
             .scale(config.scale)
             .shards(config.shards)
+            .machines(machines)
             .try_build_sharded()?;
         Ok(Self::over(db, config))
     }
@@ -116,12 +146,37 @@ impl ServeEngine {
         let mind = CacheMind::shared(Arc::clone(&store))
             .with_retriever(config.retriever)
             .with_backend(config.backend);
+        let machine_labels = store.machines();
         ServeEngine {
             store,
             mind,
             sessions: Mutex::new(BTreeMap::new()),
             next_session: AtomicU64::new(1),
             config,
+            machine_labels,
+        }
+    }
+
+    /// Rewrites a scope's machine from a preset *name* (`table2`) to the
+    /// store's canonical *label* (`table2@llc2048x16+dram160`), resolved
+    /// once per request against the engine's label snapshot — so every
+    /// scoped trace lookup downstream takes the keyed fast path instead
+    /// of a linear store scan. Labels already canonical (or unknown
+    /// machines, which must keep matching nothing) pass through
+    /// unchanged; a name matching several labels resolves to the first in
+    /// sorted order, the same entry the unresolved scan would have found.
+    fn canonicalize(&self, selector: ScenarioSelector) -> ScenarioSelector {
+        match &selector.machine {
+            Some(machine) if !self.machine_labels.iter().any(|l| l == machine) => {
+                match self.machine_labels.iter().find(|l| selector.matches_machine(l)) {
+                    Some(label) => {
+                        let label = label.clone();
+                        selector.with_machine(label)
+                    }
+                    None => selector,
+                }
+            }
+            _ => selector,
         }
     }
 
@@ -146,28 +201,43 @@ impl ServeEngine {
     }
 
     /// Allocates an id and constructs a session around its own
-    /// [`CacheMind`] sharing the engine's store.
+    /// [`CacheMind`] sharing the engine's store, with a pinned scenario
+    /// scope.
     ///
     /// Serving answers always flow through the engine's shared pipeline
     /// (`self.mind`); the per-session mind is configured identically by
     /// construction, so a session used directly (outside a round) answers
     /// exactly as the engine would.
-    fn fresh_session(&self) -> (u64, ChatSession) {
+    fn fresh_session(&self, pinned: ScenarioSelector) -> (u64, SessionState) {
         let id = self.next_session.fetch_add(1, Ordering::SeqCst);
-        let session = ChatSession::new(
+        let chat = ChatSession::new(
             CacheMind::shared(Arc::clone(&self.store))
                 .with_retriever(self.config.retriever)
                 .with_backend(self.config.backend),
         );
-        (id, session)
+        (id, SessionState { chat, pinned })
     }
 
-    /// Opens a fresh chat session sharing the engine's database, returning
-    /// its id. Ids are assigned 1, 2, 3, ... in open order.
+    /// Opens a fresh unscoped chat session sharing the engine's database,
+    /// returning its id. Ids are assigned 1, 2, 3, ... in open order.
     pub fn open_session(&self) -> u64 {
-        let (id, session) = self.fresh_session();
+        self.open_session_pinned(ScenarioSelector::all())
+    }
+
+    /// Opens a fresh chat session with a pinned default scenario scope:
+    /// every turn that does not carry its own `scenario` is answered
+    /// within this one — how a v2 client says *which machine* its session
+    /// asks about.
+    pub fn open_session_pinned(&self, pinned: ScenarioSelector) -> u64 {
+        let (id, session) = self.fresh_session(pinned);
         self.sessions.lock().expect("session map lock").insert(id, session);
         id
+    }
+
+    /// The scenario scope a session pinned at open (unscoped for v1
+    /// sessions); `None` for unknown sessions.
+    pub fn pinned_scenario(&self, session: u64) -> Option<ScenarioSelector> {
+        self.sessions.lock().expect("session map lock").get(&session).map(|s| s.pinned.clone())
     }
 
     /// The `(question, answer)` transcript of a session.
@@ -176,13 +246,17 @@ impl ServeEngine {
             .lock()
             .expect("session map lock")
             .get(&session)
-            .map(|s| s.transcript().to_vec())
+            .map(|s| s.chat.transcript().to_vec())
     }
 
     /// Vector-memory recall within one session (for isolation checks and
     /// the chat tooling).
     pub fn recall(&self, session: u64, query: &str, k: usize) -> Option<Vec<String>> {
-        self.sessions.lock().expect("session map lock").get(&session).map(|s| s.recall(query, k))
+        self.sessions
+            .lock()
+            .expect("session map lock")
+            .get(&session)
+            .map(|s| s.chat.recall(query, k))
     }
 
     /// Answers a single request (a one-element round).
@@ -198,59 +272,83 @@ impl ServeEngine {
     /// is deterministic too).
     pub fn ask_round(&self, requests: &[AskRequest]) -> Vec<AskResponse> {
         // Phase 0 (serial, one lock for the round): resolve or open
-        // sessions in request order.
-        let mut items: Vec<(usize, u64, &str)> = Vec::with_capacity(requests.len());
+        // sessions in request order, and resolve each request's scenario
+        // scope — its own `scenario` field, else the session's pinned
+        // default. A session-opening request's scenario becomes the new
+        // session's pinned scope.
+        let mut items: Vec<(usize, u64, Query)> = Vec::with_capacity(requests.len());
         let mut failures: Vec<(usize, AskResponse)> = Vec::new();
         {
             let mut sessions = self.sessions.lock().expect("session map lock");
             for (index, request) in requests.iter().enumerate() {
-                match request.session {
-                    Some(id) if sessions.contains_key(&id) => {
-                        items.push((index, id, request.question.as_str()));
-                    }
-                    Some(id) => failures.push((
-                        index,
-                        AskResponse::failure(id, &ProtocolError::UnknownSession(id)),
-                    )),
+                let resolved = match request.session {
+                    Some(id) => match sessions.get(&id) {
+                        Some(session) => Some((
+                            id,
+                            request.scenario.clone().unwrap_or_else(|| session.pinned.clone()),
+                        )),
+                        None => {
+                            failures.push((
+                                index,
+                                AskResponse::failure(id, &ProtocolError::UnknownSession(id)),
+                            ));
+                            None
+                        }
+                    },
                     None => {
-                        let (id, session) = self.fresh_session();
+                        let pinned = request.scenario.clone().unwrap_or_default();
+                        let (id, session) = self.fresh_session(pinned.clone());
                         sessions.insert(id, session);
-                        items.push((index, id, request.question.as_str()));
+                        Some((id, pinned))
                     }
+                };
+                if let Some((id, selector)) = resolved {
+                    let selector = self.canonicalize(selector);
+                    items.push((index, id, Query::scoped(request.question.clone(), selector)));
                 }
             }
         }
 
-        // Phase 1 (parallel): answer every question through the shared
+        // Phase 1 (parallel): answer every query through the shared
         // stateless pipeline; each worker keeps a retrieval memo for the
-        // chunk it serves.
+        // chunk it serves (memo keys include the resolved scope, so
+        // sessions pinned to different machines never alias).
         let answered = run_chunked(items, self.num_threads(), |chunk| {
             let mut cache = ContextCache::new();
             chunk
                 .into_iter()
-                .map(|(index, session, question)| {
+                .map(|(index, session, query)| {
                     let started = Instant::now();
-                    let answer = self.mind.ask_with_cache(question, &mut cache);
+                    let answer = self.mind.ask_query_with_cache(&query, &mut cache);
                     let micros = started.elapsed().as_micros() as u64;
-                    (index, session, question.to_owned(), answer, micros)
+                    (index, session, query, answer, micros)
                 })
                 .collect::<Vec<_>>()
         });
 
         // Phase 2 (serial, input order): record turns into sessions and
-        // assemble responses.
+        // assemble responses. Scoped (v2) requests additionally report the
+        // machine label their grounded evidence cites; v1 responses keep
+        // the legacy bytes exactly.
         let mut responses: Vec<Option<AskResponse>> = requests.iter().map(|_| None).collect();
         {
             let mut sessions = self.sessions.lock().expect("session map lock");
-            for (index, session_id, question, answer, micros) in answered {
+            for (index, session_id, query, answer, micros) in answered {
                 let session = sessions.get_mut(&session_id).expect("session resolved in phase 0");
-                session.log(&question, &answer.text);
+                session.chat.log(&query.text, &answer.text);
+                let machine = if query.selector.machine_scope().is_unscoped() {
+                    None
+                } else {
+                    cited_machine(&self.machine_labels, &answer)
+                };
                 responses[index] = Some(AskResponse {
                     session: session_id,
-                    turn: session.transcript().len(),
+                    turn: session.chat.transcript().len(),
                     answer: Some(answer.text),
                     verdict: Some(format!("{:?}", answer.verdict)),
+                    machine,
                     error: None,
+                    error_kind: None,
                     micros,
                 });
             }
@@ -260,6 +358,21 @@ impl ServeEngine {
         }
         responses.into_iter().map(|r| r.expect("response per request")).collect()
     }
+}
+
+/// The canonical machine label a scoped answer's grounded evidence cites:
+/// the store label that appears in one of the retrieved facts. `None`
+/// when the evidence cites no machine (e.g. a hit/miss lookup, whose
+/// facts carry no scenario sentence). Of the labels that match, the
+/// *longest* wins — one canonical label can be a prefix of another
+/// (`...dram160` / `...dram1600`), and substring containment alone would
+/// report the shorter one.
+fn cited_machine(labels: &[String], answer: &cachemind_core::system::Answer) -> Option<String> {
+    labels
+        .iter()
+        .filter(|label| answer.context.facts.iter().any(|f| f.render().contains(label.as_str())))
+        .max_by_key(|label| (label.len(), (*label).clone()))
+        .cloned()
 }
 
 /// The worker pool: `rayon::parallel_chunks` with the pool width answering
@@ -310,6 +423,79 @@ mod tests {
         assert_eq!(responses.len(), 1);
         assert!(!responses[0].is_ok());
         assert!(responses[0].error.as_deref().unwrap().contains("unknown session 42"));
+        // The unified in-band error shape: same fields as a parse failure,
+        // discriminated by the stable error_kind.
+        assert_eq!(responses[0].error_kind.as_deref(), Some("unknown_session"));
+        assert_eq!(responses[0].turn, 0);
+        let parse_failure = AskResponse::failure(0, &ProtocolError::BadRequest("x".into()));
+        assert_eq!(parse_failure.error_kind.as_deref(), Some("bad_request"));
+        assert_eq!(parse_failure.turn, responses[0].turn, "both error shapes agree");
+    }
+
+    #[test]
+    fn pinned_sessions_scope_every_turn_to_their_machine() {
+        let config = ServeConfig {
+            threads: Some(2),
+            shards: 3,
+            retriever: RetrieverKind::Ranger,
+            machines: vec!["table2".into(), "small".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("presets are valid");
+        let a = engine.open_session_pinned(ScenarioSelector::all().with_machine("table2"));
+        let b = engine.open_session_pinned(ScenarioSelector::all().with_machine("small"));
+        assert_eq!(
+            engine.pinned_scenario(a).unwrap().machine.as_deref(),
+            Some("table2"),
+            "pin recorded"
+        );
+
+        let q = "What is the estimated IPC for mcf under LRU?";
+        let responses =
+            engine.ask_round(&[AskRequest::in_session(a, q), AskRequest::in_session(b, q)]);
+        assert!(responses.iter().all(AskResponse::is_ok));
+        let on_a = responses[0].machine.as_deref().expect("scoped response cites its machine");
+        let on_b = responses[1].machine.as_deref().expect("scoped response cites its machine");
+        assert!(on_a.starts_with("table2@"), "session a answered from {on_a}");
+        assert!(on_b.starts_with("small@"), "session b answered from {on_b}");
+
+        // A request-level scenario overrides the session pin for one turn.
+        let scoped = AskRequest::in_session(a, q)
+            .with_scenario(ScenarioSelector::all().with_machine("small"));
+        let overridden = engine.ask_round(&[scoped]).pop().unwrap();
+        assert_eq!(
+            overridden.machine.as_deref(),
+            Some(on_b),
+            "override answers from session b's machine"
+        );
+        assert_eq!(overridden.answer, responses[1].answer);
+        // ... and the pin is untouched afterwards.
+        assert_eq!(engine.pinned_scenario(a).unwrap().machine.as_deref(), Some("table2"));
+    }
+
+    #[test]
+    fn v2_opening_requests_pin_their_scenario() {
+        let config = ServeConfig {
+            threads: Some(1),
+            shards: 2,
+            machines: vec!["small".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("preset is valid");
+        let open = AskRequest::new("What is the estimated IPC for mcf under LRU?")
+            .with_scenario(ScenarioSelector::all().with_machine("small"));
+        let response = engine.ask_round(&[open]).pop().unwrap();
+        assert!(response.is_ok());
+        let pinned = engine.pinned_scenario(response.session).expect("session opened");
+        assert_eq!(pinned.machine.as_deref(), Some("small"), "opening scenario becomes the pin");
+    }
+
+    #[test]
+    fn unknown_machine_presets_fail_the_build_cleanly() {
+        let config = ServeConfig { machines: vec!["cray-1".into()], ..Default::default() };
+        let err = ServeEngine::build(config).expect_err("unknown preset");
+        assert_eq!(err, BuildError::UnknownMachine("cray-1".into()));
+        assert!(err.to_string().contains("cray-1"));
     }
 
     #[test]

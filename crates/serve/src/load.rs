@@ -13,22 +13,40 @@ use serde_json::Value;
 
 use cachemind_core::system::RetrieverKind;
 use cachemind_tracedb::store::TraceStore;
+use cachemind_tracedb::ScenarioSelector;
 
 use crate::engine::ServeEngine;
 use crate::protocol::{AskRequest, AskResponse};
 
-/// Load-driver shape: how many sessions, how many questions each.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Load-driver shape: how many sessions, how many questions each, and —
+/// for protocol-v2 runs — which scenario each session pins at open.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadSpec {
     /// Concurrent sessions to open.
     pub sessions: usize,
     /// Questions per session (one per round).
     pub questions: usize,
+    /// Scenario selectors pinned to sessions round-robin (session `s`
+    /// pins `scenarios[s % len]`). Empty = the v1 driver: unscoped
+    /// sessions, byte-identical to the pre-v2 run.
+    pub scenarios: Vec<ScenarioSelector>,
 }
 
 impl Default for LoadSpec {
     fn default() -> Self {
-        LoadSpec { sessions: 8, questions: 4 }
+        LoadSpec { sessions: 8, questions: 4, scenarios: Vec::new() }
+    }
+}
+
+impl LoadSpec {
+    /// The scenario session `s` pins (unscoped when no scenarios are
+    /// configured).
+    pub fn pin_for(&self, session: usize) -> ScenarioSelector {
+        if self.scenarios.is_empty() {
+            ScenarioSelector::all()
+        } else {
+            self.scenarios[session % self.scenarios.len()].clone()
+        }
     }
 }
 
@@ -60,6 +78,35 @@ pub fn synthetic_question(store: &dyn TraceStore, session: usize, turn: usize) -
         3 => format!("Which policy has the lowest miss rate for the {workload} workload?"),
         4 => format!("List all unique PCs in the {workload} trace under {policy}."),
         _ => format!("Why does belady outperform lru on PC {} in {workload}?", row.pc),
+    }
+}
+
+/// The deterministic question a scenario-pinned `(session, turn)` asks.
+/// Unscoped sessions fall through to [`synthetic_question`] (the v1
+/// driver, byte-identical); pinned sessions rotate through an IPC-heavy
+/// template set, so their answers exercise the per-machine scenario
+/// sentences the pin selects.
+pub fn synthetic_question_scoped(
+    store: &dyn TraceStore,
+    session: usize,
+    turn: usize,
+    pin: &ScenarioSelector,
+) -> String {
+    if pin.is_unscoped() {
+        return synthetic_question(store, session, turn);
+    }
+    let workloads = store.workloads();
+    let policies = store.policies();
+    assert!(!workloads.is_empty() && !policies.is_empty(), "load driver needs a populated store");
+    let workload = &workloads[(session + turn) % workloads.len()];
+    let policy = &policies[(session + 3 * turn) % policies.len()];
+    // `session + turn` (not `+ 2 * turn`): every session walks all four
+    // templates, so every pinned session asks at least one IPC question.
+    match (session + turn) % 4 {
+        0 => format!("What is the estimated IPC for {workload} under {policy}?"),
+        1 => format!("What is the overall miss rate of the {workload} workload under {policy}?"),
+        2 => format!("Which policy gives the highest IPC on {workload}?"),
+        _ => format!("Which policy has the lowest miss rate for the {workload} workload?"),
     }
 }
 
@@ -118,6 +165,7 @@ impl LoadOutcome {
         let mut digest: u64 = fnv64(&[]);
         let mut verdicts: std::collections::BTreeMap<String, usize> = Default::default();
         for (s, (qs, rs)) in self.questions.iter().zip(&self.responses).enumerate() {
+            let pin = self.spec.pin_for(s);
             let mut turns = Vec::new();
             for (t, (question, response)) in qs.iter().zip(rs).enumerate() {
                 let mut turn = Value::object();
@@ -133,6 +181,9 @@ impl LoadOutcome {
                     let kind = verdict.split(['(', ' ']).next().unwrap_or("?").to_owned();
                     *verdicts.entry(kind).or_default() += 1;
                 }
+                if let Some(machine) = &response.machine {
+                    turn.insert("machine", Value::from(machine.as_str()));
+                }
                 if let Some(error) = &response.error {
                     turn.insert("error", Value::from(error.as_str()));
                 }
@@ -140,6 +191,11 @@ impl LoadOutcome {
             }
             let mut sess = Value::object();
             sess.insert("id", Value::from(rs.first().map(|r| r.session).unwrap_or(0)));
+            if !pin.is_unscoped() {
+                // v2 runs record each session's pinned scenario; v1 runs
+                // keep the legacy report bytes exactly.
+                sess.insert("scenario", Value::from(pin.to_string().as_str()));
+            }
             sess.insert("turns", Value::Array(turns));
             sessions.push(sess);
         }
@@ -207,11 +263,19 @@ impl LoadOutcome {
 
 /// Replays `spec.sessions × spec.questions` synthetic questions through
 /// the engine, one batched round per turn (every session's next question
-/// answered together).
+/// answered together). With `spec.scenarios` set, session `s` opens
+/// pinned to `scenarios[s % len]` and asks the scenario-aware question
+/// set; without, this is the v1 driver bit-for-bit.
 pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
-    let session_ids: Vec<u64> = (0..spec.sessions).map(|_| engine.open_session()).collect();
+    let session_ids: Vec<u64> =
+        (0..spec.sessions).map(|s| engine.open_session_pinned(spec.pin_for(s))).collect();
     let questions: Vec<Vec<String>> = (0..spec.sessions)
-        .map(|s| (0..spec.questions).map(|t| synthetic_question(engine.store(), s, t)).collect())
+        .map(|s| {
+            let pin = spec.pin_for(s);
+            (0..spec.questions)
+                .map(|t| synthetic_question_scoped(engine.store(), s, t, &pin))
+                .collect()
+        })
         .collect();
 
     let mut responses: Vec<Vec<AskResponse>> =
@@ -264,7 +328,8 @@ mod tests {
     #[test]
     fn load_driver_answers_everything() {
         let engine = engine(2);
-        let outcome = run_load_driver(&engine, LoadSpec { sessions: 3, questions: 2 });
+        let outcome =
+            run_load_driver(&engine, LoadSpec { sessions: 3, questions: 2, scenarios: vec![] });
         assert_eq!(outcome.answered(), 6);
         assert_eq!(outcome.errors(), 0);
         assert_eq!(engine.session_count(), 3);
@@ -278,5 +343,49 @@ mod tests {
         let deterministic = outcome.render(&engine, false);
         assert!(!deterministic.contains("micros"));
         assert!(!deterministic.contains("threads"));
+        assert!(!deterministic.contains("scenario"), "v1 reports carry no scenario field");
+    }
+
+    #[test]
+    fn scenario_pinned_driver_cites_per_machine_answers() {
+        use crate::engine::ServeConfig;
+        use cachemind_core::system::RetrieverKind;
+
+        let config = ServeConfig {
+            threads: Some(2),
+            shards: 3,
+            retriever: RetrieverKind::Ranger,
+            machines: vec!["table2".into(), "small".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("presets valid");
+        let spec = LoadSpec {
+            sessions: 2,
+            questions: 4,
+            scenarios: vec![
+                ScenarioSelector::all().with_machine("table2"),
+                ScenarioSelector::all().with_machine("small"),
+            ],
+        };
+        let outcome = run_load_driver(&engine, spec);
+        assert_eq!(outcome.errors(), 0);
+
+        // Find an estimated-IPC turn per session and check each response
+        // cites its pinned machine's label.
+        let cited: Vec<String> = (0..2)
+            .map(|s| {
+                let t = (0..4)
+                    .find(|t| outcome.questions[s][*t].contains("estimated IPC"))
+                    .expect("pinned sessions ask IPC questions");
+                outcome.responses[s][t].machine.clone().expect("scoped responses cite a machine")
+            })
+            .collect();
+        assert!(cited[0].starts_with("table2@"), "session 0 cites table2: {}", cited[0]);
+        assert!(cited[1].starts_with("small@"), "session 1 cites small: {}", cited[1]);
+
+        // The deterministic report records each session's pin.
+        let report = outcome.render(&engine, false);
+        assert!(report.contains("\"scenario\": \"@table2\""), "{report}");
+        assert!(report.contains("\"scenario\": \"@small\""), "{report}");
     }
 }

@@ -9,10 +9,34 @@
 //!
 //! `session` is optional in requests — omitting it (or sending `null`)
 //! opens a fresh session and the response carries the assigned id. Errors
-//! come back in-band as `{"session": ..., "error": "..."}` so a batch of
-//! requests always yields a response per request.
+//! come back in-band as `{"session": ..., "error": "...", "error_kind":
+//! "..."}` so a batch of requests always yields a response per request;
+//! `error_kind` is a stable machine-matchable discriminator
+//! (`invalid_json` | `bad_request` | `unknown_session`).
+//!
+//! # Protocol v2: scenario-scoped asks
+//!
+//! A request may carry `"protocol_version": 2` and a `"scenario"` field —
+//! a [`ScenarioSelector`] in its canonical text form
+//! (`workload@machine+prefetcher/policy`, all components optional):
+//!
+//! ```json
+//! {"question": "What is the estimated IPC for mcf?", "scenario": "@table2/lru", "protocol_version": 2}
+//! ```
+//!
+//! The scenario scopes that request's retrieval; when the request *opens*
+//! a session (no `session` field), the scenario is also pinned as the
+//! session's default scope for later turns. Sending `scenario` implies
+//! v2. Plain v1 requests remain valid and answer byte-identically to the
+//! pre-v2 protocol.
 
+use cachemind_tracedb::ScenarioSelector;
 use serde_json::Value;
+
+/// The current protocol version ([`AskRequest::protocol_version`]).
+pub const PROTOCOL_V2: u64 = 2;
+/// The legacy, selector-free protocol version.
+pub const PROTOCOL_V1: u64 = 1;
 
 /// A protocol-level failure, reported in-band per request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +47,19 @@ pub enum ProtocolError {
     BadRequest(String),
     /// The named session does not exist.
     UnknownSession(u64),
+}
+
+impl ProtocolError {
+    /// The stable machine-matchable discriminator carried in responses as
+    /// `error_kind` — the in-band error shape is uniform across parse
+    /// failures and session failures.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            ProtocolError::InvalidJson(_) => "invalid_json",
+            ProtocolError::BadRequest(_) => "bad_request",
+            ProtocolError::UnknownSession(_) => "unknown_session",
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -44,20 +81,38 @@ pub struct AskRequest {
     pub session: Option<u64>,
     /// The natural-language question.
     pub question: String,
+    /// The scenario scope of this request (v2). On a session-opening
+    /// request the scope is also pinned as the session default.
+    pub scenario: Option<ScenarioSelector>,
+    /// Protocol version: [`PROTOCOL_V1`] for legacy requests,
+    /// [`PROTOCOL_V2`] when scenario-scoped.
+    pub protocol_version: u64,
 }
 
 impl AskRequest {
-    /// A request opening a fresh session.
+    /// A v1 request opening a fresh session.
     pub fn new(question: impl Into<String>) -> Self {
-        AskRequest { session: None, question: question.into() }
+        AskRequest {
+            session: None,
+            question: question.into(),
+            scenario: None,
+            protocol_version: PROTOCOL_V1,
+        }
     }
 
-    /// A request against an existing session.
+    /// A v1 request against an existing session.
     pub fn in_session(session: u64, question: impl Into<String>) -> Self {
-        AskRequest { session: Some(session), question: question.into() }
+        AskRequest { session: Some(session), ..AskRequest::new(question) }
     }
 
-    /// Parses one request line.
+    /// Upgrades the request to v2 with a scenario scope.
+    pub fn with_scenario(mut self, scenario: ScenarioSelector) -> Self {
+        self.scenario = Some(scenario);
+        self.protocol_version = PROTOCOL_V2;
+        self
+    }
+
+    /// Parses one request line (v1 or v2).
     pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
         let value =
             serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
@@ -76,15 +131,57 @@ impl AskRequest {
                 ProtocolError::BadRequest("'session' must be a non-negative integer".into())
             })?),
         };
-        Ok(AskRequest { session, question })
+        let scenario = match value.get("scenario") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let text = v.as_str().ok_or_else(|| {
+                    ProtocolError::BadRequest("'scenario' must be a selector string".into())
+                })?;
+                Some(
+                    ScenarioSelector::parse(text)
+                        .map_err(|e| ProtocolError::BadRequest(e.to_string()))?,
+                )
+            }
+        };
+        let protocol_version = match value.get("protocol_version") {
+            None => {
+                // Sending a scenario implies v2.
+                if scenario.is_some() {
+                    PROTOCOL_V2
+                } else {
+                    PROTOCOL_V1
+                }
+            }
+            Some(v) => match v.as_u64() {
+                Some(n @ (PROTOCOL_V1 | PROTOCOL_V2)) => n,
+                _ => {
+                    return Err(ProtocolError::BadRequest(format!(
+                        "unsupported 'protocol_version' {v} (expected 1 or 2)"
+                    )))
+                }
+            },
+        };
+        if protocol_version == PROTOCOL_V1 && scenario.is_some() {
+            return Err(ProtocolError::BadRequest("'scenario' requires protocol_version 2".into()));
+        }
+        Ok(AskRequest { session, question, scenario, protocol_version })
     }
 
-    /// Renders the request as a compact JSON line.
+    /// Renders the request as a compact JSON line. v1 requests render the
+    /// legacy shape exactly; v2 requests add `scenario` (canonical text
+    /// form) and `protocol_version`.
     pub fn to_json(&self) -> String {
         let mut obj = Value::object();
         obj.insert("question", Value::from(self.question.as_str()));
         if let Some(id) = self.session {
             obj.insert("session", Value::from(id));
+        }
+        if let Some(scenario) = &self.scenario {
+            obj.insert("scenario", Value::from(scenario.to_string().as_str()));
+        }
+        if self.protocol_version != PROTOCOL_V1 {
+            obj.insert("protocol_version", Value::from(self.protocol_version));
         }
         obj.to_string()
     }
@@ -102,22 +199,34 @@ pub struct AskResponse {
     pub answer: Option<String>,
     /// The machine-checkable verdict, rendered (`Number(41.2)`, ...).
     pub verdict: Option<String>,
-    /// The protocol error, on failure.
+    /// The canonical machine label the answer's grounded evidence cites —
+    /// set only for scenario-scoped (v2) requests, so a pinned session can
+    /// verify *which machine* answered. Absent on v1 responses (bytes
+    /// unchanged).
+    pub machine: Option<String>,
+    /// The protocol error, on failure (human-readable).
     pub error: Option<String>,
+    /// The stable error discriminator, on failure
+    /// ([`ProtocolError::kind`]).
+    pub error_kind: Option<String>,
     /// Wall-clock time answering took, in microseconds. Excluded from
     /// deterministic renderings.
     pub micros: u64,
 }
 
 impl AskResponse {
-    /// A failure response.
+    /// A failure response: every protocol error — parse failure or
+    /// unknown session — takes this one in-band shape, with a stable
+    /// `error_kind`.
     pub fn failure(session: u64, error: &ProtocolError) -> Self {
         AskResponse {
             session,
             turn: 0,
             answer: None,
             verdict: None,
+            machine: None,
             error: Some(error.to_string()),
+            error_kind: Some(error.kind().to_owned()),
             micros: 0,
         }
     }
@@ -140,13 +249,46 @@ impl AskResponse {
         if let Some(verdict) = &self.verdict {
             obj.insert("verdict", Value::from(verdict.as_str()));
         }
+        if let Some(machine) = &self.machine {
+            obj.insert("machine", Value::from(machine.as_str()));
+        }
         if let Some(error) = &self.error {
             obj.insert("error", Value::from(error.as_str()));
+        }
+        if let Some(kind) = &self.error_kind {
+            obj.insert("error_kind", Value::from(kind.as_str()));
         }
         if with_timing {
             obj.insert("micros", Value::from(self.micros));
         }
         obj
+    }
+
+    /// Parses a response line back into the typed shape (the load-driver
+    /// and round-trip-test counterpart of [`AskResponse::to_json`]).
+    pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
+        let value =
+            serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
+        let session = value
+            .get("session")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ProtocolError::BadRequest("missing 'session'".into()))?;
+        let turn = value
+            .get("turn")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ProtocolError::BadRequest("missing 'turn'".into()))?
+            as usize;
+        let text = |field: &str| value.get(field).and_then(Value::as_str).map(str::to_owned);
+        Ok(AskResponse {
+            session,
+            turn,
+            answer: text("answer"),
+            verdict: text("verdict"),
+            machine: text("machine"),
+            error: text("error"),
+            error_kind: text("error_kind"),
+            micros: value.get("micros").and_then(Value::as_u64).unwrap_or(0),
+        })
     }
 
     /// Renders the response as a compact JSON line.
@@ -164,10 +306,44 @@ mod tests {
         let req = AskRequest::in_session(9, "What is the miss rate of mcf under LRU?");
         let parsed = AskRequest::from_json(&req.to_json()).expect("round trip");
         assert_eq!(parsed, req);
+        assert_eq!(parsed.protocol_version, PROTOCOL_V1);
 
         let fresh = AskRequest::new("hello");
         let parsed = AskRequest::from_json(&fresh.to_json()).expect("round trip");
         assert_eq!(parsed.session, None);
+    }
+
+    #[test]
+    fn v1_wire_shape_is_unchanged() {
+        // The legacy request renders without any v2 field — byte-for-byte
+        // what the pre-v2 protocol produced.
+        let req = AskRequest::in_session(3, "q");
+        assert_eq!(req.to_json(), "{\"question\":\"q\",\"session\":3}");
+    }
+
+    #[test]
+    fn v2_requests_round_trip_with_scenarios() {
+        let scenario = ScenarioSelector::parse("mcf@table2+stride4/lru").expect("selector");
+        let req =
+            AskRequest::in_session(7, "What is the estimated IPC?").with_scenario(scenario.clone());
+        assert_eq!(req.protocol_version, PROTOCOL_V2);
+        let line = req.to_json();
+        assert!(line.contains("\"scenario\":\"mcf@table2+stride4/lru\""), "{line}");
+        assert!(line.contains("\"protocol_version\":2"), "{line}");
+        let parsed = AskRequest::from_json(&line).expect("round trip");
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.scenario, Some(scenario));
+
+        // A scenario without an explicit version implies v2.
+        let implied =
+            AskRequest::from_json("{\"question\": \"q\", \"scenario\": \"@small\"}").unwrap();
+        assert_eq!(implied.protocol_version, PROTOCOL_V2);
+        assert_eq!(implied.scenario.as_ref().and_then(|s| s.machine.as_deref()), Some("small"));
+
+        // An explicit v2 without a scenario is fine (scope-free v2).
+        let bare = AskRequest::from_json("{\"question\": \"q\", \"protocol_version\": 2}").unwrap();
+        assert_eq!(bare.protocol_version, PROTOCOL_V2);
+        assert_eq!(bare.scenario, None);
     }
 
     #[test]
@@ -194,13 +370,80 @@ mod tests {
     }
 
     #[test]
+    fn bad_v2_requests_are_rejected() {
+        // Malformed selector text.
+        let err =
+            AskRequest::from_json("{\"question\": \"q\", \"scenario\": \"mcf@\"}").unwrap_err();
+        assert!(matches!(&err, ProtocolError::BadRequest(d) if d.contains("empty machine")));
+        // Non-string scenario.
+        assert!(matches!(
+            AskRequest::from_json("{\"question\": \"q\", \"scenario\": 5}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        // Unknown protocol version.
+        assert!(matches!(
+            AskRequest::from_json("{\"question\": \"q\", \"protocol_version\": 3}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        // A scenario on an explicit v1 request is contradictory.
+        assert!(matches!(
+            AskRequest::from_json(
+                "{\"question\": \"q\", \"scenario\": \"@small\", \"protocol_version\": 1}"
+            ),
+            Err(ProtocolError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn error_kinds_are_stable_and_uniform() {
+        for (error, kind) in [
+            (ProtocolError::InvalidJson("x".into()), "invalid_json"),
+            (ProtocolError::BadRequest("x".into()), "bad_request"),
+            (ProtocolError::UnknownSession(4), "unknown_session"),
+        ] {
+            assert_eq!(error.kind(), kind);
+            let resp = AskResponse::failure(0, &error);
+            assert_eq!(resp.error_kind.as_deref(), Some(kind));
+            assert!(!resp.is_ok());
+            let line = resp.to_json(false);
+            assert!(line.contains(&format!("\"error_kind\":\"{kind}\"")), "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = AskResponse {
+            session: 2,
+            turn: 1,
+            answer: Some("yes".into()),
+            verdict: Some("HitMiss(false)".into()),
+            machine: None,
+            error: None,
+            error_kind: None,
+            micros: 1234,
+        };
+        let back = AskResponse::from_json(&resp.to_json(true)).expect("round trip");
+        assert_eq!(back, resp);
+        // Without timing the micros default to zero on re-parse.
+        let back = AskResponse::from_json(&resp.to_json(false)).expect("round trip");
+        assert_eq!(back.micros, 0);
+        assert_eq!(back.answer, resp.answer);
+
+        let failure = AskResponse::failure(7, &ProtocolError::UnknownSession(7));
+        let back = AskResponse::from_json(&failure.to_json(true)).expect("round trip");
+        assert_eq!(back, failure);
+    }
+
+    #[test]
     fn response_rendering_controls_timing() {
         let resp = AskResponse {
             session: 2,
             turn: 1,
             answer: Some("yes".into()),
             verdict: Some("HitMiss(false)".into()),
+            machine: None,
             error: None,
+            error_kind: None,
             micros: 1234,
         };
         assert!(resp.to_json(true).contains("\"micros\":1234"));

@@ -13,7 +13,7 @@ use cachemind_serve::engine::{ServeConfig, ServeEngine};
 use cachemind_serve::load::{run_load_driver, synthetic_question, LoadSpec};
 use cachemind_serve::protocol::AskRequest;
 use cachemind_tracedb::store::TraceStore;
-use cachemind_tracedb::TraceDatabaseBuilder;
+use cachemind_tracedb::{ScenarioSelector, TraceDatabaseBuilder};
 
 fn engine_with(threads: usize, retriever: RetrieverKind) -> ServeEngine {
     let config = ServeConfig { threads: Some(threads), shards: 3, retriever, ..Default::default() };
@@ -26,11 +26,11 @@ fn engine_with(threads: usize, retriever: RetrieverKind) -> ServeEngine {
 
 #[test]
 fn load_driver_is_byte_identical_across_worker_counts() {
-    let spec = LoadSpec { sessions: 5, questions: 3 };
+    let spec = LoadSpec { sessions: 5, questions: 3, scenarios: vec![] };
     let mut reports = Vec::new();
     for threads in [1usize, 2, 8] {
         let engine = engine_with(threads, RetrieverKind::Sieve);
-        let outcome = run_load_driver(&engine, spec);
+        let outcome = run_load_driver(&engine, spec.clone());
         reports.push((threads, outcome.render(&engine, false)));
     }
     let (_, reference) = &reports[0];
@@ -44,9 +44,9 @@ fn load_driver_is_byte_identical_across_worker_counts() {
 
 #[test]
 fn batched_rounds_match_serial_replay() {
-    let spec = LoadSpec { sessions: 4, questions: 3 };
+    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![] };
     let batched_engine = engine_with(8, RetrieverKind::Ranger);
-    let outcome = run_load_driver(&batched_engine, spec);
+    let outcome = run_load_driver(&batched_engine, spec.clone());
 
     // Serial replay: a fresh single-threaded engine answers the same
     // questions one at a time, in the same (turn-major) order the rounds
@@ -70,6 +70,66 @@ fn batched_rounds_match_serial_replay() {
         let serial = serial_engine.transcript(*id).expect("session exists");
         let batched = batched_engine.transcript((s + 1) as u64).expect("session exists");
         assert_eq!(serial, batched, "transcript diverged for session {s}");
+    }
+}
+
+#[test]
+fn scenario_pinned_load_driver_is_byte_identical_across_worker_counts() {
+    // The PR's acceptance criterion: two sessions pinned to different
+    // MachineConfig presets over one shared sharded database return
+    // per-machine IPC answers citing the correct machine label, and the
+    // deterministic report is byte-identical for any worker count.
+    let spec = LoadSpec {
+        sessions: 2,
+        questions: 4,
+        scenarios: vec![
+            ScenarioSelector::all().with_machine("table2"),
+            ScenarioSelector::all().with_machine("small"),
+        ],
+    };
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let config = ServeConfig {
+            threads: Some(threads),
+            shards: 3,
+            retriever: RetrieverKind::Ranger,
+            machines: vec!["table2".into(), "small".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("presets valid");
+        let outcome = run_load_driver(&engine, spec.clone());
+        assert_eq!(outcome.errors(), 0, "{threads} workers");
+        reports.push((threads, outcome.render(&engine, false)));
+    }
+    let (_, reference) = &reports[0];
+    for (threads, report) in &reports[1..] {
+        assert_eq!(report, reference, "scenario report diverged between 1 and {threads} workers");
+    }
+    // Both machines' canonical labels appear as cited machines in the
+    // deterministic report, on different sessions.
+    assert!(reference.contains("\"machine\": \"table2@"), "{reference}");
+    assert!(reference.contains("\"machine\": \"small@"), "{reference}");
+
+    // And selector-free v1 traffic over the very same multi-machine build
+    // reproduces the single-machine engine's answers bit-for-bit: the
+    // extra machine-qualified traces are invisible to unscoped queries.
+    let multi = ServeEngine::build(ServeConfig {
+        threads: Some(2),
+        shards: 3,
+        machines: vec!["table2".into(), "small".into()],
+        ..Default::default()
+    })
+    .expect("presets valid");
+    let plain =
+        ServeEngine::build(ServeConfig { threads: Some(2), shards: 3, ..Default::default() })
+            .expect("build");
+    let v1 = LoadSpec { sessions: 3, questions: 3, scenarios: vec![] };
+    let a = run_load_driver(&multi, v1.clone());
+    let b = run_load_driver(&plain, v1);
+    for (ra, rb) in a.responses.iter().flatten().zip(b.responses.iter().flatten()) {
+        assert_eq!(ra.answer, rb.answer, "v1 answers must not see the extra machines");
+        assert_eq!(ra.verdict, rb.verdict);
+        assert_eq!(ra.machine, None, "v1 responses carry no machine field");
     }
 }
 

@@ -44,6 +44,7 @@ pub mod prefetch;
 pub mod replacement;
 pub mod replay;
 pub mod reuse;
+pub mod scenario;
 pub mod stats;
 pub mod sweep;
 pub mod timing;
@@ -58,6 +59,7 @@ pub use prefetch::{Prefetcher, PrefetcherKind};
 pub use replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy};
 pub use replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
 pub use reuse::ReuseOracle;
+pub use scenario::{ScenarioSelector, SelectorParseError};
 pub use stats::CacheStats;
 pub use sweep::{
     AxisTotal, ScenarioCell, ScenarioGrid, ScenarioReport, SweepCell, SweepGrid, SweepReport,
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use crate::replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy};
     pub use crate::replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
     pub use crate::reuse::ReuseOracle;
+    pub use crate::scenario::{ScenarioSelector, SelectorParseError};
     pub use crate::stats::CacheStats;
     pub use crate::sweep::{
         AxisTotal, PolicyTotal, ScenarioCell, ScenarioGrid, ScenarioReport, SweepCell, SweepError,

@@ -1,0 +1,356 @@
+//! [`ScenarioSelector`] — the typed scope of a scenario-aware query.
+//!
+//! PR 3 made every layer *produce* per-scenario facts (machine label + IPC
+//! in trace metadata); this type is how a query *asks* for them. A selector
+//! names any subset of the four scenario axes — workload, machine,
+//! prefetcher, replacement policy — and has a canonical text form
+//!
+//! ```text
+//! workload@machine+prefetcher/policy
+//! ```
+//!
+//! with every component optional: `mcf@table2/lru`, `@small`, `+stride4`,
+//! `mcf` and the empty string are all valid. The machine component may be a
+//! preset *name* (`table2`) or a full canonical label
+//! (`table2@llc2048x16+dram160`); [`ScenarioSelector::matches_machine`]
+//! accepts either. Because canonical machine labels themselves contain `@`
+//! and `+`, parsing is anchored on the *known* vocabulary where it must be:
+//! a trailing `+component` is a prefetcher only if it parses as a
+//! [`PrefetcherKind`]; everything else after the first `@` belongs to the
+//! machine.
+//!
+//! The selector is the wire-level scope of serve protocol v2, the scoping
+//! argument of the trace-store query surface, and the slot-default carrier
+//! of the intent parser — one type threaded through every layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::prefetch::PrefetcherKind;
+
+/// A malformed selector string, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorParseError {
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for SelectorParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario selector: {}", self.reason)
+    }
+}
+
+impl std::error::Error for SelectorParseError {}
+
+/// A scenario scope: which slice of the `workload × machine × prefetcher ×
+/// policy` space a query asks about. Every field optional; the default
+/// selector is unscoped (matches everything).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScenarioSelector {
+    /// Workload name (`mcf`).
+    pub workload: Option<String>,
+    /// Machine preset name (`table2`) or full canonical label
+    /// (`table2@llc2048x16+dram160`).
+    pub machine: Option<String>,
+    /// Canonical prefetcher label (`none`, `nextline`, `stride4`).
+    pub prefetcher: Option<String>,
+    /// Replacement-policy name (`lru`).
+    pub policy: Option<String>,
+}
+
+impl ScenarioSelector {
+    /// The unscoped selector (matches every scenario).
+    pub fn all() -> Self {
+        ScenarioSelector::default()
+    }
+
+    /// Scopes to a workload.
+    pub fn with_workload(mut self, name: impl Into<String>) -> Self {
+        self.workload = Some(name.into());
+        self
+    }
+
+    /// Scopes to a machine (preset name or canonical label).
+    pub fn with_machine(mut self, name: impl Into<String>) -> Self {
+        self.machine = Some(name.into());
+        self
+    }
+
+    /// Scopes to a prefetcher, storing its canonical label.
+    pub fn with_prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        self.prefetcher = Some(kind.label());
+        self
+    }
+
+    /// Scopes to a replacement policy.
+    pub fn with_policy(mut self, name: impl Into<String>) -> Self {
+        self.policy = Some(name.into());
+        self
+    }
+
+    /// Whether the selector pins down nothing at all.
+    pub fn is_unscoped(&self) -> bool {
+        self.workload.is_none()
+            && self.machine.is_none()
+            && self.prefetcher.is_none()
+            && self.policy.is_none()
+    }
+
+    /// The machine/prefetcher half of the selector, with the trace-slot
+    /// half (workload, policy) cleared — the scope to use for cross-trace
+    /// scans that must still range over every workload and policy.
+    pub fn machine_scope(&self) -> ScenarioSelector {
+        ScenarioSelector {
+            workload: None,
+            machine: self.machine.clone(),
+            prefetcher: self.prefetcher.clone(),
+            policy: None,
+        }
+    }
+
+    /// Per-field merge: fields `self` pins win, `defaults` fills the gaps.
+    /// This is how an inline `@machine` in a question composes with a
+    /// session-pinned selector.
+    pub fn merged_over(&self, defaults: &ScenarioSelector) -> ScenarioSelector {
+        ScenarioSelector {
+            workload: self.workload.clone().or_else(|| defaults.workload.clone()),
+            machine: self.machine.clone().or_else(|| defaults.machine.clone()),
+            prefetcher: self.prefetcher.clone().or_else(|| defaults.prefetcher.clone()),
+            policy: self.policy.clone().or_else(|| defaults.policy.clone()),
+        }
+    }
+
+    /// Whether the selector's machine scope accepts a canonical machine
+    /// label: exact match, or the selector names the preset the label was
+    /// derived from (`table2` matches `table2@llc2048x16+dram160`). An
+    /// unset machine accepts every label.
+    pub fn matches_machine(&self, label: &str) -> bool {
+        match &self.machine {
+            None => true,
+            Some(want) => {
+                want == label
+                    || label.strip_prefix(want.as_str()).is_some_and(|r| r.starts_with('@'))
+            }
+        }
+    }
+
+    /// Whether the selector accepts a scenario described by its four
+    /// canonical components.
+    pub fn matches(&self, workload: &str, machine: &str, prefetcher: &str, policy: &str) -> bool {
+        self.workload.as_deref().is_none_or(|w| w == workload)
+            && self.matches_machine(machine)
+            && self.prefetcher.as_deref().is_none_or(|p| p == prefetcher)
+            && self.policy.as_deref().is_none_or(|p| p == policy)
+    }
+
+    /// Parses the canonical text form `workload@machine+prefetcher/policy`
+    /// (all components optional).
+    ///
+    /// Grammar, resolved right to left so machine labels may themselves
+    /// contain `@` and `+`:
+    ///
+    /// 1. everything after the last `/` is the policy;
+    /// 2. a trailing `+component` is the prefetcher *iff* it parses as a
+    ///    [`PrefetcherKind`] name;
+    /// 3. everything after the first `@` is the machine;
+    /// 4. what remains is the workload.
+    pub fn parse(text: &str) -> Result<ScenarioSelector, SelectorParseError> {
+        let err = |reason: String| Err(SelectorParseError { reason });
+        if text.chars().any(char::is_whitespace) {
+            return err(format!("selector {text:?} must not contain whitespace"));
+        }
+        let mut rest = text;
+        let policy = match rest.rfind('/') {
+            Some(idx) => {
+                let p = &rest[idx + 1..];
+                if p.is_empty() {
+                    return err(format!("selector {text:?} has an empty policy after '/'"));
+                }
+                rest = &rest[..idx];
+                Some(p.to_owned())
+            }
+            None => None,
+        };
+        let prefetcher = match rest.rfind('+') {
+            Some(idx) => match PrefetcherKind::parse(&rest[idx + 1..]) {
+                Some(kind) => {
+                    rest = &rest[..idx];
+                    Some(kind.label())
+                }
+                // Not a prefetcher name: the '+' belongs to a machine label.
+                None => None,
+            },
+            None => None,
+        };
+        let (workload, machine) = match rest.find('@') {
+            Some(idx) => {
+                let m = &rest[idx + 1..];
+                if m.is_empty() {
+                    return err(format!("selector {text:?} has an empty machine after '@'"));
+                }
+                let w = &rest[..idx];
+                (if w.is_empty() { None } else { Some(w.to_owned()) }, Some(m.to_owned()))
+            }
+            None => (if rest.is_empty() { None } else { Some(rest.to_owned()) }, None),
+        };
+        for (slot, value) in [("workload", &workload), ("policy", &policy)] {
+            if let Some(v) = value {
+                if v.contains(['@', '+', '/']) {
+                    return err(format!("selector {text:?} has a malformed {slot} {v:?}"));
+                }
+            }
+        }
+        // Canonical machine labels may contain '@' and '+' but never '/':
+        // a slash left inside the machine means a mis-slashed selector
+        // (e.g. "@table2/lru/belady"), which would otherwise be accepted
+        // with a machine that can never match anything.
+        if let Some(m) = &machine {
+            if m.contains('/') {
+                return err(format!("selector {text:?} has a malformed machine {m:?}"));
+            }
+        }
+        Ok(ScenarioSelector { workload, machine, prefetcher, policy })
+    }
+}
+
+impl fmt::Display for ScenarioSelector {
+    /// Renders the canonical text form; `parse ∘ to_string` is the
+    /// identity on selectors holding canonical component labels.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(w) = &self.workload {
+            write!(f, "{w}")?;
+        }
+        if let Some(m) = &self.machine {
+            write!(f, "@{m}")?;
+        }
+        if let Some(p) = &self.prefetcher {
+            write!(f, "+{p}")?;
+        }
+        if let Some(p) = &self.policy {
+            write!(f, "/{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sel: &ScenarioSelector) {
+        let text = sel.to_string();
+        let back = ScenarioSelector::parse(&text).expect("canonical form parses");
+        assert_eq!(&back, sel, "round-trip through {text:?}");
+    }
+
+    #[test]
+    fn parses_every_component_combination() {
+        let full = ScenarioSelector::parse("mcf@table2+stride4/lru").unwrap();
+        assert_eq!(full.workload.as_deref(), Some("mcf"));
+        assert_eq!(full.machine.as_deref(), Some("table2"));
+        assert_eq!(full.prefetcher.as_deref(), Some("stride4"));
+        assert_eq!(full.policy.as_deref(), Some("lru"));
+        roundtrip(&full);
+
+        assert_eq!(
+            ScenarioSelector::parse("mcf").unwrap(),
+            ScenarioSelector::all().with_workload("mcf")
+        );
+        assert_eq!(
+            ScenarioSelector::parse("@small").unwrap(),
+            ScenarioSelector::all().with_machine("small")
+        );
+        assert_eq!(
+            ScenarioSelector::parse("+nextline").unwrap(),
+            ScenarioSelector::all().with_prefetcher(PrefetcherKind::NextLine)
+        );
+        assert_eq!(
+            ScenarioSelector::parse("/belady").unwrap(),
+            ScenarioSelector::all().with_policy("belady")
+        );
+        assert_eq!(ScenarioSelector::parse("").unwrap(), ScenarioSelector::all());
+        assert!(ScenarioSelector::parse("").unwrap().is_unscoped());
+    }
+
+    #[test]
+    fn machine_labels_containing_delimiters_parse_whole() {
+        let sel = ScenarioSelector::parse("mcf@table2@llc2048x16+dram160/lru").unwrap();
+        assert_eq!(sel.machine.as_deref(), Some("table2@llc2048x16+dram160"));
+        assert_eq!(sel.prefetcher, None, "dram160 is not a prefetcher name");
+        roundtrip(&sel);
+
+        let sel = ScenarioSelector::parse("@table2@llc2048x16+dram160+stride2").unwrap();
+        assert_eq!(sel.machine.as_deref(), Some("table2@llc2048x16+dram160"));
+        assert_eq!(sel.prefetcher.as_deref(), Some("stride2"));
+        roundtrip(&sel);
+    }
+
+    #[test]
+    fn loose_prefetcher_spellings_canonicalize() {
+        let sel = ScenarioSelector::parse("+stride").unwrap();
+        assert_eq!(sel.prefetcher.as_deref(), Some("stride4"), "default degree");
+        let sel = ScenarioSelector::parse("+next-line").unwrap();
+        assert_eq!(sel.prefetcher.as_deref(), Some("nextline"));
+        roundtrip(&sel);
+    }
+
+    #[test]
+    fn malformed_selectors_are_rejected() {
+        for bad in ["mcf@", "mcf/", "a b", "x+y@z", "mcf@table2/l/ru@x", "@table2/lru/belady"] {
+            assert!(ScenarioSelector::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let err = ScenarioSelector::parse("mcf@").unwrap_err();
+        assert!(err.to_string().contains("empty machine"), "{err}");
+        let err = ScenarioSelector::parse("@table2/lru/belady").unwrap_err();
+        assert!(err.to_string().contains("malformed machine"), "{err}");
+    }
+
+    #[test]
+    fn machine_matching_accepts_names_and_labels() {
+        let by_name = ScenarioSelector::all().with_machine("table2");
+        assert!(by_name.matches_machine("table2@llc2048x16+dram160"));
+        assert!(by_name.matches_machine("table2"));
+        assert!(!by_name.matches_machine("table2x@llc2048x16+dram160"));
+        assert!(!by_name.matches_machine("small@llc1024x4+dram160"));
+
+        let by_label = ScenarioSelector::all().with_machine("table2@llc2048x16+dram160");
+        assert!(by_label.matches_machine("table2@llc2048x16+dram160"));
+        assert!(!by_label.matches_machine("table2@llc2048x16+dram400"));
+
+        assert!(ScenarioSelector::all().matches_machine("anything"));
+    }
+
+    #[test]
+    fn merge_prefers_self_and_fills_from_defaults() {
+        let inline = ScenarioSelector::all().with_machine("small");
+        let pinned = ScenarioSelector::all().with_machine("table2").with_policy("lru");
+        let merged = inline.merged_over(&pinned);
+        assert_eq!(merged.machine.as_deref(), Some("small"), "inline wins");
+        assert_eq!(merged.policy.as_deref(), Some("lru"), "defaults fill gaps");
+        assert_eq!(merged.workload, None);
+    }
+
+    #[test]
+    fn machine_scope_drops_trace_slots() {
+        let sel = ScenarioSelector::parse("mcf@table2+stride4/lru").unwrap();
+        let scope = sel.machine_scope();
+        assert_eq!(scope.workload, None);
+        assert_eq!(scope.policy, None);
+        assert_eq!(scope.machine.as_deref(), Some("table2"));
+        assert_eq!(scope.prefetcher.as_deref(), Some("stride4"));
+    }
+
+    #[test]
+    fn matches_filters_on_every_axis() {
+        let sel = ScenarioSelector::parse("mcf@table2/lru").unwrap();
+        assert!(sel.matches("mcf", "table2@llc2048x16+dram160", "none", "lru"));
+        assert!(!sel.matches("lbm", "table2@llc2048x16+dram160", "none", "lru"));
+        assert!(!sel.matches("mcf", "small@llc1024x4+dram160", "none", "lru"));
+        assert!(!sel.matches("mcf", "table2@llc2048x16+dram160", "none", "belady"));
+        let pf = ScenarioSelector::all().with_prefetcher(PrefetcherKind::NextLine);
+        assert!(pf.matches("mcf", "anything", "nextline", "lru"));
+        assert!(!pf.matches("mcf", "anything", "none", "lru"));
+    }
+}

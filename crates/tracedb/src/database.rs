@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use cachemind_policies::by_name as policy_by_name;
 use cachemind_sim::config::{CacheConfig, MachineConfig};
+use cachemind_sim::hierarchy::{CacheHierarchy, HierarchyReport};
 use cachemind_sim::replay::LlcReplay;
 use cachemind_sim::timing::IpcModel;
 use cachemind_workloads::workload::{Scale, Workload};
@@ -21,33 +22,65 @@ use crate::record::TraceRow;
 use crate::shard::ShardedTraceDatabase;
 use crate::store::TraceStore;
 
-/// A parsed trace identifier: `<workload>_evictions_<policy>`.
+/// A parsed trace identifier: `<workload>_evictions_<policy>`, optionally
+/// qualified with the machine the trace was produced on
+/// (`<workload>_evictions_<policy>@<machine_label>`).
+///
+/// Traces built on the builder's *primary* machine keep the unqualified
+/// legacy key, so a database without extra machines is byte-identical to
+/// what earlier builders produced; traces for additional machines carry
+/// the qualification and are addressed through
+/// [`TraceStore::get_scoped`](crate::store::TraceStore::get_scoped).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TraceId {
     /// Workload name (e.g. `mcf`).
     pub workload: String,
     /// Policy name (e.g. `lru`).
     pub policy: String,
+    /// Canonical machine label for non-primary-machine traces; `None` for
+    /// the primary machine (legacy key shape).
+    pub machine: Option<String>,
 }
 
 impl TraceId {
-    /// Creates an id from parts.
+    /// Creates an id on the primary machine.
     pub fn new(workload: &str, policy: &str) -> Self {
-        TraceId { workload: workload.to_owned(), policy: policy.to_owned() }
+        TraceId { workload: workload.to_owned(), policy: policy.to_owned(), machine: None }
     }
 
-    /// Parses a `<workload>_evictions_<policy>` key.
+    /// Creates a machine-qualified id.
+    pub fn scoped(workload: &str, policy: &str, machine: &str) -> Self {
+        TraceId {
+            workload: workload.to_owned(),
+            policy: policy.to_owned(),
+            machine: Some(machine.to_owned()),
+        }
+    }
+
+    /// Parses a `<workload>_evictions_<policy>[@<machine>]` key.
     pub fn parse(key: &str) -> Option<Self> {
-        let (workload, policy) = key.split_once("_evictions_")?;
+        let (workload, rest) = key.split_once("_evictions_")?;
+        let (policy, machine) = match rest.split_once('@') {
+            Some((policy, machine)) => {
+                if machine.is_empty() {
+                    return None;
+                }
+                (policy, Some(machine.to_owned()))
+            }
+            None => (rest, None),
+        };
         if workload.is_empty() || policy.is_empty() {
             return None;
         }
-        Some(TraceId { workload: workload.to_owned(), policy: policy.to_owned() })
+        Some(TraceId { workload: workload.to_owned(), policy: policy.to_owned(), machine })
     }
 
     /// The storage key.
     pub fn key(&self) -> String {
-        format!("{}_evictions_{}", self.workload, self.policy)
+        match &self.machine {
+            None => format!("{}_evictions_{}", self.workload, self.policy),
+            Some(machine) => format!("{}_evictions_{}@{machine}", self.workload, self.policy),
+        }
     }
 }
 
@@ -72,6 +105,9 @@ pub struct TraceEntry {
     pub description: String,
     /// Canonical label of the machine the trace replayed on.
     pub machine: String,
+    /// Canonical label of the prefetcher active during the replay
+    /// (`"none"` — the builder does not yet transform streams).
+    pub prefetcher: String,
     /// Model-estimated IPC of the replay.
     pub ipc: f64,
 }
@@ -209,6 +245,9 @@ pub enum BuildError {
     UnknownWorkload(String),
     /// A policy name the registry does not know.
     UnknownPolicy(String),
+    /// A machine preset name [`MachineConfig::preset`] does not know
+    /// (surfaced by service layers that resolve presets before building).
+    UnknownMachine(String),
 }
 
 impl fmt::Display for BuildError {
@@ -216,6 +255,7 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
             BuildError::UnknownPolicy(name) => write!(f, "unknown policy {name:?}"),
+            BuildError::UnknownMachine(name) => write!(f, "unknown machine preset {name:?}"),
         }
     }
 }
@@ -237,6 +277,18 @@ impl std::error::Error for BuildError {}
 ///     .build();
 /// assert_eq!(db.len(), 2);
 /// ```
+/// The policy-independent half of one `workload × machine` build cell:
+/// machine, prepared LLC replay (stream + reuse oracle) and — for full
+/// machines — the baseline hierarchy counters feeding the IPC model.
+#[derive(Debug)]
+struct PreparedReplay {
+    machine: MachineConfig,
+    label: String,
+    replay: LlcReplay,
+    hierarchy: Option<HierarchyReport>,
+    primary: bool,
+}
+
 #[derive(Debug, Clone)]
 pub struct TraceDatabaseBuilder {
     workloads: Vec<String>,
@@ -245,6 +297,7 @@ pub struct TraceDatabaseBuilder {
     llc: CacheConfig,
     keep_snapshots_every: usize,
     num_shards: usize,
+    extra_machines: Vec<MachineConfig>,
 }
 
 impl Default for TraceDatabaseBuilder {
@@ -274,6 +327,7 @@ impl TraceDatabaseBuilder {
             llc: Self::experiment_llc(),
             keep_snapshots_every: 1,
             num_shards: Self::DEFAULT_SHARDS,
+            extra_machines: Vec::new(),
         }
     }
 
@@ -325,6 +379,27 @@ impl TraceDatabaseBuilder {
         self
     }
 
+    /// Adds a machine to build traces for, *in addition to* the primary
+    /// (LLC-only) machine the builder's LLC geometry describes.
+    ///
+    /// Primary-machine traces keep their legacy unqualified keys and are
+    /// byte-identical whether or not extra machines are configured; every
+    /// extra machine contributes one machine-qualified trace per
+    /// `workload × policy` pair ([`TraceId::scoped`]), replayed under that
+    /// machine's LLC (full machines filter the stream through L1/L2 first)
+    /// with its own [`IpcModel`] estimate — so one database can answer
+    /// per-machine questions for many scenarios at once.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.extra_machines.push(machine);
+        self
+    }
+
+    /// Replaces the extra-machine set (see [`TraceDatabaseBuilder::machine`]).
+    pub fn machines<I: IntoIterator<Item = MachineConfig>>(mut self, machines: I) -> Self {
+        self.extra_machines = machines.into_iter().collect();
+        self
+    }
+
     /// The default shard count for [`TraceDatabaseBuilder::try_build_sharded`].
     ///
     /// A fixed constant — **not** the worker count — so the physical layout
@@ -338,17 +413,59 @@ impl TraceDatabaseBuilder {
         self
     }
 
-    /// Simulates one `(workload, policy)` pair into its trace entry.
+    /// Prepares the policy-independent half of a `workload × machine`
+    /// replay: the LLC access stream (filtered through L1/L2 for full
+    /// machines), the reuse oracle, and — for full machines — the baseline
+    /// hierarchy counters the IPC model reads. `None` selects the primary
+    /// (builder-LLC) machine, whose entries keep the legacy byte-identical
+    /// shape.
+    fn prepare_replay(&self, workload: &Workload, slot: Option<&MachineConfig>) -> PreparedReplay {
+        match slot {
+            None => {
+                let machine = MachineConfig::llc_only(self.llc.clone());
+                let label = machine.machine_label();
+                PreparedReplay {
+                    replay: LlcReplay::new(self.llc.clone(), &workload.accesses),
+                    machine,
+                    label,
+                    hierarchy: None,
+                    primary: true,
+                }
+            }
+            Some(m) if m.llc_only => PreparedReplay {
+                replay: LlcReplay::new(m.hierarchy.llc.clone(), &workload.accesses),
+                machine: m.clone(),
+                label: m.machine_label(),
+                hierarchy: None,
+                primary: false,
+            },
+            Some(m) => {
+                let mut hierarchy = CacheHierarchy::new(m.hierarchy.clone());
+                let mut hreport = hierarchy.run(&workload.accesses, workload.instr_count);
+                let llc_stream = std::mem::take(&mut hreport.llc_stream);
+                PreparedReplay {
+                    replay: LlcReplay::new(m.hierarchy.llc.clone(), &llc_stream),
+                    machine: m.clone(),
+                    label: m.machine_label(),
+                    hierarchy: Some(hreport),
+                    primary: false,
+                }
+            }
+        }
+    }
+
+    /// Simulates one `(workload, machine, policy)` cell into its trace
+    /// entry.
     fn build_entry(
         &self,
         wname: &str,
         workload: &Workload,
         program: &Arc<cachemind_workloads::program::ProgramImage>,
-        replay: &LlcReplay,
+        prepared: &PreparedReplay,
         pname: &str,
     ) -> TraceEntry {
         let policy = policy_by_name(pname).expect("policy validated before simulation");
-        let report = replay.run(policy);
+        let report = prepared.replay.run(policy);
         let rows: Vec<TraceRow> = report
             .records
             .iter()
@@ -359,27 +476,37 @@ impl TraceDatabaseBuilder {
             })
             .collect();
         // The scenario sentence: which machine the trace replayed on and
-        // the model-estimated IPC (the same LLC-only estimate a scenario
-        // cell on this machine reports).
-        let machine = MachineConfig::llc_only(self.llc.clone());
-        let machine_label = machine.machine_label();
-        let model = IpcModel::from_config(&machine.hierarchy);
-        let demand_accesses = report.stats.accesses - report.stats.prefetches;
-        let demand_hits = demand_accesses.saturating_sub(report.stats.demand_misses);
-        let ipc = model.ipc_from_llc(workload.instr_count, demand_hits, report.stats.demand_misses);
-        let metadata = meta::render_scenario(&report, &machine_label, ipc);
+        // the model-estimated IPC (full machines use the hierarchy
+        // counters, LLC-only machines the same estimate a scenario cell
+        // on this machine reports).
+        let model = IpcModel::from_config(&prepared.machine.hierarchy);
+        let ipc = match &prepared.hierarchy {
+            Some(hreport) => model.ipc(hreport, report.stats.demand_misses),
+            None => {
+                let demand_accesses = report.stats.accesses - report.stats.prefetches;
+                let demand_hits = demand_accesses.saturating_sub(report.stats.demand_misses);
+                model.ipc_from_llc(workload.instr_count, demand_hits, report.stats.demand_misses)
+            }
+        };
+        let metadata = meta::render_scenario(&report, &prepared.label, ipc);
         let description = format!(
             "Workload: {}. Replacement Policy: {}. {}",
             wname,
             policy_description(pname),
             workload.description
         );
+        let id = if prepared.primary {
+            TraceId::new(wname, pname)
+        } else {
+            TraceId::scoped(wname, pname, &prepared.label)
+        };
         TraceEntry {
-            id: TraceId::new(wname, pname),
+            id,
             frame: TraceFrame::new(rows, Arc::clone(program)),
             metadata,
             description,
-            machine: machine_label,
+            machine: prepared.label.clone(),
+            prefetcher: "none".to_owned(),
             ipc,
         }
     }
@@ -416,10 +543,9 @@ impl TraceDatabaseBuilder {
     pub fn try_build_sharded(self) -> Result<ShardedTraceDatabase, BuildError> {
         self.validate()?;
 
-        // Stage 1: one task per workload — trace generation plus the reuse
-        // oracle are the expensive, policy-independent parts.
-        type Prepared =
-            (String, Workload, Arc<cachemind_workloads::program::ProgramImage>, LlcReplay);
+        // Stage 1: one task per workload — trace generation is the
+        // machine-independent part, shared by every machine slot.
+        type Prepared = (String, Workload, Arc<cachemind_workloads::program::ProgramImage>);
         let prepared: Vec<Result<Prepared, BuildError>> = self
             .workloads
             .clone()
@@ -428,8 +554,7 @@ impl TraceDatabaseBuilder {
                 let workload = workload_by_name(&wname, self.scale)
                     .ok_or_else(|| BuildError::UnknownWorkload(wname.clone()))?;
                 let program = Arc::new(workload.program.clone());
-                let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
-                Ok((wname, workload, program, replay))
+                Ok((wname, workload, program))
             })
             .collect();
         let mut workloads = Vec::with_capacity(prepared.len());
@@ -437,15 +562,34 @@ impl TraceDatabaseBuilder {
             workloads.push(result?);
         }
 
-        // Stage 2: one task per (workload, policy) pair.
-        let pairs: Vec<(usize, usize)> = (0..workloads.len())
-            .flat_map(|w| (0..self.policies.len()).map(move |p| (w, p)))
-            .collect();
-        let entries: Vec<TraceEntry> = pairs
+        // Stage 1b: one task per workload × machine — the reuse oracle
+        // (and, for full machines, the L1/L2 filter) is the expensive
+        // policy-independent part, shared by every policy replaying the
+        // pair. Slot 0 is the primary machine.
+        let machine_slots = 1 + self.extra_machines.len();
+        let wm: Vec<(usize, usize)> =
+            (0..workloads.len()).flat_map(|w| (0..machine_slots).map(move |m| (w, m))).collect();
+        let replays: Vec<PreparedReplay> = wm
             .into_par_iter()
-            .map(|(w, p)| {
-                let (wname, workload, program, replay) = &workloads[w];
-                self.build_entry(wname, workload, program, replay, &self.policies[p])
+            .map(|(w, m)| {
+                let slot = if m == 0 { None } else { Some(&self.extra_machines[m - 1]) };
+                self.prepare_replay(&workloads[w].1, slot)
+            })
+            .collect();
+
+        // Stage 2: one task per (workload, machine, policy) cell.
+        let num_policies = self.policies.len();
+        let cells: Vec<(usize, usize, usize)> = (0..workloads.len())
+            .flat_map(|w| {
+                (0..machine_slots).flat_map(move |m| (0..num_policies).map(move |p| (w, m, p)))
+            })
+            .collect();
+        let entries: Vec<TraceEntry> = cells
+            .into_par_iter()
+            .map(|(w, m, p)| {
+                let (wname, workload, program) = &workloads[w];
+                let prepared = &replays[w * machine_slots + m];
+                self.build_entry(wname, workload, program, prepared, &self.policies[p])
             })
             .collect();
 
@@ -468,9 +612,12 @@ impl TraceDatabaseBuilder {
             let workload: Workload = workload_by_name(wname, self.scale)
                 .ok_or_else(|| BuildError::UnknownWorkload(wname.clone()))?;
             let program = Arc::new(workload.program.clone());
-            let replay = LlcReplay::new(self.llc.clone(), &workload.accesses);
-            for pname in &self.policies {
-                db.insert(self.build_entry(wname, &workload, &program, &replay, pname));
+            for m in 0..=self.extra_machines.len() {
+                let slot = if m == 0 { None } else { Some(&self.extra_machines[m - 1]) };
+                let prepared = self.prepare_replay(&workload, slot);
+                for pname in &self.policies {
+                    db.insert(self.build_entry(wname, &workload, &program, &prepared, pname));
+                }
             }
         }
         Ok(db)
@@ -534,6 +681,92 @@ mod tests {
         assert_eq!(TraceId::parse("lbm_evictions_lru"), Some(id));
         assert_eq!(TraceId::parse("garbage"), None);
         assert_eq!(TraceId::parse("_evictions_"), None);
+    }
+
+    #[test]
+    fn scoped_trace_ids_round_trip() {
+        let id = TraceId::scoped("lbm", "lru", "table2@llc2048x16+dram160");
+        assert_eq!(id.key(), "lbm_evictions_lru@table2@llc2048x16+dram160");
+        assert_eq!(TraceId::parse(&id.key()), Some(id));
+        assert_eq!(TraceId::parse("lbm_evictions_lru@"), None, "empty machine is invalid");
+        // Unqualified parse keeps machine = None.
+        assert_eq!(TraceId::parse("lbm_evictions_lru").unwrap().machine, None);
+    }
+
+    #[test]
+    fn extra_machines_add_scoped_entries_without_touching_primary_keys() {
+        use crate::store::TraceStore;
+        use cachemind_sim::scenario::ScenarioSelector;
+
+        let base = || {
+            TraceDatabaseBuilder::quick_demo().workloads(["mcf", "lbm"]).policies(["lru", "belady"])
+        };
+        let plain = base().build();
+        let multi = base()
+            .machine(MachineConfig::preset("table2").expect("preset"))
+            .machine(MachineConfig::preset("small").expect("preset"))
+            .build();
+
+        // Primary entries are byte-identical to the machine-free build.
+        assert_eq!(multi.len(), 3 * plain.len(), "one extra entry set per machine");
+        for key in plain.trace_ids() {
+            let a = plain.get(key).expect("plain entry");
+            let b = multi.get(key).expect("primary entry survives");
+            assert_eq!(a.metadata, b.metadata, "{key}");
+            assert_eq!(a.frame.rows(), b.frame.rows(), "{key}");
+            assert_eq!(a.machine, b.machine, "{key}");
+        }
+
+        // The store sees all three machines, and scoped lookups land on
+        // the right one.
+        let labels = TraceStore::machines(&multi);
+        assert_eq!(labels.len(), 3, "{labels:?}");
+        assert!(labels.iter().any(|l| l.starts_with("table2@")), "{labels:?}");
+        assert!(labels.iter().any(|l| l.starts_with("small@")), "{labels:?}");
+
+        let id = TraceId::new("mcf", "lru");
+        let unscoped = multi.get_scoped(&id, &ScenarioSelector::all()).expect("primary");
+        assert_eq!(unscoped.id.machine, None, "unscoped lookups stay on the primary machine");
+        let on_table2 = multi
+            .get_scoped(&id, &ScenarioSelector::all().with_machine("table2"))
+            .expect("table2 entry");
+        assert!(on_table2.machine.starts_with("table2@"));
+        assert_eq!(meta::extract_machine(&on_table2.metadata), Some(on_table2.machine.as_str()));
+        let on_small = multi
+            .get_scoped(&id, &ScenarioSelector::all().with_machine("small"))
+            .expect("small entry");
+        assert!(on_small.machine.starts_with("small@"));
+        assert!(
+            multi.get_scoped(&id, &ScenarioSelector::all().with_machine("cray-1")).is_none(),
+            "unknown machines select nothing"
+        );
+
+        // Different machines, different IPC estimates in the metadata.
+        assert!(on_table2.ipc > 0.0 && on_small.ipc > 0.0);
+        assert_ne!(on_table2.ipc, on_small.ipc, "machines must not share an IPC estimate");
+
+        // select() scopes the full entry iterator.
+        let scoped: Vec<_> = multi.select(&ScenarioSelector::all().with_machine("small")).collect();
+        assert_eq!(scoped.len(), 4, "2 workloads x 2 policies on the small machine");
+        assert!(scoped.iter().all(|e| e.machine.starts_with("small@")));
+    }
+
+    #[test]
+    fn multi_machine_parallel_build_matches_serial() {
+        let make = || {
+            TraceDatabaseBuilder::quick_demo()
+                .workloads(["mcf"])
+                .policies(["lru", "belady"])
+                .machine(MachineConfig::preset("small").expect("preset"))
+        };
+        let serial = make().build_serial().expect("serial build");
+        let parallel = make().shards(3).try_build().expect("parallel build");
+        assert_eq!(parallel.len(), serial.len());
+        for (a, b) in parallel.entries().zip(serial.entries()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.metadata, b.metadata);
+            assert_eq!(a.frame.rows(), b.frame.rows(), "{} rows diverge", a.id);
+        }
     }
 
     #[test]

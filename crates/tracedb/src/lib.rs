@@ -47,6 +47,11 @@ pub use shard::ShardedTraceDatabase;
 pub use stats::{CacheStatisticalExpert, PcStats, SetStats};
 pub use store::{fnv64, shard_index, TraceStore};
 
+// The scenario-scope type of the selector-filtered query surface
+// ([`TraceStore::select`], [`TraceStore::get_scoped`]), re-exported so
+// store users need not depend on `cachemind-sim` directly.
+pub use cachemind_sim::scenario::{ScenarioSelector, SelectorParseError};
+
 /// Commonly used types, for glob import.
 pub mod prelude {
     pub use crate::database::{
@@ -58,4 +63,5 @@ pub mod prelude {
     pub use crate::shard::ShardedTraceDatabase;
     pub use crate::stats::{CacheStatisticalExpert, PcStats, SetStats};
     pub use crate::store::TraceStore;
+    pub use crate::{ScenarioSelector, SelectorParseError};
 }

@@ -64,15 +64,32 @@ pub fn render_scenario(report: &ReplayReport, machine_label: &str, ipc: f64) -> 
 }
 
 /// Extracts the machine label from the scenario sentence.
+///
+/// Returns `None` (quietly) when the sentence is absent altogether. A
+/// *present but malformed* sentence — the marker with no space-terminated
+/// label after it — trips a debug assertion: upstream only
+/// [`render_scenario`] writes the marker, so a malformed form means a
+/// writer bug, not a missing sentence. Release builds still return `None`.
 pub fn extract_machine(metadata: &str) -> Option<&str> {
     let marker = "Simulated on machine ";
     let pos = metadata.find(marker)? + marker.len();
     let rest = &metadata[pos..];
-    let end = rest.find(' ')?;
+    let Some(end) = rest.find(' ').filter(|&end| end > 0) else {
+        debug_assert!(
+            false,
+            "malformed scenario sentence: {marker:?} not followed by a space-terminated label \
+             in {metadata:?}"
+        );
+        return None;
+    };
     Some(&rest[..end])
 }
 
 /// Extracts the estimated IPC from the scenario sentence.
+///
+/// Like [`extract_machine`], an absent sentence is `None` quietly while a
+/// present-but-unparseable IPC token trips a debug assertion (release
+/// builds return `None`).
 pub fn extract_ipc(metadata: &str) -> Option<f64> {
     let marker = "estimated IPC of ";
     let pos = metadata.find(marker)? + marker.len();
@@ -80,7 +97,12 @@ pub fn extract_ipc(metadata: &str) -> Option<f64> {
     let token: String =
         rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
     // The sentence ends with a period, which the scan captures.
-    token.trim_end_matches('.').parse().ok()
+    let parsed = token.trim_end_matches('.').parse().ok();
+    debug_assert!(
+        parsed.is_some(),
+        "malformed scenario sentence: {marker:?} not followed by a numeric IPC in {metadata:?}"
+    );
+    parsed
 }
 
 /// Extracts the first number appearing before `label` in `metadata`
@@ -166,6 +188,49 @@ mod tests {
         assert_eq!(extract_correlation("nothing"), None);
         assert_eq!(extract_machine("no scenario sentence"), None);
         assert_eq!(extract_ipc("no scenario sentence"), None);
+    }
+
+    // A present-but-malformed scenario sentence is a writer bug: the
+    // extractors trip a debug assertion instead of quietly degrading into
+    // "no scenario" behaviour. One test per malformed form.
+
+    #[test]
+    #[should_panic(expected = "malformed scenario sentence")]
+    #[cfg(debug_assertions)]
+    fn truncated_machine_label_trips_debug_assertion() {
+        // Marker present, but the label is never space-terminated.
+        let _ = extract_machine("... Simulated on machine LLC@256x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed scenario sentence")]
+    #[cfg(debug_assertions)]
+    fn empty_machine_label_trips_debug_assertion() {
+        // Marker present, label empty (double space before "with").
+        let _ = extract_machine("Simulated on machine  with an estimated IPC of 0.5.");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed scenario sentence")]
+    #[cfg(debug_assertions)]
+    fn non_numeric_ipc_trips_debug_assertion() {
+        // Marker present, but the IPC token is not a number.
+        let _ = extract_ipc("... with an estimated IPC of fast.");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed scenario sentence")]
+    #[cfg(debug_assertions)]
+    fn empty_ipc_token_trips_debug_assertion() {
+        // Marker present, the sentence ends before any digits.
+        let _ = extract_ipc("... with an estimated IPC of .");
+    }
+
+    #[test]
+    fn absent_scenario_sentence_stays_quietly_none() {
+        // No marker at all: not a writer bug, just a pre-scenario trace.
+        assert_eq!(extract_machine("Cache Performance Summary: 1 total accesses."), None);
+        assert_eq!(extract_ipc("Cache Performance Summary: 1 total accesses."), None);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `Arc<dyn TraceStore>` shared by many concurrent chat sessions.
 
 use cachemind_sim::config::CacheConfig;
+use cachemind_sim::scenario::ScenarioSelector;
 
 use crate::database::{TraceEntry, TraceId};
 
@@ -61,6 +62,63 @@ pub trait TraceStore: std::fmt::Debug + Send + Sync {
     /// for batched work.
     fn shard_of(&self, _key: &str) -> usize {
         0
+    }
+
+    /// Distinct canonical machine labels present, sorted — one per machine
+    /// the builder produced traces for.
+    fn machines(&self) -> Vec<String> {
+        let set: std::collections::BTreeSet<String> =
+            self.entries().map(|e| e.machine.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The entries a [`ScenarioSelector`] scopes to, in ascending key
+    /// order: every selector axis that is set must match (workload and
+    /// policy exactly, prefetcher by canonical label, machine by name or
+    /// label — see [`ScenarioSelector::matches_machine`]).
+    fn select<'a>(
+        &'a self,
+        selector: &ScenarioSelector,
+    ) -> Box<dyn Iterator<Item = &'a TraceEntry> + 'a> {
+        let selector = selector.clone();
+        Box::new(self.entries().filter(move |e| {
+            selector.matches(&e.id.workload, &e.machine, &e.prefetcher, &e.id.policy)
+        }))
+    }
+
+    /// Looks up the trace for `(workload, policy)` within a selector's
+    /// *machine scope* (machine + prefetcher; the selector's workload and
+    /// policy fields are slot defaults for intent resolution, not filters
+    /// here — the id already names the pair).
+    ///
+    /// The unqualified primary-machine entry wins when it satisfies the
+    /// scope (so unscoped queries behave exactly as before); otherwise a
+    /// keyed machine-qualified lookup is tried (the scope's machine value
+    /// as a full canonical label), and only a scope naming a machine by
+    /// *preset name* falls back to the linear in-scope scan (first match
+    /// in ascending key order). `None` when no entry for the pair lies in
+    /// scope.
+    fn get_scoped(&self, id: &TraceId, selector: &ScenarioSelector) -> Option<&TraceEntry> {
+        let scope = selector.machine_scope();
+        let in_scope = |entry: &TraceEntry| {
+            scope.matches_machine(&entry.machine)
+                && scope.prefetcher.as_deref().is_none_or(|p| p == entry.prefetcher)
+        };
+        if let Some(entry) = self.get_id(id) {
+            if in_scope(entry) {
+                return Some(entry);
+            }
+        }
+        // Keyed fast path: when the scope's machine is a full canonical
+        // label, the qualified key addresses the entry directly — no scan.
+        if let Some(machine) = &scope.machine {
+            if let Some(entry) = self.get_id(&TraceId::scoped(&id.workload, &id.policy, machine)) {
+                if in_scope(entry) {
+                    return Some(entry);
+                }
+            }
+        }
+        self.select(&scope).find(|e| e.id.workload == id.workload && e.id.policy == id.policy)
     }
 }
 

@@ -205,6 +205,42 @@ proptest! {
         prop_assert!(ipc_more >= 0.0);
     }
 
+    /// `ScenarioSelector::parse ∘ to_string` is the identity on valid
+    /// selectors: any combination of a workload word, a canonical machine
+    /// label (which itself contains `@` and `+`), a canonical prefetcher
+    /// label and a policy word survives the round trip field-for-field.
+    #[test]
+    fn scenario_selector_parse_tostring_identity(
+        workload_raw in proptest::collection::vec(97u8..123, 0..8),
+        machine_name in proptest::collection::vec(97u8..123, 1..7),
+        sets in 1u64..5000,
+        ways in 1u64..33,
+        dram in 1u64..1000,
+        has_machine in 0u8..2,
+        prefetcher_pick in 0u8..5,
+        policy_raw in proptest::collection::vec(97u8..123, 0..8),
+    ) {
+        let word = |bytes: Vec<u8>| String::from_utf8(bytes).expect("ascii letters");
+        let workload = if workload_raw.is_empty() { None } else { Some(word(workload_raw)) };
+        let machine = (has_machine == 1)
+            .then(|| format!("{}@llc{sets}x{ways}+dram{dram}", word(machine_name)));
+        let prefetcher = match prefetcher_pick {
+            0 => None,
+            1 => Some("none"),
+            2 => Some("nextline"),
+            3 => Some("stride4"),
+            _ => Some("stride2"),
+        }
+        .map(str::to_owned);
+        let policy = if policy_raw.is_empty() { None } else { Some(word(policy_raw)) };
+        let selector = ScenarioSelector { workload, machine, prefetcher, policy };
+
+        let text = selector.to_string();
+        let parsed = ScenarioSelector::parse(&text);
+        prop_assert!(parsed.is_ok(), "canonical form {:?} failed to parse", text);
+        prop_assert_eq!(parsed.unwrap(), selector);
+    }
+
     /// Cache occupancy never exceeds capacity, and hits never change
     /// occupancy.
     #[test]
