@@ -4,16 +4,19 @@
 //! answers side by side.
 //!
 //! ```text
-//! scenario_queries [--machines table2,small] [--retriever sieve|ranger]
+//! scenario_queries [--machines table2,small] [--prefetchers stride4]
+//!                  [--retriever sieve|ranger]
 //! ```
 //!
 //! This is the bench-side proof of the scenario-scoped query surface: one
 //! shared database, one question text, N `ScenarioSelector`s, N answers
-//! each grounded in its own machine's scenario sentence.
+//! each grounded in its own machine's (and, with `--prefetchers`, its own
+//! prefetcher's) scenario sentence.
 
 use cachemind_bench::scale_from_env;
 use cachemind_core::system::{CacheMind, Query, RetrieverKind};
 use cachemind_sim::config::MachineConfig;
+use cachemind_sim::prefetch::PrefetcherKind;
 use cachemind_sim::scenario::ScenarioSelector;
 use cachemind_tracedb::database::TraceDatabaseBuilder;
 use cachemind_tracedb::store::TraceStore;
@@ -48,13 +51,35 @@ fn main() {
             })
         })
         .collect();
+    let prefetcher_names: Vec<String> = flag(&args, "--prefetchers")
+        .unwrap_or_default()
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    let prefetchers: Vec<PrefetcherKind> = prefetcher_names
+        .iter()
+        .map(|name| {
+            PrefetcherKind::parse(name).unwrap_or_else(|| {
+                eprintln!("error: unknown prefetcher {name:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
 
     eprintln!(
-        "[scenario_queries] building trace database at {:?} scale for {} extra machine(s) ...",
+        "[scenario_queries] building trace database at {:?} scale for {} extra machine(s) and \
+         {} extra prefetcher(s) ...",
         scale_from_env(),
-        machines.len()
+        machines.len(),
+        prefetchers.len()
     );
-    let db = TraceDatabaseBuilder::new().scale(scale_from_env()).machines(machines).build();
+    let db = TraceDatabaseBuilder::new()
+        .scale(scale_from_env())
+        .machines(machines)
+        .prefetchers(prefetchers)
+        .build();
     eprintln!(
         "[scenario_queries] database ready: {} traces across machines [{}]",
         db.len(),
@@ -70,10 +95,22 @@ fn main() {
     for workload in &workloads {
         for policy in &policies {
             let text = format!("What is the estimated IPC for {workload} under {policy}?");
-            // Primary machine first (unscoped), then each preset by name.
+            // Primary machine first (unscoped), then each preset by name —
+            // and, per prefetcher, the prefetcher-qualified variant of each.
             let mut scopes = vec![(String::from("(primary)"), ScenarioSelector::all())];
+            for pf in &prefetcher_names {
+                let selector = ScenarioSelector::parse(&format!("+{pf}"))
+                    .expect("validated prefetcher names form selectors");
+                scopes.push((format!("+{pf}"), selector));
+            }
             for name in &machine_names {
                 scopes.push((format!("@{name}"), ScenarioSelector::all().with_machine(name)));
+                for pf in &prefetcher_names {
+                    let label = format!("@{name}+{pf}");
+                    let selector = ScenarioSelector::parse(&label)
+                        .expect("validated machine and prefetcher names form selectors");
+                    scopes.push((label, selector));
+                }
             }
             for (label, selector) in scopes {
                 let answer = mind.ask_query(&Query::scoped(&text, selector));

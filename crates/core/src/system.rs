@@ -57,6 +57,26 @@ impl Default for QueryOptions {
 /// the primary input of [`CacheMind::ask_query`]. A bare string converts
 /// into an unscoped query, which answers byte-identically to the legacy
 /// [`CacheMind::ask`] path.
+///
+/// The selector uses the canonical scenario grammar
+/// `workload@machine+prefetcher/policy` (every component optional — see
+/// [`ScenarioSelector`]): its workload/policy halves act as slot
+/// *defaults* for intent parsing, while its machine/prefetcher halves are
+/// a hard retrieval scope, resolved against qualified trace keys
+/// (`<workload>_evictions_<policy>[@machine][+prefetcher]`). Inline
+/// selector tokens in the question text (`mcf@table2`, `+stride4`) win
+/// per-field over this selector.
+///
+/// ```rust
+/// use cachemind_core::system::Query;
+/// use cachemind_sim::scenario::ScenarioSelector;
+///
+/// let query = Query::scoped(
+///     "What is the estimated IPC?",
+///     ScenarioSelector::parse("astar@table2+stride4/lru").unwrap(),
+/// );
+/// assert_eq!(query.selector.prefetcher.as_deref(), Some("stride4"));
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Query {
     /// The natural-language question.

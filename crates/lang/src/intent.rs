@@ -149,24 +149,30 @@ fn plausible_machine(machine: &str) -> bool {
     MachineConfig::preset(machine).is_some() || machine.split('@').any(looks_like_geometry)
 }
 
-/// Extracts the first inline selector token (`mcf@table2`, `@small/lru`)
-/// from a question. Only tokens containing `@` are considered — plain
-/// words never parse as selectors, so questions without the syntax are
-/// untouched. A token is adopted only when it is *credibly* a selector:
-/// its workload component (if any) must be in the database vocabulary and
-/// its machine component must name a preset or carry a canonical
-/// geometry segment ([`plausible_machine`]) — so quoted emails and other
-/// incidental `@`-text are ignored rather than silently scoping retrieval
-/// to a machine that does not exist.
+/// Extracts the first inline selector token (`mcf@table2`, `@small/lru`,
+/// `+stride4`, `astar@table2+stride4/lru`) from a question. Only tokens
+/// containing `@` or `+` are considered — plain words never parse as
+/// selectors, so questions without the syntax are untouched. A token is
+/// adopted only when it is *credibly* a selector: its workload component
+/// (if any) must be in the database vocabulary, its machine component (if
+/// any) must name a preset or carry a canonical geometry segment
+/// ([`plausible_machine`]), and the token must be *anchored* by a machine
+/// or prefetcher component — the prefetcher slot anchors by construction,
+/// since the selector parser only fills it when the `+component` names a
+/// [`PrefetcherKind`](cachemind_sim::prefetch::PrefetcherKind). Quoted
+/// emails, `C++` and other incidental `@`/`+` text are ignored rather
+/// than silently scoping retrieval to a scenario that does not exist.
 fn inline_selector(question: &str, workloads: &[&str]) -> ScenarioSelector {
     question
         .split_whitespace()
         .map(|tok| tok.trim_matches(|c: char| ".,;:!?()\"'".contains(c)))
-        .filter(|tok| tok.contains('@'))
+        .filter(|tok| tok.contains('@') || tok.contains('+'))
         .filter_map(|tok| ScenarioSelector::parse(tok).ok())
         .find(|sel| {
-            sel.workload.as_deref().is_none_or(|w| workloads.contains(&w))
-                && sel.machine.as_deref().is_some_and(plausible_machine)
+            let anchored = sel.machine.is_some() || sel.prefetcher.is_some();
+            anchored
+                && sel.workload.as_deref().is_none_or(|w| workloads.contains(&w))
+                && sel.machine.as_deref().is_none_or(plausible_machine)
         })
         .unwrap_or_default()
 }
@@ -483,6 +489,37 @@ mod tests {
         // Full canonical labels are accepted even without a preset name.
         let i = parse("What is the IPC for mcf@LLC-half@1024x16 under LRU?");
         assert_eq!(i.selector.machine.as_deref(), Some("LLC-half@1024x16"));
+    }
+
+    #[test]
+    fn inline_prefetcher_syntax_lands_in_the_selector() {
+        // A bare prefetcher token anchors a selector on its own.
+        let i = parse("What is the estimated IPC for mcf +stride4 under LRU?");
+        assert_eq!(i.selector.prefetcher.as_deref(), Some("stride4"));
+        assert_eq!(i.selector.machine, None);
+        assert_eq!(i.workload.as_deref(), Some("mcf"));
+
+        // Workload-attached prefetcher tokens carry both slots.
+        let i = parse("What is the estimated IPC for mcf+nextline under LRU?");
+        assert_eq!(i.selector.prefetcher.as_deref(), Some("nextline"));
+        assert_eq!(i.selector.workload.as_deref(), Some("mcf"));
+
+        // The fully qualified form threads machine and prefetcher at once.
+        let i = parse("What is the estimated IPC for astar@table2+stride4/lru?");
+        assert_eq!(i.selector.machine.as_deref(), Some("table2"));
+        assert_eq!(i.selector.prefetcher.as_deref(), Some("stride4"));
+        assert_eq!(i.selector.policy.as_deref(), Some("lru"));
+        assert_eq!(i.workload.as_deref(), Some("astar"));
+
+        // Incidental '+' text is never adopted.
+        for q in [
+            "Why is C++ faster than Python for cache simulators?",
+            "What is 2+2 in mcf under LRU?",
+            "Does a+b alias in astar under LRU?",
+        ] {
+            let i = parse(q);
+            assert!(i.selector.is_unscoped(), "{q:?} adopted {:?}", i.selector);
+        }
     }
 
     #[test]

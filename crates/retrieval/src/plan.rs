@@ -108,6 +108,14 @@ impl fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// An executable retrieval plan — Ranger's "generated code".
+///
+/// Plans name their `(workload, policy)` pair explicitly (resolved slots,
+/// not filters); *which machine's and prefetcher's* trace a plan reads is
+/// decided at execution time by the [`ScenarioSelector`] scope handed to
+/// [`Plan::run_scoped`], which threads every trace lookup through
+/// [`TraceStore::get_scoped`] — so one plan answers from whichever
+/// qualified entry (`<workload>_evictions_<policy>[@machine][+prefetcher]`)
+/// the scope picks. [`Plan::run`] is the unscoped wrapper.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Plan {
     /// Look up the outcome of a `{workload, policy, pc?, addr?}` tuple.
@@ -334,11 +342,8 @@ impl Plan {
             Plan::WorkloadIpc { workload, policy } => {
                 let entry = Self::entry(db, workload, policy, scope)?;
                 let ipc = meta::extract_ipc(&entry.metadata).ok_or(PlanError::EmptyResult)?;
-                let machine = meta::extract_machine(&entry.metadata).unwrap_or("unknown machine");
                 Ok(vec![Fact::NumericValue {
-                    what: format!(
-                        "estimated IPC of {workload} under {policy} on machine {machine}"
-                    ),
+                    what: meta::ipc_citation(workload, policy, &entry.metadata),
                     value: ipc,
                     complete: true,
                 }])
@@ -350,7 +355,10 @@ impl Plan {
                     if let Some(ipc) = meta::extract_ipc(&entry.metadata) {
                         facts.push(Fact::PolicyValue {
                             policy,
-                            metric: "estimated IPC".to_owned(),
+                            metric: format!(
+                                "estimated IPC{}",
+                                meta::scenario_citation_suffix(&entry.metadata)
+                            ),
                             value: ipc,
                         });
                     }
@@ -368,7 +376,10 @@ impl Plan {
                     if let Some(ipc) = meta::extract_ipc(&entry.metadata) {
                         facts.push(Fact::PolicyValue {
                             policy: w,
-                            metric: format!("estimated IPC under {policy}"),
+                            metric: format!(
+                                "estimated IPC under {policy}{}",
+                                meta::scenario_citation_suffix(&entry.metadata)
+                            ),
                             value: ipc,
                         });
                     }

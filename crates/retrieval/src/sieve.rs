@@ -227,12 +227,14 @@ impl Retriever for SieveRetriever {
                         // comes from the metadata's scenario sentence, not
                         // the miss-rate percent.
                         if let Some(ipc) = cachemind_tracedb::meta::extract_ipc(&entry.metadata) {
-                            let machine = cachemind_tracedb::meta::extract_machine(&entry.metadata)
-                                .unwrap_or("unknown machine");
+                            // One shared citation phrase across Sieve,
+                            // Ranger and the serve layer's cited-label
+                            // resolution (see `meta::ipc_citation`).
                             facts.push(Fact::NumericValue {
-                                what: format!(
-                                    "estimated IPC of {} under {} on machine {machine}",
-                                    entry.id.workload, entry.id.policy
+                                what: cachemind_tracedb::meta::ipc_citation(
+                                    &entry.id.workload,
+                                    &entry.id.policy,
+                                    &entry.metadata,
                                 ),
                                 value: ipc,
                                 complete: true,

@@ -21,7 +21,7 @@ use std::io::{BufRead, Write as _};
 use cachemind_core::system::RetrieverKind;
 use cachemind_serve::engine::{ServeConfig, ServeEngine};
 use cachemind_serve::load::{run_load_driver, LoadSpec};
-use cachemind_serve::protocol::{AskRequest, AskResponse, ProtocolError};
+use cachemind_serve::protocol::{AskResponse, Request};
 use cachemind_tracedb::ScenarioSelector;
 use cachemind_workloads::workload::Scale;
 
@@ -48,13 +48,16 @@ fn usage() -> ! {
         "usage: cachemind-serve [--load-driver] [--sessions N] [--questions M]\n\
          \x20                      [--retriever sieve|ranger] [--scale tiny|small|full]\n\
          \x20                      [--shards S] [--threads N] [--report PATH] [--no-timing]\n\
-         \x20                      [--machines table2,small] [--scenarios @table2,@small]\n\
+         \x20                      [--machines table2,small] [--prefetchers nextline,stride4]\n\
+         \x20                      [--scenarios @table2,@small]\n\
          --machines adds machine-qualified traces (MachineConfig presets) to the build;\n\
+         --prefetchers adds prefetcher-qualified (transformed-stream) traces;\n\
          --scenarios pins load-driver sessions round-robin to selectors\n\
          \x20   (canonical form workload@machine+prefetcher/policy, all parts optional).\n\
          without --load-driver, serves newline-delimited JSON requests from stdin:\n\
          \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)\n\
-         \x20   {{\"question\": \"...\", \"scenario\": \"@table2\", \"protocol_version\": 2}}"
+         \x20   {{\"question\": \"...\", \"scenario\": \"@table2+stride4\", \"protocol_version\": 2}}\n\
+         \x20   {{\"close\": true, \"session\": 3}}        (close the session)"
     );
     std::process::exit(2)
 }
@@ -85,6 +88,9 @@ fn main() {
     let machines: Vec<String> = flag(&args, "--machines")
         .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned).collect())
         .unwrap_or_default();
+    let prefetchers: Vec<String> = flag(&args, "--prefetchers")
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned).collect())
+        .unwrap_or_default();
     let scenarios: Vec<ScenarioSelector> = flag(&args, "--scenarios")
         .map(|v| {
             v.split(',')
@@ -110,6 +116,7 @@ fn main() {
             })
         }),
         machines,
+        prefetchers,
         ..Default::default()
     };
 
@@ -167,11 +174,8 @@ fn main() {
         if trimmed == "exit" || trimmed == "quit" {
             break;
         }
-        let response = match AskRequest::from_json(trimmed) {
-            Ok(request) => engine.handle(&request),
-            Err(error @ (ProtocolError::InvalidJson(_) | ProtocolError::BadRequest(_))) => {
-                AskResponse::failure(0, &error)
-            }
+        let response = match Request::from_json(trimmed) {
+            Ok(request) => engine.handle_request(&request),
             Err(error) => AskResponse::failure(0, &error),
         };
         let mut out = stdout.lock();

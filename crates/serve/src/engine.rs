@@ -22,6 +22,7 @@ use cachemind_core::chat::ChatSession;
 use cachemind_core::system::{CacheMind, ContextCache, Query, RetrieverKind};
 use cachemind_lang::profiles::BackendKind;
 use cachemind_sim::config::MachineConfig;
+use cachemind_sim::prefetch::PrefetcherKind;
 use cachemind_tracedb::database::BuildError;
 use cachemind_tracedb::shard::ShardedTraceDatabase;
 use cachemind_tracedb::store::TraceStore;
@@ -50,6 +51,11 @@ pub struct ServeConfig {
     /// build machine-qualified traces for, on top of the primary machine —
     /// the database behind scenario-pinned (protocol v2) sessions.
     pub machines: Vec<String>,
+    /// Extra prefetcher names (`"nextline"`, `"stride4"`; see
+    /// [`PrefetcherKind::parse`]) to build prefetcher-qualified traces
+    /// for, on top of the no-prefetch baseline — so sessions pinned to
+    /// `+stride4` selectors answer from real transformed-stream traces.
+    pub prefetchers: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +67,7 @@ impl Default for ServeConfig {
             shards: TraceDatabaseBuilder::DEFAULT_SHARDS,
             threads: None,
             machines: Vec::new(),
+            prefetchers: Vec::new(),
         }
     }
 }
@@ -102,16 +109,23 @@ pub struct ServeEngine {
     /// used to canonicalize preset-name scopes into keyed lookups and to
     /// resolve the machine a scoped answer cites.
     machine_labels: Vec<String>,
+    /// The store's canonical prefetcher labels, snapshotted like
+    /// `machine_labels`: used to resolve the prefetcher a scoped answer's
+    /// grounded evidence cites.
+    prefetcher_labels: Vec<String>,
 }
 
 impl ServeEngine {
     /// Builds the sharded trace database described by `config` and starts
     /// an engine over it. `config.machines` preset names add
-    /// machine-qualified traces to the build, so scenario-pinned sessions
-    /// have per-machine entries to answer from.
+    /// machine-qualified traces to the build and `config.prefetchers`
+    /// prefetcher names add prefetcher-qualified (transformed-stream)
+    /// traces, so scenario-pinned sessions have per-machine,
+    /// per-prefetcher entries to answer from.
     ///
-    /// Unknown workload/policy/machine-preset names surface as a clean
-    /// [`BuildError`] — validation happens before any shard worker runs.
+    /// Unknown workload/policy/machine-preset/prefetcher names surface as
+    /// a clean [`BuildError`] — validation happens before any shard worker
+    /// runs.
     pub fn build(config: ServeConfig) -> Result<Self, BuildError> {
         let mut machines = Vec::with_capacity(config.machines.len());
         for name in &config.machines {
@@ -120,10 +134,18 @@ impl ServeEngine {
                     .ok_or_else(|| BuildError::UnknownMachine(name.clone()))?,
             );
         }
+        let mut prefetchers = Vec::with_capacity(config.prefetchers.len());
+        for name in &config.prefetchers {
+            prefetchers.push(
+                PrefetcherKind::parse(name)
+                    .ok_or_else(|| BuildError::UnknownPrefetcher(name.clone()))?,
+            );
+        }
         let db = TraceDatabaseBuilder::new()
             .scale(config.scale)
             .shards(config.shards)
             .machines(machines)
+            .prefetchers(prefetchers)
             .try_build_sharded()?;
         Ok(Self::over(db, config))
     }
@@ -147,6 +169,7 @@ impl ServeEngine {
             .with_retriever(config.retriever)
             .with_backend(config.backend);
         let machine_labels = store.machines();
+        let prefetcher_labels = store.prefetchers();
         ServeEngine {
             store,
             mind,
@@ -154,6 +177,7 @@ impl ServeEngine {
             next_session: AtomicU64::new(1),
             config,
             machine_labels,
+            prefetcher_labels,
         }
     }
 
@@ -259,9 +283,37 @@ impl ServeEngine {
             .map(|s| s.chat.recall(query, k))
     }
 
+    /// Closes a session, removing it (and its conversation memory) from
+    /// the session map — the lifecycle half of the protocol, without which
+    /// the map only grows. Returns the number of turns the session
+    /// answered; closing an unknown (or already-closed) session is an
+    /// [`ProtocolError::UnknownSession`].
+    pub fn close_session(&self, session: u64) -> Result<usize, ProtocolError> {
+        self.sessions
+            .lock()
+            .expect("session map lock")
+            .remove(&session)
+            .map(|state| state.chat.transcript().len())
+            .ok_or(ProtocolError::UnknownSession(session))
+    }
+
     /// Answers a single request (a one-element round).
     pub fn handle(&self, request: &AskRequest) -> AskResponse {
         self.ask_round(std::slice::from_ref(request)).pop().expect("one response per request")
+    }
+
+    /// Dispatches any protocol [`Request`](crate::protocol::Request):
+    /// asks run a one-element round, closes run
+    /// [`ServeEngine::close_session`] — both answer in-band.
+    pub fn handle_request(&self, request: &crate::protocol::Request) -> AskResponse {
+        use crate::protocol::Request;
+        match request {
+            Request::Ask(ask) => self.handle(ask),
+            Request::Close { session } => match self.close_session(*session) {
+                Ok(turns) => AskResponse::closed(*session, turns),
+                Err(error) => AskResponse::failure(*session, &error),
+            },
+        }
     }
 
     /// Answers one round of requests — the batched, multi-session path.
@@ -334,12 +386,26 @@ impl ServeEngine {
         {
             let mut sessions = self.sessions.lock().expect("session map lock");
             for (index, session_id, query, answer, micros) in answered {
-                let session = sessions.get_mut(&session_id).expect("session resolved in phase 0");
+                // The session can vanish between phases: another thread may
+                // close it while the round's answers are being computed
+                // outside the lock. That is an in-band unknown-session
+                // failure, not a panic — a poisoned map would brick the
+                // whole engine.
+                let Some(session) = sessions.get_mut(&session_id) else {
+                    responses[index] = Some(AskResponse::failure(
+                        session_id,
+                        &ProtocolError::UnknownSession(session_id),
+                    ));
+                    continue;
+                };
                 session.chat.log(&query.text, &answer.text);
-                let machine = if query.selector.machine_scope().is_unscoped() {
-                    None
+                let (machine, prefetcher) = if query.selector.machine_scope().is_unscoped() {
+                    (None, None)
                 } else {
-                    cited_machine(&self.machine_labels, &answer)
+                    (
+                        cited_machine(&self.machine_labels, &answer),
+                        cited_prefetcher(&self.prefetcher_labels, &answer),
+                    )
                 };
                 responses[index] = Some(AskResponse {
                     session: session_id,
@@ -347,6 +413,8 @@ impl ServeEngine {
                     answer: Some(answer.text),
                     verdict: Some(format!("{:?}", answer.verdict)),
                     machine,
+                    prefetcher,
+                    closed: false,
                     error: None,
                     error_kind: None,
                     micros,
@@ -371,6 +439,27 @@ fn cited_machine(labels: &[String], answer: &cachemind_core::system::Answer) -> 
     labels
         .iter()
         .filter(|label| answer.context.facts.iter().any(|f| f.render().contains(label.as_str())))
+        .max_by_key(|label| (label.len(), (*label).clone()))
+        .cloned()
+}
+
+/// The canonical prefetcher label a scoped answer's grounded evidence
+/// cites: a store label that appears as `prefetcher <label>` in one of the
+/// retrieved facts — the phrase owned by
+/// `cachemind_tracedb::meta::ipc_citation` /
+/// `meta::scenario_citation_suffix` and the metadata's prefetcher
+/// sentence, so the match target has one definition. `None` when the
+/// evidence names no prefetcher — baseline traces never do, so unscoped
+/// and v1 traffic is unaffected. Longest label wins, mirroring
+/// [`cited_machine`] (`stride4` vs a hypothetical `stride42`).
+fn cited_prefetcher(labels: &[String], answer: &cachemind_core::system::Answer) -> Option<String> {
+    labels
+        .iter()
+        .filter(|label| label.as_str() != "none")
+        .filter(|label| {
+            let needle = format!("prefetcher {label}");
+            answer.context.facts.iter().any(|f| f.render().contains(&needle))
+        })
         .max_by_key(|label| (label.len(), (*label).clone()))
         .cloned()
 }
@@ -519,6 +608,79 @@ mod tests {
         assert_eq!(ta.len(), 2);
         assert!(ta[1].0.contains("unique PCs"));
         assert_eq!(engine.transcript(b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn close_removes_the_session_from_the_map() {
+        use crate::protocol::Request;
+
+        let engine = engine(2);
+        let a = engine.open_session();
+        let b = engine.open_session();
+        engine.ask_round(&[AskRequest::in_session(
+            a,
+            "What is the overall miss rate of the mcf workload under LRU?",
+        )]);
+        assert_eq!(engine.session_count(), 2);
+
+        let response = engine.handle_request(&Request::Close { session: a });
+        assert!(response.is_ok());
+        assert!(response.closed);
+        assert_eq!(response.turn, 1, "echoes the turns the session answered");
+        assert_eq!(engine.session_count(), 1);
+        assert_eq!(engine.transcript(a), None, "state is gone");
+        assert_eq!(engine.pinned_scenario(a), None);
+
+        // A closed id is thereafter unknown, to asks and closes alike.
+        let again = engine.handle_request(&Request::Close { session: a });
+        assert_eq!(again.error_kind.as_deref(), Some("unknown_session"));
+        assert!(!again.closed);
+        let ask = engine.ask_round(&[AskRequest::in_session(a, "hello?")]).pop().unwrap();
+        assert_eq!(ask.error_kind.as_deref(), Some("unknown_session"));
+
+        // Ids are never reused: the next open continues the sequence.
+        let c = engine.open_session();
+        assert!(c > b, "ids must stay monotonic after a close");
+    }
+
+    #[test]
+    fn prefetcher_pinned_sessions_answer_from_qualified_traces() {
+        let config = ServeConfig {
+            threads: Some(2),
+            shards: 3,
+            retriever: RetrieverKind::Ranger,
+            machines: vec!["table2".into()],
+            prefetchers: vec!["stride4".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("presets and prefetchers valid");
+        let pin = ScenarioSelector::parse("astar@table2+stride4/lru").expect("selector");
+        let open = AskRequest::new("What is the estimated IPC?").with_scenario(pin.clone());
+        let response = engine.ask_round(&[open]).pop().unwrap();
+        assert!(response.is_ok(), "{:?}", response.error);
+        assert_eq!(engine.pinned_scenario(response.session), Some(pin));
+        let machine = response.machine.as_deref().expect("scoped response cites its machine");
+        assert!(machine.starts_with("table2@"), "{machine}");
+        assert_eq!(
+            response.prefetcher.as_deref(),
+            Some("stride4"),
+            "scoped response cites the grounded prefetcher"
+        );
+
+        // The same session's baseline override drops the citation.
+        let baseline = AskRequest::in_session(response.session, "What is the estimated IPC?")
+            .with_scenario(ScenarioSelector::parse("astar@table2/lru").unwrap());
+        let overridden = engine.ask_round(&[baseline]).pop().unwrap();
+        assert_eq!(overridden.prefetcher, None, "baseline evidence cites no prefetcher");
+        assert_ne!(overridden.answer, response.answer, "prefetch-aware IPC must differ");
+    }
+
+    #[test]
+    fn unknown_prefetchers_fail_the_build_cleanly() {
+        let config = ServeConfig { prefetchers: vec!["markov".into()], ..Default::default() };
+        let err = ServeEngine::build(config).expect_err("unknown prefetcher");
+        assert_eq!(err, BuildError::UnknownPrefetcher("markov".into()));
+        assert!(err.to_string().contains("markov"));
     }
 
     #[test]

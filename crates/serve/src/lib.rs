@@ -9,8 +9,10 @@
 //!   each *round* batches the pending question of every session and
 //!   answers them in parallel on `SERVE_NUM_THREADS` workers.
 //! * [`protocol`] — the newline-delimited JSON wire format
-//!   ([`AskRequest`](protocol::AskRequest) / [`AskResponse`](protocol::AskResponse))
-//!   with in-band errors and per-request timing.
+//!   ([`AskRequest`] / [`AskResponse`], plus the session-lifecycle
+//!   [`Request::Close`]) with in-band errors and
+//!   per-request timing. The full v1/v2 specification lives in
+//!   `docs/PROTOCOL.md`.
 //! * [`load`] — the synthetic load driver behind
 //!   `cachemind-serve --load-driver`: replays N sessions × M questions and
 //!   reports throughput and latency percentiles as JSON
@@ -41,4 +43,4 @@ pub mod protocol;
 
 pub use engine::{ServeConfig, ServeEngine};
 pub use load::{run_load_driver, LoadOutcome, LoadSpec};
-pub use protocol::{AskRequest, AskResponse, ProtocolError};
+pub use protocol::{AskRequest, AskResponse, ProtocolError, Request};

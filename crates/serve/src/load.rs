@@ -184,6 +184,9 @@ impl LoadOutcome {
                 if let Some(machine) = &response.machine {
                     turn.insert("machine", Value::from(machine.as_str()));
                 }
+                if let Some(prefetcher) = &response.prefetcher {
+                    turn.insert("prefetcher", Value::from(prefetcher.as_str()));
+                }
                 if let Some(error) = &response.error {
                     turn.insert("error", Value::from(error.as_str()));
                 }

@@ -28,7 +28,20 @@
 //! a session (no `session` field), the scenario is also pinned as the
 //! session's default scope for later turns. Sending `scenario` implies
 //! v2. Plain v1 requests remain valid and answer byte-identically to the
-//! pre-v2 protocol.
+//! pre-v2 protocol. Responses to scenario-scoped requests cite the
+//! canonical `machine` label — and, when the grounded evidence names one,
+//! the `prefetcher` label — the answer was grounded in.
+//!
+//! # Session lifecycle: `close`
+//!
+//! A `{"close": true, "session": N}` line closes a session, removing it
+//! (and its conversation memory) from the engine's session map — without
+//! it the map only grows. The response echoes the session and reports
+//! `"closed": true` plus the number of turns the session answered;
+//! closing an unknown session fails in-band with
+//! `"error_kind": "unknown_session"`, and a closed id is thereafter
+//! unknown. See `docs/PROTOCOL.md` for the full wire-protocol
+//! specification.
 
 use cachemind_tracedb::ScenarioSelector;
 use serde_json::Value;
@@ -116,6 +129,12 @@ impl AskRequest {
     pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
         let value =
             serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses an already-decoded request object (the shared half of
+    /// [`AskRequest::from_json`] and [`Request::from_json`]).
+    fn from_value(value: &Value) -> Result<Self, ProtocolError> {
         let question = value
             .get("question")
             .and_then(Value::as_str)
@@ -187,6 +206,56 @@ impl AskRequest {
     }
 }
 
+/// Any request line the serve event loop accepts: a question for a
+/// session, or a session-lifecycle `close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A question ([`AskRequest`], v1 or v2).
+    Ask(AskRequest),
+    /// `{"close": true, "session": N}` — close the named session,
+    /// removing it and its conversation memory from the engine.
+    Close {
+        /// The session to close.
+        session: u64,
+    },
+}
+
+impl Request {
+    /// Parses one request line: a `close` when the object carries
+    /// `"close": true`, an [`AskRequest`] otherwise.
+    pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
+        let value =
+            serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
+        match value.get("close") {
+            None => Ok(Request::Ask(AskRequest::from_value(&value)?)),
+            Some(flag) => {
+                if flag.as_bool() != Some(true) {
+                    return Err(ProtocolError::BadRequest(
+                        "'close' must be the boolean true".into(),
+                    ));
+                }
+                let session = value.get("session").and_then(Value::as_u64).ok_or_else(|| {
+                    ProtocolError::BadRequest("close requests require a 'session' integer".into())
+                })?;
+                Ok(Request::Close { session })
+            }
+        }
+    }
+
+    /// Renders the request as a compact JSON line.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Ask(ask) => ask.to_json(),
+            Request::Close { session } => {
+                let mut obj = Value::object();
+                obj.insert("close", Value::from(true));
+                obj.insert("session", Value::from(*session));
+                obj.to_string()
+            }
+        }
+    }
+}
+
 /// The answer (or error) for one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AskResponse {
@@ -204,6 +273,15 @@ pub struct AskResponse {
     /// verify *which machine* answered. Absent on v1 responses (bytes
     /// unchanged).
     pub machine: Option<String>,
+    /// The canonical prefetcher label the answer's grounded evidence cites
+    /// — set only for scenario-scoped (v2) requests whose evidence was a
+    /// prefetcher-qualified trace. Absent on v1 responses and on answers
+    /// grounded in baseline traces.
+    pub prefetcher: Option<String>,
+    /// Whether this response acknowledges a `close` request (the session
+    /// is gone afterwards). Rendered only when true, so ask responses are
+    /// byte-identical to the pre-close protocol.
+    pub closed: bool,
     /// The protocol error, on failure (human-readable).
     pub error: Option<String>,
     /// The stable error discriminator, on failure
@@ -225,8 +303,27 @@ impl AskResponse {
             answer: None,
             verdict: None,
             machine: None,
+            prefetcher: None,
+            closed: false,
             error: Some(error.to_string()),
             error_kind: Some(error.kind().to_owned()),
+            micros: 0,
+        }
+    }
+
+    /// The acknowledgement for a successful `close` request: `turn` echoes
+    /// how many turns the session answered before closing.
+    pub fn closed(session: u64, turns: usize) -> Self {
+        AskResponse {
+            session,
+            turn: turns,
+            answer: None,
+            verdict: None,
+            machine: None,
+            prefetcher: None,
+            closed: true,
+            error: None,
+            error_kind: None,
             micros: 0,
         }
     }
@@ -251,6 +348,12 @@ impl AskResponse {
         }
         if let Some(machine) = &self.machine {
             obj.insert("machine", Value::from(machine.as_str()));
+        }
+        if let Some(prefetcher) = &self.prefetcher {
+            obj.insert("prefetcher", Value::from(prefetcher.as_str()));
+        }
+        if self.closed {
+            obj.insert("closed", Value::from(true));
         }
         if let Some(error) = &self.error {
             obj.insert("error", Value::from(error.as_str()));
@@ -285,6 +388,8 @@ impl AskResponse {
             answer: text("answer"),
             verdict: text("verdict"),
             machine: text("machine"),
+            prefetcher: text("prefetcher"),
+            closed: value.get("closed").and_then(Value::as_bool).unwrap_or(false),
             error: text("error"),
             error_kind: text("error_kind"),
             micros: value.get("micros").and_then(Value::as_u64).unwrap_or(0),
@@ -411,6 +516,64 @@ mod tests {
     }
 
     #[test]
+    fn close_requests_parse_and_round_trip() {
+        let req = Request::from_json("{\"close\": true, \"session\": 7}").expect("close parses");
+        assert_eq!(req, Request::Close { session: 7 });
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+
+        // Ask lines dispatch to the ask arm unchanged.
+        let ask = Request::from_json("{\"question\": \"q\", \"session\": 3}").unwrap();
+        assert_eq!(ask, Request::Ask(AskRequest::in_session(3, "q")));
+        assert_eq!(ask.to_json(), "{\"question\":\"q\",\"session\":3}");
+
+        // Close requires a session and a literal true.
+        assert!(matches!(
+            Request::from_json("{\"close\": true}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        assert!(matches!(
+            Request::from_json("{\"close\": 1, \"session\": 2}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        assert!(matches!(Request::from_json("not json"), Err(ProtocolError::InvalidJson(_))));
+    }
+
+    #[test]
+    fn closed_responses_render_and_round_trip() {
+        let resp = AskResponse::closed(5, 3);
+        assert!(resp.is_ok());
+        let line = resp.to_json(false);
+        assert!(line.contains("\"closed\":true"), "{line}");
+        assert!(!line.contains("answer"), "{line}");
+        assert_eq!(AskResponse::from_json(&line).unwrap(), resp);
+        // Ordinary responses never carry the field.
+        assert!(!AskResponse::failure(0, &ProtocolError::UnknownSession(0))
+            .to_json(false)
+            .contains("closed"));
+    }
+
+    #[test]
+    fn prefetcher_citing_responses_round_trip() {
+        let resp = AskResponse {
+            session: 2,
+            turn: 1,
+            answer: Some("The answer is 0.81.".into()),
+            verdict: Some("Number(0.81)".into()),
+            machine: Some("table2@llc2048x16+dram160".into()),
+            prefetcher: Some("stride4".into()),
+            closed: false,
+            error: None,
+            error_kind: None,
+            micros: 9,
+        };
+        let line = resp.to_json(false);
+        assert!(line.contains("\"prefetcher\":\"stride4\""), "{line}");
+        let back = AskResponse::from_json(&line).expect("round trip");
+        assert_eq!(back.prefetcher.as_deref(), Some("stride4"));
+        assert_eq!(back.machine, resp.machine);
+    }
+
+    #[test]
     fn responses_round_trip() {
         let resp = AskResponse {
             session: 2,
@@ -418,6 +581,8 @@ mod tests {
             answer: Some("yes".into()),
             verdict: Some("HitMiss(false)".into()),
             machine: None,
+            prefetcher: None,
+            closed: false,
             error: None,
             error_kind: None,
             micros: 1234,
@@ -442,6 +607,8 @@ mod tests {
             answer: Some("yes".into()),
             verdict: Some("HitMiss(false)".into()),
             machine: None,
+            prefetcher: None,
+            closed: false,
             error: None,
             error_kind: None,
             micros: 1234,

@@ -134,6 +134,66 @@ fn scenario_pinned_load_driver_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn prefetcher_pinned_session_is_byte_identical_across_worker_counts() {
+    // The PR's acceptance criterion: a serve v2 session pinned to
+    // `astar@table2+stride4/lru` answers an IPC question grounded in a
+    // prefetcher-qualified trace — the response cites the grounded machine
+    // AND prefetcher labels — byte-identically for any worker count.
+    let pin = ScenarioSelector::parse("astar@table2+stride4/lru").expect("selector");
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let config = ServeConfig {
+            threads: Some(threads),
+            shards: 3,
+            retriever: RetrieverKind::Ranger,
+            machines: vec!["table2".into()],
+            prefetchers: vec!["stride4".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("build");
+        let open = AskRequest::new("What is the estimated IPC?").with_scenario(pin.clone());
+        let response = engine.ask_round(&[open]).pop().unwrap();
+        assert!(response.is_ok(), "{threads} workers: {:?}", response.error);
+        outcomes.push((threads, response.to_json(false)));
+    }
+    let (_, reference) = &outcomes[0];
+    for (threads, line) in &outcomes[1..] {
+        assert_eq!(line, reference, "scoped answer diverged between 1 and {threads} workers");
+    }
+    assert!(reference.contains("\"machine\":\"table2@"), "{reference}");
+    assert!(reference.contains("\"prefetcher\":\"stride4\""), "{reference}");
+}
+
+#[test]
+fn prefetcher_axis_leaves_primary_entries_byte_identical() {
+    // Primary (unqualified) entries of a prefetcher-and-machine-qualified
+    // build are byte-identical to the plain build — the pin that keeps v1
+    // traffic and every pre-existing key stable across this PR.
+    let plain = TraceDatabaseBuilder::new()
+        .scale(cachemind_workloads::Scale::Tiny)
+        .shards(3)
+        .try_build_sharded()
+        .expect("plain build");
+    let multi = ServeEngine::build(ServeConfig {
+        threads: Some(2),
+        shards: 3,
+        machines: vec!["table2".into()],
+        prefetchers: vec!["stride4".into()],
+        ..Default::default()
+    })
+    .expect("qualified build");
+    let store = multi.store();
+    for key in plain.trace_keys() {
+        let a = plain.get(&key).expect("plain entry");
+        let b = store.get(&key).expect("primary entry survives");
+        assert_eq!(a.metadata, b.metadata, "{key}");
+        assert_eq!(a.description, b.description, "{key}");
+        assert_eq!(a.frame.rows(), b.frame.rows(), "{key} rows diverge");
+        assert_eq!(b.prefetcher, "none", "{key}");
+    }
+}
+
+#[test]
 fn sessions_are_isolated() {
     let engine = engine_with(4, RetrieverKind::Sieve);
     let a = engine.open_session();

@@ -47,6 +47,34 @@ impl std::error::Error for SelectorParseError {}
 /// A scenario scope: which slice of the `workload × machine × prefetcher ×
 /// policy` space a query asks about. Every field optional; the default
 /// selector is unscoped (matches everything).
+///
+/// # Grammar
+///
+/// The canonical text form ([`ScenarioSelector::parse`] /
+/// [`std::fmt::Display`]) is
+///
+/// ```text
+/// [workload][@machine][+prefetcher][/policy]
+/// ```
+///
+/// with every component optional: `mcf@table2+stride4/lru`, `@small`,
+/// `+stride4`, `mcf`, and the empty string are all valid. The machine slot
+/// accepts a preset *name* (`table2`) or a full canonical label
+/// (`table2@llc2048x16+dram160`); the prefetcher slot stores the canonical
+/// [`PrefetcherKind`] label (`none`, `nextline`, `stride<N>`), and loose
+/// spellings canonicalize on parse (`+stride` → `stride4`, `+next-line` →
+/// `nextline`). The trace database mirrors this shape in its storage keys:
+/// `<workload>_evictions_<policy>[@machine][+prefetcher]` (see the
+/// tracedb crate's `TraceId`).
+///
+/// ```rust
+/// use cachemind_sim::scenario::ScenarioSelector;
+///
+/// let sel = ScenarioSelector::parse("astar@table2+stride4/lru").unwrap();
+/// assert_eq!(sel.workload.as_deref(), Some("astar"));
+/// assert_eq!(sel.prefetcher.as_deref(), Some("stride4"));
+/// assert_eq!(sel.to_string(), "astar@table2+stride4/lru");
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ScenarioSelector {
     /// Workload name (`mcf`).

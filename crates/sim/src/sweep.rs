@@ -178,6 +178,61 @@ where
     items.into_par_iter().map(f).collect()
 }
 
+/// The policy-independent half of one scenario cell — stage 1 of the
+/// scenario pipeline, shared by [`ScenarioGrid::run`] and the trace-database
+/// builder: the prepared [`LlcReplay`] (stream copy + reuse oracle) and, for
+/// full machines, the baseline hierarchy counters the
+/// [`IpcModel`] reads.
+#[derive(Debug)]
+pub struct PreparedScenario {
+    /// The LLC replay every policy in the cell reruns.
+    pub replay: LlcReplay,
+    /// Baseline hierarchy counters (full-machine mode only), with the
+    /// captured LLC stream already drained into the replay.
+    pub hierarchy: Option<crate::hierarchy::HierarchyReport>,
+}
+
+/// Stage 1a of the scenario pipeline: rewrites a demand stream through a
+/// hardware prefetcher. Returns `None` for [`PrefetcherKind::None`] so
+/// callers can borrow the original stream instead of cloning it — the
+/// transform depends only on `(stream, prefetcher)`, so every machine
+/// replaying the pair can share one rewritten copy.
+pub fn transform_stream(
+    kind: PrefetcherKind,
+    accesses: &[MemoryAccess],
+) -> Option<Vec<MemoryAccess>> {
+    match kind {
+        PrefetcherKind::None => None,
+        kind => Some(Prefetcher::new(kind).transform(accesses)),
+    }
+}
+
+/// Stage 1b of the scenario pipeline: prepares the policy-independent half
+/// of a replay on one machine. LLC-only machines replay the (possibly
+/// prefetcher-transformed) stream directly against their LLC geometry; full
+/// machines filter it through L1/L2 first via [`CacheHierarchy`] and keep
+/// the baseline counters the IPC model charges.
+pub fn prepare_scenario(
+    machine: &MachineConfig,
+    accesses: &[MemoryAccess],
+    instr_count: u64,
+) -> PreparedScenario {
+    if machine.llc_only {
+        PreparedScenario {
+            replay: LlcReplay::new(machine.hierarchy.llc.clone(), accesses),
+            hierarchy: None,
+        }
+    } else {
+        let mut hierarchy = CacheHierarchy::new(machine.hierarchy.clone());
+        let mut report = hierarchy.run(accesses, instr_count);
+        let llc_stream = std::mem::take(&mut report.llc_stream);
+        PreparedScenario {
+            replay: LlcReplay::new(machine.hierarchy.llc.clone(), &llc_stream),
+            hierarchy: Some(report),
+        }
+    }
+}
+
 /// Errors surfaced by [`ScenarioGrid::run`] and [`SweepGrid::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepError {
@@ -321,10 +376,14 @@ pub struct ScenarioGrid {
     pub mlp_override: Option<f64>,
 }
 
-/// Walks a replay's records and counts prefetch usefulness: a prefetch
-/// *fill* (prefetch miss) marks its line pending; a demand hit on a pending
-/// line is a *useful* prefetch; eviction or a demand miss clears the line.
-fn prefetch_usefulness(records: &[EvictionRecord], line_bits: u32) -> (u64, u64) {
+/// Walks a replay's records and counts prefetch usefulness, returning
+/// `(fills, useful)`: a prefetch *fill* (prefetch miss) marks its line
+/// pending; a demand hit on a pending line is a *useful* prefetch; eviction
+/// or a demand miss clears the line. This is the LLC-only counterpart of
+/// the hierarchy's own usefulness counters (full machines consume useful
+/// prefetches at L1, which an LLC replay never sees); the trace-database
+/// builder reuses it to annotate prefetcher-qualified entries.
+pub fn prefetch_usefulness(records: &[EvictionRecord], line_bits: u32) -> (u64, u64) {
     let mut pending: HashSet<u64> = HashSet::new();
     let mut fills = 0u64;
     let mut useful = 0u64;
@@ -467,32 +526,27 @@ impl ScenarioGrid {
     {
         self.validate(&make_policy)?;
 
-        // Stage 1a: one task per (stream, prefetcher) pair — the
-        // transform depends only on those two axes, so every machine
-        // replaying the pair shares one transformed stream instead of
-        // rebuilding its own copy. `None` (the whole legacy adapter path)
-        // borrows the original stream rather than cloning it.
+        // Stage 1a ([`transform_stream`]): one task per (stream,
+        // prefetcher) pair — the transform depends only on those two axes,
+        // so every machine replaying the pair shares one transformed stream
+        // instead of rebuilding its own copy. `None` (the whole legacy
+        // adapter path) borrows the original stream rather than cloning it.
         let pairs: Vec<(usize, usize)> = (0..self.streams.len())
             .flat_map(|s| (0..self.prefetchers.len()).map(move |p| (s, p)))
             .collect();
-        let transformed_streams: Vec<Option<Vec<MemoryAccess>>> =
-            sweep_cells(pairs, |(s, p)| match self.prefetchers[p] {
-                PrefetcherKind::None => None,
-                kind => Some(Prefetcher::new(kind).transform(&self.streams[s].accesses)),
-            });
+        let transformed_streams: Vec<Option<Vec<MemoryAccess>>> = sweep_cells(pairs, |(s, p)| {
+            transform_stream(self.prefetchers[p], &self.streams[s].accesses)
+        });
 
-        // Stage 1b: one task per (stream, machine, prefetcher) triple —
-        // hierarchy filter (full-machine mode) and the replay's reuse
-        // oracle are the expensive, policy-independent parts, shared by
-        // every policy replaying the triple.
+        // Stage 1b ([`prepare_scenario`]): one task per (stream, machine,
+        // prefetcher) triple — hierarchy filter (full-machine mode) and the
+        // replay's reuse oracle are the expensive, policy-independent
+        // parts, shared by every policy replaying the triple.
         struct PreparedTriple {
             stream: usize,
             machine: usize,
             prefetcher: usize,
-            replay: LlcReplay,
-            /// Baseline hierarchy counters (full-machine mode only), with
-            /// the captured LLC stream drained into the replay.
-            hierarchy: Option<crate::hierarchy::HierarchyReport>,
+            scenario: PreparedScenario,
         }
         let triples: Vec<(usize, usize, usize)> = (0..self.streams.len())
             .flat_map(|s| {
@@ -502,28 +556,13 @@ impl ScenarioGrid {
             .collect();
         let prepared: Vec<PreparedTriple> = sweep_cells(triples, |(s, m, p)| {
             let stream = &self.streams[s];
-            let machine = &self.machines[m];
             let transformed: &[MemoryAccess] =
                 match &transformed_streams[s * self.prefetchers.len() + p] {
                     Some(rewritten) => rewritten,
                     None => &stream.accesses,
                 };
-            if machine.llc_only {
-                let replay = LlcReplay::new(machine.hierarchy.llc.clone(), transformed);
-                PreparedTriple { stream: s, machine: m, prefetcher: p, replay, hierarchy: None }
-            } else {
-                let mut hierarchy = CacheHierarchy::new(machine.hierarchy.clone());
-                let mut report = hierarchy.run(transformed, stream.instr_count);
-                let llc_stream = std::mem::take(&mut report.llc_stream);
-                let replay = LlcReplay::new(machine.hierarchy.llc.clone(), &llc_stream);
-                PreparedTriple {
-                    stream: s,
-                    machine: m,
-                    prefetcher: p,
-                    replay,
-                    hierarchy: Some(report),
-                }
-            }
+            let scenario = prepare_scenario(&self.machines[m], transformed, stream.instr_count);
+            PreparedTriple { stream: s, machine: m, prefetcher: p, scenario }
         });
 
         // Stage 2: one task per (triple, policy) cell.
@@ -536,12 +575,12 @@ impl ScenarioGrid {
             let machine = &self.machines[triple.machine];
             let policy_name = &self.policies[p];
             let policy = make_policy(policy_name).expect("policy resolved during validation");
-            let report = triple.replay.run(policy);
+            let report = triple.scenario.replay.run(policy);
             // LLC-only cells measure prefetch usefulness inside the replay;
             // full-machine cells take the hierarchy's counters, because a
             // useful prefetch is typically consumed by an L1 hit the LLC
             // replay never sees.
-            let (prefetch_fills, useful_prefetches) = match &triple.hierarchy {
+            let (prefetch_fills, useful_prefetches) = match &triple.scenario.hierarchy {
                 Some(hreport) => (hreport.prefetch_fills, hreport.useful_prefetches),
                 None => {
                     let line_bits = machine.hierarchy.llc.line_size_log2;
@@ -554,7 +593,7 @@ impl ScenarioGrid {
                 model = model.with_mlp(mlp);
             }
             let demand_misses = report.stats.demand_misses;
-            let ipc = match &triple.hierarchy {
+            let ipc = match &triple.scenario.hierarchy {
                 Some(hreport) => model.ipc(hreport, demand_misses),
                 None => {
                     // LLC-only mode: demand accesses pay the LLC hit

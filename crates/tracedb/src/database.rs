@@ -9,9 +9,10 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use cachemind_policies::by_name as policy_by_name;
+use cachemind_sim::access::MemoryAccess;
 use cachemind_sim::config::{CacheConfig, MachineConfig};
-use cachemind_sim::hierarchy::{CacheHierarchy, HierarchyReport};
-use cachemind_sim::replay::LlcReplay;
+use cachemind_sim::prefetch::PrefetcherKind;
+use cachemind_sim::sweep::{prefetch_usefulness, prepare_scenario, transform_stream};
 use cachemind_sim::timing::IpcModel;
 use cachemind_workloads::workload::{Scale, Workload};
 use cachemind_workloads::{by_name as workload_by_name, DATABASE_WORKLOADS};
@@ -22,15 +23,31 @@ use crate::record::TraceRow;
 use crate::shard::ShardedTraceDatabase;
 use crate::store::TraceStore;
 
-/// A parsed trace identifier: `<workload>_evictions_<policy>`, optionally
-/// qualified with the machine the trace was produced on
-/// (`<workload>_evictions_<policy>@<machine_label>`).
+/// A parsed trace identifier, optionally qualified with the scenario the
+/// trace was produced under. The full key grammar is
 ///
-/// Traces built on the builder's *primary* machine keep the unqualified
-/// legacy key, so a database without extra machines is byte-identical to
-/// what earlier builders produced; traces for additional machines carry
-/// the qualification and are addressed through
-/// [`TraceStore::get_scoped`](crate::store::TraceStore::get_scoped).
+/// ```text
+/// <workload>_evictions_<policy>[@<machine_label>][+<prefetcher_label>]
+/// ```
+///
+/// mirroring the [`ScenarioSelector`](cachemind_sim::scenario::ScenarioSelector)
+/// text form: `mcf_evictions_lru` (primary machine, no prefetcher),
+/// `mcf_evictions_lru@table2@llc2048x16+dram160` (machine-qualified),
+/// `mcf_evictions_lru+stride4` (prefetcher-qualified on the primary
+/// machine), `mcf_evictions_lru@table2@llc2048x16+dram160+stride4` (both).
+///
+/// Traces built on the builder's *primary* machine with *no* prefetcher
+/// keep the unqualified legacy key, so a database without extra machines
+/// or prefetchers is byte-identical to what earlier builders produced;
+/// qualified traces are addressed through
+/// [`TraceStore::get_scoped`].
+///
+/// Because canonical machine labels themselves contain `@` and `+`
+/// (`table2@llc2048x16+dram160`), [`TraceId::parse`] is right-anchored the
+/// same way selector parsing is: a trailing `+component` is a prefetcher
+/// qualification only if it parses as a
+/// [`PrefetcherKind`] name;
+/// everything after the first `@` up to there belongs to the machine.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TraceId {
     /// Workload name (e.g. `mcf`).
@@ -40,26 +57,60 @@ pub struct TraceId {
     /// Canonical machine label for non-primary-machine traces; `None` for
     /// the primary machine (legacy key shape).
     pub machine: Option<String>,
+    /// Canonical prefetcher label (`nextline`, `stride4`) for traces whose
+    /// stream was rewritten by a hardware prefetcher before replay; `None`
+    /// for the untransformed baseline (the builder never writes a `+none`
+    /// qualification — baseline entries are simply unqualified).
+    pub prefetcher: Option<String>,
 }
 
 impl TraceId {
-    /// Creates an id on the primary machine.
+    /// Creates an id on the primary machine with no prefetcher.
     pub fn new(workload: &str, policy: &str) -> Self {
-        TraceId { workload: workload.to_owned(), policy: policy.to_owned(), machine: None }
-    }
-
-    /// Creates a machine-qualified id.
-    pub fn scoped(workload: &str, policy: &str, machine: &str) -> Self {
         TraceId {
             workload: workload.to_owned(),
             policy: policy.to_owned(),
-            machine: Some(machine.to_owned()),
+            machine: None,
+            prefetcher: None,
         }
     }
 
-    /// Parses a `<workload>_evictions_<policy>[@<machine>]` key.
+    /// Creates a machine-qualified id (no prefetcher).
+    pub fn scoped(workload: &str, policy: &str, machine: &str) -> Self {
+        TraceId { machine: Some(machine.to_owned()), ..TraceId::new(workload, policy) }
+    }
+
+    /// Creates a fully qualified id: any combination of machine and
+    /// prefetcher qualification. `None` in either slot selects the primary
+    /// machine / the no-prefetch baseline respectively.
+    pub fn qualified(
+        workload: &str,
+        policy: &str,
+        machine: Option<&str>,
+        prefetcher: Option<&str>,
+    ) -> Self {
+        TraceId {
+            machine: machine.map(str::to_owned),
+            prefetcher: prefetcher.map(str::to_owned),
+            ..TraceId::new(workload, policy)
+        }
+    }
+
+    /// Parses a `<workload>_evictions_<policy>[@<machine>][+<prefetcher>]`
+    /// key (see the type-level grammar notes).
     pub fn parse(key: &str) -> Option<Self> {
+        use cachemind_sim::prefetch::PrefetcherKind;
         let (workload, rest) = key.split_once("_evictions_")?;
+        // Right-anchored, like selector parsing: a trailing `+component`
+        // is a prefetcher qualification iff it names a prefetcher kind —
+        // `+dram160` inside a machine label never parses as one.
+        let (rest, prefetcher) = match rest.rfind('+') {
+            Some(idx) => match PrefetcherKind::parse(&rest[idx + 1..]) {
+                Some(kind) => (&rest[..idx], Some(kind.label())),
+                None => (rest, None),
+            },
+            None => (rest, None),
+        };
         let (policy, machine) = match rest.split_once('@') {
             Some((policy, machine)) => {
                 if machine.is_empty() {
@@ -72,15 +123,26 @@ impl TraceId {
         if workload.is_empty() || policy.is_empty() {
             return None;
         }
-        Some(TraceId { workload: workload.to_owned(), policy: policy.to_owned(), machine })
+        Some(TraceId {
+            workload: workload.to_owned(),
+            policy: policy.to_owned(),
+            machine,
+            prefetcher,
+        })
     }
 
-    /// The storage key.
+    /// The storage key (the grammar in the type-level docs).
     pub fn key(&self) -> String {
-        match &self.machine {
-            None => format!("{}_evictions_{}", self.workload, self.policy),
-            Some(machine) => format!("{}_evictions_{}@{machine}", self.workload, self.policy),
+        let mut key = format!("{}_evictions_{}", self.workload, self.policy);
+        if let Some(machine) = &self.machine {
+            key.push('@');
+            key.push_str(machine);
         }
+        if let Some(prefetcher) = &self.prefetcher {
+            key.push('+');
+            key.push_str(prefetcher);
+        }
+        key
     }
 }
 
@@ -105,10 +167,21 @@ pub struct TraceEntry {
     pub description: String,
     /// Canonical label of the machine the trace replayed on.
     pub machine: String,
-    /// Canonical label of the prefetcher active during the replay
-    /// (`"none"` — the builder does not yet transform streams).
+    /// Canonical label of the prefetcher whose transform rewrote the
+    /// stream before replay (`"none"` for baseline entries).
     pub prefetcher: String,
-    /// Model-estimated IPC of the replay.
+    /// Prefetch accesses that actually filled a line (0 for baseline
+    /// entries).
+    pub prefetch_fills: u64,
+    /// Demand accesses served from a line a prefetch brought in.
+    pub useful_prefetches: u64,
+    /// `useful_prefetches / prefetch_fills` (0 when nothing was fetched).
+    pub prefetch_accuracy: f64,
+    /// `useful_prefetches / (useful_prefetches + demand_misses)` — the
+    /// fraction of would-be misses the prefetcher covered.
+    pub prefetch_coverage: f64,
+    /// Model-estimated IPC of the replay (prefetch-aware: covered demand
+    /// misses raise it).
     pub ipc: f64,
 }
 
@@ -248,6 +321,9 @@ pub enum BuildError {
     /// A machine preset name [`MachineConfig::preset`] does not know
     /// (surfaced by service layers that resolve presets before building).
     UnknownMachine(String),
+    /// A prefetcher name [`PrefetcherKind::parse`] does not know (surfaced
+    /// by service layers that resolve prefetcher names before building).
+    UnknownPrefetcher(String),
 }
 
 impl fmt::Display for BuildError {
@@ -256,6 +332,7 @@ impl fmt::Display for BuildError {
             BuildError::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
             BuildError::UnknownPolicy(name) => write!(f, "unknown policy {name:?}"),
             BuildError::UnknownMachine(name) => write!(f, "unknown machine preset {name:?}"),
+            BuildError::UnknownPrefetcher(name) => write!(f, "unknown prefetcher {name:?}"),
         }
     }
 }
@@ -277,15 +354,18 @@ impl std::error::Error for BuildError {}
 ///     .build();
 /// assert_eq!(db.len(), 2);
 /// ```
-/// The policy-independent half of one `workload × machine` build cell:
-/// machine, prepared LLC replay (stream + reuse oracle) and — for full
-/// machines — the baseline hierarchy counters feeding the IPC model.
+/// The policy-independent half of one `workload × machine × prefetcher`
+/// build cell: the machine, the active prefetcher, and the prepared
+/// scenario ([`cachemind_sim::sweep::PreparedScenario`] — LLC replay with
+/// reuse oracle, plus the baseline hierarchy counters feeding the IPC
+/// model on full machines).
 #[derive(Debug)]
 struct PreparedReplay {
     machine: MachineConfig,
     label: String,
-    replay: LlcReplay,
-    hierarchy: Option<HierarchyReport>,
+    prefetcher: PrefetcherKind,
+    prefetcher_label: String,
+    scenario: cachemind_sim::sweep::PreparedScenario,
     primary: bool,
 }
 
@@ -298,6 +378,7 @@ pub struct TraceDatabaseBuilder {
     keep_snapshots_every: usize,
     num_shards: usize,
     extra_machines: Vec<MachineConfig>,
+    extra_prefetchers: Vec<PrefetcherKind>,
 }
 
 impl Default for TraceDatabaseBuilder {
@@ -328,6 +409,7 @@ impl TraceDatabaseBuilder {
             keep_snapshots_every: 1,
             num_shards: Self::DEFAULT_SHARDS,
             extra_machines: Vec::new(),
+            extra_prefetchers: Vec::new(),
         }
     }
 
@@ -400,6 +482,43 @@ impl TraceDatabaseBuilder {
         self
     }
 
+    /// Adds a hardware prefetcher to build traces for, *in addition to* the
+    /// no-prefetch baseline.
+    ///
+    /// Every extra prefetcher contributes one prefetcher-qualified trace
+    /// per `workload × machine × policy` cell: the workload stream is
+    /// rewritten through the prefetcher model
+    /// ([`transform_stream`], the same stage-1 machinery
+    /// [`ScenarioGrid`](cachemind_sim::sweep::ScenarioGrid) runs) *before*
+    /// the hierarchy filter and replay, the entry's key gains the
+    /// `+<prefetcher>` qualification ([`TraceId::qualified`]), and its
+    /// metadata records the prefetcher sentence (label, accuracy,
+    /// coverage) next to a prefetch-aware IPC estimate — so a `+stride4`
+    /// selector scopes to real traces.
+    ///
+    /// Baseline entries keep their unqualified keys and are byte-identical
+    /// whether or not extra prefetchers are configured.
+    /// [`PrefetcherKind::None`] names the always-built baseline and is
+    /// ignored here; duplicate kinds (by canonical label) are kept once.
+    pub fn prefetcher(mut self, kind: PrefetcherKind) -> Self {
+        if kind != PrefetcherKind::None
+            && !self.extra_prefetchers.iter().any(|k| k.label() == kind.label())
+        {
+            self.extra_prefetchers.push(kind);
+        }
+        self
+    }
+
+    /// Replaces the extra-prefetcher set (see
+    /// [`TraceDatabaseBuilder::prefetcher`] for the per-kind semantics).
+    pub fn prefetchers<I: IntoIterator<Item = PrefetcherKind>>(mut self, kinds: I) -> Self {
+        self.extra_prefetchers.clear();
+        for kind in kinds {
+            self = self.prefetcher(kind);
+        }
+        self
+    }
+
     /// The default shard count for [`TraceDatabaseBuilder::try_build_sharded`].
     ///
     /// A fixed constant — **not** the worker count — so the physical layout
@@ -413,49 +532,38 @@ impl TraceDatabaseBuilder {
         self
     }
 
-    /// Prepares the policy-independent half of a `workload × machine`
-    /// replay: the LLC access stream (filtered through L1/L2 for full
-    /// machines), the reuse oracle, and — for full machines — the baseline
-    /// hierarchy counters the IPC model reads. `None` selects the primary
-    /// (builder-LLC) machine, whose entries keep the legacy byte-identical
-    /// shape.
-    fn prepare_replay(&self, workload: &Workload, slot: Option<&MachineConfig>) -> PreparedReplay {
-        match slot {
-            None => {
-                let machine = MachineConfig::llc_only(self.llc.clone());
-                let label = machine.machine_label();
-                PreparedReplay {
-                    replay: LlcReplay::new(self.llc.clone(), &workload.accesses),
-                    machine,
-                    label,
-                    hierarchy: None,
-                    primary: true,
-                }
-            }
-            Some(m) if m.llc_only => PreparedReplay {
-                replay: LlcReplay::new(m.hierarchy.llc.clone(), &workload.accesses),
-                machine: m.clone(),
-                label: m.machine_label(),
-                hierarchy: None,
-                primary: false,
-            },
-            Some(m) => {
-                let mut hierarchy = CacheHierarchy::new(m.hierarchy.clone());
-                let mut hreport = hierarchy.run(&workload.accesses, workload.instr_count);
-                let llc_stream = std::mem::take(&mut hreport.llc_stream);
-                PreparedReplay {
-                    replay: LlcReplay::new(m.hierarchy.llc.clone(), &llc_stream),
-                    machine: m.clone(),
-                    label: m.machine_label(),
-                    hierarchy: Some(hreport),
-                    primary: false,
-                }
-            }
+    /// Prepares the policy-independent half of a `workload × machine ×
+    /// prefetcher` replay via the sweep engine's stage-1 machinery
+    /// ([`prepare_scenario`]): the LLC access stream (already
+    /// prefetcher-transformed by the caller; filtered through L1/L2 for
+    /// full machines), the reuse oracle, and — for full machines — the
+    /// baseline hierarchy counters the IPC model reads. A `None` machine
+    /// slot selects the primary (builder-LLC) machine, whose
+    /// baseline-prefetcher entries keep the legacy byte-identical shape.
+    fn prepare_replay(
+        &self,
+        workload: &Workload,
+        accesses: &[MemoryAccess],
+        slot: Option<&MachineConfig>,
+        prefetcher: PrefetcherKind,
+    ) -> PreparedReplay {
+        let (machine, primary) = match slot {
+            None => (MachineConfig::llc_only(self.llc.clone()), true),
+            Some(m) => (m.clone(), false),
+        };
+        let scenario = prepare_scenario(&machine, accesses, workload.instr_count);
+        PreparedReplay {
+            label: machine.machine_label(),
+            prefetcher,
+            prefetcher_label: prefetcher.label(),
+            scenario,
+            machine,
+            primary,
         }
     }
 
-    /// Simulates one `(workload, machine, policy)` cell into its trace
-    /// entry.
+    /// Simulates one `(workload, machine, prefetcher, policy)` cell into
+    /// its trace entry.
     fn build_entry(
         &self,
         wname: &str,
@@ -465,7 +573,7 @@ impl TraceDatabaseBuilder {
         pname: &str,
     ) -> TraceEntry {
         let policy = policy_by_name(pname).expect("policy validated before simulation");
-        let report = prepared.replay.run(policy);
+        let report = prepared.scenario.replay.run(policy);
         let rows: Vec<TraceRow> = report
             .records
             .iter()
@@ -478,35 +586,75 @@ impl TraceDatabaseBuilder {
         // The scenario sentence: which machine the trace replayed on and
         // the model-estimated IPC (full machines use the hierarchy
         // counters, LLC-only machines the same estimate a scenario cell
-        // on this machine reports).
+        // on this machine reports). The stream is already
+        // prefetcher-transformed, so covered demand misses raise the IPC.
         let model = IpcModel::from_config(&prepared.machine.hierarchy);
-        let ipc = match &prepared.hierarchy {
-            Some(hreport) => model.ipc(hreport, report.stats.demand_misses),
+        let demand_misses = report.stats.demand_misses;
+        let ipc = match &prepared.scenario.hierarchy {
+            Some(hreport) => model.ipc(hreport, demand_misses),
             None => {
                 let demand_accesses = report.stats.accesses - report.stats.prefetches;
-                let demand_hits = demand_accesses.saturating_sub(report.stats.demand_misses);
-                model.ipc_from_llc(workload.instr_count, demand_hits, report.stats.demand_misses)
+                let demand_hits = demand_accesses.saturating_sub(demand_misses);
+                model.ipc_from_llc(workload.instr_count, demand_hits, demand_misses)
             }
         };
-        let metadata = meta::render_scenario(&report, &prepared.label, ipc);
+        // Prefetch usefulness, as the scenario grid counts it: the
+        // hierarchy's counters on full machines (useful prefetches are
+        // consumed by L1 hits the LLC replay never sees), the replay-walk
+        // oracle on LLC-only machines. Baseline cells skip the walk — the
+        // untransformed stream carries no prefetches.
+        let (prefetch_fills, useful_prefetches) =
+            match (&prepared.scenario.hierarchy, prepared.prefetcher) {
+                (_, PrefetcherKind::None) => (0, 0),
+                (Some(hreport), _) => (hreport.prefetch_fills, hreport.useful_prefetches),
+                (None, _) => prefetch_usefulness(
+                    &report.records,
+                    prepared.machine.hierarchy.llc.line_size_log2,
+                ),
+            };
+        let prefetch_accuracy = if prefetch_fills == 0 {
+            0.0
+        } else {
+            useful_prefetches as f64 / prefetch_fills as f64
+        };
+        let covered = useful_prefetches + demand_misses;
+        let prefetch_coverage =
+            if covered == 0 { 0.0 } else { useful_prefetches as f64 / covered as f64 };
+        let metadata = match prepared.prefetcher {
+            PrefetcherKind::None => meta::render_scenario(&report, &prepared.label, ipc),
+            _ => meta::render_scenario_prefetched(
+                &report,
+                &prepared.label,
+                &prepared.prefetcher_label,
+                ipc,
+                prefetch_accuracy,
+                prefetch_coverage,
+            ),
+        };
         let description = format!(
             "Workload: {}. Replacement Policy: {}. {}",
             wname,
             policy_description(pname),
             workload.description
         );
-        let id = if prepared.primary {
-            TraceId::new(wname, pname)
-        } else {
-            TraceId::scoped(wname, pname, &prepared.label)
-        };
+        let id = TraceId::qualified(
+            wname,
+            pname,
+            (!prepared.primary).then_some(prepared.label.as_str()),
+            (prepared.prefetcher != PrefetcherKind::None)
+                .then_some(prepared.prefetcher_label.as_str()),
+        );
         TraceEntry {
             id,
             frame: TraceFrame::new(rows, Arc::clone(program)),
             metadata,
             description,
             machine: prepared.label.clone(),
-            prefetcher: "none".to_owned(),
+            prefetcher: prepared.prefetcher_label.clone(),
+            prefetch_fills,
+            useful_prefetches,
+            prefetch_accuracy,
+            prefetch_coverage,
             ipc,
         }
     }
@@ -530,11 +678,13 @@ impl TraceDatabaseBuilder {
 
     /// Simulates everything and assembles the sharded database.
     ///
-    /// Work is spread across rayon workers in two stages mirroring
-    /// [`SweepGrid`](cachemind_sim::sweep::SweepGrid): one task per workload
-    /// generates the access stream and reuse oracle (shared by every policy
-    /// replaying that workload), then one task per `workload × policy` pair
-    /// runs the replay. Entries are routed to shards by the deterministic
+    /// Work is spread across rayon workers in stages mirroring
+    /// [`ScenarioGrid`](cachemind_sim::sweep::ScenarioGrid): one task per
+    /// workload generates the access stream, one per `workload ×
+    /// prefetcher` rewrites it through the prefetcher model, one per
+    /// `workload × machine × prefetcher` builds the shared replay (reuse
+    /// oracle + hierarchy filter), then one task per grid cell runs the
+    /// policy replay. Entries are routed to shards by the deterministic
     /// [`shard_index`](crate::store::shard_index) assignment, so the result
     /// is identical no matter how many threads ran the build.
     ///
@@ -562,33 +712,66 @@ impl TraceDatabaseBuilder {
             workloads.push(result?);
         }
 
-        // Stage 1b: one task per workload × machine — the reuse oracle
-        // (and, for full machines, the L1/L2 filter) is the expensive
-        // policy-independent part, shared by every policy replaying the
-        // pair. Slot 0 is the primary machine.
-        let machine_slots = 1 + self.extra_machines.len();
-        let wm: Vec<(usize, usize)> =
-            (0..workloads.len()).flat_map(|w| (0..machine_slots).map(move |m| (w, m))).collect();
-        let replays: Vec<PreparedReplay> = wm
+        // Stage 1b: one task per workload × extra prefetcher — the
+        // prefetcher transform is machine-independent (the sweep engine's
+        // stage 1a), so every machine slot shares one rewritten stream.
+        // Prefetcher slot 0 is the untransformed baseline.
+        let num_extra_prefetchers = self.extra_prefetchers.len();
+        let wp: Vec<(usize, usize)> = (0..workloads.len())
+            .flat_map(|w| (0..num_extra_prefetchers).map(move |p| (w, p)))
+            .collect();
+        let rewritten: Vec<Vec<MemoryAccess>> = wp
             .into_par_iter()
-            .map(|(w, m)| {
+            .map(|(w, p)| {
+                transform_stream(self.extra_prefetchers[p], &workloads[w].1.accesses)
+                    .expect("extra prefetchers are never PrefetcherKind::None")
+            })
+            .collect();
+        let stream_for = |w: usize, p: usize| -> &[MemoryAccess] {
+            if p == 0 {
+                &workloads[w].1.accesses
+            } else {
+                &rewritten[w * num_extra_prefetchers + (p - 1)]
+            }
+        };
+
+        // Stage 1c: one task per workload × machine × prefetcher — the
+        // reuse oracle (and, for full machines, the L1/L2 filter) is the
+        // expensive policy-independent part, shared by every policy
+        // replaying the triple. Slot 0 is the primary machine / baseline.
+        let machine_slots = 1 + self.extra_machines.len();
+        let prefetcher_slots = 1 + num_extra_prefetchers;
+        let wmp: Vec<(usize, usize, usize)> = (0..workloads.len())
+            .flat_map(|w| {
+                (0..machine_slots).flat_map(move |m| (0..prefetcher_slots).map(move |p| (w, m, p)))
+            })
+            .collect();
+        let replays: Vec<PreparedReplay> = wmp
+            .into_par_iter()
+            .map(|(w, m, p)| {
                 let slot = if m == 0 { None } else { Some(&self.extra_machines[m - 1]) };
-                self.prepare_replay(&workloads[w].1, slot)
+                let kind =
+                    if p == 0 { PrefetcherKind::None } else { self.extra_prefetchers[p - 1] };
+                self.prepare_replay(&workloads[w].1, stream_for(w, p), slot, kind)
             })
             .collect();
 
-        // Stage 2: one task per (workload, machine, policy) cell.
+        // Stage 2: one task per (workload, machine, prefetcher, policy)
+        // cell.
         let num_policies = self.policies.len();
-        let cells: Vec<(usize, usize, usize)> = (0..workloads.len())
+        let cells: Vec<(usize, usize, usize, usize)> = (0..workloads.len())
             .flat_map(|w| {
-                (0..machine_slots).flat_map(move |m| (0..num_policies).map(move |p| (w, m, p)))
+                (0..machine_slots).flat_map(move |m| {
+                    (0..prefetcher_slots)
+                        .flat_map(move |f| (0..num_policies).map(move |p| (w, m, f, p)))
+                })
             })
             .collect();
         let entries: Vec<TraceEntry> = cells
             .into_par_iter()
-            .map(|(w, m, p)| {
+            .map(|(w, m, f, p)| {
                 let (wname, workload, program) = &workloads[w];
-                let prepared = &replays[w * machine_slots + m];
+                let prepared = &replays[(w * machine_slots + m) * prefetcher_slots + f];
                 self.build_entry(wname, workload, program, prepared, &self.policies[p])
             })
             .collect();
@@ -612,11 +795,20 @@ impl TraceDatabaseBuilder {
             let workload: Workload = workload_by_name(wname, self.scale)
                 .ok_or_else(|| BuildError::UnknownWorkload(wname.clone()))?;
             let program = Arc::new(workload.program.clone());
-            for m in 0..=self.extra_machines.len() {
-                let slot = if m == 0 { None } else { Some(&self.extra_machines[m - 1]) };
-                let prepared = self.prepare_replay(&workload, slot);
-                for pname in &self.policies {
-                    db.insert(self.build_entry(wname, &workload, &program, &prepared, pname));
+            for p in 0..=self.extra_prefetchers.len() {
+                let kind =
+                    if p == 0 { PrefetcherKind::None } else { self.extra_prefetchers[p - 1] };
+                let transformed = transform_stream(kind, &workload.accesses);
+                let accesses: &[MemoryAccess] = match &transformed {
+                    Some(rewritten) => rewritten,
+                    None => &workload.accesses,
+                };
+                for m in 0..=self.extra_machines.len() {
+                    let slot = if m == 0 { None } else { Some(&self.extra_machines[m - 1]) };
+                    let prepared = self.prepare_replay(&workload, accesses, slot, kind);
+                    for pname in &self.policies {
+                        db.insert(self.build_entry(wname, &workload, &program, &prepared, pname));
+                    }
                 }
             }
         }
@@ -749,6 +941,112 @@ mod tests {
         let scoped: Vec<_> = multi.select(&ScenarioSelector::all().with_machine("small")).collect();
         assert_eq!(scoped.len(), 4, "2 workloads x 2 policies on the small machine");
         assert!(scoped.iter().all(|e| e.machine.starts_with("small@")));
+    }
+
+    #[test]
+    fn prefetcher_qualified_trace_ids_round_trip() {
+        let id = TraceId::qualified("mcf", "lru", None, Some("stride4"));
+        assert_eq!(id.key(), "mcf_evictions_lru+stride4");
+        assert_eq!(TraceId::parse(&id.key()), Some(id));
+
+        let id =
+            TraceId::qualified("mcf", "lru", Some("table2@llc2048x16+dram160"), Some("nextline"));
+        assert_eq!(id.key(), "mcf_evictions_lru@table2@llc2048x16+dram160+nextline");
+        assert_eq!(TraceId::parse(&id.key()), Some(id));
+
+        // A machine label's own `+dram...` segment never parses as a
+        // prefetcher qualification.
+        let id = TraceId::parse("mcf_evictions_lru@table2@llc2048x16+dram160").unwrap();
+        assert_eq!(id.machine.as_deref(), Some("table2@llc2048x16+dram160"));
+        assert_eq!(id.prefetcher, None);
+    }
+
+    #[test]
+    fn extra_prefetchers_add_qualified_entries_without_touching_primary_keys() {
+        use crate::meta;
+        use crate::store::TraceStore;
+        use cachemind_sim::scenario::ScenarioSelector;
+
+        let base = || TraceDatabaseBuilder::quick_demo().workloads(["mcf"]).policies(["lru"]);
+        let plain = base().build();
+        let multi = base()
+            .machine(MachineConfig::preset("table2").expect("preset"))
+            .prefetcher(PrefetcherKind::Stride { degree: 4 })
+            .build();
+
+        // One entry per machine slot × prefetcher slot × pair; primary
+        // baseline entries are byte-identical to the axis-free build.
+        assert_eq!(multi.len(), 4 * plain.len());
+        for key in plain.trace_ids() {
+            let a = plain.get(key).expect("plain entry");
+            let b = multi.get(key).expect("primary entry survives");
+            assert_eq!(a.metadata, b.metadata, "{key}");
+            assert_eq!(a.frame.rows(), b.frame.rows(), "{key}");
+            assert_eq!(b.prefetcher, "none", "{key}");
+            assert_eq!(b.prefetch_fills, 0, "{key}");
+        }
+        assert_eq!(TraceStore::prefetchers(&multi), vec!["none", "stride4"]);
+
+        // A +stride4 scope lands on the qualified entry, on either machine.
+        let id = TraceId::new("mcf", "lru");
+        let baseline = multi.get_scoped(&id, &ScenarioSelector::all()).expect("baseline");
+        let pf = ScenarioSelector::parse("+stride4").expect("selector");
+        let strided = multi.get_scoped(&id, &pf).expect("prefetcher-qualified entry");
+        assert_eq!(strided.prefetcher, "stride4");
+        assert_eq!(strided.id.prefetcher.as_deref(), Some("stride4"));
+        assert_eq!(strided.id.machine, None, "machine-unscoped stays primary");
+        assert_eq!(meta::extract_prefetcher(&strided.metadata), Some("stride4"));
+        assert!(strided.prefetch_fills > 0, "transformed stream must fill lines");
+        assert!(strided.prefetch_accuracy > 0.0 && strided.prefetch_accuracy <= 1.0);
+        assert!(strided.prefetch_coverage > 0.0 && strided.prefetch_coverage < 1.0);
+        assert_ne!(strided.ipc, baseline.ipc, "prefetch-aware IPC must differ");
+        assert_eq!(meta::extract_prefetcher(&baseline.metadata), None);
+
+        let both = ScenarioSelector::parse("@table2+stride4").expect("selector");
+        let on_table2 = multi.get_scoped(&id, &both).expect("fully qualified entry");
+        assert!(on_table2.machine.starts_with("table2@"));
+        assert_eq!(on_table2.prefetcher, "stride4");
+        assert!(
+            multi.get_scoped(&id, &ScenarioSelector::parse("+nextline").unwrap()).is_none(),
+            "unbuilt prefetchers select nothing"
+        );
+
+        // select() scopes the full entry iterator by prefetcher.
+        let scoped: Vec<_> = multi.select(&pf).collect();
+        assert_eq!(scoped.len(), 2, "one stride4 entry per machine slot");
+        assert!(scoped.iter().all(|e| e.prefetcher == "stride4"));
+    }
+
+    #[test]
+    fn multi_prefetcher_parallel_build_matches_serial() {
+        let make = || {
+            TraceDatabaseBuilder::quick_demo()
+                .workloads(["mcf"])
+                .policies(["lru", "belady"])
+                .machine(MachineConfig::preset("small").expect("preset"))
+                .prefetchers([PrefetcherKind::NextLine, PrefetcherKind::Stride { degree: 2 }])
+        };
+        let serial = make().build_serial().expect("serial build");
+        let parallel = make().shards(3).try_build().expect("parallel build");
+        assert_eq!(parallel.len(), serial.len());
+        assert_eq!(parallel.len(), 2 * 2 * 3, "pairs x machine slots x prefetcher slots");
+        for (a, b) in parallel.entries().zip(serial.entries()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.metadata, b.metadata);
+            assert_eq!(a.prefetcher, b.prefetcher);
+            assert_eq!(a.frame.rows(), b.frame.rows(), "{} rows diverge", a.id);
+        }
+    }
+
+    #[test]
+    fn none_and_duplicate_prefetchers_collapse() {
+        let db = TraceDatabaseBuilder::quick_demo()
+            .workloads(["mcf"])
+            .policies(["lru"])
+            .prefetchers([PrefetcherKind::None, PrefetcherKind::NextLine, PrefetcherKind::NextLine])
+            .build();
+        // None is the always-built baseline; the duplicate collapses.
+        assert_eq!(db.len(), 2);
     }
 
     #[test]

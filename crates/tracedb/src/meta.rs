@@ -63,6 +63,95 @@ pub fn render_scenario(report: &ReplayReport, machine_label: &str, ipc: f64) -> 
     )
 }
 
+/// Renders the scenario metadata of a *prefetcher-qualified* trace: the
+/// [`render_scenario`] string plus the prefetcher sentence — which hardware
+/// prefetcher rewrote the stream before replay and how well it did
+/// (accuracy = useful fills / fills, coverage = covered fraction of
+/// would-be demand misses; both in `[0, 1]` here, rendered as percent).
+///
+/// Baseline (`none`-prefetcher) traces keep the [`render_scenario`] form
+/// byte-for-byte, so a database without extra prefetchers is identical to
+/// what earlier builders produced; [`extract_prefetcher`] returns `None`
+/// on them.
+pub fn render_scenario_prefetched(
+    report: &ReplayReport,
+    machine_label: &str,
+    prefetcher_label: &str,
+    ipc: f64,
+    accuracy: f64,
+    coverage: f64,
+) -> String {
+    format!(
+        "{} Hardware prefetcher {prefetcher_label} was active with {:.2}% accuracy and \
+         {:.2}% coverage.",
+        render_scenario(report, machine_label, ipc),
+        accuracy * 100.0,
+        coverage * 100.0,
+    )
+}
+
+/// Extracts the prefetcher label from the prefetcher sentence (see
+/// [`render_scenario_prefetched`]).
+///
+/// Returns `None` (quietly) when the sentence is absent — a baseline trace
+/// replayed without a prefetcher. Like [`extract_machine`], a *present but
+/// malformed* sentence trips a debug assertion; release builds still return
+/// `None`. The accuracy and coverage percentages ride the legacy
+/// [`extract_percent`] helper (`extract_percent(meta, "accuracy")`,
+/// `extract_percent(meta, "coverage")`).
+pub fn extract_prefetcher(metadata: &str) -> Option<&str> {
+    let marker = "Hardware prefetcher ";
+    let pos = metadata.find(marker)? + marker.len();
+    let rest = &metadata[pos..];
+    let Some(end) = rest.find(' ').filter(|&end| end > 0) else {
+        debug_assert!(
+            false,
+            "malformed prefetcher sentence: {marker:?} not followed by a space-terminated label \
+             in {metadata:?}"
+        );
+        return None;
+    };
+    Some(&rest[..end])
+}
+
+/// The citation phrase scoped single-trace IPC facts use: `estimated IPC
+/// of <workload> under <policy> on machine <label>`, extended with
+/// `with prefetcher <label>` when the entry's metadata carries the
+/// prefetcher sentence.
+///
+/// This is the **one** definition of the phrase: both retrievers (Sieve's
+/// IPC arm, Ranger's `WorkloadIpc` plan) render it, and the serve layer
+/// resolves the cited machine/prefetcher of a scoped answer by matching
+/// the literal `prefetcher <label>` substring — a shared helper keeps the
+/// three crates from drifting out of sync. Baseline metadata yields the
+/// pre-prefetcher string byte-for-byte.
+pub fn ipc_citation(workload: &str, policy: &str, metadata: &str) -> String {
+    let machine = extract_machine(metadata).unwrap_or("unknown machine");
+    match extract_prefetcher(metadata) {
+        Some(prefetcher) => format!(
+            "estimated IPC of {workload} under {policy} on machine {machine} with prefetcher \
+             {prefetcher}"
+        ),
+        None => format!("estimated IPC of {workload} under {policy} on machine {machine}"),
+    }
+}
+
+/// The scenario suffix comparison facts append to their metric when the
+/// grounded entry is prefetcher-qualified: `" on machine <label> with
+/// prefetcher <label>"`, or `""` for baseline entries — so cross-policy
+/// and cross-workload rankings read from qualified traces cite the
+/// scenario (and serve responses can report it) while baseline
+/// comparisons keep their legacy metric strings byte-for-byte.
+pub fn scenario_citation_suffix(metadata: &str) -> String {
+    match extract_prefetcher(metadata) {
+        Some(prefetcher) => {
+            let machine = extract_machine(metadata).unwrap_or("unknown machine");
+            format!(" on machine {machine} with prefetcher {prefetcher}")
+        }
+        None => String::new(),
+    }
+}
+
 /// Extracts the machine label from the scenario sentence.
 ///
 /// Returns `None` (quietly) when the sentence is absent altogether. A
@@ -231,6 +320,68 @@ mod tests {
         // No marker at all: not a writer bug, just a pre-scenario trace.
         assert_eq!(extract_machine("Cache Performance Summary: 1 total accesses."), None);
         assert_eq!(extract_ipc("Cache Performance Summary: 1 total accesses."), None);
+    }
+
+    #[test]
+    fn prefetcher_sentence_round_trips() {
+        let m = render_scenario_prefetched(
+            &report(),
+            "table2@llc2048x16+dram160",
+            "stride4",
+            0.813402,
+            0.9371,
+            0.8812,
+        );
+        assert!(m.contains("Hardware prefetcher stride4 was active"));
+        assert_eq!(extract_prefetcher(&m), Some("stride4"));
+        assert_eq!(extract_machine(&m), Some("table2@llc2048x16+dram160"));
+        assert_eq!(extract_ipc(&m), Some(0.813402));
+        assert_eq!(extract_percent(&m, "accuracy"), Some(93.71));
+        assert_eq!(extract_percent(&m, "coverage"), Some(88.12));
+        // The prefetcher sentence must not confuse the legacy extractors.
+        assert_eq!(extract_percent(&m, "miss rate"), Some(94.91));
+        assert_eq!(extract_correlation(&m), Some(0.0));
+
+        // Baseline sentences carry no prefetcher, quietly.
+        let baseline = render_scenario(&report(), "LLC@256x8", 0.476981);
+        assert_eq!(extract_prefetcher(&baseline), None);
+        assert_eq!(extract_prefetcher("no scenario sentence at all"), None);
+    }
+
+    #[test]
+    fn ipc_citation_has_one_shape_per_qualification() {
+        let baseline = render_scenario(&report(), "LLC@256x8", 0.476981);
+        assert_eq!(
+            ipc_citation("mcf", "lru", &baseline),
+            "estimated IPC of mcf under lru on machine LLC@256x8"
+        );
+        assert_eq!(scenario_citation_suffix(&baseline), "");
+
+        let prefetched = render_scenario_prefetched(
+            &report(),
+            "table2@llc2048x16+dram160",
+            "stride4",
+            0.81,
+            0.93,
+            0.88,
+        );
+        assert_eq!(
+            ipc_citation("mcf", "lru", &prefetched),
+            "estimated IPC of mcf under lru on machine table2@llc2048x16+dram160 with \
+             prefetcher stride4"
+        );
+        assert_eq!(
+            scenario_citation_suffix(&prefetched),
+            " on machine table2@llc2048x16+dram160 with prefetcher stride4"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed prefetcher sentence")]
+    #[cfg(debug_assertions)]
+    fn truncated_prefetcher_label_trips_debug_assertion() {
+        // Marker present, but the label is never space-terminated.
+        let _ = extract_prefetcher("... Hardware prefetcher stride4");
     }
 
     #[test]

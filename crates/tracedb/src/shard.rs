@@ -2,7 +2,7 @@
 //! independently-built shards.
 //!
 //! The builder assigns every `workload × policy` pair to a shard with the
-//! deterministic [`shard_index`](crate::store::shard_index) function and
+//! deterministic [`shard_index`] function and
 //! builds the shards in parallel (one simulation per pair, oracle shared
 //! per workload). Reads compose the shards back into a single ascending
 //! key space behind the [`TraceStore`] surface, so retrieval and the

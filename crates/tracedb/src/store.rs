@@ -18,6 +18,15 @@ use crate::database::{TraceEntry, TraceId};
 /// Iteration order is part of the contract: [`TraceStore::trace_keys`] and
 /// [`TraceStore::entries`] yield traces in ascending key order regardless of
 /// physical layout, so everything computed over a store is deterministic.
+///
+/// Keys follow the qualified grammar of [`TraceId`]
+/// (`<workload>_evictions_<policy>[@machine][+prefetcher]`); the
+/// selector-filtered surface — [`TraceStore::select`],
+/// [`TraceStore::get_scoped`], [`TraceStore::machines`],
+/// [`TraceStore::prefetchers`] — scopes reads by a
+/// [`ScenarioSelector`] so one multi-scenario store can answer
+/// per-machine, per-prefetcher questions without its unscoped behaviour
+/// changing at all.
 pub trait TraceStore: std::fmt::Debug + Send + Sync {
     /// Looks up a trace by its `<workload>_evictions_<policy>` key.
     fn get(&self, key: &str) -> Option<&TraceEntry>;
@@ -72,6 +81,15 @@ pub trait TraceStore: std::fmt::Debug + Send + Sync {
         set.into_iter().collect()
     }
 
+    /// Distinct canonical prefetcher labels present, sorted (`"none"` for
+    /// baseline entries, plus one label per prefetcher the builder
+    /// transformed streams through).
+    fn prefetchers(&self) -> Vec<String> {
+        let set: std::collections::BTreeSet<String> =
+            self.entries().map(|e| e.prefetcher.clone()).collect();
+        set.into_iter().collect()
+    }
+
     /// The entries a [`ScenarioSelector`] scopes to, in ascending key
     /// order: every selector axis that is set must match (workload and
     /// policy exactly, prefetcher by canonical label, machine by name or
@@ -91,13 +109,16 @@ pub trait TraceStore: std::fmt::Debug + Send + Sync {
     /// policy fields are slot defaults for intent resolution, not filters
     /// here — the id already names the pair).
     ///
-    /// The unqualified primary-machine entry wins when it satisfies the
-    /// scope (so unscoped queries behave exactly as before); otherwise a
-    /// keyed machine-qualified lookup is tried (the scope's machine value
-    /// as a full canonical label), and only a scope naming a machine by
-    /// *preset name* falls back to the linear in-scope scan (first match
-    /// in ascending key order). `None` when no entry for the pair lies in
-    /// scope.
+    /// The unqualified primary-machine baseline entry wins when it
+    /// satisfies the scope (so unscoped queries behave exactly as before);
+    /// otherwise keyed qualified lookups are tried — the scope's machine
+    /// value as a full canonical label and/or its prefetcher label,
+    /// assembled into the qualified key shapes of [`TraceId::qualified`] —
+    /// and only a scope naming a machine by *preset name* falls back to
+    /// the linear in-scope scan (first match in ascending key order).
+    /// A scope prefetcher of `"none"` selects the unqualified baseline
+    /// entries, which carry that label. `None` when no entry for the pair
+    /// lies in scope.
     fn get_scoped(&self, id: &TraceId, selector: &ScenarioSelector) -> Option<&TraceEntry> {
         let scope = selector.machine_scope();
         let in_scope = |entry: &TraceEntry| {
@@ -109,10 +130,24 @@ pub trait TraceStore: std::fmt::Debug + Send + Sync {
                 return Some(entry);
             }
         }
-        // Keyed fast path: when the scope's machine is a full canonical
-        // label, the qualified key addresses the entry directly — no scan.
-        if let Some(machine) = &scope.machine {
-            if let Some(entry) = self.get_id(&TraceId::scoped(&id.workload, &id.policy, machine)) {
+        // Keyed fast paths: qualified keys assembled from the scope. The
+        // builder writes no `+none` qualification, so a "none" scope
+        // prefetcher maps to the unqualified baseline key shapes.
+        let machine = scope.machine.as_deref();
+        let prefetcher = scope.prefetcher.as_deref().filter(|p| *p != "none");
+        let pairs = [(machine, prefetcher), (machine, None), (None, prefetcher)];
+        for (i, &(m, p)) in pairs.iter().enumerate() {
+            // Skip the unqualified shape (already tried above) and any
+            // pair equal to an earlier one (a single-axis scope collapses
+            // two of the three shapes into the same key).
+            if (m.is_none() && p.is_none()) || pairs[..i].contains(&(m, p)) {
+                continue;
+            }
+            let candidate = TraceId::qualified(&id.workload, &id.policy, m, p);
+            if candidate == *id {
+                continue;
+            }
+            if let Some(entry) = self.get_id(&candidate) {
                 if in_scope(entry) {
                     return Some(entry);
                 }

@@ -1,7 +1,7 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Implements the parallel-iterator surface this workspace uses on top of
-//! `std::thread::scope`: [`IntoParallelIterator`]/[`ParallelIterator`] with
+//! `std::thread::scope`: [`IntoParallelIterator`] and its iterator types with
 //! `map`, `filter`, `flat_map`, `for_each`, `sum`, `reduce` and `collect`.
 //!
 //! Differences from real rayon, by design:

@@ -241,6 +241,41 @@ proptest! {
         prop_assert_eq!(parsed.unwrap(), selector);
     }
 
+    /// `TraceId::parse ∘ key` is the identity on qualified trace ids: any
+    /// combination of machine qualification (a canonical label, itself
+    /// containing `@` and `+`) and prefetcher qualification (a canonical
+    /// prefetcher label) survives the round trip field-for-field — the
+    /// storage-key grammar mirror of the selector identity above.
+    #[test]
+    fn trace_id_parse_key_identity(
+        workload_raw in proptest::collection::vec(97u8..123, 1..8),
+        policy_raw in proptest::collection::vec(97u8..123, 1..8),
+        machine_name in proptest::collection::vec(97u8..123, 1..7),
+        sets in 1u64..5000,
+        ways in 1u64..33,
+        dram in 1u64..1000,
+        has_machine in 0u8..2,
+        prefetcher_pick in 0u8..4,
+    ) {
+        let word = |bytes: Vec<u8>| String::from_utf8(bytes).expect("ascii letters");
+        let machine = (has_machine == 1)
+            .then(|| format!("{}@llc{sets}x{ways}+dram{dram}", word(machine_name)));
+        let prefetcher = match prefetcher_pick {
+            0 => None,
+            1 => Some("nextline"),
+            2 => Some("stride4"),
+            _ => Some("stride2"),
+        };
+        let id = TraceId::qualified(
+            &word(workload_raw),
+            &word(policy_raw),
+            machine.as_deref(),
+            prefetcher,
+        );
+        let parsed = TraceId::parse(&id.key());
+        prop_assert_eq!(parsed, Some(id));
+    }
+
     /// Cache occupancy never exceeds capacity, and hits never change
     /// occupancy.
     #[test]
