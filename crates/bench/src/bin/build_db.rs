@@ -1,0 +1,111 @@
+//! `build_db` — the snapshot-lifecycle benchmark: build a sharded trace
+//! database once, save it as a versioned snapshot, load it back, and
+//! report how the load compares to the build.
+//!
+//! ```text
+//! build_db [--out PATH] [--shards S] [--machines table2,small]
+//!          [--prefetchers stride4] [--keep]
+//! ```
+//!
+//! Prints one JSON object with the build/save/load wall-clock numbers,
+//! the snapshot size, and the `load_speedup` factor (build ÷ load) — the
+//! number behind the PR's "snapshot startup is an order of magnitude
+//! faster than simulating" claim. The scale comes from `CACHEMIND_SCALE`
+//! (`tiny` default), matching the other bench binaries. The snapshot file
+//! is deleted afterwards unless `--keep` is passed.
+
+use std::time::Instant;
+
+use cachemind_bench::scale_from_env;
+use cachemind_serve::engine::{build_database, ServeConfig};
+use cachemind_tracedb::shard::ShardedTraceDatabase;
+use cachemind_tracedb::store::TraceStore;
+use serde_json::Value;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn names(args: &[String], name: &str) -> Vec<String> {
+    flag(args, name)
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned).collect())
+        .unwrap_or_default()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ServeConfig {
+        scale: scale_from_env(),
+        shards: flag(&args, "--shards")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --shards expects a positive integer, got {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(ServeConfig::default().shards),
+        machines: names(&args, "--machines"),
+        prefetchers: names(&args, "--prefetchers"),
+        ..Default::default()
+    };
+    let path = flag(&args, "--out").unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("cachemind_build_db_{}.snap", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    eprintln!("[build_db] building ({:?}, {} shards) ...", config.scale, config.shards);
+    let started = Instant::now();
+    let db = match build_database(&config) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let build_micros = started.elapsed().as_micros() as u64;
+
+    let started = Instant::now();
+    if let Err(e) = db.save(&path) {
+        eprintln!("error: cannot write snapshot {path:?}: {e}");
+        std::process::exit(1);
+    }
+    let save_micros = started.elapsed().as_micros() as u64;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+
+    let started = Instant::now();
+    let loaded = match ShardedTraceDatabase::load(&path) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("error: cannot load snapshot {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let load_micros = started.elapsed().as_micros() as u64;
+
+    // The loaded store must be the built store — same keys, same shard
+    // layout — or the timing numbers compare different databases.
+    assert_eq!(loaded.num_shards(), db.num_shards(), "shard layout survives the round trip");
+    assert_eq!(loaded.trace_keys(), db.trace_keys(), "key space survives the round trip");
+
+    if !args.iter().any(|a| a == "--keep") {
+        std::fs::remove_file(&path).ok();
+    } else {
+        eprintln!("[build_db] kept snapshot at {path}");
+    }
+
+    let mut report = Value::object();
+    report.insert("scale", Value::from(format!("{:?}", config.scale).to_lowercase()));
+    report.insert("shards", Value::from(db.num_shards()));
+    report.insert("traces", Value::from(TraceStore::len(&db)));
+    report.insert("snapshot_bytes", Value::from(bytes));
+    report.insert("build_micros", Value::from(build_micros));
+    report.insert("save_micros", Value::from(save_micros));
+    report.insert("load_micros", Value::from(load_micros));
+    report.insert(
+        "load_speedup",
+        Value::from(if load_micros > 0 { build_micros as f64 / load_micros as f64 } else { 0.0 }),
+    );
+    println!("{}", serde_json::to_string_pretty(&report).expect("shim serialization"));
+}

@@ -3,11 +3,15 @@
 //! ```text
 //! # serve newline-delimited JSON requests from stdin
 //! cachemind-serve [--retriever sieve|ranger] [--scale tiny|small|full]
-//!                 [--shards S] [--threads N]
+//!                 [--shards S] [--threads N] [--max-idle-rounds R]
 //!
 //! # synthetic load driver: N sessions x M questions, batched rounds
 //! cachemind-serve --load-driver [--sessions N] [--questions M]
 //!                 [--report BENCH_serve.json] [--no-timing] [...]
+//!
+//! # snapshot lifecycle: build once offline, serve instantly afterwards
+//! cachemind-serve --build-db db.snap [--scale ...] [--machines ...]
+//! cachemind-serve --db-path db.snap [--startup-compare] [...]
 //! ```
 //!
 //! The worker-pool width comes from `--threads`, else `SERVE_NUM_THREADS`,
@@ -15,12 +19,21 @@
 //! deterministic report (no thread count, no wall-clock fields) — the form
 //! CI diffs across thread counts. `--report PATH` additionally writes the
 //! full report including throughput and latency percentiles.
+//!
+//! `--build-db PATH` runs the simulation build and writes the sharded
+//! database to `PATH` as a versioned snapshot, without serving. `--db-path
+//! PATH` starts the engine from such a snapshot instead of simulating —
+//! answers are byte-identical to a fresh build, startup is near-instant —
+//! and `--startup-compare` additionally times the equivalent in-process
+//! build so the report's `timing.startup` block carries the speedup
+//! denominator.
 
 use std::io::{BufRead, Write as _};
+use std::time::Instant;
 
 use cachemind_core::system::RetrieverKind;
-use cachemind_serve::engine::{ServeConfig, ServeEngine};
-use cachemind_serve::load::{run_load_driver, LoadSpec};
+use cachemind_serve::engine::{build_database, ServeConfig, ServeEngine};
+use cachemind_serve::load::{run_load_driver, LoadSpec, StartupTiming};
 use cachemind_serve::protocol::{AskResponse, Request};
 use cachemind_tracedb::ScenarioSelector;
 use cachemind_workloads::workload::Scale;
@@ -49,14 +62,21 @@ fn usage() -> ! {
          \x20                      [--retriever sieve|ranger] [--scale tiny|small|full]\n\
          \x20                      [--shards S] [--threads N] [--report PATH] [--no-timing]\n\
          \x20                      [--machines table2,small] [--prefetchers nextline,stride4]\n\
-         \x20                      [--scenarios @table2,@small]\n\
+         \x20                      [--scenarios @table2,@small] [--max-idle-rounds R]\n\
+         \x20                      [--build-db PATH | --db-path PATH [--startup-compare]]\n\
          --machines adds machine-qualified traces (MachineConfig presets) to the build;\n\
          --prefetchers adds prefetcher-qualified (transformed-stream) traces;\n\
          --scenarios pins load-driver sessions round-robin to selectors\n\
-         \x20   (canonical form workload@machine+prefetcher/policy, all parts optional).\n\
+         \x20   (canonical form workload@machine+prefetcher/policy, all parts optional);\n\
+         --max-idle-rounds reaps sessions untouched for R consecutive ask rounds;\n\
+         --build-db simulates the configured database and writes it to PATH as a\n\
+         \x20   versioned snapshot, then exits (no serving);\n\
+         --db-path starts the engine from such a snapshot instead of simulating\n\
+         \x20   (--startup-compare also times the equivalent in-process build).\n\
          without --load-driver, serves newline-delimited JSON requests from stdin:\n\
          \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)\n\
          \x20   {{\"question\": \"...\", \"scenario\": \"@table2+stride4\", \"protocol_version\": 2}}\n\
+         \x20   {{\"open\": true, \"scenario\": \"@table2\"}}  (open/probe without asking)\n\
          \x20   {{\"close\": true, \"session\": 3}}        (close the session)"
     );
     std::process::exit(2)
@@ -117,26 +137,108 @@ fn main() {
         }),
         machines,
         prefetchers,
+        max_idle_rounds: flag(&args, "--max-idle-rounds").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --max-idle-rounds expects a positive integer, got {v:?}");
+                std::process::exit(2);
+            })
+        }),
         ..Default::default()
     };
 
-    eprintln!(
-        "[cachemind-serve] building sharded trace database ({:?}, {} shards) ...",
-        config.scale, config.shards
-    );
-    let engine = match ServeEngine::build(config) {
-        Ok(engine) => engine,
-        Err(e) => {
-            eprintln!("error: {e}");
+    // Offline snapshot build: simulate, save, exit — the serving start
+    // that follows (--db-path) then skips simulation entirely.
+    if let Some(path) = flag(&args, "--build-db") {
+        eprintln!(
+            "[cachemind-serve] building sharded trace database ({:?}, {} shards) ...",
+            config.scale, config.shards
+        );
+        let started = Instant::now();
+        let db = match build_database(&config) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let build_micros = started.elapsed().as_micros() as u64;
+        if let Err(e) = db.save(&path) {
+            eprintln!("error: cannot write snapshot {path:?}: {e}");
             std::process::exit(1);
         }
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        eprintln!(
+            "[cachemind-serve] wrote snapshot {path} ({bytes} bytes, {} traces, {} shards) — \
+             build took {} ms",
+            cachemind_tracedb::store::TraceStore::len(&db),
+            db.num_shards(),
+            build_micros / 1000
+        );
+        return;
+    }
+
+    let startup;
+    let engine = match flag(&args, "--db-path") {
+        Some(path) => {
+            // Optional reference build: the denominator of the snapshot
+            // speedup, timed before the load so the engine's own startup
+            // number is unpolluted.
+            let reference_build_micros = if has(&args, "--startup-compare") {
+                let started = Instant::now();
+                if let Err(e) = build_database(&config) {
+                    eprintln!("error: --startup-compare build failed: {e}");
+                    std::process::exit(1);
+                }
+                Some(started.elapsed().as_micros() as u64)
+            } else {
+                None
+            };
+            eprintln!("[cachemind-serve] loading trace-database snapshot {path} ...");
+            let started = Instant::now();
+            let engine = match ServeEngine::from_snapshot(&path, config) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let micros = started.elapsed().as_micros() as u64;
+            startup =
+                Some(StartupTiming { source: "snapshot".into(), micros, reference_build_micros });
+            engine
+        }
+        None => {
+            eprintln!(
+                "[cachemind-serve] building sharded trace database ({:?}, {} shards) ...",
+                config.scale, config.shards
+            );
+            let started = Instant::now();
+            let engine = match ServeEngine::build(config) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let micros = started.elapsed().as_micros() as u64;
+            startup = Some(StartupTiming {
+                source: "build".into(),
+                micros,
+                reference_build_micros: None,
+            });
+            engine
+        }
     };
-    eprintln!(
-        "[cachemind-serve] ready: {} traces across {} shards, {} worker threads",
-        engine.store().len(),
-        engine.config().shards,
-        engine.num_threads()
-    );
+    if let Some(s) = &startup {
+        eprintln!(
+            "[cachemind-serve] ready in {} ms ({}): {} traces across {} shards, {} worker threads",
+            s.micros / 1000,
+            s.source,
+            engine.store().len(),
+            engine.config().shards,
+            engine.num_threads()
+        );
+    }
 
     if has(&args, "--load-driver") {
         let spec = LoadSpec {
@@ -144,7 +246,8 @@ fn main() {
             questions: usize_flag(&args, "--questions", LoadSpec::default().questions),
             scenarios,
         };
-        let outcome = run_load_driver(&engine, spec);
+        let mut outcome = run_load_driver(&engine, spec);
+        outcome.startup = startup;
         let with_timing = !has(&args, "--no-timing");
         println!("{}", outcome.render(&engine, with_timing));
         if let Some(path) = flag(&args, "--report") {

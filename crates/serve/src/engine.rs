@@ -25,6 +25,7 @@ use cachemind_sim::config::MachineConfig;
 use cachemind_sim::prefetch::PrefetcherKind;
 use cachemind_tracedb::database::BuildError;
 use cachemind_tracedb::shard::ShardedTraceDatabase;
+use cachemind_tracedb::snapshot::{LazyTraceDatabase, SnapshotError, VerifiedSnapshot};
 use cachemind_tracedb::store::TraceStore;
 use cachemind_tracedb::{ScenarioSelector, TraceDatabaseBuilder};
 use cachemind_workloads::workload::Scale;
@@ -56,6 +57,12 @@ pub struct ServeConfig {
     /// for, on top of the no-prefetch baseline — so sessions pinned to
     /// `+stride4` selectors answer from real transformed-stream traces.
     pub prefetchers: Vec<String>,
+    /// Reap sessions left untouched for this many consecutive ask rounds
+    /// (a reaped id is thereafter an unknown session, exactly as if the
+    /// client had closed it). `None` disables reaping — sessions then
+    /// live until closed, the pre-reaping behaviour. A value of 0 is
+    /// clamped to 1.
+    pub max_idle_rounds: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +75,7 @@ impl Default for ServeConfig {
             threads: None,
             machines: Vec::new(),
             prefetchers: Vec::new(),
+            max_idle_rounds: None,
         }
     }
 }
@@ -94,6 +102,22 @@ struct SessionState {
     /// The session's default scenario scope, pinned at open (unscoped for
     /// v1 sessions). A request-level `scenario` overrides it per turn.
     pinned: ScenarioSelector,
+    /// The last ask round that touched this session (opened it, probed
+    /// it, or asked through it) — the idle clock
+    /// [`ServeConfig::max_idle_rounds`] reaps against.
+    last_active_round: u64,
+}
+
+/// The session map plus the engine's round clock, guarded by one mutex so
+/// activity stamps and reaping are atomic with session bookkeeping.
+#[derive(Debug, Default)]
+struct SessionTable {
+    sessions: BTreeMap<u64, SessionState>,
+    /// Completed-round counter: incremented once at the start of every
+    /// [`ServeEngine::ask_round`], serially under the lock — the
+    /// deterministic clock idle reaping measures against (wall time would
+    /// break byte-stability across thread counts).
+    round: u64,
 }
 
 /// The serving front-end: session manager + batched ask rounds.
@@ -101,18 +125,20 @@ struct SessionState {
 pub struct ServeEngine {
     store: Arc<dyn TraceStore>,
     mind: CacheMind,
-    sessions: Mutex<BTreeMap<u64, SessionState>>,
+    sessions: Mutex<SessionTable>,
     next_session: AtomicU64,
     config: ServeConfig,
-    /// The store's canonical machine labels, snapshotted once at engine
-    /// construction (the store is immutable for the engine's lifetime):
-    /// used to canonicalize preset-name scopes into keyed lookups and to
-    /// resolve the machine a scoped answer cites.
-    machine_labels: Vec<String>,
+    /// The store's canonical machine labels, snapshotted on first use (the
+    /// store is immutable for the engine's lifetime): used to canonicalize
+    /// preset-name scopes into keyed lookups and to resolve the machine a
+    /// scoped answer cites. Lazy so a snapshot-backed engine
+    /// ([`ServeEngine::from_snapshot`]) does not force a decode at
+    /// startup.
+    machine_labels: std::sync::OnceLock<Vec<String>>,
     /// The store's canonical prefetcher labels, snapshotted like
     /// `machine_labels`: used to resolve the prefetcher a scoped answer's
     /// grounded evidence cites.
-    prefetcher_labels: Vec<String>,
+    prefetcher_labels: std::sync::OnceLock<Vec<String>>,
 }
 
 impl ServeEngine {
@@ -127,27 +153,31 @@ impl ServeEngine {
     /// a clean [`BuildError`] — validation happens before any shard worker
     /// runs.
     pub fn build(config: ServeConfig) -> Result<Self, BuildError> {
-        let mut machines = Vec::with_capacity(config.machines.len());
-        for name in &config.machines {
-            machines.push(
-                MachineConfig::preset(name)
-                    .ok_or_else(|| BuildError::UnknownMachine(name.clone()))?,
-            );
-        }
-        let mut prefetchers = Vec::with_capacity(config.prefetchers.len());
-        for name in &config.prefetchers {
-            prefetchers.push(
-                PrefetcherKind::parse(name)
-                    .ok_or_else(|| BuildError::UnknownPrefetcher(name.clone()))?,
-            );
-        }
-        let db = TraceDatabaseBuilder::new()
-            .scale(config.scale)
-            .shards(config.shards)
-            .machines(machines)
-            .prefetchers(prefetchers)
-            .try_build_sharded()?;
+        let db = build_database(&config)?;
         Ok(Self::over(db, config))
+    }
+
+    /// Starts an engine over a database loaded from a snapshot file
+    /// written by [`ShardedTraceDatabase::save`] (see
+    /// `cachemind_tracedb::snapshot`) — the instant-startup path: no
+    /// simulation runs. The snapshot's own shard count wins over
+    /// `config.shards` (the file records the physical layout).
+    ///
+    /// `config.scale`, `machines` and `prefetchers` describe *builds*, so
+    /// they are ignored here beyond being echoed in [`ServeEngine::config`];
+    /// the snapshot determines which traces exist.
+    /// The snapshot is checksum-verified in full before this returns (any
+    /// corruption is a startup error, never a mid-round surprise), but the
+    /// entries themselves decode lazily on the first query — the ready
+    /// banner and the listen loop come up without paying the decode.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+        mut config: ServeConfig,
+    ) -> Result<Self, SnapshotError> {
+        let snapshot = VerifiedSnapshot::open(path)?;
+        config.shards = snapshot.num_shards().max(1);
+        let store: Arc<dyn TraceStore> = Arc::new(LazyTraceDatabase::new(snapshot));
+        Ok(Self::over_store(store, config))
     }
 
     /// Starts an engine over an already-built sharded database.
@@ -157,28 +187,50 @@ impl ServeEngine {
     /// Panics if `config.retriever` is [`RetrieverKind::Dense`] (not a
     /// serving retriever; see [`ServeConfig::retriever`]).
     pub fn over(db: ShardedTraceDatabase, mut config: ServeConfig) -> Self {
+        // The builder clamps to one shard minimum; keep the recorded config
+        // in agreement with the physical layout it describes.
+        config.shards = config.shards.max(1);
+        Self::over_store(Arc::new(db), config)
+    }
+
+    /// Starts an engine over any [`TraceStore`] — the common tail of
+    /// [`ServeEngine::over`] (eager, in-memory) and
+    /// [`ServeEngine::from_snapshot`] (lazy, snapshot-backed). `config` is
+    /// recorded as given; callers reconcile `config.shards` with the
+    /// store's physical layout first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.retriever` is [`RetrieverKind::Dense`] (not a
+    /// serving retriever; see [`ServeConfig::retriever`]).
+    fn over_store(store: Arc<dyn TraceStore>, config: ServeConfig) -> Self {
         assert!(
             config.retriever != RetrieverKind::Dense,
             "the dense baseline is not servable; use Sieve or Ranger"
         );
-        // The builder clamps to one shard minimum; keep the recorded config
-        // in agreement with the physical layout it describes.
-        config.shards = config.shards.max(1);
-        let store: Arc<dyn TraceStore> = Arc::new(db);
         let mind = CacheMind::shared(Arc::clone(&store))
             .with_retriever(config.retriever)
             .with_backend(config.backend);
-        let machine_labels = store.machines();
-        let prefetcher_labels = store.prefetchers();
         ServeEngine {
             store,
             mind,
-            sessions: Mutex::new(BTreeMap::new()),
+            sessions: Mutex::new(SessionTable::default()),
             next_session: AtomicU64::new(1),
             config,
-            machine_labels,
-            prefetcher_labels,
+            machine_labels: std::sync::OnceLock::new(),
+            prefetcher_labels: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The store's canonical machine labels, computed on first use (this
+    /// forces a lazy snapshot store to decode).
+    fn machine_labels(&self) -> &[String] {
+        self.machine_labels.get_or_init(|| self.store.machines())
+    }
+
+    /// The store's canonical prefetcher labels, computed on first use.
+    fn prefetcher_labels(&self) -> &[String] {
+        self.prefetcher_labels.get_or_init(|| self.store.prefetchers())
     }
 
     /// Rewrites a scope's machine from a preset *name* (`table2`) to the
@@ -191,8 +243,8 @@ impl ServeEngine {
     /// sorted order, the same entry the unresolved scan would have found.
     fn canonicalize(&self, selector: ScenarioSelector) -> ScenarioSelector {
         match &selector.machine {
-            Some(machine) if !self.machine_labels.iter().any(|l| l == machine) => {
-                match self.machine_labels.iter().find(|l| selector.matches_machine(l)) {
+            Some(machine) if !self.machine_labels().iter().any(|l| l == machine) => {
+                match self.machine_labels().iter().find(|l| selector.matches_machine(l)) {
                     Some(label) => {
                         let label = label.clone();
                         selector.with_machine(label)
@@ -221,7 +273,7 @@ impl ServeEngine {
 
     /// Number of open sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().expect("session map lock").len()
+        self.sessions.lock().expect("session map lock").sessions.len()
     }
 
     /// Allocates an id and constructs a session around its own
@@ -239,7 +291,7 @@ impl ServeEngine {
                 .with_retriever(self.config.retriever)
                 .with_backend(self.config.backend),
         );
-        (id, SessionState { chat, pinned })
+        (id, SessionState { chat, pinned, last_active_round: 0 })
     }
 
     /// Opens a fresh unscoped chat session sharing the engine's database,
@@ -253,15 +305,22 @@ impl ServeEngine {
     /// within this one — how a v2 client says *which machine* its session
     /// asks about.
     pub fn open_session_pinned(&self, pinned: ScenarioSelector) -> u64 {
-        let (id, session) = self.fresh_session(pinned);
-        self.sessions.lock().expect("session map lock").insert(id, session);
+        let (id, mut session) = self.fresh_session(pinned);
+        let mut table = self.sessions.lock().expect("session map lock");
+        session.last_active_round = table.round;
+        table.sessions.insert(id, session);
         id
     }
 
     /// The scenario scope a session pinned at open (unscoped for v1
     /// sessions); `None` for unknown sessions.
     pub fn pinned_scenario(&self, session: u64) -> Option<ScenarioSelector> {
-        self.sessions.lock().expect("session map lock").get(&session).map(|s| s.pinned.clone())
+        self.sessions
+            .lock()
+            .expect("session map lock")
+            .sessions
+            .get(&session)
+            .map(|s| s.pinned.clone())
     }
 
     /// The `(question, answer)` transcript of a session.
@@ -269,6 +328,7 @@ impl ServeEngine {
         self.sessions
             .lock()
             .expect("session map lock")
+            .sessions
             .get(&session)
             .map(|s| s.chat.transcript().to_vec())
     }
@@ -279,6 +339,7 @@ impl ServeEngine {
         self.sessions
             .lock()
             .expect("session map lock")
+            .sessions
             .get(&session)
             .map(|s| s.chat.recall(query, k))
     }
@@ -292,9 +353,45 @@ impl ServeEngine {
         self.sessions
             .lock()
             .expect("session map lock")
+            .sessions
             .remove(&session)
             .map(|state| state.chat.transcript().len())
             .ok_or(ProtocolError::UnknownSession(session))
+    }
+
+    /// Opens a session (or probes an existing one) without asking a
+    /// question — the engine half of the protocol's `open` request.
+    ///
+    /// With `session: None`, opens a fresh session pinned to `scenario`
+    /// (unscoped when absent) and acknowledges at turn 0. With a session
+    /// id, echoes the existing pin and turn count, refreshing the
+    /// session's idle clock; unknown ids fail in-band.
+    pub fn open_request(
+        &self,
+        session: Option<u64>,
+        scenario: Option<ScenarioSelector>,
+    ) -> AskResponse {
+        match session {
+            None => {
+                let pinned = scenario.unwrap_or_default();
+                let (id, mut state) = self.fresh_session(pinned.clone());
+                let mut table = self.sessions.lock().expect("session map lock");
+                state.last_active_round = table.round;
+                table.sessions.insert(id, state);
+                AskResponse::opened(id, 0, &pinned)
+            }
+            Some(id) => {
+                let mut table = self.sessions.lock().expect("session map lock");
+                let round = table.round;
+                match table.sessions.get_mut(&id) {
+                    Some(state) => {
+                        state.last_active_round = round;
+                        AskResponse::opened(id, state.chat.transcript().len(), &state.pinned)
+                    }
+                    None => AskResponse::failure(id, &ProtocolError::UnknownSession(id)),
+                }
+            }
+        }
     }
 
     /// Answers a single request (a one-element round).
@@ -303,12 +400,14 @@ impl ServeEngine {
     }
 
     /// Dispatches any protocol [`Request`](crate::protocol::Request):
-    /// asks run a one-element round, closes run
-    /// [`ServeEngine::close_session`] — both answer in-band.
+    /// asks run a one-element round, opens run
+    /// [`ServeEngine::open_request`], closes run
+    /// [`ServeEngine::close_session`] — all answer in-band.
     pub fn handle_request(&self, request: &crate::protocol::Request) -> AskResponse {
         use crate::protocol::Request;
         match request {
             Request::Ask(ask) => self.handle(ask),
+            Request::Open { session, scenario } => self.open_request(*session, scenario.clone()),
             Request::Close { session } => match self.close_session(*session) {
                 Ok(turns) => AskResponse::closed(*session, turns),
                 Err(error) => AskResponse::failure(*session, &error),
@@ -330,15 +429,21 @@ impl ServeEngine {
         // session's pinned scope.
         let mut items: Vec<(usize, u64, Query)> = Vec::with_capacity(requests.len());
         let mut failures: Vec<(usize, AskResponse)> = Vec::new();
+        let round;
         {
-            let mut sessions = self.sessions.lock().expect("session map lock");
+            let mut table = self.sessions.lock().expect("session map lock");
+            table.round += 1;
+            round = table.round;
             for (index, request) in requests.iter().enumerate() {
                 let resolved = match request.session {
-                    Some(id) => match sessions.get(&id) {
-                        Some(session) => Some((
-                            id,
-                            request.scenario.clone().unwrap_or_else(|| session.pinned.clone()),
-                        )),
+                    Some(id) => match table.sessions.get_mut(&id) {
+                        Some(session) => {
+                            session.last_active_round = round;
+                            Some((
+                                id,
+                                request.scenario.clone().unwrap_or_else(|| session.pinned.clone()),
+                            ))
+                        }
                         None => {
                             failures.push((
                                 index,
@@ -349,8 +454,9 @@ impl ServeEngine {
                     },
                     None => {
                         let pinned = request.scenario.clone().unwrap_or_default();
-                        let (id, session) = self.fresh_session(pinned.clone());
-                        sessions.insert(id, session);
+                        let (id, mut session) = self.fresh_session(pinned.clone());
+                        session.last_active_round = round;
+                        table.sessions.insert(id, session);
                         Some((id, pinned))
                     }
                 };
@@ -384,27 +490,30 @@ impl ServeEngine {
         // the legacy bytes exactly.
         let mut responses: Vec<Option<AskResponse>> = requests.iter().map(|_| None).collect();
         {
-            let mut sessions = self.sessions.lock().expect("session map lock");
+            let mut table = self.sessions.lock().expect("session map lock");
             for (index, session_id, query, answer, micros) in answered {
                 // The session can vanish between phases: another thread may
                 // close it while the round's answers are being computed
                 // outside the lock. That is an in-band unknown-session
                 // failure, not a panic — a poisoned map would brick the
                 // whole engine.
-                let Some(session) = sessions.get_mut(&session_id) else {
+                let Some(session) = table.sessions.get_mut(&session_id) else {
                     responses[index] = Some(AskResponse::failure(
                         session_id,
                         &ProtocolError::UnknownSession(session_id),
                     ));
                     continue;
                 };
+                // Stamp with max: a concurrent later round may already
+                // have moved this session's clock past ours.
+                session.last_active_round = session.last_active_round.max(round);
                 session.chat.log(&query.text, &answer.text);
                 let (machine, prefetcher) = if query.selector.machine_scope().is_unscoped() {
                     (None, None)
                 } else {
                     (
-                        cited_machine(&self.machine_labels, &answer),
-                        cited_prefetcher(&self.prefetcher_labels, &answer),
+                        cited_machine(self.machine_labels(), &answer),
+                        cited_prefetcher(self.prefetcher_labels(), &answer),
                     )
                 };
                 responses[index] = Some(AskResponse {
@@ -414,11 +523,21 @@ impl ServeEngine {
                     verdict: Some(format!("{:?}", answer.verdict)),
                     machine,
                     prefetcher,
+                    scenario: None,
                     closed: false,
                     error: None,
                     error_kind: None,
                     micros,
                 });
+            }
+            // End of the round: reap sessions idle past the configured
+            // horizon. Measured against the table's *current* round (which
+            // concurrent rounds may have advanced), so a session is only
+            // reaped when no round has touched it for the full window.
+            if let Some(max_idle) = self.config.max_idle_rounds {
+                let limit = max_idle.max(1);
+                let current = table.round;
+                table.sessions.retain(|_, s| current.saturating_sub(s.last_active_round) < limit);
             }
         }
         for (index, failure) in failures {
@@ -426,6 +545,33 @@ impl ServeEngine {
         }
         responses.into_iter().map(|r| r.expect("response per request")).collect()
     }
+}
+
+/// Builds the sharded trace database a [`ServeConfig`] describes — the
+/// shared build path behind [`ServeEngine::build`], the
+/// `cachemind-serve --build-db` offline mode, and the snapshot benches.
+/// Unknown machine-preset/prefetcher names surface as a clean
+/// [`BuildError`] before any shard worker runs.
+pub fn build_database(config: &ServeConfig) -> Result<ShardedTraceDatabase, BuildError> {
+    let mut machines = Vec::with_capacity(config.machines.len());
+    for name in &config.machines {
+        machines.push(
+            MachineConfig::preset(name).ok_or_else(|| BuildError::UnknownMachine(name.clone()))?,
+        );
+    }
+    let mut prefetchers = Vec::with_capacity(config.prefetchers.len());
+    for name in &config.prefetchers {
+        prefetchers.push(
+            PrefetcherKind::parse(name)
+                .ok_or_else(|| BuildError::UnknownPrefetcher(name.clone()))?,
+        );
+    }
+    TraceDatabaseBuilder::new()
+        .scale(config.scale)
+        .shards(config.shards)
+        .machines(machines)
+        .prefetchers(prefetchers)
+        .try_build_sharded()
 }
 
 /// The canonical machine label a scoped answer's grounded evidence cites:
@@ -681,6 +827,151 @@ mod tests {
         let err = ServeEngine::build(config).expect_err("unknown prefetcher");
         assert_eq!(err, BuildError::UnknownPrefetcher("markov".into()));
         assert!(err.to_string().contains("markov"));
+    }
+
+    #[test]
+    fn from_snapshot_answers_like_a_fresh_build() {
+        let config = ServeConfig { threads: Some(2), shards: 3, ..Default::default() };
+        let db = TraceDatabaseBuilder::quick_demo()
+            .shards(config.shards)
+            .try_build_sharded()
+            .expect("demo build");
+        let path =
+            std::env::temp_dir().join(format!("cachemind_engine_{}.snap", std::process::id()));
+        db.save(&path).expect("save snapshot");
+        let fresh = ServeEngine::over(db, config.clone());
+        // Deliberately wrong shard count in the config: the snapshot's
+        // physical layout must win.
+        let loaded = ServeEngine::from_snapshot(&path, ServeConfig { shards: 999, ..config })
+            .expect("snapshot loads");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.config().shards, 3, "snapshot shard count wins");
+        assert_eq!(loaded.store().len(), fresh.store().len());
+        let q = "What is the overall miss rate of the mcf workload under LRU?";
+        let a = fresh.handle(&AskRequest::new(q));
+        let b = loaded.handle(&AskRequest::new(q));
+        assert!(a.is_ok() && b.is_ok());
+        assert_eq!(a.answer, b.answer, "snapshot-backed answers are byte-identical");
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn missing_snapshots_fail_the_engine_cleanly() {
+        let err = ServeEngine::from_snapshot("/nonexistent/engine.snap", ServeConfig::default())
+            .expect_err("missing file");
+        assert!(matches!(err, SnapshotError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn idle_sessions_are_reaped_after_the_configured_rounds() {
+        let config = ServeConfig {
+            threads: Some(1),
+            shards: 3,
+            max_idle_rounds: Some(2),
+            ..Default::default()
+        };
+        let db = TraceDatabaseBuilder::quick_demo()
+            .shards(config.shards)
+            .try_build_sharded()
+            .expect("demo build");
+        let engine = ServeEngine::over(db, config);
+        let active = engine.open_session();
+        let idle = engine.open_session();
+        assert_eq!(engine.session_count(), 2);
+
+        let q = "What is the overall miss rate of the mcf workload under LRU?";
+        // Round 1 touches only `active`; `idle` has sat out one round —
+        // still within the two-round window.
+        engine.ask_round(&[AskRequest::in_session(active, q)]);
+        assert_eq!(engine.session_count(), 2, "one idle round survives a window of two");
+        // Round 2: `idle` has now sat out two full rounds — reaped.
+        engine.ask_round(&[AskRequest::in_session(active, q)]);
+        assert_eq!(engine.session_count(), 1);
+        assert_eq!(engine.transcript(idle), None, "reaped state is gone");
+        let resp = engine.ask_round(&[AskRequest::in_session(idle, q)]).pop().unwrap();
+        assert_eq!(
+            resp.error_kind.as_deref(),
+            Some("unknown_session"),
+            "a reaped id fails exactly like a closed one"
+        );
+
+        // An `open` probe counts as activity: it resets the idle clock.
+        let probed = engine.open_session();
+        engine.ask_round(&[AskRequest::in_session(active, q)]);
+        engine.open_request(Some(probed), None);
+        engine.ask_round(&[AskRequest::in_session(active, q)]);
+        assert!(engine.transcript(probed).is_some(), "probe refreshed the idle clock");
+    }
+
+    #[test]
+    fn open_requests_acknowledge_without_burning_a_question() {
+        use crate::protocol::Request;
+
+        let config = ServeConfig {
+            threads: Some(1),
+            shards: 2,
+            machines: vec!["small".into()],
+            ..Default::default()
+        };
+        let engine = ServeEngine::build(config).expect("preset is valid");
+        let pin = ScenarioSelector::all().with_machine("small");
+        let resp =
+            engine.handle_request(&Request::Open { session: None, scenario: Some(pin.clone()) });
+        assert!(resp.is_ok());
+        assert_eq!(resp.turn, 0, "fresh opens acknowledge at turn 0");
+        assert_eq!(resp.scenario.as_deref(), Some("@small"), "the pin comes back");
+        assert_eq!(engine.pinned_scenario(resp.session), Some(pin));
+        assert_eq!(engine.transcript(resp.session).unwrap().len(), 0, "no question burned");
+
+        // After a turn, a probe echoes the pin and the turn count.
+        let q = "What is the estimated IPC for mcf under LRU?";
+        engine.ask_round(&[AskRequest::in_session(resp.session, q)]);
+        let probe =
+            engine.handle_request(&Request::Open { session: Some(resp.session), scenario: None });
+        assert!(probe.is_ok());
+        assert_eq!(probe.session, resp.session);
+        assert_eq!(probe.turn, 1);
+        assert_eq!(probe.scenario.as_deref(), Some("@small"));
+        assert_eq!(engine.transcript(resp.session).unwrap().len(), 1, "probe burned nothing");
+
+        // Probing an unknown session fails in-band.
+        let missing = engine.handle_request(&Request::Open { session: Some(999), scenario: None });
+        assert_eq!(missing.error_kind.as_deref(), Some("unknown_session"));
+    }
+
+    #[test]
+    fn concurrent_closes_never_poison_the_engine() {
+        let engine = engine(2);
+        let ids: Vec<u64> = (0..6).map(|_| engine.open_session()).collect();
+        let q = "What is the overall miss rate of the mcf workload under LRU?";
+        let requests: Vec<AskRequest> =
+            ids.iter().map(|id| AskRequest::in_session(*id, q)).collect();
+
+        std::thread::scope(|scope| {
+            let closer = scope.spawn(|| {
+                for id in &ids {
+                    let _ = engine.close_session(*id);
+                }
+            });
+            // Rounds race the closer: every response must be either a real
+            // answer or an in-band unknown-session failure — never a panic
+            // or a poisoned lock.
+            for _ in 0..3 {
+                for response in engine.ask_round(&requests) {
+                    assert!(
+                        response.is_ok()
+                            || response.error_kind.as_deref() == Some("unknown_session"),
+                        "unexpected response shape: {response:?}"
+                    );
+                }
+            }
+            closer.join().expect("closer thread");
+        });
+
+        // The engine still serves fresh sessions after the churn.
+        let after = engine.handle(&AskRequest::new(q));
+        assert!(after.is_ok());
     }
 
     #[test]

@@ -110,6 +110,23 @@ pub fn synthetic_question_scoped(
     }
 }
 
+/// How the engine behind a load run came up: built in-process or loaded
+/// from an on-disk snapshot — and how long that took. Wall-clock content,
+/// so it renders only in the report's `timing` block (the deterministic
+/// half stays byte-identical across startup modes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartupTiming {
+    /// `"build"` (simulated at startup) or `"snapshot"` (loaded from a
+    /// file written by `cachemind-serve --build-db`).
+    pub source: String,
+    /// Microseconds from startup start to a ready engine.
+    pub micros: u64,
+    /// For snapshot startups run with `--startup-compare`: how long the
+    /// equivalent in-process build took, the denominator of the snapshot
+    /// speedup.
+    pub reference_build_micros: Option<u64>,
+}
+
 /// Everything a load-driver run produced.
 #[derive(Debug)]
 pub struct LoadOutcome {
@@ -121,6 +138,9 @@ pub struct LoadOutcome {
     pub responses: Vec<Vec<AskResponse>>,
     /// Wall-clock time for all rounds, in microseconds.
     pub total_micros: u64,
+    /// How the engine came up, when the caller measured it (the serve
+    /// binary does; library callers may leave `None`).
+    pub startup: Option<StartupTiming>,
 }
 
 impl LoadOutcome {
@@ -245,6 +265,15 @@ impl LoadOutcome {
         latency.insert("max", Value::from(latencies.last().copied().unwrap_or(0)));
         let mut timing = Value::object();
         timing.insert("threads", Value::from(engine.num_threads()));
+        if let Some(startup) = &self.startup {
+            let mut s = Value::object();
+            s.insert("source", Value::from(startup.source.as_str()));
+            s.insert("micros", Value::from(startup.micros));
+            if let Some(build) = startup.reference_build_micros {
+                s.insert("reference_build_micros", Value::from(build));
+            }
+            timing.insert("startup", s);
+        }
         timing.insert("total_micros", Value::from(self.total_micros));
         timing.insert(
             "throughput_qps",
@@ -296,7 +325,7 @@ pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
     }
     let total_micros = started.elapsed().as_micros() as u64;
 
-    LoadOutcome { spec, questions, responses, total_micros }
+    LoadOutcome { spec, questions, responses, total_micros, startup: None }
 }
 
 #[cfg(test)]
@@ -347,6 +376,25 @@ mod tests {
         assert!(!deterministic.contains("micros"));
         assert!(!deterministic.contains("threads"));
         assert!(!deterministic.contains("scenario"), "v1 reports carry no scenario field");
+    }
+
+    #[test]
+    fn startup_timing_renders_only_in_the_timing_block() {
+        let engine = engine(1);
+        let mut outcome =
+            run_load_driver(&engine, LoadSpec { sessions: 1, questions: 1, scenarios: vec![] });
+        outcome.startup = Some(StartupTiming {
+            source: "snapshot".into(),
+            micros: 1234,
+            reference_build_micros: Some(99999),
+        });
+        let full = outcome.render(&engine, true);
+        assert!(full.contains("\"startup\""), "{full}");
+        assert!(full.contains("\"source\": \"snapshot\""), "{full}");
+        assert!(full.contains("\"reference_build_micros\": 99999"), "{full}");
+        let deterministic = outcome.render(&engine, false);
+        assert!(!deterministic.contains("startup"), "startup timing is wall-clock content");
+        assert!(!deterministic.contains("snapshot"));
     }
 
     #[test]

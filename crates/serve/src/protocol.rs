@@ -32,7 +32,21 @@
 //! canonical `machine` label — and, when the grounded evidence names one,
 //! the `prefetcher` label — the answer was grounded in.
 //!
-//! # Session lifecycle: `close`
+//! # Session lifecycle: `open` and `close`
+//!
+//! A `{"open": true}` line opens a session *without asking a question* —
+//! the response carries the assigned id at `"turn": 0` and, when the
+//! request pinned one, the session's `scenario` in canonical text form:
+//!
+//! ```json
+//! {"open": true, "scenario": "@table2+stride4"}
+//! {"session": 4, "turn": 0, "scenario": "@table2+stride4"}
+//! ```
+//!
+//! With a `session` field, `open` instead *echoes* an existing session's
+//! pinned scenario and turn count — a status probe that never burns a
+//! question (re-pinning is rejected: `scenario` is only valid on a fresh
+//! open).
 //!
 //! A `{"close": true, "session": N}` line closes a session, removing it
 //! (and its conversation memory) from the engine's session map — without
@@ -40,8 +54,9 @@
 //! `"closed": true` plus the number of turns the session answered;
 //! closing an unknown session fails in-band with
 //! `"error_kind": "unknown_session"`, and a closed id is thereafter
-//! unknown. See `docs/PROTOCOL.md` for the full wire-protocol
-//! specification.
+//! unknown. Servers may also reap idle sessions themselves (see
+//! `--max-idle-rounds`), after which the id fails the same way. See
+//! `docs/PROTOCOL.md` for the full wire-protocol specification.
 
 use cachemind_tracedb::ScenarioSelector;
 use serde_json::Value;
@@ -207,11 +222,20 @@ impl AskRequest {
 }
 
 /// Any request line the serve event loop accepts: a question for a
-/// session, or a session-lifecycle `close`.
+/// session, or a session-lifecycle `open` / `close`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// A question ([`AskRequest`], v1 or v2).
     Ask(AskRequest),
+    /// `{"open": true}` — open a session (optionally pinning a scenario)
+    /// or, with a `session` field, echo an existing session's pin and
+    /// turn count. Never burns a question.
+    Open {
+        /// An existing session to probe; `None` opens a fresh one.
+        session: Option<u64>,
+        /// The scenario to pin on a fresh open (invalid with `session`).
+        scenario: Option<ScenarioSelector>,
+    },
     /// `{"close": true, "session": N}` — close the named session,
     /// removing it and its conversation memory from the engine.
     Close {
@@ -221,11 +245,43 @@ pub enum Request {
 }
 
 impl Request {
-    /// Parses one request line: a `close` when the object carries
-    /// `"close": true`, an [`AskRequest`] otherwise.
+    /// Parses one request line: an `open` when the object carries
+    /// `"open": true`, a `close` when it carries `"close": true`, an
+    /// [`AskRequest`] otherwise.
     pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
         let value =
             serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
+        if let Some(flag) = value.get("open") {
+            if flag.as_bool() != Some(true) {
+                return Err(ProtocolError::BadRequest("'open' must be the boolean true".into()));
+            }
+            let session = match value.get("session") {
+                None => None,
+                Some(v) if v.is_null() => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    ProtocolError::BadRequest("'session' must be a non-negative integer".into())
+                })?),
+            };
+            let scenario = match value.get("scenario") {
+                None => None,
+                Some(v) if v.is_null() => None,
+                Some(v) => {
+                    let text = v.as_str().ok_or_else(|| {
+                        ProtocolError::BadRequest("'scenario' must be a selector string".into())
+                    })?;
+                    Some(
+                        ScenarioSelector::parse(text)
+                            .map_err(|e| ProtocolError::BadRequest(e.to_string()))?,
+                    )
+                }
+            };
+            if session.is_some() && scenario.is_some() {
+                return Err(ProtocolError::BadRequest(
+                    "'scenario' is only valid when opening a fresh session (omit 'session')".into(),
+                ));
+            }
+            return Ok(Request::Open { session, scenario });
+        }
         match value.get("close") {
             None => Ok(Request::Ask(AskRequest::from_value(&value)?)),
             Some(flag) => {
@@ -246,6 +302,17 @@ impl Request {
     pub fn to_json(&self) -> String {
         match self {
             Request::Ask(ask) => ask.to_json(),
+            Request::Open { session, scenario } => {
+                let mut obj = Value::object();
+                obj.insert("open", Value::from(true));
+                if let Some(id) = session {
+                    obj.insert("session", Value::from(*id));
+                }
+                if let Some(scenario) = scenario {
+                    obj.insert("scenario", Value::from(scenario.to_string().as_str()));
+                }
+                obj.to_string()
+            }
             Request::Close { session } => {
                 let mut obj = Value::object();
                 obj.insert("close", Value::from(true));
@@ -278,6 +345,11 @@ pub struct AskResponse {
     /// prefetcher-qualified trace. Absent on v1 responses and on answers
     /// grounded in baseline traces.
     pub prefetcher: Option<String>,
+    /// The session's pinned scenario in canonical text form — set only on
+    /// `open` acknowledgements for scoped sessions, so clients can read a
+    /// pin back without burning a question. Absent everywhere else (ask
+    /// and close bytes unchanged).
+    pub scenario: Option<String>,
     /// Whether this response acknowledges a `close` request (the session
     /// is gone afterwards). Rendered only when true, so ask responses are
     /// byte-identical to the pre-close protocol.
@@ -304,6 +376,7 @@ impl AskResponse {
             verdict: None,
             machine: None,
             prefetcher: None,
+            scenario: None,
             closed: false,
             error: Some(error.to_string()),
             error_kind: Some(error.kind().to_owned()),
@@ -321,7 +394,28 @@ impl AskResponse {
             verdict: None,
             machine: None,
             prefetcher: None,
+            scenario: None,
             closed: true,
+            error: None,
+            error_kind: None,
+            micros: 0,
+        }
+    }
+
+    /// The acknowledgement for a successful `open` request: `turn` echoes
+    /// the turns the session has answered so far (0 on a fresh open) and
+    /// `scenario` carries the pinned scope in canonical text form when the
+    /// session is scoped.
+    pub fn opened(session: u64, turns: usize, pinned: &ScenarioSelector) -> Self {
+        AskResponse {
+            session,
+            turn: turns,
+            answer: None,
+            verdict: None,
+            machine: None,
+            prefetcher: None,
+            scenario: (!pinned.is_unscoped()).then(|| pinned.to_string()),
+            closed: false,
             error: None,
             error_kind: None,
             micros: 0,
@@ -351,6 +445,9 @@ impl AskResponse {
         }
         if let Some(prefetcher) = &self.prefetcher {
             obj.insert("prefetcher", Value::from(prefetcher.as_str()));
+        }
+        if let Some(scenario) = &self.scenario {
+            obj.insert("scenario", Value::from(scenario.as_str()));
         }
         if self.closed {
             obj.insert("closed", Value::from(true));
@@ -389,6 +486,7 @@ impl AskResponse {
             verdict: text("verdict"),
             machine: text("machine"),
             prefetcher: text("prefetcher"),
+            scenario: text("scenario"),
             closed: value.get("closed").and_then(Value::as_bool).unwrap_or(false),
             error: text("error"),
             error_kind: text("error_kind"),
@@ -539,6 +637,58 @@ mod tests {
     }
 
     #[test]
+    fn open_requests_parse_and_round_trip() {
+        // A bare open: fresh unscoped session.
+        let req = Request::from_json("{\"open\": true}").expect("open parses");
+        assert_eq!(req, Request::Open { session: None, scenario: None });
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+
+        // A scoped open pins the scenario.
+        let req = Request::from_json("{\"open\": true, \"scenario\": \"@table2+stride4\"}")
+            .expect("scoped open parses");
+        let Request::Open { session: None, scenario: Some(scenario) } = &req else {
+            panic!("expected a scoped open, got {req:?}");
+        };
+        assert_eq!(scenario.machine.as_deref(), Some("table2"));
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+
+        // An open against an existing session is a status probe.
+        let req = Request::from_json("{\"open\": true, \"session\": 5}").expect("probe parses");
+        assert_eq!(req, Request::Open { session: Some(5), scenario: None });
+
+        // Re-pinning an existing session is rejected.
+        let err = Request::from_json("{\"open\": true, \"session\": 5, \"scenario\": \"@small\"}")
+            .unwrap_err();
+        assert!(matches!(&err, ProtocolError::BadRequest(d) if d.contains("fresh session")));
+
+        // `open` must be the literal true; bad selectors are rejected.
+        assert!(matches!(Request::from_json("{\"open\": 1}"), Err(ProtocolError::BadRequest(_))));
+        assert!(matches!(
+            Request::from_json("{\"open\": true, \"scenario\": \"mcf@\"}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn opened_responses_render_and_round_trip() {
+        let pin = ScenarioSelector::parse("@table2+stride4").expect("selector");
+        let resp = AskResponse::opened(4, 0, &pin);
+        assert!(resp.is_ok());
+        assert!(!resp.closed);
+        let line = resp.to_json(false);
+        assert!(line.contains("\"scenario\":\"@table2+stride4\""), "{line}");
+        assert!(line.contains("\"turn\":0"), "{line}");
+        assert!(!line.contains("answer"), "{line}");
+        assert_eq!(AskResponse::from_json(&line).unwrap(), resp);
+
+        // Unscoped sessions acknowledge without a scenario field at all.
+        let bare = AskResponse::opened(7, 3, &ScenarioSelector::all());
+        assert_eq!(bare.scenario, None);
+        assert!(!bare.to_json(false).contains("scenario"));
+        assert_eq!(bare.turn, 3, "probes echo the turns answered so far");
+    }
+
+    #[test]
     fn closed_responses_render_and_round_trip() {
         let resp = AskResponse::closed(5, 3);
         assert!(resp.is_ok());
@@ -561,6 +711,7 @@ mod tests {
             verdict: Some("Number(0.81)".into()),
             machine: Some("table2@llc2048x16+dram160".into()),
             prefetcher: Some("stride4".into()),
+            scenario: None,
             closed: false,
             error: None,
             error_kind: None,
@@ -582,6 +733,7 @@ mod tests {
             verdict: Some("HitMiss(false)".into()),
             machine: None,
             prefetcher: None,
+            scenario: None,
             closed: false,
             error: None,
             error_kind: None,
@@ -608,6 +760,7 @@ mod tests {
             verdict: Some("HitMiss(false)".into()),
             machine: None,
             prefetcher: None,
+            scenario: None,
             closed: false,
             error: None,
             error_kind: None,

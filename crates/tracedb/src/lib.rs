@@ -36,6 +36,7 @@ pub mod meta;
 pub mod record;
 pub mod schema;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 
@@ -44,6 +45,9 @@ pub use filter::Predicate;
 pub use frame::TraceFrame;
 pub use record::TraceRow;
 pub use shard::ShardedTraceDatabase;
+pub use snapshot::{
+    LazyTraceDatabase, SnapshotError, VerifiedSnapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use stats::{CacheStatisticalExpert, PcStats, SetStats};
 pub use store::{fnv64, shard_index, TraceStore};
 
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use crate::frame::TraceFrame;
     pub use crate::record::TraceRow;
     pub use crate::shard::ShardedTraceDatabase;
+    pub use crate::snapshot::SnapshotError;
     pub use crate::stats::{CacheStatisticalExpert, PcStats, SetStats};
     pub use crate::store::TraceStore;
     pub use crate::{ScenarioSelector, SelectorParseError};

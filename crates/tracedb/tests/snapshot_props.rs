@@ -1,0 +1,316 @@
+//! Property tests for the trace-database snapshot format.
+//!
+//! Two families:
+//!
+//! * **round-trip** — randomly-shaped databases survive save → load → save
+//!   with every field bit-identical, the second save byte-identical to the
+//!   first, and the loaded store answering `select` / `get_scoped` exactly
+//!   like the original;
+//! * **corruption** — truncating the byte stream at *every* prefix length
+//!   (which covers every section boundary) and flipping a bit at every
+//!   byte position must yield a typed [`SnapshotError`] — never a panic,
+//!   never a partial database.
+
+use std::sync::Arc;
+
+use cachemind_sim::access::AccessKind;
+use cachemind_sim::addr::{Address, Pc, SetId};
+use cachemind_sim::config::CacheConfig;
+use cachemind_sim::replay::MissType;
+use cachemind_tracedb::prelude::*;
+use cachemind_tracedb::snapshot::{read_snapshot, write_snapshot};
+use cachemind_tracedb::SnapshotError;
+use cachemind_workloads::program::{ProgramBuilder, ProgramImage};
+use proptest::prelude::*;
+
+/// A tiny deterministic PRNG (splitmix64) so each proptest case derives a
+/// whole database shape from one generated seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn chance(&mut self, one_in: u64) -> bool {
+        self.below(one_in) == 0
+    }
+}
+
+fn synth_program(name: &str) -> Arc<ProgramImage> {
+    let mut b = ProgramBuilder::new(0x40_0000);
+    b.function(
+        &format!("{name}_kernel"),
+        "for (i = 0; i < n; i++) sum += a[i];",
+        &["mov (%rdi),%rax", "add %rax,%rsi", "jne 400000"],
+    );
+    b.function(&format!("{name}_init"), "memset(a, 0, n);", &["xor %eax,%eax"]);
+    Arc::new(b.build())
+}
+
+fn synth_row(rng: &mut Mix, index: u64) -> TraceRow {
+    let is_miss = rng.chance(2);
+    TraceRow {
+        index,
+        pc: Pc::new(0x40_0000 + rng.below(64) * 4),
+        address: Address::new(rng.next() & 0xffff_ffff_ffc0),
+        kind: match rng.below(4) {
+            0 => AccessKind::Load,
+            1 => AccessKind::Store,
+            2 => AccessKind::Fetch,
+            _ => AccessKind::Prefetch,
+        },
+        set: SetId::new(rng.below(64) as usize),
+        is_miss,
+        miss_type: if is_miss {
+            match rng.below(4) {
+                0 => None,
+                1 => Some(MissType::Compulsory),
+                2 => Some(MissType::Capacity),
+                _ => Some(MissType::Conflict),
+            }
+        } else {
+            None
+        },
+        evicted_address: rng.chance(3).then(|| Address::new(rng.next() & 0xffff_ffc0)),
+        accessed_reuse_distance: rng.chance(2).then(|| rng.below(1 << 20)),
+        evicted_reuse_distance: rng.chance(3).then(|| rng.below(1 << 20)),
+        recency: rng.chance(2).then(|| rng.below(1 << 16)),
+        resident_lines: (0..rng.below(4))
+            .map(|_| (Address::new(rng.next() & 0xffff_c0), Pc::new(0x40_0000 + rng.below(64) * 4)))
+            .collect(),
+        access_history: (0..rng.below(4))
+            .map(|_| (Pc::new(0x40_0000 + rng.below(64) * 4), Address::new(rng.next() & 0xffff_c0)))
+            .collect(),
+        eviction_scores: (0..rng.below(3))
+            .map(|_| (Address::new(rng.next() & 0xffff_c0), rng.below(1 << 32)))
+            .collect(),
+        bypassed: rng.chance(8),
+    }
+}
+
+/// Builds a randomly-shaped sharded database: random workload/policy label
+/// sets, optional machine/prefetcher qualifications, random row payloads,
+/// and adversarial float values (NaN, −0.0, subnormals) to pin the
+/// bit-exact f64 round-trip.
+fn synth_db(seed: u64, shards: usize) -> ShardedTraceDatabase {
+    let mut rng = Mix(seed);
+    let workload_names = ["wa", "wb", "wλ"];
+    let policy_names = ["lru", "belady", "pX"];
+    let machines = [None, Some("m1@llc64x4+dram160")];
+    let prefetchers = [None, Some("stride4")];
+    let programs: Vec<Arc<ProgramImage>> =
+        workload_names.iter().map(|w| synth_program(w)).collect();
+
+    let mut entries = Vec::new();
+    let n_workloads = 1 + rng.below(workload_names.len() as u64) as usize;
+    let n_policies = 1 + rng.below(policy_names.len() as u64) as usize;
+    for (w, workload) in workload_names.iter().take(n_workloads).enumerate() {
+        for policy in policy_names.iter().take(n_policies) {
+            for machine in &machines {
+                for prefetcher in &prefetchers {
+                    if machine.is_some() && rng.chance(2) {
+                        continue; // ragged grids must round-trip too
+                    }
+                    let rows =
+                        (0..rng.below(24)).map(|i| synth_row(&mut rng, i)).collect::<Vec<_>>();
+                    let weird = [0.0f64, -0.0, f64::NAN, f64::MIN_POSITIVE / 2.0, 1.5e-300];
+                    entries.push(TraceEntry {
+                        id: TraceId::qualified(workload, policy, *machine, *prefetcher),
+                        frame: TraceFrame::new(rows, Arc::clone(&programs[w])),
+                        metadata: format!("summary {} — miss rate {:.3}", workload, 0.25),
+                        description: format!("Workload: {workload}. Policy: {policy}."),
+                        machine: machine.unwrap_or("primary@64x4").to_owned(),
+                        prefetcher: prefetcher.unwrap_or("none").to_owned(),
+                        prefetch_fills: rng.below(1 << 20),
+                        useful_prefetches: rng.below(1 << 20),
+                        prefetch_accuracy: weird[rng.below(5) as usize],
+                        prefetch_coverage: f64::from_bits(rng.next()),
+                        ipc: 0.5 + (rng.below(1000) as f64) / 500.0,
+                    });
+                }
+            }
+        }
+    }
+    let llc =
+        rng.chance(4).then(|| CacheConfig::new("LLC", 6, 4, 6).with_latency(26).with_mshr(16));
+    ShardedTraceDatabase::from_entries(entries, shards, llc)
+}
+
+fn assert_same_entry(a: &TraceEntry, b: &TraceEntry) {
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.metadata, b.metadata);
+    assert_eq!(a.description, b.description);
+    assert_eq!(a.machine, b.machine);
+    assert_eq!(a.prefetcher, b.prefetcher);
+    assert_eq!(a.prefetch_fills, b.prefetch_fills);
+    assert_eq!(a.useful_prefetches, b.useful_prefetches);
+    assert_eq!(a.prefetch_accuracy.to_bits(), b.prefetch_accuracy.to_bits(), "{}", a.id);
+    assert_eq!(a.prefetch_coverage.to_bits(), b.prefetch_coverage.to_bits(), "{}", a.id);
+    assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{}", a.id);
+    assert_eq!(a.frame.rows(), b.frame.rows(), "{} rows diverge", a.id);
+    assert_eq!(a.frame.program(), b.frame.program(), "{} program diverges", a.id);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_load_save_round_trips(seed in any::<u64>(), shards in 1usize..9) {
+        let db = synth_db(seed, shards);
+        let first = write_snapshot(&db);
+        let loaded = read_snapshot(&first).expect("snapshot loads");
+
+        prop_assert_eq!(loaded.num_shards(), db.num_shards());
+        prop_assert_eq!(loaded.trace_keys(), db.trace_keys());
+        prop_assert_eq!(loaded.llc_config(), db.llc_config());
+        for (a, b) in loaded.entries().zip(db.entries()) {
+            assert_same_entry(a, b);
+        }
+
+        // Byte stability: a second save reproduces the first byte stream.
+        let second = write_snapshot(&loaded);
+        prop_assert!(first == second, "save -> load -> save changed the bytes");
+    }
+
+    #[test]
+    fn loaded_store_answers_queries_identically(seed in any::<u64>()) {
+        let db = synth_db(seed, 4);
+        let loaded = read_snapshot(&write_snapshot(&db)).expect("snapshot loads");
+
+        let selectors = [
+            ScenarioSelector::all(),
+            ScenarioSelector::all().with_machine("m1"),
+            ScenarioSelector::parse("+stride4").expect("selector"),
+            ScenarioSelector::parse("@m1@llc64x4+dram160+stride4").expect("selector"),
+        ];
+        for selector in &selectors {
+            let a: Vec<String> = db.select(selector).map(|e| e.id.key()).collect();
+            let b: Vec<String> = loaded.select(selector).map(|e| e.id.key()).collect();
+            prop_assert_eq!(a, b, "select diverged under {}", selector);
+
+            for key in db.trace_keys() {
+                let id = TraceId::parse(&key).expect("stored keys parse");
+                let base = TraceId::new(&id.workload, &id.policy);
+                let a = db.get_scoped(&base, selector).map(|e| e.id.key());
+                let b = loaded.get_scoped(&base, selector).map(|e| e.id.key());
+                prop_assert_eq!(a, b, "get_scoped diverged for {} under {}", key, selector);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshots_never_panic(seed in any::<u64>()) {
+        let db = synth_db(seed, 2);
+        let mut bytes = write_snapshot(&db);
+        // A random single-bit flip somewhere in the stream.
+        let mut rng = Mix(seed ^ 0xdead_beef);
+        let pos = rng.below(bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << rng.below(8);
+        prop_assert!(read_snapshot(&bytes).is_err(), "bit flip at {} went undetected", pos);
+    }
+}
+
+/// A small fixed database for the exhaustive corruption sweeps (every
+/// prefix length, every byte) — kept tiny so the O(bytes²) truncation scan
+/// stays fast.
+fn tiny_db() -> ShardedTraceDatabase {
+    synth_db(7, 3)
+}
+
+#[test]
+fn truncation_at_every_prefix_is_a_typed_error() {
+    let bytes = write_snapshot(&tiny_db());
+    for len in 0..bytes.len() {
+        let err = read_snapshot(&bytes[..len])
+            .expect_err(&format!("prefix of {len}/{} bytes must not load", bytes.len()));
+        // Every prefix is one of the reader's typed failures; which one
+        // depends on where the cut lands.
+        match err {
+            SnapshotError::Truncated { .. }
+            | SnapshotError::ChecksumMismatch { .. }
+            | SnapshotError::Corrupt { .. } => {}
+            other => panic!("unexpected error for prefix {len}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bit_flip_at_every_byte_is_detected() {
+    let bytes = write_snapshot(&tiny_db());
+    for pos in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 1 << (pos % 8);
+        assert!(
+            read_snapshot(&corrupted).is_err(),
+            "flip at byte {pos}/{} went undetected",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn corruption_errors_are_specifically_typed() {
+    let bytes = write_snapshot(&tiny_db());
+
+    // Magic: not a snapshot at all.
+    let mut b = bytes.clone();
+    b[3] ^= 0x20;
+    assert_eq!(read_snapshot(&b).unwrap_err(), SnapshotError::BadMagic);
+
+    // Version: typed mismatch carrying the found version.
+    let mut b = bytes.clone();
+    b[8] = 42;
+    assert_eq!(read_snapshot(&b).unwrap_err(), SnapshotError::VersionMismatch { found: 42 });
+
+    // Header body: flip a byte inside a machine label's text (the first
+    // occurrence of the label lives in the header's label table). The
+    // structural scan is unaffected — the checksum catches it.
+    let needle = b"primary@64x4";
+    let pos = bytes
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("machine label interned in the header");
+    let mut b = bytes.clone();
+    b[pos] ^= 0x01;
+    assert_eq!(
+        read_snapshot(&b).unwrap_err(),
+        SnapshotError::ChecksumMismatch { section: "header".into() }
+    );
+
+    // Segment payload: the last byte belongs to the last shard segment.
+    let mut b = bytes.clone();
+    let last = b.len() - 1;
+    b[last] ^= 0x80;
+    match read_snapshot(&b).unwrap_err() {
+        SnapshotError::ChecksumMismatch { section } => {
+            assert!(section.starts_with("shard segment"), "{section}");
+        }
+        other => panic!("expected a segment checksum failure, got {other:?}"),
+    }
+
+    // Truncation inside the magic is named as such.
+    assert_eq!(
+        read_snapshot(&bytes[..4]).unwrap_err(),
+        SnapshotError::Truncated { section: "magic".into() }
+    );
+
+    // Trailing garbage after the last segment is corruption, not silence.
+    let mut b = bytes.clone();
+    b.push(0xAA);
+    assert!(matches!(read_snapshot(&b).unwrap_err(), SnapshotError::Corrupt { .. }));
+}
+
+#[test]
+fn missing_file_surfaces_as_io_error() {
+    let err = ShardedTraceDatabase::load("/nonexistent/path/db.snap").unwrap_err();
+    assert!(matches!(err, SnapshotError::Io { .. }), "{err:?}");
+}

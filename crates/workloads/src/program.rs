@@ -58,6 +58,13 @@ impl ProgramImage {
         ProgramImage::default()
     }
 
+    /// Assembles an image from prebuilt functions — the deserialization
+    /// path (e.g. the trace-database snapshot reader reconstructing images
+    /// whose layout [`ProgramBuilder`] already fixed).
+    pub fn from_functions(functions: Vec<Function>) -> Self {
+        ProgramImage { functions }
+    }
+
     /// All functions.
     pub fn functions(&self) -> &[Function] {
         &self.functions
