@@ -14,8 +14,6 @@
 //! (`tiny` default), matching the other bench binaries. The snapshot file
 //! is deleted afterwards unless `--keep` is passed.
 
-use std::time::Instant;
-
 use cachemind_bench::scale_from_env;
 use cachemind_serve::engine::{build_database, ServeConfig};
 use cachemind_tracedb::shard::ShardedTraceDatabase;
@@ -55,8 +53,11 @@ fn main() {
             .into_owned()
     });
 
+    // Timing comes from the workspace metrics registry: the tracedb layer
+    // records `tracedb.build` / `tracedb.snapshot_save` /
+    // `tracedb.snapshot_load` spans itself, and this binary runs each stage
+    // exactly once, so the histogram sums ARE the stage durations.
     eprintln!("[build_db] building ({:?}, {} shards) ...", config.scale, config.shards);
-    let started = Instant::now();
     let db = match build_database(&config) {
         Ok(db) => db,
         Err(e) => {
@@ -64,17 +65,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let build_micros = started.elapsed().as_micros() as u64;
 
-    let started = Instant::now();
     if let Err(e) = db.save(&path) {
         eprintln!("error: cannot write snapshot {path:?}: {e}");
         std::process::exit(1);
     }
-    let save_micros = started.elapsed().as_micros() as u64;
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
 
-    let started = Instant::now();
     let loaded = match ShardedTraceDatabase::load(&path) {
         Ok(db) => db,
         Err(e) => {
@@ -82,7 +79,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let load_micros = started.elapsed().as_micros() as u64;
+    let spans = cachemind_obs::global().snapshot();
+    let build_micros = spans.histogram_sum(cachemind_obs::names::TRACEDB_BUILD);
+    let save_micros = spans.histogram_sum(cachemind_obs::names::TRACEDB_SNAPSHOT_SAVE);
+    let load_micros = spans.histogram_sum(cachemind_obs::names::TRACEDB_SNAPSHOT_LOAD);
 
     // The loaded store must be the built store — same keys, same shard
     // layout — or the timing numbers compare different databases.

@@ -103,10 +103,24 @@ fn bench_record(
         }
         None => (0.0, 0.0),
     };
+    // Per-stage breakdown from the process-global metrics registry: the
+    // sweep engine records `sweep.prepare` / `sweep.replay` spans on every
+    // run. Zeroed with the rest of the wall-clock fields under --no-timing.
+    let (prepare_ms, replay_ms) = match wall {
+        Some(_) => {
+            let snap = cachemind_obs::global().snapshot();
+            (
+                snap.histogram_sum(cachemind_obs::names::SWEEP_PREPARE) as f64 / 1_000.0,
+                snap.histogram_sum(cachemind_obs::names::SWEEP_REPLAY) as f64 / 1_000.0,
+            )
+        }
+        None => (0.0, 0.0),
+    };
     format!(
-        "{{\n  \"bench\": \"sweep\",\n  \"mode\": \"{mode}\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"cells\": {cells},\n  \"threads\": {threads},\n  \"wall_ms\": {wall_ms:.3},\n  \
-         \"cells_per_sec\": {cells_per_sec:.1}\n}}"
+        "{{\n  \"bench\": \"sweep\",\n  \"version\": 1,\n  \"mode\": \"{mode}\",\n  \
+         \"scale\": \"{scale:?}\",\n  \"cells\": {cells},\n  \"threads\": {threads},\n  \
+         \"wall_ms\": {wall_ms:.3},\n  \"prepare_ms\": {prepare_ms:.3},\n  \
+         \"replay_ms\": {replay_ms:.3},\n  \"cells_per_sec\": {cells_per_sec:.1}\n}}"
     )
 }
 

@@ -274,6 +274,14 @@ impl CacheMind {
         self
     }
 
+    /// Redirects retrieval-stage telemetry (plan compile/run spans) to
+    /// `metrics` instead of the process-global registry — the serve layer
+    /// passes each engine's own registry down here.
+    pub fn with_metrics(mut self, metrics: &cachemind_obs::MetricsRegistry) -> Self {
+        self.ranger = self.ranger.with_metrics(metrics);
+        self
+    }
+
     /// The underlying trace store.
     pub fn database(&self) -> &dyn TraceStore {
         &*self.db

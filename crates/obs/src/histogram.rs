@@ -1,0 +1,337 @@
+//! Fixed-bucket log-scale latency histograms with order-independent
+//! merge.
+//!
+//! Values are `u64` (by convention: microseconds for span histograms).
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds the values in
+//! `[2^(i-1), 2^i - 1]` — so [`bucket_index`] is one `leading_zeros` and
+//! the whole layout is [`BUCKETS`] = 65 counters, covering the full `u64`
+//! range with ≤ 2× relative error per bucket.
+//!
+//! Recording is lock-free: each [`Histogram`] stripes `SHARDS` (8)
+//! independent atomic bucket arrays and picks one by hashing the recording
+//! thread's id, so concurrent recorders on different threads touch
+//! different cache lines. A [`HistogramSnapshot`] sums the shards; because
+//! histogram state is pure counts, [`HistogramSnapshot::merge`] is
+//! bucket-wise addition — commutative and associative, so any partition of
+//! the same recordings over any number of histograms merges to the same
+//! snapshot (the property the `histogram_props` proptests pin).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `2^63`.
+pub const BUCKETS: usize = 65;
+
+/// Number of independently-recordable stripes per histogram.
+const SHARDS: usize = 8;
+
+/// The bucket a value lands in: `0` for `0`, else `64 - leading_zeros`
+/// (so bucket `i` covers `[2^(i-1), 2^i - 1]`).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The smallest value bucket `index` can hold.
+pub fn bucket_lower(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// The largest value bucket `index` can hold.
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// One stripe of a histogram: an atomic bucket array plus the running
+/// count/sum/min/max.
+#[derive(Debug)]
+struct Shard {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log-scale histogram. Recording is wait-free per shard;
+/// reading ([`Histogram::snapshot`]) sums the shards.
+#[derive(Debug)]
+pub struct Histogram {
+    shards: Vec<Shard>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { shards: (0..SHARDS).map(|_| Shard::new()).collect() }
+    }
+
+    /// The stripe the current thread records into: a cheap hash of the
+    /// thread id, so threads spread across shards and a single-threaded
+    /// recorder always reuses one hot stripe.
+    fn shard(&self) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(&std::thread::current().id(), &mut hasher);
+        let index = std::hash::Hasher::finish(&hasher) as usize % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Records one value. Lock-free: a handful of relaxed atomic updates
+    /// on the calling thread's stripe.
+    pub fn record(&self, value: u64) {
+        let shard = self.shard();
+        shard.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.min.fetch_min(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Sums the shards into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for shard in &self.shards {
+            for (bucket, counter) in snap.buckets.iter_mut().zip(&shard.buckets) {
+                *bucket += counter.load(Ordering::Relaxed);
+            }
+            snap.count += shard.count.load(Ordering::Relaxed);
+            snap.sum = snap.sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+            snap.min = snap.min.min(shard.min.load(Ordering::Relaxed));
+            snap.max = snap.max.max(shard.max.load(Ordering::Relaxed));
+        }
+        snap
+    }
+}
+
+/// An immutable view of a histogram: bucket counts plus count/sum/min/max.
+/// Snapshots merge bucket-wise ([`HistogramSnapshot::merge`]), so
+/// per-thread or per-process histograms combine without ordering
+/// assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_index`] for the layout).
+    pub buckets: Vec<u64>,
+    /// Total recordings.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The smallest recorded value, `0` when empty (the export-friendly
+    /// form of [`HistogramSnapshot::min`]).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot into this one — bucket-wise addition, so
+    /// the result is independent of merge order and of how recordings were
+    /// partitioned across the inputs.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (into, from) in self.buckets.iter_mut().zip(&other.buckets) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The quantile `q` (in `[0, 1]`) of the recorded distribution: walks
+    /// the cumulative bucket counts to the bucket holding the rank-`⌈q·n⌉`
+    /// value and reports that bucket's upper bound, clamped to the
+    /// observed max. Monotone in `q` by construction (the cumulative walk
+    /// can only move right), so `p50 ≤ p90 ≤ p95 ≤ p99` always holds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `(lower_bound, count)` pairs of the non-empty buckets — the
+    /// compact export form.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(index, count)| (bucket_lower(index), *count))
+            .collect()
+    }
+
+    /// The snapshot as a JSON object: count/sum/min/max/mean, the p50–p99
+    /// quantiles, and the non-empty `[lower_bound, count]` bucket pairs.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let mut obj = Value::object();
+        obj.insert("count", Value::from(self.count));
+        obj.insert("sum", Value::from(self.sum));
+        obj.insert("min", Value::from(self.min_or_zero()));
+        obj.insert("max", Value::from(self.max));
+        obj.insert("mean", Value::from(self.mean()));
+        obj.insert("p50", Value::from(self.quantile(0.50)));
+        obj.insert("p90", Value::from(self.quantile(0.90)));
+        obj.insert("p95", Value::from(self.quantile(0.95)));
+        obj.insert("p99", Value::from(self.quantile(0.99)));
+        let buckets = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(lower, count)| Value::Array(vec![Value::from(lower), Value::from(count)]))
+            .collect();
+        obj.insert("buckets", Value::Array(buckets));
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for index in 0..BUCKETS {
+            assert!(bucket_lower(index) <= bucket_upper(index));
+            assert_eq!(bucket_index(bucket_lower(index)), index);
+            assert_eq!(bucket_index(bucket_upper(index)), index);
+        }
+        // Buckets tile the range with no gaps.
+        for index in 1..BUCKETS {
+            assert_eq!(bucket_upper(index - 1) + 1, bucket_lower(index));
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_agree() {
+        let hist = Histogram::new();
+        for value in [0, 1, 1, 7, 100, 1000] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1109);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.buckets[bucket_index(1)], 2);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn empty_snapshot_exports_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.min_or_zero(), 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert!(snap.nonzero_buckets().is_empty());
+        let value = snap.to_value();
+        assert_eq!(value.get("count").and_then(serde_json::Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let hist = Histogram::new();
+        // 90 fast (≤ 127 µs bucket) + 10 slow (≤ 8191 µs bucket).
+        for _ in 0..90 {
+            hist.record(100);
+        }
+        for _ in 0..10 {
+            hist.record(5000);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.quantile(0.50), 127);
+        assert_eq!(snap.quantile(0.90), 127);
+        assert_eq!(snap.quantile(0.99), 5000, "clamped to the observed max");
+        assert!(snap.quantile(0.50) <= snap.quantile(0.95));
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        let hist = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let hist = std::sync::Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        hist.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(snap.max, 3999);
+        assert_eq!(snap.min, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Workspace-wide telemetry: metrics registry, latency histograms, and
+//! per-stage span timers.
+//!
+//! Every layer of the CacheMind workspace records into a
+//! [`MetricsRegistry`]: monotonic [`Counter`]s, [`Gauge`]s, and log-scale
+//! latency [`Histogram`]s fed by [`SpanTimer`]s. The design rules, in
+//! order:
+//!
+//! 1. **Observability never perturbs deterministic outputs.** Metrics are
+//!    side channels — wall-clock content only. Nothing recorded here may
+//!    flow into an answer, a report's deterministic half, or any byte the
+//!    thread-count determinism tests compare.
+//! 2. **The hot path is lock-free.** Handles ([`Counter`], [`Gauge`],
+//!    [`HistogramHandle`]) are registered once (one short mutex
+//!    acquisition) and then increment/record through atomics only.
+//!    Histograms additionally stripe their buckets across shards keyed by
+//!    thread, so concurrent recorders do not contend on one cache line.
+//! 3. **Merges are order- and partition-independent.** Histogram state is
+//!    pure bucket counts; merging is bucket-wise addition, so any
+//!    partition of the same recordings over any number of histograms (or
+//!    shards, or threads) merges to the same snapshot.
+//!
+//! Two registry scopes exist:
+//!
+//! * **Owned registries** — e.g. one per `ServeEngine` — so a server's
+//!   `stats` snapshot counts exactly its own traffic (and tests can assert
+//!   exact totals without cross-test contamination).
+//! * **The process-global registry** ([`global`]) — the default sink for
+//!   library stages without an owner (sweep prepare/replay, trace-database
+//!   build, snapshot save/load/verify), which single-workload binaries
+//!   (`sweep_grid`, `build_db`) read back for their bench records.
+//!
+//! The canonical metric names live in [`names`]; the bucket layout and
+//! span taxonomy are documented in `docs/OBSERVABILITY.md`.
+
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot};
+pub use span::SpanTimer;
+
+/// Version stamp carried by every exported metrics snapshot
+/// ([`MetricsSnapshot::to_value`]), so downstream consumers can detect
+/// schema changes.
+pub const METRICS_SNAPSHOT_VERSION: u64 = 1;
+
+/// The canonical metric names recorded across the workspace — one
+/// definition shared by the instrumented crates, the docs, and the tests.
+/// Span histograms record elapsed wall-clock **microseconds**.
+pub mod names {
+    /// Sweep stage 1 (stream transform + scenario prepare), per grid run.
+    pub const SWEEP_PREPARE: &str = "sweep.prepare";
+    /// Sweep stage 2 (per-cell policy replay + canonical sort), per grid
+    /// run.
+    pub const SWEEP_REPLAY: &str = "sweep.replay";
+    /// Sharded trace-database build (simulation + tabulation), per build.
+    pub const TRACEDB_BUILD: &str = "tracedb.build";
+    /// Snapshot encode + write (the save path), per save.
+    pub const TRACEDB_SNAPSHOT_SAVE: &str = "tracedb.snapshot_save";
+    /// Snapshot read + decode (eager load path), per load.
+    pub const TRACEDB_SNAPSHOT_LOAD: &str = "tracedb.snapshot_load";
+    /// Snapshot read + full checksum verification (lazy open path), per
+    /// open.
+    pub const TRACEDB_SNAPSHOT_VERIFY: &str = "tracedb.snapshot_verify";
+    /// Deferred snapshot decode on first query, per lazy store.
+    pub const TRACEDB_LAZY_DECODE: &str = "tracedb.lazy_decode";
+    /// Counter: shard segments decoded by lazy stores.
+    pub const TRACEDB_LAZY_DECODE_SEGMENTS: &str = "tracedb.lazy_decode_segments";
+    /// Counter: trace entries decoded by lazy stores.
+    pub const TRACEDB_LAZY_DECODE_TRACES: &str = "tracedb.lazy_decode_traces";
+    /// Ranger plan compilation, per retrieval.
+    pub const RETRIEVAL_PLAN_COMPILE: &str = "retrieval.plan_compile";
+    /// Ranger plan execution, per retrieval.
+    pub const RETRIEVAL_PLAN_RUN: &str = "retrieval.plan_run";
+    /// Request-line JSON parse in the serve event loop, per line.
+    pub const SERVE_PARSE: &str = "serve.parse";
+    /// One question answered through the serving pipeline, per request.
+    pub const SERVE_ASK: &str = "serve.ask";
+    /// Response rendering in the serve event loop, per line.
+    pub const SERVE_RESPOND: &str = "serve.respond";
+    /// One batched ask round in the load driver, per round.
+    pub const SERVE_ROUND: &str = "serve.round";
+    /// One whole load-driver drive (all rounds), per run.
+    pub const SERVE_LOAD_DRIVE: &str = "serve.load_drive";
+    /// Counter: ask requests (load-driver rounds and protocol asks).
+    pub const SERVE_REQUESTS_ASK: &str = "serve.requests.ask";
+    /// Counter: protocol `open` requests.
+    pub const SERVE_REQUESTS_OPEN: &str = "serve.requests.open";
+    /// Counter: protocol `close` requests.
+    pub const SERVE_REQUESTS_CLOSE: &str = "serve.requests.close";
+    /// Counter: protocol `stats` requests (snapshotted *before* the
+    /// increment, so a stats response never counts itself).
+    pub const SERVE_REQUESTS_STATS: &str = "serve.requests.stats";
+    /// Counter prefix: in-band errors by `error_kind` — e.g.
+    /// `serve.errors.unknown_session`.
+    pub const SERVE_ERRORS_PREFIX: &str = "serve.errors.";
+    /// Counter: sessions opened (any path: protocol, rounds, library).
+    pub const SERVE_SESSIONS_OPENED: &str = "serve.sessions_opened";
+    /// Counter: sessions closed by a `close` request or call.
+    pub const SERVE_SESSIONS_CLOSED: &str = "serve.sessions_closed";
+    /// Counter: sessions reaped by the idle-round horizon.
+    pub const SERVE_SESSIONS_REAPED: &str = "serve.sessions_reaped";
+    /// Gauge: sessions currently open (set when a snapshot is taken).
+    pub const SERVE_SESSIONS_OPEN: &str = "serve.sessions_open";
+}
+
+/// The process-global registry: the default sink for library stages that
+/// have no owning component (sweep stages, trace-database builds, snapshot
+/// I/O) and the source single-workload binaries read their bench timings
+/// from. Owned components (the serve engine) use their own registry so
+/// their snapshots count exactly their own traffic.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: std::sync::OnceLock<MetricsRegistry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        global().counter("obs.test.global").add(2);
+        assert!(global().snapshot().counter("obs.test.global") >= 2);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = [
+            names::SWEEP_PREPARE,
+            names::SWEEP_REPLAY,
+            names::TRACEDB_BUILD,
+            names::TRACEDB_SNAPSHOT_SAVE,
+            names::TRACEDB_SNAPSHOT_LOAD,
+            names::TRACEDB_SNAPSHOT_VERIFY,
+            names::TRACEDB_LAZY_DECODE,
+            names::TRACEDB_LAZY_DECODE_SEGMENTS,
+            names::TRACEDB_LAZY_DECODE_TRACES,
+            names::RETRIEVAL_PLAN_COMPILE,
+            names::RETRIEVAL_PLAN_RUN,
+            names::SERVE_PARSE,
+            names::SERVE_ASK,
+            names::SERVE_RESPOND,
+            names::SERVE_ROUND,
+            names::SERVE_LOAD_DRIVE,
+            names::SERVE_REQUESTS_ASK,
+            names::SERVE_REQUESTS_OPEN,
+            names::SERVE_REQUESTS_CLOSE,
+            names::SERVE_REQUESTS_STATS,
+            names::SERVE_SESSIONS_OPENED,
+            names::SERVE_SESSIONS_CLOSED,
+            names::SERVE_SESSIONS_REAPED,
+            names::SERVE_SESSIONS_OPEN,
+        ];
+        let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+}

@@ -1,0 +1,310 @@
+//! The metrics registry: named counters, gauges and histograms behind
+//! cheap clonable handles.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes one short mutex
+//! acquisition to look up or create the named metric; the returned handle
+//! is an `Arc` straight to the atomic state, so the increment/record hot
+//! path never touches a lock again. Components that record on every
+//! request pre-register their handles once at construction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::Value;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::span::SpanTimer;
+use crate::METRICS_SNAPSHOT_VERSION;
+
+/// A monotonic counter handle. Cloning shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a settable signed level (open sessions, queue depth).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle. Cloning shares the underlying striped buckets.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Histogram>);
+
+impl HistogramHandle {
+    /// Records one value (lock-free).
+    pub fn record(&self, value: u64) {
+        self.0.record(value);
+    }
+
+    /// Starts a span timer that records its elapsed microseconds into
+    /// this histogram when finished (or dropped).
+    pub fn start_span(&self) -> SpanTimer {
+        SpanTimer::new(self.clone())
+    }
+
+    /// Sums the histogram's stripes into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+}
+
+/// A named-metric registry. Cloning is cheap (an `Arc`); clones share the
+/// same metrics, so a component can hand its registry down to the layers
+/// it owns and read one coherent snapshot back.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether two registries share the same underlying metrics.
+    pub fn same_as(&self, other: &MetricsRegistry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().expect("counter map lock");
+        counters.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.lock().expect("gauge map lock");
+        gauges.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut histograms = self.inner.histograms.lock().expect("histogram map lock");
+        histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| HistogramHandle(Arc::new(Histogram::new())))
+            .clone()
+    }
+
+    /// Starts a span timer recording into the histogram named `name`.
+    /// Per-call registration costs one mutex acquisition — hot paths
+    /// should pre-register the handle and use
+    /// [`HistogramHandle::start_span`].
+    pub fn span(&self, name: &str) -> SpanTimer {
+        self.histogram(name).start_span()
+    }
+
+    /// A point-in-time snapshot of every metric in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter map lock")
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge map lock")
+            .iter()
+            .map(|(name, gauge)| (name.clone(), gauge.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram map lock")
+            .iter()
+            .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// A point-in-time view of a registry: plain values, no atomics — safe to
+/// export, merge or assert against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name` (0 when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge named `name` (0 when never registered).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram named `name`, when recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// The sum of the histogram named `name` (0 when never recorded) —
+    /// how the bench binaries read a stage's accumulated wall time back.
+    pub fn histogram_sum(&self, name: &str) -> u64 {
+        self.histograms.get(name).map(|h| h.sum).unwrap_or(0)
+    }
+
+    /// The `(name, value)` counters whose name starts with `prefix` —
+    /// e.g. every `serve.errors.` kind.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(name, value)| (name.as_str(), *value))
+            .collect()
+    }
+
+    /// The snapshot as a versioned JSON object:
+    ///
+    /// ```json
+    /// {"version": 1, "counters": {...}, "gauges": {...},
+    ///  "histograms": {"serve.ask": {"count": ..., "p50": ..., ...}}}
+    /// ```
+    ///
+    /// Histograms with no samples (registered but never recorded) are
+    /// omitted — every exported quantile is backed by real data.
+    pub fn to_value(&self) -> Value {
+        let mut counters = Value::object();
+        for (name, value) in &self.counters {
+            counters.insert(name, Value::from(*value));
+        }
+        let mut gauges = Value::object();
+        for (name, value) in &self.gauges {
+            gauges.insert(name, Value::from(*value as f64));
+        }
+        let mut histograms = Value::object();
+        for (name, histogram) in &self.histograms {
+            if !histogram.is_empty() {
+                histograms.insert(name, histogram.to_value());
+            }
+        }
+        let mut root = Value::object();
+        root.insert("version", Value::from(METRICS_SNAPSHOT_VERSION));
+        root.insert("counters", counters);
+        root.insert("gauges", gauges);
+        root.insert("histograms", histograms);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_with_the_registry() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("requests");
+        counter.inc();
+        counter.add(4);
+        assert_eq!(registry.counter("requests").get(), 5, "same name, same atomic");
+        registry.gauge("depth").set(3);
+        registry.gauge("depth").add(-1);
+        assert_eq!(registry.gauge("depth").get(), 2);
+        registry.histogram("latency").record(9);
+        assert_eq!(registry.histogram("latency").snapshot().count, 1);
+    }
+
+    #[test]
+    fn clones_share_metrics() {
+        let registry = MetricsRegistry::new();
+        let clone = registry.clone();
+        assert!(registry.same_as(&clone));
+        clone.counter("x").inc();
+        assert_eq!(registry.snapshot().counter("x"), 1);
+        assert!(!registry.same_as(&MetricsRegistry::new()));
+    }
+
+    #[test]
+    fn snapshot_reads_every_metric() {
+        let registry = MetricsRegistry::new();
+        registry.counter("serve.errors.bad_request").add(2);
+        registry.counter("serve.errors.unknown_session").inc();
+        registry.counter("serve.requests.ask").add(7);
+        registry.histogram("serve.ask").record(100);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.requests.ask"), 7);
+        assert_eq!(snap.counter("never.registered"), 0);
+        assert_eq!(
+            snap.counters_with_prefix("serve.errors."),
+            vec![("serve.errors.bad_request", 2), ("serve.errors.unknown_session", 1)]
+        );
+        assert_eq!(snap.histogram_sum("serve.ask"), 100);
+        assert_eq!(snap.histogram_sum("never.recorded"), 0);
+    }
+
+    #[test]
+    fn snapshot_exports_versioned_json() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").add(3);
+        registry.gauge("g").set(-2);
+        registry.histogram("h").record(5);
+        let value = registry.snapshot().to_value();
+        assert_eq!(value.get("version").and_then(Value::as_u64), Some(1));
+        let counters = value.get("counters").expect("counters object");
+        assert_eq!(counters.get("c").and_then(Value::as_u64), Some(3));
+        let gauges = value.get("gauges").expect("gauges object");
+        assert_eq!(gauges.get("g").and_then(Value::as_f64), Some(-2.0));
+        let histograms = value.get("histograms").expect("histograms object");
+        assert_eq!(
+            histograms.get("h").and_then(|h| h.get("count")).and_then(Value::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Span timers: scoped wall-clock measurement feeding latency histograms.
+
+use std::time::Instant;
+
+use crate::registry::HistogramHandle;
+
+/// Times a named stage and records the elapsed **microseconds** into a
+/// latency histogram. Create one via
+/// [`MetricsRegistry::span`](crate::MetricsRegistry::span) (or
+/// [`HistogramHandle::start_span`] on a pre-registered handle), then
+/// either call [`SpanTimer::finish`] to record and read the duration, or
+/// let the timer drop at scope end to record implicitly.
+///
+/// Timers only ever *write* wall-clock durations into metrics — they
+/// return elapsed time to the caller solely for timing-gated reporting,
+/// never for anything that feeds a deterministic output.
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: HistogramHandle,
+    started: Instant,
+    finished: bool,
+}
+
+impl SpanTimer {
+    pub(crate) fn new(histogram: HistogramHandle) -> Self {
+        SpanTimer { histogram, started: Instant::now(), finished: false }
+    }
+
+    /// Elapsed microseconds so far, without recording.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Records the elapsed microseconds into the histogram and returns
+    /// them.
+    pub fn finish(mut self) -> u64 {
+        let micros = self.elapsed_micros();
+        self.histogram.record(micros);
+        self.finished = true;
+        micros
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.histogram.record(self.elapsed_micros());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn finish_records_once() {
+        let registry = MetricsRegistry::new();
+        let span = registry.span("stage");
+        let micros = span.finish();
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("stage").expect("recorded").count, 1);
+        assert_eq!(snap.histogram_sum("stage"), micros);
+    }
+
+    #[test]
+    fn drop_records_implicitly() {
+        let registry = MetricsRegistry::new();
+        {
+            let _span = registry.span("scoped");
+        }
+        assert_eq!(registry.snapshot().histogram("scoped").expect("recorded").count, 1);
+    }
+}

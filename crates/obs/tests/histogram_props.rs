@@ -1,0 +1,98 @@
+//! Property tests for the log-scale histogram: bucket placement,
+//! order/partition-independent merge, and monotone quantile export.
+
+use proptest::prelude::*;
+
+use cachemind_obs::histogram::{bucket_index, bucket_lower, bucket_upper};
+use cachemind_obs::{Histogram, HistogramSnapshot};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let hist = Histogram::new();
+    for &value in values {
+        hist.record(value);
+    }
+    hist.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded value lands in exactly the bucket whose
+    /// `[lower, upper]` range contains it, and bucket totals account for
+    /// every recording.
+    #[test]
+    fn values_land_in_the_right_buckets(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        for &value in &values {
+            let index = bucket_index(value);
+            prop_assert!(bucket_lower(index) <= value && value <= bucket_upper(index));
+            prop_assert!(snap.buckets[index] > 0);
+        }
+        let mut expected = vec![0u64; snap.buckets.len()];
+        for &value in &values {
+            expected[bucket_index(value)] += 1;
+        }
+        prop_assert_eq!(&snap.buckets, &expected);
+    }
+
+    /// Any partition of the same recordings across per-thread histograms,
+    /// merged in any order, yields the same snapshot as recording
+    /// everything into one histogram.
+    #[test]
+    fn merge_is_order_and_partition_independent(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        cuts in proptest::collection::vec(0usize..200, 0..4),
+        reverse in any::<bool>(),
+    ) {
+        let whole = snapshot_of(&values);
+
+        // Split the recordings at the (sorted, clamped) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (values.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let mut parts: Vec<HistogramSnapshot> = bounds
+            .windows(2)
+            .map(|w| snapshot_of(&values[w[0]..w[1]]))
+            .collect();
+        if reverse {
+            parts.reverse();
+        }
+
+        let mut merged = HistogramSnapshot::empty();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged, whole);
+    }
+
+    /// Quantile export is monotone in `q` (p50 ≤ p90 ≤ p95 ≤ p99), bounded
+    /// by the observed extremes, and each reported quantile is at most one
+    /// bucket's width above the true rank value.
+    #[test]
+    fn quantile_export_is_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..10_000_000, 1..200),
+    ) {
+        let snap = snapshot_of(&values);
+        let p50 = snap.quantile(0.50);
+        let p90 = snap.quantile(0.90);
+        let p95 = snap.quantile(0.95);
+        let p99 = snap.quantile(0.99);
+        prop_assert!(p50 <= p90 && p90 <= p95 && p95 <= p99);
+        prop_assert!(p99 <= snap.max);
+        prop_assert!(p50 >= snap.min_or_zero());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, reported) in [(0.50, p50), (0.90, p90), (0.95, p95), (0.99, p99)] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            // Reported quantile never undershoots the true value and
+            // overshoots by at most the bucket's ≤ 2× relative error.
+            prop_assert!(reported >= exact);
+            prop_assert!(reported <= bucket_upper(bucket_index(exact)).min(snap.max));
+        }
+    }
+}

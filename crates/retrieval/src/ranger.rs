@@ -28,6 +28,10 @@ pub struct RangerRetriever {
     /// wrong column names and retrieval degrades — the "context can
     /// suppress latent knowledge" ablation.
     with_schema: bool,
+    /// Sink for the `retrieval.plan_compile` / `retrieval.plan_run` span
+    /// histograms — the process-global registry unless an owner (e.g. a
+    /// serve engine) redirects it.
+    metrics: cachemind_obs::MetricsRegistry,
 }
 
 impl Default for RangerRetriever {
@@ -39,12 +43,19 @@ impl Default for RangerRetriever {
 impl RangerRetriever {
     /// Creates the retriever with the schema card enabled.
     pub fn new() -> Self {
-        RangerRetriever { with_schema: true }
+        RangerRetriever { with_schema: true, metrics: cachemind_obs::global().clone() }
     }
 
     /// Removes the schema card from the planner's prompt (ablation).
     pub fn without_schema(mut self) -> Self {
         self.with_schema = false;
+        self
+    }
+
+    /// Redirects plan-stage telemetry to `metrics` instead of the
+    /// process-global registry.
+    pub fn with_metrics(mut self, metrics: &cachemind_obs::MetricsRegistry) -> Self {
+        self.metrics = metrics.clone();
         self
     }
 
@@ -200,10 +211,16 @@ impl Retriever for RangerRetriever {
     }
 
     fn retrieve(&self, db: &dyn TraceStore, intent: &QueryIntent) -> RetrievedContext {
-        let Some(plan) = self.compile(db, intent) else {
+        let compile_span = self.metrics.span(cachemind_obs::names::RETRIEVAL_PLAN_COMPILE);
+        let compiled = self.compile(db, intent);
+        compile_span.finish();
+        let Some(plan) = compiled else {
             return RetrievedContext::empty("ranger");
         };
-        let mut facts = match plan.run_scoped(db, &intent.selector.machine_scope()) {
+        let run_span = self.metrics.span(cachemind_obs::names::RETRIEVAL_PLAN_RUN);
+        let run_result = plan.run_scoped(db, &intent.selector.machine_scope());
+        run_span.finish();
+        let mut facts = match run_result {
             Ok(facts) => facts,
             Err(PlanError::EmptyResult) => {
                 let mut facts = Vec::new();

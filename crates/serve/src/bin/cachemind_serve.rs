@@ -34,7 +34,6 @@ use std::time::Instant;
 use cachemind_core::system::RetrieverKind;
 use cachemind_serve::engine::{build_database, ServeConfig, ServeEngine};
 use cachemind_serve::load::{run_load_driver, LoadSpec, StartupTiming};
-use cachemind_serve::protocol::{AskResponse, Request};
 use cachemind_tracedb::ScenarioSelector;
 use cachemind_workloads::workload::Scale;
 
@@ -64,6 +63,7 @@ fn usage() -> ! {
          \x20                      [--machines table2,small] [--prefetchers nextline,stride4]\n\
          \x20                      [--scenarios @table2,@small] [--max-idle-rounds R]\n\
          \x20                      [--build-db PATH | --db-path PATH [--startup-compare]]\n\
+         \x20                      [--stats-json PATH]\n\
          --machines adds machine-qualified traces (MachineConfig presets) to the build;\n\
          --prefetchers adds prefetcher-qualified (transformed-stream) traces;\n\
          --scenarios pins load-driver sessions round-robin to selectors\n\
@@ -72,12 +72,15 @@ fn usage() -> ! {
          --build-db simulates the configured database and writes it to PATH as a\n\
          \x20   versioned snapshot, then exits (no serving);\n\
          --db-path starts the engine from such a snapshot instead of simulating\n\
-         \x20   (--startup-compare also times the equivalent in-process build).\n\
+         \x20   (--startup-compare also times the equivalent in-process build);\n\
+         --stats-json writes the engine's metrics snapshot (the {{\"stats\": true}}\n\
+         \x20   response shape) to PATH on shutdown.\n\
          without --load-driver, serves newline-delimited JSON requests from stdin:\n\
          \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)\n\
          \x20   {{\"question\": \"...\", \"scenario\": \"@table2+stride4\", \"protocol_version\": 2}}\n\
          \x20   {{\"open\": true, \"scenario\": \"@table2\"}}  (open/probe without asking)\n\
-         \x20   {{\"close\": true, \"session\": 3}}        (close the session)"
+         \x20   {{\"close\": true, \"session\": 3}}        (close the session)\n\
+         \x20   {{\"stats\": true}}                       (in-band metrics snapshot)"
     );
     std::process::exit(2)
 }
@@ -258,6 +261,7 @@ fn main() {
             }
             eprintln!("[cachemind-serve] wrote full report to {path}");
         }
+        write_stats_json(&args, &engine);
         return;
     }
 
@@ -277,12 +281,24 @@ fn main() {
         if trimmed == "exit" || trimmed == "quit" {
             break;
         }
-        let response = match Request::from_json(trimmed) {
-            Ok(request) => engine.handle_request(&request),
-            Err(error) => AskResponse::failure(0, &error),
-        };
         let mut out = stdout.lock();
-        let _ = writeln!(out, "{}", response.to_json(true));
+        let _ = writeln!(out, "{}", engine.handle_line(trimmed, true));
         let _ = out.flush();
+    }
+
+    // On shutdown, optionally dump the engine's full stats object — the
+    // same shape a {"stats": true} line returns in-band.
+    write_stats_json(&args, &engine);
+}
+
+/// Writes the engine's stats object to the `--stats-json` path, when one
+/// was given.
+fn write_stats_json(args: &[String], engine: &ServeEngine) {
+    if let Some(path) = flag(args, "--stats-json") {
+        if let Err(e) = std::fs::write(&path, engine.stats_value().to_string() + "\n") {
+            eprintln!("error: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[cachemind-serve] wrote stats snapshot to {path}");
     }
 }

@@ -16,11 +16,11 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 use cachemind_core::chat::ChatSession;
 use cachemind_core::system::{CacheMind, ContextCache, Query, RetrieverKind};
 use cachemind_lang::profiles::BackendKind;
+use cachemind_obs::{names, Counter, HistogramHandle, MetricsRegistry};
 use cachemind_sim::config::MachineConfig;
 use cachemind_sim::prefetch::PrefetcherKind;
 use cachemind_tracedb::database::BuildError;
@@ -30,7 +30,8 @@ use cachemind_tracedb::store::TraceStore;
 use cachemind_tracedb::{ScenarioSelector, TraceDatabaseBuilder};
 use cachemind_workloads::workload::Scale;
 
-use crate::protocol::{AskRequest, AskResponse, ProtocolError};
+use crate::protocol::{AskRequest, AskResponse, ProtocolError, Response, STATS_VERSION};
+use serde_json::Value;
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -120,6 +121,48 @@ struct SessionTable {
     round: u64,
 }
 
+/// The engine's pre-registered metric handles: looked up once at
+/// construction so the per-request hot path is atomic increments only
+/// (the error path looks its per-kind counter up dynamically — errors
+/// are off the hot path by definition).
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    registry: MetricsRegistry,
+    requests_ask: Counter,
+    requests_open: Counter,
+    requests_close: Counter,
+    requests_stats: Counter,
+    sessions_opened: Counter,
+    sessions_closed: Counter,
+    sessions_reaped: Counter,
+    ask_latency: HistogramHandle,
+    parse: HistogramHandle,
+    respond: HistogramHandle,
+}
+
+impl EngineMetrics {
+    fn new(registry: MetricsRegistry) -> Self {
+        EngineMetrics {
+            requests_ask: registry.counter(names::SERVE_REQUESTS_ASK),
+            requests_open: registry.counter(names::SERVE_REQUESTS_OPEN),
+            requests_close: registry.counter(names::SERVE_REQUESTS_CLOSE),
+            requests_stats: registry.counter(names::SERVE_REQUESTS_STATS),
+            sessions_opened: registry.counter(names::SERVE_SESSIONS_OPENED),
+            sessions_closed: registry.counter(names::SERVE_SESSIONS_CLOSED),
+            sessions_reaped: registry.counter(names::SERVE_SESSIONS_REAPED),
+            ask_latency: registry.histogram(names::SERVE_ASK),
+            parse: registry.histogram(names::SERVE_PARSE),
+            respond: registry.histogram(names::SERVE_RESPOND),
+            registry,
+        }
+    }
+
+    /// Counts one in-band error under its stable `error_kind`.
+    fn error(&self, kind: &str) {
+        self.registry.counter(&format!("{}{kind}", names::SERVE_ERRORS_PREFIX)).inc();
+    }
+}
+
 /// The serving front-end: session manager + batched ask rounds.
 #[derive(Debug)]
 pub struct ServeEngine {
@@ -128,6 +171,9 @@ pub struct ServeEngine {
     sessions: Mutex<SessionTable>,
     next_session: AtomicU64,
     config: ServeConfig,
+    /// This engine's own metric handles — per-engine (not process-global),
+    /// so a server's `stats` snapshot counts exactly its own traffic.
+    metrics: EngineMetrics,
     /// The store's canonical machine labels, snapshotted on first use (the
     /// store is immutable for the engine's lifetime): used to canonicalize
     /// preset-name scopes into keyed lookups and to resolve the machine a
@@ -174,10 +220,17 @@ impl ServeEngine {
         path: impl AsRef<std::path::Path>,
         mut config: ServeConfig,
     ) -> Result<Self, SnapshotError> {
+        let registry = MetricsRegistry::new();
+        // The open/verify span also lands in this engine's registry (the
+        // library records it globally), so a server's own stats carry its
+        // startup cost.
+        let verify_span = registry.span(names::TRACEDB_SNAPSHOT_VERIFY);
         let snapshot = VerifiedSnapshot::open(path)?;
+        verify_span.finish();
         config.shards = snapshot.num_shards().max(1);
-        let store: Arc<dyn TraceStore> = Arc::new(LazyTraceDatabase::new(snapshot));
-        Ok(Self::over_store(store, config))
+        let store: Arc<dyn TraceStore> =
+            Arc::new(LazyTraceDatabase::new(snapshot).with_metrics(&registry));
+        Ok(Self::over_registry(store, config, registry))
     }
 
     /// Starts an engine over an already-built sharded database.
@@ -204,22 +257,43 @@ impl ServeEngine {
     /// Panics if `config.retriever` is [`RetrieverKind::Dense`] (not a
     /// serving retriever; see [`ServeConfig::retriever`]).
     fn over_store(store: Arc<dyn TraceStore>, config: ServeConfig) -> Self {
+        Self::over_registry(store, config, MetricsRegistry::new())
+    }
+
+    /// The common tail with an explicit metrics registry —
+    /// [`ServeEngine::from_snapshot`] passes the registry its lazy store
+    /// already records into, so decode telemetry and request telemetry
+    /// land in one snapshot.
+    fn over_registry(
+        store: Arc<dyn TraceStore>,
+        config: ServeConfig,
+        registry: MetricsRegistry,
+    ) -> Self {
         assert!(
             config.retriever != RetrieverKind::Dense,
             "the dense baseline is not servable; use Sieve or Ranger"
         );
         let mind = CacheMind::shared(Arc::clone(&store))
             .with_retriever(config.retriever)
-            .with_backend(config.backend);
+            .with_backend(config.backend)
+            .with_metrics(&registry);
         ServeEngine {
             store,
             mind,
             sessions: Mutex::new(SessionTable::default()),
             next_session: AtomicU64::new(1),
             config,
+            metrics: EngineMetrics::new(registry),
             machine_labels: std::sync::OnceLock::new(),
             prefetcher_labels: std::sync::OnceLock::new(),
         }
+    }
+
+    /// This engine's metrics registry — every counter, gauge and span the
+    /// engine (and the pipeline layers it owns) records. Snapshot it for
+    /// reports, or read the serialized form via [`ServeEngine::stats_value`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
     }
 
     /// The store's canonical machine labels, computed on first use (this
@@ -285,6 +359,7 @@ impl ServeEngine {
     /// construction, so a session used directly (outside a round) answers
     /// exactly as the engine would.
     fn fresh_session(&self, pinned: ScenarioSelector) -> (u64, SessionState) {
+        self.metrics.sessions_opened.inc();
         let id = self.next_session.fetch_add(1, Ordering::SeqCst);
         let chat = ChatSession::new(
             CacheMind::shared(Arc::clone(&self.store))
@@ -355,7 +430,10 @@ impl ServeEngine {
             .expect("session map lock")
             .sessions
             .remove(&session)
-            .map(|state| state.chat.transcript().len())
+            .map(|state| {
+                self.metrics.sessions_closed.inc();
+                state.chat.transcript().len()
+            })
             .ok_or(ProtocolError::UnknownSession(session))
     }
 
@@ -388,7 +466,10 @@ impl ServeEngine {
                         state.last_active_round = round;
                         AskResponse::opened(id, state.chat.transcript().len(), &state.pinned)
                     }
-                    None => AskResponse::failure(id, &ProtocolError::UnknownSession(id)),
+                    None => {
+                        self.metrics.error(ProtocolError::UnknownSession(id).kind());
+                        AskResponse::failure(id, &ProtocolError::UnknownSession(id))
+                    }
                 }
             }
         }
@@ -402,17 +483,104 @@ impl ServeEngine {
     /// Dispatches any protocol [`Request`](crate::protocol::Request):
     /// asks run a one-element round, opens run
     /// [`ServeEngine::open_request`], closes run
-    /// [`ServeEngine::close_session`] — all answer in-band.
-    pub fn handle_request(&self, request: &crate::protocol::Request) -> AskResponse {
+    /// [`ServeEngine::close_session`], stats return
+    /// [`ServeEngine::stats_value`] — all answer in-band.
+    pub fn handle_request(&self, request: &crate::protocol::Request) -> Response {
         use crate::protocol::Request;
         match request {
-            Request::Ask(ask) => self.handle(ask),
-            Request::Open { session, scenario } => self.open_request(*session, scenario.clone()),
-            Request::Close { session } => match self.close_session(*session) {
-                Ok(turns) => AskResponse::closed(*session, turns),
-                Err(error) => AskResponse::failure(*session, &error),
-            },
+            Request::Ask(ask) => Response::Ask(self.handle(ask)),
+            Request::Open { session, scenario } => {
+                self.metrics.requests_open.inc();
+                Response::Ask(self.open_request(*session, scenario.clone()))
+            }
+            Request::Close { session } => {
+                self.metrics.requests_close.inc();
+                Response::Ask(match self.close_session(*session) {
+                    Ok(turns) => AskResponse::closed(*session, turns),
+                    Err(error) => {
+                        self.metrics.error(error.kind());
+                        AskResponse::failure(*session, &error)
+                    }
+                })
+            }
+            Request::Stats => {
+                // Snapshot first, count after: the response never counts
+                // itself, so after driving N requests the first stats
+                // response reports exactly N.
+                let stats = self.stats_value();
+                self.metrics.requests_stats.inc();
+                Response::Stats(stats)
+            }
         }
+    }
+
+    /// Serves one raw protocol line: parse, dispatch, render — the full
+    /// event-loop path behind the `cachemind-serve` stdin loop, with the
+    /// `serve.parse` / `serve.respond` spans and per-`error_kind` counters
+    /// recorded on the way through. Parse failures answer in-band exactly
+    /// as the binary always has.
+    pub fn handle_line(&self, line: &str, with_timing: bool) -> String {
+        let parse_span = self.metrics.parse.start_span();
+        let parsed = crate::protocol::Request::from_json(line);
+        parse_span.finish();
+        let response = match parsed {
+            Ok(request) => self.handle_request(&request),
+            Err(error) => {
+                self.metrics.error(error.kind());
+                Response::Ask(AskResponse::failure(0, &error))
+            }
+        };
+        let respond_span = self.metrics.respond.start_span();
+        let rendered = response.to_json(with_timing);
+        respond_span.finish();
+        rendered
+    }
+
+    /// The versioned stats object answering `{"stats": true}`: session
+    /// lifecycle counts, requests by kind, per-`error_kind` counts, and
+    /// the full metrics snapshot (histograms included). A pure read — it
+    /// counts nothing, so callers control whether the read itself is
+    /// recorded (the protocol path counts it *after* snapshotting).
+    pub fn stats_value(&self) -> Value {
+        let open_now = self.session_count();
+        self.metrics.registry.gauge(names::SERVE_SESSIONS_OPEN).set(open_now as i64);
+        let snap = self.metrics.registry.snapshot();
+
+        let mut sessions = Value::object();
+        sessions.insert("open", Value::from(open_now as u64));
+        sessions.insert("opened", Value::from(snap.counter(names::SERVE_SESSIONS_OPENED)));
+        sessions.insert("closed", Value::from(snap.counter(names::SERVE_SESSIONS_CLOSED)));
+        sessions.insert("reaped", Value::from(snap.counter(names::SERVE_SESSIONS_REAPED)));
+
+        let by_kind_counts = snap.counters_with_prefix(names::SERVE_ERRORS_PREFIX);
+        let mut errors_total = 0u64;
+        let mut by_kind = Value::object();
+        for (name, count) in &by_kind_counts {
+            errors_total += count;
+            by_kind.insert(&name[names::SERVE_ERRORS_PREFIX.len()..], Value::from(*count));
+        }
+        let mut errors = Value::object();
+        errors.insert("total", Value::from(errors_total));
+        errors.insert("by_kind", by_kind);
+
+        let ask = snap.counter(names::SERVE_REQUESTS_ASK);
+        let open = snap.counter(names::SERVE_REQUESTS_OPEN);
+        let close = snap.counter(names::SERVE_REQUESTS_CLOSE);
+        let stats = snap.counter(names::SERVE_REQUESTS_STATS);
+        let mut requests = Value::object();
+        requests.insert("ask", Value::from(ask));
+        requests.insert("open", Value::from(open));
+        requests.insert("close", Value::from(close));
+        requests.insert("stats", Value::from(stats));
+        requests.insert("total", Value::from(ask + open + close + stats));
+
+        let mut root = Value::object();
+        root.insert("stats_version", Value::from(STATS_VERSION));
+        root.insert("sessions", sessions);
+        root.insert("requests", requests);
+        root.insert("errors", errors);
+        root.insert("metrics", snap.to_value());
+        root
     }
 
     /// Answers one round of requests — the batched, multi-session path.
@@ -422,6 +590,7 @@ impl ServeEngine {
     /// session id open a new session (in request order, so id assignment
     /// is deterministic too).
     pub fn ask_round(&self, requests: &[AskRequest]) -> Vec<AskResponse> {
+        self.metrics.requests_ask.add(requests.len() as u64);
         // Phase 0 (serial, one lock for the round): resolve or open
         // sessions in request order, and resolve each request's scenario
         // scope — its own `scenario` field, else the session's pinned
@@ -445,6 +614,7 @@ impl ServeEngine {
                             ))
                         }
                         None => {
+                            self.metrics.error(ProtocolError::UnknownSession(id).kind());
                             failures.push((
                                 index,
                                 AskResponse::failure(id, &ProtocolError::UnknownSession(id)),
@@ -476,9 +646,9 @@ impl ServeEngine {
             chunk
                 .into_iter()
                 .map(|(index, session, query)| {
-                    let started = Instant::now();
+                    let span = self.metrics.ask_latency.start_span();
                     let answer = self.mind.ask_query_with_cache(&query, &mut cache);
-                    let micros = started.elapsed().as_micros() as u64;
+                    let micros = span.finish();
                     (index, session, query, answer, micros)
                 })
                 .collect::<Vec<_>>()
@@ -498,6 +668,7 @@ impl ServeEngine {
                 // failure, not a panic — a poisoned map would brick the
                 // whole engine.
                 let Some(session) = table.sessions.get_mut(&session_id) else {
+                    self.metrics.error(ProtocolError::UnknownSession(session_id).kind());
                     responses[index] = Some(AskResponse::failure(
                         session_id,
                         &ProtocolError::UnknownSession(session_id),
@@ -537,7 +708,12 @@ impl ServeEngine {
             if let Some(max_idle) = self.config.max_idle_rounds {
                 let limit = max_idle.max(1);
                 let current = table.round;
+                let before = table.sessions.len();
                 table.sessions.retain(|_, s| current.saturating_sub(s.last_active_round) < limit);
+                let reaped = before - table.sessions.len();
+                if reaped > 0 {
+                    self.metrics.sessions_reaped.add(reaped as u64);
+                }
             }
         }
         for (index, failure) in failures {
@@ -769,7 +945,7 @@ mod tests {
         )]);
         assert_eq!(engine.session_count(), 2);
 
-        let response = engine.handle_request(&Request::Close { session: a });
+        let response = engine.handle_request(&Request::Close { session: a }).expect_ask();
         assert!(response.is_ok());
         assert!(response.closed);
         assert_eq!(response.turn, 1, "echoes the turns the session answered");
@@ -778,7 +954,7 @@ mod tests {
         assert_eq!(engine.pinned_scenario(a), None);
 
         // A closed id is thereafter unknown, to asks and closes alike.
-        let again = engine.handle_request(&Request::Close { session: a });
+        let again = engine.handle_request(&Request::Close { session: a }).expect_ask();
         assert_eq!(again.error_kind.as_deref(), Some("unknown_session"));
         assert!(!again.closed);
         let ask = engine.ask_round(&[AskRequest::in_session(a, "hello?")]).pop().unwrap();
@@ -916,8 +1092,9 @@ mod tests {
         };
         let engine = ServeEngine::build(config).expect("preset is valid");
         let pin = ScenarioSelector::all().with_machine("small");
-        let resp =
-            engine.handle_request(&Request::Open { session: None, scenario: Some(pin.clone()) });
+        let resp = engine
+            .handle_request(&Request::Open { session: None, scenario: Some(pin.clone()) })
+            .expect_ask();
         assert!(resp.is_ok());
         assert_eq!(resp.turn, 0, "fresh opens acknowledge at turn 0");
         assert_eq!(resp.scenario.as_deref(), Some("@small"), "the pin comes back");
@@ -927,8 +1104,9 @@ mod tests {
         // After a turn, a probe echoes the pin and the turn count.
         let q = "What is the estimated IPC for mcf under LRU?";
         engine.ask_round(&[AskRequest::in_session(resp.session, q)]);
-        let probe =
-            engine.handle_request(&Request::Open { session: Some(resp.session), scenario: None });
+        let probe = engine
+            .handle_request(&Request::Open { session: Some(resp.session), scenario: None })
+            .expect_ask();
         assert!(probe.is_ok());
         assert_eq!(probe.session, resp.session);
         assert_eq!(probe.turn, 1);
@@ -936,7 +1114,9 @@ mod tests {
         assert_eq!(engine.transcript(resp.session).unwrap().len(), 1, "probe burned nothing");
 
         // Probing an unknown session fails in-band.
-        let missing = engine.handle_request(&Request::Open { session: Some(999), scenario: None });
+        let missing = engine
+            .handle_request(&Request::Open { session: Some(999), scenario: None })
+            .expect_ask();
         assert_eq!(missing.error_kind.as_deref(), Some("unknown_session"));
     }
 

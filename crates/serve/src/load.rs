@@ -280,6 +280,10 @@ impl LoadOutcome {
             Value::from(if seconds > 0.0 { questions as f64 / seconds } else { 0.0 }),
         );
         timing.insert("latency_micros", latency);
+        // The engine's full metrics snapshot (per-stage histograms, request
+        // counters) — wall-clock content, so it lives under `timing` and
+        // never leaks into the deterministic half.
+        timing.insert("metrics", engine.metrics().snapshot().to_value());
         root.insert("timing", timing);
         root
     }
@@ -312,8 +316,12 @@ pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
 
     let mut responses: Vec<Vec<AskResponse>> =
         (0..spec.sessions).map(|_| Vec::with_capacity(spec.questions)).collect();
-    let started = std::time::Instant::now();
+    // Driver timing rides the engine's metrics registry: one span for the
+    // whole drive (its return value is the report's `total_micros`) and one
+    // `serve.round` sample per batched turn.
+    let drive_span = engine.metrics().span(cachemind_obs::names::SERVE_LOAD_DRIVE);
     for turn in 0..spec.questions {
+        let round_span = engine.metrics().span(cachemind_obs::names::SERVE_ROUND);
         let round: Vec<AskRequest> = session_ids
             .iter()
             .enumerate()
@@ -322,8 +330,9 @@ pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
         for (s, response) in engine.ask_round(&round).into_iter().enumerate() {
             responses[s].push(response);
         }
+        round_span.finish();
     }
-    let total_micros = started.elapsed().as_micros() as u64;
+    let total_micros = drive_span.finish();
 
     LoadOutcome { spec, questions, responses, total_micros, startup: None }
 }

@@ -55,8 +55,19 @@
 //! closing an unknown session fails in-band with
 //! `"error_kind": "unknown_session"`, and a closed id is thereafter
 //! unknown. Servers may also reap idle sessions themselves (see
-//! `--max-idle-rounds`), after which the id fails the same way. See
-//! `docs/PROTOCOL.md` for the full wire-protocol specification.
+//! `--max-idle-rounds`), after which the id fails the same way.
+//!
+//! # In-band telemetry: `stats`
+//!
+//! A `{"stats": true}` line returns the server's versioned metrics
+//! snapshot — sessions open/opened/closed/reaped, requests by kind,
+//! per-`error_kind` counts, and the full latency histograms — as one JSON
+//! object with `"stats_version": 1` ([`STATS_VERSION`]). Stats requests
+//! are pure reads: they never touch a session, and the snapshot is taken
+//! *before* the stats request itself is counted, so after driving N asks
+//! the first stats response reports exactly N requests. See
+//! `docs/PROTOCOL.md` for the full wire-protocol specification and
+//! `docs/OBSERVABILITY.md` for the metric taxonomy.
 
 use cachemind_tracedb::ScenarioSelector;
 use serde_json::Value;
@@ -65,6 +76,9 @@ use serde_json::Value;
 pub const PROTOCOL_V2: u64 = 2;
 /// The legacy, selector-free protocol version.
 pub const PROTOCOL_V1: u64 = 1;
+/// Version stamp of the `stats` response shape (the `stats_version`
+/// field), bumped whenever the stats object's layout changes.
+pub const STATS_VERSION: u64 = 1;
 
 /// A protocol-level failure, reported in-band per request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -242,12 +256,16 @@ pub enum Request {
         /// The session to close.
         session: u64,
     },
+    /// `{"stats": true}` — return the server's versioned metrics snapshot.
+    /// A pure read: touches no session and burns no question.
+    Stats,
 }
 
 impl Request {
     /// Parses one request line: an `open` when the object carries
-    /// `"open": true`, a `close` when it carries `"close": true`, an
-    /// [`AskRequest`] otherwise.
+    /// `"open": true`, a `close` when it carries `"close": true`, a
+    /// `stats` when it carries `"stats": true`, an [`AskRequest`]
+    /// otherwise.
     pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
         let value =
             serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
@@ -281,6 +299,12 @@ impl Request {
                 ));
             }
             return Ok(Request::Open { session, scenario });
+        }
+        if let Some(flag) = value.get("stats") {
+            if flag.as_bool() != Some(true) {
+                return Err(ProtocolError::BadRequest("'stats' must be the boolean true".into()));
+            }
+            return Ok(Request::Stats);
         }
         match value.get("close") {
             None => Ok(Request::Ask(AskRequest::from_value(&value)?)),
@@ -319,6 +343,55 @@ impl Request {
                 obj.insert("session", Value::from(*session));
                 obj.to_string()
             }
+            Request::Stats => {
+                let mut obj = Value::object();
+                obj.insert("stats", Value::from(true));
+                obj.to_string()
+            }
+        }
+    }
+}
+
+/// The reply to any [`Request`]: an [`AskResponse`] for asks, opens and
+/// closes, or the versioned metrics object for `stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An answer, acknowledgement or in-band failure.
+    Ask(AskResponse),
+    /// The stats object answering `{"stats": true}` (carries
+    /// `"stats_version"`: [`STATS_VERSION`]).
+    Stats(Value),
+}
+
+impl Response {
+    /// Whether the request succeeded (stats requests always do).
+    pub fn is_ok(&self) -> bool {
+        match self {
+            Response::Ask(response) => response.is_ok(),
+            Response::Stats(_) => true,
+        }
+    }
+
+    /// The inner [`AskResponse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the response is a stats object.
+    pub fn expect_ask(self) -> AskResponse {
+        match self {
+            Response::Ask(response) => response,
+            Response::Stats(_) => panic!("expected an ask response, got a stats response"),
+        }
+    }
+
+    /// Renders the response as a compact JSON line. `with_timing` gates
+    /// the ask shape's wall-clock field exactly as
+    /// [`AskResponse::to_json`]; stats objects are wall-clock content by
+    /// definition and render unchanged.
+    pub fn to_json(&self, with_timing: bool) -> String {
+        match self {
+            Response::Ask(response) => response.to_json(with_timing),
+            Response::Stats(value) => value.to_string(),
         }
     }
 }
@@ -667,6 +740,47 @@ mod tests {
             Request::from_json("{\"open\": true, \"scenario\": \"mcf@\"}"),
             Err(ProtocolError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn stats_requests_parse_and_round_trip() {
+        let req = Request::from_json("{\"stats\": true}").expect("stats parses");
+        assert_eq!(req, Request::Stats);
+        assert_eq!(req.to_json(), "{\"stats\":true}");
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+
+        // `stats` must be the literal true.
+        assert!(matches!(Request::from_json("{\"stats\": 1}"), Err(ProtocolError::BadRequest(_))));
+        assert!(matches!(
+            Request::from_json("{\"stats\": false}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+
+        // The other flags still win their own shapes.
+        assert!(matches!(Request::from_json("{\"open\": true}"), Ok(Request::Open { .. })));
+        assert!(matches!(
+            Request::from_json("{\"close\": true, \"session\": 1}"),
+            Ok(Request::Close { .. })
+        ));
+    }
+
+    #[test]
+    fn response_wrapper_dispatches_by_shape() {
+        let ask = Response::Ask(AskResponse::closed(5, 3));
+        assert!(ask.is_ok());
+        assert_eq!(ask.to_json(false), AskResponse::closed(5, 3).to_json(false));
+        assert_eq!(ask.expect_ask(), AskResponse::closed(5, 3));
+
+        let mut obj = Value::object();
+        obj.insert("stats_version", Value::from(STATS_VERSION));
+        let stats = Response::Stats(obj);
+        assert!(stats.is_ok());
+        assert_eq!(stats.to_json(false), "{\"stats_version\":1}");
+        // Timing gating never alters a stats object.
+        assert_eq!(stats.to_json(true), stats.to_json(false));
+
+        let failure = Response::Ask(AskResponse::failure(0, &ProtocolError::UnknownSession(0)));
+        assert!(!failure.is_ok());
     }
 
     #[test]

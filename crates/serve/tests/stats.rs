@@ -1,0 +1,143 @@
+//! The in-band telemetry contract, pinned end to end:
+//!
+//! * after a load-driver run, the engine's stats counters equal the
+//!   driver's own question/error totals exactly — including the
+//!   `serve.ask` latency histogram's sample count;
+//! * a `{"stats": true}` line answers in-band with the versioned stats
+//!   object, and never counts itself (the response after driving N
+//!   requests reports exactly N);
+//! * protocol failures land in per-`error_kind` counters that sum to
+//!   `errors.total`;
+//! * metrics stay out of the deterministic report: driving load with
+//!   metrics on changes no deterministic byte.
+
+use cachemind_serve::engine::{ServeConfig, ServeEngine};
+use cachemind_serve::load::{run_load_driver, LoadSpec};
+use cachemind_serve::protocol::{AskRequest, Request};
+use cachemind_tracedb::TraceDatabaseBuilder;
+use serde_json::Value;
+
+fn engine(threads: usize) -> ServeEngine {
+    let config = ServeConfig { threads: Some(threads), shards: 3, ..Default::default() };
+    let db = TraceDatabaseBuilder::quick_demo()
+        .shards(config.shards)
+        .try_build_sharded()
+        .expect("demo build");
+    ServeEngine::over(db, config)
+}
+
+fn field<'a>(value: &'a Value, path: &[&str]) -> &'a Value {
+    let mut current = value;
+    for key in path {
+        current = current.get(key).unwrap_or_else(|| panic!("missing {path:?} at {key}"));
+    }
+    current
+}
+
+fn count(value: &Value, path: &[&str]) -> u64 {
+    field(value, path).as_u64().unwrap_or_else(|| panic!("{path:?} is not a u64"))
+}
+
+#[test]
+fn stats_counters_match_the_load_driver_totals() {
+    let engine = engine(4);
+    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![] };
+    let outcome = run_load_driver(&engine, spec);
+    let driven = (outcome.answered() + outcome.errors()) as u64;
+    assert_eq!(driven, 12, "4 sessions x 3 questions");
+
+    let stats = engine.stats_value();
+    assert_eq!(count(&stats, &["stats_version"]), 1);
+    assert_eq!(count(&stats, &["requests", "ask"]), driven, "ask counter == driven questions");
+    assert_eq!(count(&stats, &["requests", "total"]), driven, "nothing else was requested");
+    assert_eq!(count(&stats, &["errors", "total"]), outcome.errors() as u64);
+    assert_eq!(count(&stats, &["sessions", "opened"]), 4);
+    assert_eq!(count(&stats, &["sessions", "open"]), 4, "driver leaves its sessions open");
+    assert_eq!(count(&stats, &["sessions", "closed"]), 0);
+
+    // The per-request latency histogram saw exactly one sample per driven
+    // question, and its per-stage siblings were populated by the drive.
+    let ask = field(&stats, &["metrics", "histograms", "serve.ask"]);
+    assert_eq!(count(ask, &["count"]), driven, "one ask-latency sample per question");
+    let rounds = field(&stats, &["metrics", "histograms", "serve.round"]);
+    assert_eq!(count(rounds, &["count"]), 3, "one round span per turn");
+    let drive = field(&stats, &["metrics", "histograms", "serve.load_drive"]);
+    assert_eq!(count(drive, &["count"]), 1, "one span for the whole drive");
+    assert_eq!(count(&stats, &["metrics", "version"]), 1, "snapshot schema is versioned");
+}
+
+#[test]
+fn stats_requests_answer_in_band_and_never_count_themselves() {
+    let engine = engine(2);
+    let response = engine.handle(&AskRequest::new(
+        "What is the overall miss rate of the mcf \
+                                                   workload under LRU?",
+    ));
+    assert!(response.is_ok());
+
+    // First stats response: 1 ask, 0 stats — the read does not count
+    // itself.
+    let first = engine.handle_request(&Request::Stats);
+    let first = match first {
+        cachemind_serve::protocol::Response::Stats(value) => value,
+        other => panic!("stats must answer with a stats object, got {other:?}"),
+    };
+    assert_eq!(count(&first, &["requests", "ask"]), 1);
+    assert_eq!(count(&first, &["requests", "stats"]), 0, "the response never counts itself");
+    assert_eq!(count(&first, &["requests", "total"]), 1);
+
+    // Second stats response sees the first one.
+    let line = engine.handle_line("{\"stats\": true}", true);
+    let second = serde_json::from_str(&line).expect("stats lines are valid JSON");
+    assert_eq!(count(&second, &["requests", "stats"]), 1);
+    assert_eq!(count(&second, &["requests", "total"]), 2);
+}
+
+#[test]
+fn protocol_failures_land_in_per_kind_error_counters() {
+    let engine = engine(2);
+    // One malformed line, one structurally-bad request, two unknown
+    // sessions through different paths.
+    let garbage = engine.handle_line("this is not json", true);
+    assert!(garbage.contains("\"error\""), "{garbage}");
+    let bad = engine.handle_line("{\"stats\": false}", true);
+    assert!(bad.contains("\"error\""), "{bad}");
+    let _ = engine.handle_line("{\"question\": \"hi\", \"session\": 999}", true);
+    let _ = engine.handle_line("{\"close\": true, \"session\": 998}", true);
+
+    let stats = engine.stats_value();
+    assert_eq!(count(&stats, &["errors", "by_kind", "invalid_json"]), 1);
+    assert_eq!(count(&stats, &["errors", "by_kind", "bad_request"]), 1);
+    assert_eq!(count(&stats, &["errors", "by_kind", "unknown_session"]), 2);
+    assert_eq!(count(&stats, &["errors", "total"]), 4, "by_kind sums to the total");
+    // The failed close still counted as a close request; the failed ask as
+    // an ask. Parse failures never reach dispatch, so they count nowhere.
+    assert_eq!(count(&stats, &["requests", "ask"]), 1);
+    assert_eq!(count(&stats, &["requests", "close"]), 1);
+    assert_eq!(count(&stats, &["requests", "total"]), 2);
+}
+
+#[test]
+fn metrics_never_perturb_the_deterministic_report() {
+    // Drive two identical loads — one on an engine whose metrics were
+    // pre-warmed with extra traffic — and require byte-identical
+    // deterministic reports: telemetry is a wall-clock side channel only.
+    let spec = LoadSpec { sessions: 3, questions: 2, scenarios: vec![] };
+    let quiet = engine(2);
+    let quiet_outcome = run_load_driver(&quiet, spec.clone());
+
+    let noisy = engine(2);
+    let _ = noisy.handle_line("not json at all", true);
+    let _ = noisy.handle_line("{\"stats\": true}", true);
+    let noisy_outcome = run_load_driver(&noisy, spec);
+    // The warm-up asked nothing, so both drives see identical session ids
+    // and identical questions.
+    assert_eq!(
+        quiet_outcome.render(&quiet, false),
+        noisy_outcome.render(&noisy, false),
+        "metrics traffic must not change a deterministic byte"
+    );
+    // But the full report carries the divergent metrics snapshot.
+    let noisy_full = noisy_outcome.render(&noisy, true);
+    assert!(noisy_full.contains("\"serve.errors.invalid_json\": 1"), "{noisy_full}");
+}

@@ -526,6 +526,11 @@ impl ScenarioGrid {
     {
         self.validate(&make_policy)?;
 
+        // Stage timings feed the process-global telemetry registry only —
+        // wall-clock side channels the bench bins report; nothing below
+        // reads them back.
+        let prepare_span = cachemind_obs::global().span(cachemind_obs::names::SWEEP_PREPARE);
+
         // Stage 1a ([`transform_stream`]): one task per (stream,
         // prefetcher) pair — the transform depends only on those two axes,
         // so every machine replaying the pair shares one transformed stream
@@ -564,6 +569,8 @@ impl ScenarioGrid {
             let scenario = prepare_scenario(&self.machines[m], transformed, stream.instr_count);
             PreparedTriple { stream: s, machine: m, prefetcher: p, scenario }
         });
+        prepare_span.finish();
+        let replay_span = cachemind_obs::global().span(cachemind_obs::names::SWEEP_REPLAY);
 
         // Stage 2: one task per (triple, policy) cell.
         let cell_inputs: Vec<(usize, usize)> = (0..prepared.len())
@@ -652,6 +659,7 @@ impl ScenarioGrid {
         let policy_totals = axis_totals(&cells, |c| c.policy.as_str());
         let prefetcher_totals = axis_totals(&cells, |c| c.prefetcher.as_str());
         let machine_totals = axis_totals(&cells, |c| c.machine.as_str());
+        replay_span.finish();
 
         Ok(ScenarioReport { cells, policy_totals, prefetcher_totals, machine_totals })
     }

@@ -692,6 +692,7 @@ impl TraceDatabaseBuilder {
     /// any simulation starts — shard workers never panic on bad names.
     pub fn try_build_sharded(self) -> Result<ShardedTraceDatabase, BuildError> {
         self.validate()?;
+        let _span = cachemind_obs::global().span(cachemind_obs::names::TRACEDB_BUILD);
 
         // Stage 1: one task per workload — trace generation is the
         // machine-independent part, shared by every machine slot.
@@ -790,6 +791,7 @@ impl TraceDatabaseBuilder {
     /// Kept as the oracle the parallel/sharded builds are tested against.
     pub fn build_serial(self) -> Result<TraceDatabase, BuildError> {
         self.validate()?;
+        let _span = cachemind_obs::global().span(cachemind_obs::names::TRACEDB_BUILD);
         let mut db = TraceDatabase { entries: BTreeMap::new(), llc: Some(self.llc.clone()) };
         for wname in &self.workloads {
             let workload: Workload = workload_by_name(wname, self.scale)

@@ -1044,12 +1044,14 @@ pub fn read_snapshot(bytes: &[u8]) -> Result<ShardedTraceDatabase, SnapshotError
 
 /// Writes `db` to `path` in the snapshot format ([`write_snapshot`]).
 pub fn save_to_path(db: &ShardedTraceDatabase, path: &Path) -> Result<(), SnapshotError> {
+    let _span = cachemind_obs::global().span(cachemind_obs::names::TRACEDB_SNAPSHOT_SAVE);
     std::fs::write(path, write_snapshot(db))?;
     Ok(())
 }
 
 /// Loads a snapshot file written by [`save_to_path`] / [`write_snapshot`].
 pub fn load_from_path(path: &Path) -> Result<ShardedTraceDatabase, SnapshotError> {
+    let _span = cachemind_obs::global().span(cachemind_obs::names::TRACEDB_SNAPSHOT_LOAD);
     let bytes = std::fs::read(path)?;
     read_snapshot(&bytes)
 }
@@ -1091,6 +1093,7 @@ impl std::fmt::Debug for VerifiedSnapshot {
 impl VerifiedSnapshot {
     /// Reads `path` and verifies every checksum without decoding entries.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let _span = cachemind_obs::global().span(cachemind_obs::names::TRACEDB_SNAPSHOT_VERIFY);
         Self::verify(std::fs::read(path.as_ref())?)
     }
 
@@ -1171,12 +1174,26 @@ impl VerifiedSnapshot {
 pub struct LazyTraceDatabase {
     snapshot: VerifiedSnapshot,
     db: std::sync::OnceLock<ShardedTraceDatabase>,
+    metrics: cachemind_obs::MetricsRegistry,
 }
 
 impl LazyTraceDatabase {
     /// Wraps a verified snapshot; no decoding happens until first query.
+    /// Decode telemetry goes to the process-global registry unless
+    /// [`LazyTraceDatabase::with_metrics`] redirects it.
     pub fn new(snapshot: VerifiedSnapshot) -> Self {
-        LazyTraceDatabase { snapshot, db: std::sync::OnceLock::new() }
+        LazyTraceDatabase {
+            snapshot,
+            db: std::sync::OnceLock::new(),
+            metrics: cachemind_obs::global().clone(),
+        }
+    }
+
+    /// Redirects decode telemetry (the `tracedb.lazy_decode*` span and
+    /// counters) to `metrics` — e.g. a serve engine's own registry.
+    pub fn with_metrics(mut self, metrics: &cachemind_obs::MetricsRegistry) -> Self {
+        self.metrics = metrics.clone();
+        self
     }
 
     /// The underlying verified snapshot.
@@ -1187,13 +1204,22 @@ impl LazyTraceDatabase {
     /// The decoded database, materializing it on first call.
     pub fn force(&self) -> &ShardedTraceDatabase {
         self.db.get_or_init(|| {
-            self.snapshot.decode().unwrap_or_else(|_| {
+            let span = self.metrics.span(cachemind_obs::names::TRACEDB_LAZY_DECODE);
+            let db = self.snapshot.decode().unwrap_or_else(|_| {
                 ShardedTraceDatabase::from_entries(
                     Vec::new(),
                     self.snapshot.num_shards().max(1),
                     None,
                 )
-            })
+            });
+            span.finish();
+            self.metrics
+                .counter(cachemind_obs::names::TRACEDB_LAZY_DECODE_SEGMENTS)
+                .add(db.shard_count() as u64);
+            self.metrics
+                .counter(cachemind_obs::names::TRACEDB_LAZY_DECODE_TRACES)
+                .add(db.len() as u64);
+            db
         })
     }
 }

@@ -17,6 +17,7 @@
 pub use cachemind_benchsuite as benchsuite;
 pub use cachemind_core as core;
 pub use cachemind_lang as lang;
+pub use cachemind_obs as obs;
 pub use cachemind_policies as policies;
 pub use cachemind_retrieval as retrieval;
 pub use cachemind_serve as serve;
