@@ -55,6 +55,12 @@ pub mod names {
     /// Sweep stage 2 (per-cell policy replay + canonical sort), per grid
     /// run.
     pub const SWEEP_REPLAY: &str = "sweep.replay";
+    /// Counter: scenario-grid cells that reused an already-prepared
+    /// stage-1 scenario instead of re-preparing (cells − triples per run).
+    pub const SWEEP_PREPARE_REUSE: &str = "sweep.prepare.reuse_hits";
+    /// One policy replay of one scenario cell, per cell (the per-cell
+    /// latency histogram behind the per-run [`SWEEP_REPLAY`] span).
+    pub const SWEEP_CELL_REPLAY: &str = "sweep.cell_replay";
     /// Sharded trace-database build (simulation + tabulation), per build.
     pub const TRACEDB_BUILD: &str = "tracedb.build";
     /// Snapshot encode + write (the save path), per save.
@@ -131,6 +137,8 @@ mod tests {
         let all = [
             names::SWEEP_PREPARE,
             names::SWEEP_REPLAY,
+            names::SWEEP_PREPARE_REUSE,
+            names::SWEEP_CELL_REPLAY,
             names::TRACEDB_BUILD,
             names::TRACEDB_SNAPSHOT_SAVE,
             names::TRACEDB_SNAPSHOT_LOAD,

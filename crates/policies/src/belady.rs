@@ -5,29 +5,39 @@
 //! is farthest in the future. Lines that are never used again are preferred
 //! victims.
 
-use std::collections::HashMap;
-
-use cachemind_sim::addr::LineAddr;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 use cachemind_sim::reuse::NEVER;
 
+use crate::features::PerWayTable;
+
 /// Belady's optimal policy.
+///
+/// The oracle's next-use index for each resident line is stored per
+/// `(set, way)` slot — every fill and hit restamps the slot the line
+/// occupies, so the map lookup the original per-line table needed on every
+/// touch becomes a flat array index.
 ///
 /// # Panics
 ///
 /// Accessing the policy without oracle information
 /// (`AccessContext::next_use == None`) panics: MIN is an offline policy and
 /// cannot run online.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BeladyPolicy {
-    next_use: HashMap<LineAddr, u64>,
+    next_use: PerWayTable<u64>,
+}
+
+impl Default for BeladyPolicy {
+    fn default() -> Self {
+        BeladyPolicy::new()
+    }
 }
 
 impl BeladyPolicy {
     /// Creates the policy.
     pub fn new() -> Self {
-        BeladyPolicy::default()
+        BeladyPolicy { next_use: PerWayTable::new(NEVER) }
     }
 
     fn oracle(ctx: &AccessContext) -> u64 {
@@ -40,39 +50,38 @@ impl ReplacementPolicy for BeladyPolicy {
         "belady"
     }
 
-    fn on_hit(&mut self, _way: usize, _lines: &[Option<LineMeta>], ctx: &AccessContext) {
-        self.next_use.insert(ctx.line, Self::oracle(ctx));
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
+        *self.next_use.slot_mut(ctx.set, way, lines.len()) = Self::oracle(ctx);
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], _ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         let victim = lines
-            .iter()
-            .enumerate()
-            .filter_map(|(way, slot)| slot.as_ref().map(|meta| (way, meta.line)))
-            .max_by_key(|&(_, line)| self.next_use.get(&line).copied().unwrap_or(NEVER))
+            .iter_valid()
+            .max_by_key(|&(way, _)| self.next_use.slot(ctx.set, way))
             .map(|(way, _)| way)
             .expect("choose_victim called on an empty set");
         Decision::Evict(victim)
     }
 
-    fn on_fill(&mut self, _way: usize, _lines: &[Option<LineMeta>], ctx: &AccessContext) {
-        self.next_use.insert(ctx.line, Self::oracle(ctx));
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
+        *self.next_use.slot_mut(ctx.set, way, lines.len()) = Self::oracle(ctx);
     }
 
-    fn line_scores(
+    fn line_scores_into(
         &self,
-        _set: cachemind_sim::addr::SetId,
-        lines: &[Option<LineMeta>],
+        set: cachemind_sim::addr::SetId,
+        lines: SetView<'_>,
         _now: u64,
-    ) -> Vec<u64> {
-        lines
-            .iter()
-            .map(|slot| {
-                slot.as_ref().map_or(u64::MAX, |meta| {
-                    self.next_use.get(&meta.line).copied().unwrap_or(NEVER)
-                })
-            })
-            .collect()
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                self.next_use.slot(set, way)
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 

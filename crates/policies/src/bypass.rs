@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use cachemind_sim::addr::Pc;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
 /// Wraps an inner policy with a PC bypass list.
@@ -56,11 +56,11 @@ impl<P: ReplacementPolicy> ReplacementPolicy for BypassPolicy<P> {
         "bypass"
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         self.inner.on_hit(way, lines, ctx);
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         if self.bypass_pcs.contains(&ctx.pc) {
             self.bypasses += 1;
             return Decision::Bypass;
@@ -68,17 +68,18 @@ impl<P: ReplacementPolicy> ReplacementPolicy for BypassPolicy<P> {
         self.inner.choose_victim(lines, ctx)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         self.inner.on_fill(way, lines, ctx);
     }
 
-    fn line_scores(
+    fn line_scores_into(
         &self,
         set: cachemind_sim::addr::SetId,
-        lines: &[Option<LineMeta>],
+        lines: SetView<'_>,
         now: u64,
-    ) -> Vec<u64> {
-        self.inner.line_scores(set, lines, now)
+        out: &mut Vec<u64>,
+    ) {
+        self.inner.line_scores_into(set, lines, now, out);
     }
 }
 

@@ -6,7 +6,7 @@
 //! emulate "insert at LRU" by back-dating the inserted line's recency state.
 
 use cachemind_sim::addr::SetId;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
 use crate::features::{PerWayTable, SplitMix64};
@@ -114,11 +114,11 @@ impl ReplacementPolicy for DipPolicy {
         }
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         *self.recency.slot_mut(ctx.set, way, lines.len()) = ctx.index + 1;
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         // Leader-set misses train PSEL against the leader's flavor.
         if self.flavor == DipFlavor::Dynamic {
             match Self::role(ctx.set) {
@@ -128,13 +128,13 @@ impl ReplacementPolicy for DipPolicy {
             }
         }
         let victim = (0..lines.len())
-            .filter(|&w| lines[w].is_some())
+            .filter(|&w| lines.is_valid(w))
             .min_by_key(|&w| self.recency.slot(ctx.set, w))
             .expect("choose_victim called on an empty set");
         Decision::Evict(victim)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         let bip = self.use_bip(ctx.set);
         let mru = !bip || self.mru_epsilon();
@@ -143,7 +143,7 @@ impl ReplacementPolicy for DipPolicy {
         } else {
             // Insert at the LRU position: strictly older than every resident.
             let min = (0..ways)
-                .filter(|&w| w != way && lines[w].is_some())
+                .filter(|&w| w != way && lines.is_valid(w))
                 .map(|w| self.recency.slot(ctx.set, w))
                 .min()
                 .unwrap_or(0);
@@ -152,18 +152,17 @@ impl ReplacementPolicy for DipPolicy {
         *self.recency.slot_mut(ctx.set, way, ways) = value;
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, _now: u64, out: &mut Vec<u64>) {
         // Score by pseudo-recency (smaller recency value = older = more
         // evictable), inverted so that higher means more evictable.
-        (0..lines.len())
-            .map(|way| {
-                if lines[way].is_some() {
-                    u64::MAX / 2 - self.recency.slot(set, way).min(u64::MAX / 2)
-                } else {
-                    u64::MAX
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                u64::MAX / 2 - self.recency.slot(set, way).min(u64::MAX / 2)
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use cachemind_sim::addr::SetId;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
 use crate::features::{feature_bucket, PerWayTable};
@@ -137,7 +137,7 @@ impl ReplacementPolicy for HawkeyePolicy {
         "hawkeye"
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         self.sample(ctx, ways);
         let sig = Self::sig(ctx);
@@ -145,18 +145,21 @@ impl ReplacementPolicy for HawkeyePolicy {
         *self.line.slot_mut(ctx.set, way, ways) = HawkLine { friendly, pc_sig: sig };
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         let ways = lines.len();
         // Prefer the oldest cache-averse line; fall back to the oldest
         // friendly line and detrain its PC.
         let mut averse: Option<(usize, u64)> = None;
         let mut friendly: Option<(usize, u64)> = None;
-        for (way, slot) in lines.iter().enumerate() {
-            let Some(meta) = slot else { continue };
+        for way in 0..lines.len() {
+            if !lines.is_valid(way) {
+                continue;
+            }
+            let last_touch = lines.last_touch(way);
             let state = self.line.slot(ctx.set, way);
             let slot_ref = if state.friendly { &mut friendly } else { &mut averse };
-            if slot_ref.is_none_or(|(_, t)| meta.last_touch < t) {
-                *slot_ref = Some((way, meta.last_touch));
+            if slot_ref.is_none_or(|(_, t)| last_touch < t) {
+                *slot_ref = Some((way, last_touch));
             }
         }
         if let Some((way, _)) = averse {
@@ -169,7 +172,7 @@ impl ReplacementPolicy for HawkeyePolicy {
         Decision::Evict(way)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         self.sample(ctx, ways);
         let sig = Self::sig(ctx);
@@ -177,23 +180,20 @@ impl ReplacementPolicy for HawkeyePolicy {
         *self.line.slot_mut(ctx.set, way, ways) = HawkLine { friendly, pc_sig: sig };
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
-        lines
-            .iter()
-            .enumerate()
-            .map(|(way, slot)| match slot {
-                None => u64::MAX,
-                Some(meta) => {
-                    let age = now.saturating_sub(meta.last_touch);
-                    if self.line.slot(set, way).friendly {
-                        age
-                    } else {
-                        // Averse lines score far above any friendly line.
-                        (1 << 32) + age
-                    }
-                }
-            })
-            .collect()
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if !lines.is_valid(way) {
+                return u64::MAX;
+            }
+            let age = now.saturating_sub(lines.last_touch(way));
+            if self.line.slot(set, way).friendly {
+                age
+            } else {
+                // Averse lines score far above any friendly line.
+                (1 << 32) + age
+            }
+        }));
     }
 }
 

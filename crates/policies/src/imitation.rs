@@ -17,7 +17,7 @@
 //! beats Belady for individual PCs while losing in aggregate.
 
 use cachemind_sim::addr::SetId;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 use cachemind_sim::reuse::NEVER;
 
@@ -124,14 +124,14 @@ impl ReplacementPolicy for ImitationPolicy {
         "parrot"
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let prediction = self.train(ctx);
         self.stamp(way, lines.len(), ctx, prediction);
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         let victim = (0..lines.len())
-            .filter(|&w| lines[w].is_some())
+            .filter(|&w| lines.is_valid(w))
             .max_by(|&a, &b| {
                 self.score(ctx.set, a, ctx.index).total_cmp(&self.score(ctx.set, b, ctx.index))
             })
@@ -139,21 +139,20 @@ impl ReplacementPolicy for ImitationPolicy {
         Decision::Evict(victim)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let prediction = self.train(ctx);
         self.stamp(way, lines.len(), ctx, prediction);
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
-        (0..lines.len())
-            .map(|way| {
-                if lines[way].is_some() {
-                    (self.score(set, way, now) * 256.0).max(0.0) as u64
-                } else {
-                    u64::MAX
-                }
-            })
-            .collect()
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                (self.score(set, way, now) * 256.0).max(0.0) as u64
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 

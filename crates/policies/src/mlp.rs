@@ -9,7 +9,7 @@
 //! window" vs not), mirroring its role as an offline-trained model.
 
 use cachemind_sim::addr::SetId;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 use cachemind_sim::reuse::NEVER;
 
@@ -156,13 +156,13 @@ impl ReplacementPolicy for MlpPolicy {
         "mlp"
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         self.touch(way, lines.len(), ctx);
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         let victim = (0..lines.len())
-            .filter(|&w| lines[w].is_some())
+            .filter(|&w| lines.is_valid(w))
             .max_by(|&a, &b| {
                 self.score(ctx.set, a, ctx.index).total_cmp(&self.score(ctx.set, b, ctx.index))
             })
@@ -170,20 +170,19 @@ impl ReplacementPolicy for MlpPolicy {
         Decision::Evict(victim)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         self.touch(way, lines.len(), ctx);
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
-        (0..lines.len())
-            .map(|way| {
-                if lines[way].is_some() {
-                    (self.score(set, way, now) * 1024.0).max(0.0) as u64
-                } else {
-                    u64::MAX
-                }
-            })
-            .collect()
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                (self.score(set, way, now) * 1024.0).max(0.0) as u64
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 

@@ -9,13 +9,13 @@
 //! training the RDP only on *stable* PCs identified by CacheMind — is
 //! exposed through [`MockingjayPolicy::with_training_filter`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use cachemind_sim::addr::{Pc, SetId};
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
-use crate::features::{feature_bucket, PerWayTable};
+use crate::features::{feature_bucket, Mix64Build, PerWayTable};
 
 const RDP_BITS: u32 = 12;
 const SAMPLE_MODULUS: usize = 4;
@@ -26,12 +26,34 @@ const INF_RD: f32 = 1e6;
 /// EWMA learning rate for RDP updates.
 const ALPHA: f32 = 0.3;
 
+/// Per-line ETR state, deliberately 8 bytes: the table is indexed by
+/// `(set, way)` in near-random order on every fill, so halving the entry
+/// size halves the cache-miss footprint of the hottest policy write.
+/// `u32`/`i32` lose nothing: values derive from the per-set access clock
+/// (bounded by the stream length) and from RDP predictions (bounded by
+/// `INF_RD / GRANULARITY`), both far inside 32 bits.
 #[derive(Debug, Clone, Copy, Default)]
 struct MjLine {
     /// Predicted reuse distance (set accesses / GRANULARITY) at stamp time.
-    etr_base: i64,
+    etr_base: i32,
     /// Set clock when the ETR was stamped.
-    stamped_at: u64,
+    stamped_at: u32,
+}
+
+/// Reuse history for one sampled set.
+///
+/// Eviction victims are the entries with the smallest stamp. Stamps are
+/// unique and strictly increasing within a set (one clock tick per set
+/// access), so the insertion-ordered `queue` yields the same victim a full
+/// `min_by_key` scan over `entries` would — in amortised O(1) instead of
+/// O(entries) per overflow. Queue entries superseded by a re-insertion are
+/// stale (their stamp no longer matches the map) and are skipped.
+#[derive(Debug, Clone, Default)]
+struct SamplerSet {
+    /// line -> (clock stamp, pc sig, pc).
+    entries: HashMap<u64, (u64, u32, Pc), Mix64Build>,
+    /// (line, clock stamp) in insertion order.
+    queue: VecDeque<(u64, u64)>,
 }
 
 /// The Mockingjay replacement policy.
@@ -39,10 +61,11 @@ struct MjLine {
 pub struct MockingjayPolicy {
     rdp: Vec<f32>,
     line: PerWayTable<MjLine>,
-    /// Per-set access clocks.
-    clocks: HashMap<usize, u64>,
-    /// Sampled-set reuse history: set -> line -> (clock, pc sig, pc).
-    sampler: HashMap<usize, HashMap<u64, (u64, u32, Pc)>>,
+    /// Per-set access clocks, indexed by set and grown on demand.
+    clocks: Vec<u64>,
+    /// Sampled-set reuse history, indexed by `set / SAMPLE_MODULUS` (only
+    /// every `SAMPLE_MODULUS`-th set is sampled) and grown on demand.
+    sampler: Vec<SamplerSet>,
     /// When set, only these PCs update the RDP (stable-PC training).
     training_filter: Option<HashSet<Pc>>,
 }
@@ -59,8 +82,8 @@ impl MockingjayPolicy {
         MockingjayPolicy {
             rdp: vec![64.0; 1 << RDP_BITS],
             line: PerWayTable::new(MjLine::default()),
-            clocks: HashMap::new(),
-            sampler: HashMap::new(),
+            clocks: Vec::new(),
+            sampler: Vec::new(),
             training_filter: None,
         }
     }
@@ -88,11 +111,14 @@ impl MockingjayPolicy {
     }
 
     fn clock(&mut self, set: SetId) -> u64 {
-        *self.clocks.entry(set.index()).or_insert(0)
+        self.clocks.get(set.index()).copied().unwrap_or(0)
     }
 
     fn tick(&mut self, set: SetId) -> u64 {
-        let c = self.clocks.entry(set.index()).or_insert(0);
+        if self.clocks.len() <= set.index() {
+            self.clocks.resize(set.index() + 1, 0);
+        }
+        let c = &mut self.clocks[set.index()];
         let now = *c;
         *c += 1;
         now
@@ -108,45 +134,58 @@ impl MockingjayPolicy {
         *entry += ALPHA * (sample - *entry);
     }
 
-    fn observe_sample(&mut self, ctx: &AccessContext, now: u64, ways: usize) {
+    fn observe_sample(&mut self, ctx: &AccessContext, sig: u32, now: u64, ways: usize) {
         if !ctx.set.index().is_multiple_of(SAMPLE_MODULUS) {
             return;
         }
-        let sig = Self::sig(ctx.pc);
-        let mut pending: Vec<(u32, Pc, f32)> = Vec::new();
+        let slot = ctx.set.index() / SAMPLE_MODULUS;
+        if self.sampler.len() <= slot {
+            self.sampler.resize_with(slot + 1, SamplerSet::default);
+        }
+        // At most two training samples per observation (a reuse and an
+        // expiry), collected in a fixed pair so the hot path never
+        // allocates.
+        let mut pending: [Option<(u32, Pc, f32)>; 2] = [None, None];
         {
-            let sampler = self.sampler.entry(ctx.set.index()).or_default();
+            let sampler = &mut self.sampler[slot];
             if let Some((prev, prev_sig, prev_pc)) =
-                sampler.insert(ctx.line.value(), (now, sig, ctx.pc))
+                sampler.entries.insert(ctx.line.value(), (now, sig, ctx.pc))
             {
-                pending.push((prev_sig, prev_pc, (now - prev) as f32));
+                pending[0] = Some((prev_sig, prev_pc, (now - prev) as f32));
             }
-            // Bound the sampler; expiring entries train toward "infinite" reuse.
-            if sampler.len() > 8 * ways {
-                if let Some((&victim, &(_, v_sig, v_pc))) =
-                    sampler.iter().min_by_key(|(_, &(t, _, _))| t)
-                {
-                    sampler.remove(&victim);
-                    pending.push((v_sig, v_pc, INF_RD));
+            sampler.queue.push_back((ctx.line.value(), now));
+            // Bound the sampler; expiring entries train toward "infinite"
+            // reuse. The queue front is the oldest live entry — the victim
+            // a min-stamp scan would select (stamps are unique, so the
+            // minimum is unambiguous).
+            if sampler.entries.len() > 8 * ways {
+                while let Some((line, stamp)) = sampler.queue.pop_front() {
+                    match sampler.entries.get(&line) {
+                        Some(&(cur, v_sig, v_pc)) if cur == stamp => {
+                            sampler.entries.remove(&line);
+                            pending[1] = Some((v_sig, v_pc, INF_RD));
+                            break;
+                        }
+                        _ => {} // stale: superseded by a later re-insertion
+                    }
                 }
             }
         }
-        for (sig, pc, sample) in pending {
+        for (sig, pc, sample) in pending.into_iter().flatten() {
             self.train(sig, pc, sample);
         }
     }
 
-    fn stamp(&mut self, way: usize, ways: usize, ctx: &AccessContext, now: u64) {
-        let sig = Self::sig(ctx.pc);
+    fn stamp(&mut self, way: usize, ways: usize, ctx: &AccessContext, sig: u32, now: u64) {
         let predicted = self.rdp[sig as usize];
-        let etr_base = (predicted / GRANULARITY as f32).round() as i64;
-        *self.line.slot_mut(ctx.set, way, ways) = MjLine { etr_base, stamped_at: now };
+        let etr_base = (predicted / GRANULARITY as f32).round() as i32;
+        *self.line.slot_mut(ctx.set, way, ways) = MjLine { etr_base, stamped_at: now as u32 };
     }
 
     fn current_etr(&self, set: SetId, way: usize, now: u64) -> i64 {
         let state = self.line.slot(set, way);
-        let elapsed = (now.saturating_sub(state.stamped_at) / GRANULARITY) as i64;
-        state.etr_base - elapsed
+        let elapsed = (now.saturating_sub(state.stamped_at as u64) / GRANULARITY) as i64;
+        state.etr_base as i64 - elapsed
     }
 }
 
@@ -155,40 +194,41 @@ impl ReplacementPolicy for MockingjayPolicy {
         "mockingjay"
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         let now = self.tick(ctx.set);
-        self.observe_sample(ctx, now, ways);
-        self.stamp(way, ways, ctx, now);
+        let sig = Self::sig(ctx.pc);
+        self.observe_sample(ctx, sig, now, ways);
+        self.stamp(way, ways, ctx, sig, now);
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         let now = self.clock(ctx.set);
         let victim = (0..lines.len())
-            .filter(|&w| lines[w].is_some())
+            .filter(|&w| lines.is_valid(w))
             .max_by_key(|&w| self.current_etr(ctx.set, w, now).unsigned_abs())
             .expect("set cannot be empty in choose_victim");
         Decision::Evict(victim)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         let now = self.tick(ctx.set);
-        self.observe_sample(ctx, now, ways);
-        self.stamp(way, ways, ctx, now);
+        let sig = Self::sig(ctx.pc);
+        self.observe_sample(ctx, sig, now, ways);
+        self.stamp(way, ways, ctx, sig, now);
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
-        let now = self.clocks.get(&set.index()).copied().unwrap_or(0);
-        (0..lines.len())
-            .map(|way| {
-                if lines[way].is_some() {
-                    self.current_etr(set, way, now).unsigned_abs()
-                } else {
-                    u64::MAX
-                }
-            })
-            .collect()
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, _now: u64, out: &mut Vec<u64>) {
+        let now = self.clocks.get(set.index()).copied().unwrap_or(0);
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                self.current_etr(set, way, now).unsigned_abs()
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 
@@ -282,8 +322,8 @@ mod tests {
             cachemind_sim::access::AccessKind::Load,
             u64::MAX,
         );
-        let lines: Vec<Option<LineMeta>> = vec![None; 4];
-        p.on_fill(0, &lines, &ctx);
+        let lines = cachemind_sim::cache::SetViewBuf::new(4);
+        p.on_fill(0, lines.view(), &ctx);
         let now0 = p.clock(set);
         let etr0 = p.current_etr(set, 0, now0);
         // Advance the set clock a lot.

@@ -1,6 +1,6 @@
 //! Seeded random replacement — a baseline and sanity check.
 
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
 use crate::features::SplitMix64;
@@ -29,13 +29,13 @@ impl ReplacementPolicy for RandomPolicy {
         "random"
     }
 
-    fn on_hit(&mut self, _way: usize, _lines: &[Option<LineMeta>], _ctx: &AccessContext) {}
+    fn on_hit(&mut self, _way: usize, _lines: SetView<'_>, _ctx: &AccessContext) {}
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], _ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, _ctx: &AccessContext) -> Decision {
         Decision::Evict(self.rng.below(lines.len() as u64) as usize)
     }
 
-    fn on_fill(&mut self, _way: usize, _lines: &[Option<LineMeta>], _ctx: &AccessContext) {}
+    fn on_fill(&mut self, _way: usize, _lines: SetView<'_>, _ctx: &AccessContext) {}
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! (Jaleel et al., ISCA 2010).
 
 use cachemind_sim::addr::SetId;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
 use crate::features::{PerWayTable, SplitMix64};
@@ -128,12 +128,12 @@ impl ReplacementPolicy for RripPolicy {
         }
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         // Hit promotion: RRPV := 0.
         *self.rrpv.slot_mut(ctx.set, way, lines.len()) = 0;
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         self.train_duel(ctx.set);
         let ways = lines.len();
         // Age until some way reaches RRPV_MAX, then evict the lowest such way.
@@ -150,23 +150,20 @@ impl ReplacementPolicy for RripPolicy {
         }
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let insert = self.insertion_rrpv(ctx.set);
         *self.rrpv.slot_mut(ctx.set, way, lines.len()) = insert;
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
-        (0..lines.len())
-            .map(
-                |way| {
-                    if lines[way].is_some() {
-                        self.rrpv.slot(set, way) as u64
-                    } else {
-                        u64::MAX
-                    }
-                },
-            )
-            .collect()
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, _now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                self.rrpv.slot(set, way) as u64
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 
@@ -238,9 +235,10 @@ mod tests {
 
     #[test]
     fn drrip_psel_moves_on_leader_misses() {
+        use cachemind_sim::cache::{LineMeta, SetViewBuf};
         let mut p = RripPolicy::drrip();
         // Misses in the SRRIP leader set (set 0) push PSEL toward BRRIP.
-        let lines = vec![
+        let lines = SetViewBuf::from_metas(&vec![
             Some(LineMeta {
                 line: Address::new(0).line(6),
                 last_pc: Pc::new(0),
@@ -250,7 +248,7 @@ mod tests {
                 dirty: false,
             });
             2
-        ];
+        ]);
         let ctx = AccessContext::with_oracle(
             5,
             Pc::new(0x1),
@@ -260,7 +258,7 @@ mod tests {
             u64::MAX,
         );
         let before = p.psel;
-        let _ = p.choose_victim(&lines, &ctx);
+        let _ = p.choose_victim(lines.view(), &ctx);
         assert_eq!(p.psel, before + 1);
     }
 

@@ -7,7 +7,7 @@
 //! working set. Victim selection is standard RRIP aging.
 
 use cachemind_sim::addr::SetId;
-use cachemind_sim::cache::LineMeta;
+use cachemind_sim::cache::SetView;
 use cachemind_sim::replacement::{AccessContext, Decision, ReplacementPolicy};
 
 use crate::features::{feature_bucket, PerWayTable};
@@ -64,7 +64,7 @@ impl ReplacementPolicy for ShipPolicy {
         "ship"
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         *self.rrpv.slot_mut(ctx.set, way, ways) = 0;
         let state = self.line.slot_mut(ctx.set, way, ways);
@@ -75,7 +75,7 @@ impl ReplacementPolicy for ShipPolicy {
         }
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         let ways = lines.len();
         let victim = loop {
             if let Some(way) = (0..ways).find(|&w| self.rrpv.slot(ctx.set, w) >= RRPV_MAX) {
@@ -95,7 +95,7 @@ impl ReplacementPolicy for ShipPolicy {
         Decision::Evict(victim)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         let ways = lines.len();
         let sig = Self::signature(ctx);
         *self.line.slot_mut(ctx.set, way, ways) = ShipLine { signature: sig, outcome: false };
@@ -109,18 +109,15 @@ impl ReplacementPolicy for ShipPolicy {
         };
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], _now: u64) -> Vec<u64> {
-        (0..lines.len())
-            .map(
-                |way| {
-                    if lines[way].is_some() {
-                        self.rrpv.slot(set, way) as u64
-                    } else {
-                        u64::MAX
-                    }
-                },
-            )
-            .collect()
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, _now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                self.rrpv.slot(set, way) as u64
+            } else {
+                u64::MAX
+            }
+        }));
     }
 }
 

@@ -1,4 +1,16 @@
 //! A single set-associative cache level.
+//!
+//! Storage is structure-of-arrays: one contiguous tag array (`Vec<LineAddr>`,
+//! invalid ways marked by a sentinel) is probed on every access, and the
+//! per-way metadata (`last_pc`/`insert_pc`/`inserted_at`/`last_touch`/`dirty`)
+//! lives in parallel arrays that are only touched after a tag match. The hot
+//! probe loop therefore walks `ways` consecutive `u64`s instead of
+//! `ways × sizeof(Option<LineMeta>)` bytes, which is what makes the replay
+//! loop memory-bandwidth-friendly (see `docs/PERFORMANCE.md`).
+//!
+//! Replacement policies observe a set through the borrowed [`SetView`]
+//! adapter rather than a `&[Option<LineMeta>]` slice; tests and policies
+//! that need to fabricate a set directly use the owned [`SetViewBuf`].
 
 use serde::{Deserialize, Serialize};
 
@@ -6,6 +18,11 @@ use crate::addr::{Address, LineAddr, Pc, SetId};
 use crate::config::CacheConfig;
 use crate::replacement::{AccessContext, Decision, ReplacementPolicy};
 use crate::stats::CacheStats;
+
+/// Sentinel tag marking an invalid way. Unreachable as a real tag: a line
+/// address is a byte address shifted right by `line_size_log2 >= 1`, so its
+/// top bit is always clear.
+const INVALID_TAG: LineAddr = LineAddr::new(u64::MAX);
 
 /// Metadata for one resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,6 +39,153 @@ pub struct LineMeta {
     pub last_touch: u64,
     /// Whether the line is dirty (stores only; informational).
     pub dirty: bool,
+}
+
+/// A borrowed view of one cache set in the structure-of-arrays layout —
+/// what replacement policies inspect in place of the former
+/// `&[Option<LineMeta>]` slice.
+///
+/// Way `w` is valid iff [`SetView::is_valid`] returns true; the per-way
+/// accessors return raw column values and must only be read for valid ways
+/// (invalid ways carry the tag sentinel and zeroed metadata).
+#[derive(Debug, Clone, Copy)]
+pub struct SetView<'a> {
+    tags: &'a [LineAddr],
+    last_pc: &'a [Pc],
+    insert_pc: &'a [Pc],
+    inserted_at: &'a [u64],
+    last_touch: &'a [u64],
+    dirty: &'a [bool],
+}
+
+impl<'a> SetView<'a> {
+    /// Number of ways in the set.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the set has zero ways (never true for a real geometry).
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Whether way `way` holds a valid line.
+    pub fn is_valid(&self, way: usize) -> bool {
+        self.tags[way] != INVALID_TAG
+    }
+
+    /// The resident line address of way `way`, if valid.
+    pub fn line(&self, way: usize) -> Option<LineAddr> {
+        (self.tags[way] != INVALID_TAG).then(|| self.tags[way])
+    }
+
+    /// PC of the most recent touch of way `way` (valid ways only).
+    pub fn last_pc(&self, way: usize) -> Pc {
+        self.last_pc[way]
+    }
+
+    /// PC of the access that inserted way `way` (valid ways only).
+    pub fn insert_pc(&self, way: usize) -> Pc {
+        self.insert_pc[way]
+    }
+
+    /// Stream index of the inserting access of way `way` (valid ways only).
+    pub fn inserted_at(&self, way: usize) -> u64 {
+        self.inserted_at[way]
+    }
+
+    /// Stream index of the most recent touch of way `way` (valid ways only).
+    pub fn last_touch(&self, way: usize) -> u64 {
+        self.last_touch[way]
+    }
+
+    /// Whether way `way` is dirty (valid ways only).
+    pub fn dirty(&self, way: usize) -> bool {
+        self.dirty[way]
+    }
+
+    /// Iterates `(way, line)` over the valid ways.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, LineAddr)> + 'a {
+        self.tags.iter().copied().enumerate().filter(|&(_, tag)| tag != INVALID_TAG)
+    }
+
+    /// Materialises the [`LineMeta`] of way `way`, if valid — the bridge
+    /// back to the AoS representation for record emission and tests.
+    pub fn meta(&self, way: usize) -> Option<LineMeta> {
+        (self.tags[way] != INVALID_TAG).then(|| LineMeta {
+            line: self.tags[way],
+            last_pc: self.last_pc[way],
+            insert_pc: self.insert_pc[way],
+            inserted_at: self.inserted_at[way],
+            last_touch: self.last_touch[way],
+            dirty: self.dirty[way],
+        })
+    }
+}
+
+/// An owned one-set buffer in the structure-of-arrays layout, for policy
+/// unit tests (and reference implementations) that fabricate a set without
+/// a whole cache. [`SetViewBuf::view`] lends it as a [`SetView`].
+#[derive(Debug, Clone)]
+pub struct SetViewBuf {
+    tags: Vec<LineAddr>,
+    last_pc: Vec<Pc>,
+    insert_pc: Vec<Pc>,
+    inserted_at: Vec<u64>,
+    last_touch: Vec<u64>,
+    dirty: Vec<bool>,
+}
+
+impl SetViewBuf {
+    /// An all-invalid set with `ways` ways.
+    pub fn new(ways: usize) -> Self {
+        SetViewBuf {
+            tags: vec![INVALID_TAG; ways],
+            last_pc: vec![Pc::new(0); ways],
+            insert_pc: vec![Pc::new(0); ways],
+            inserted_at: vec![0; ways],
+            last_touch: vec![0; ways],
+            dirty: vec![false; ways],
+        }
+    }
+
+    /// Builds the buffer from the former AoS shape (one slot per way).
+    pub fn from_metas(slots: &[Option<LineMeta>]) -> Self {
+        let mut buf = SetViewBuf::new(slots.len());
+        for (way, slot) in slots.iter().enumerate() {
+            if let Some(meta) = slot {
+                buf.set(way, *meta);
+            }
+        }
+        buf
+    }
+
+    /// Makes way `way` valid with the given metadata.
+    pub fn set(&mut self, way: usize, meta: LineMeta) {
+        self.tags[way] = meta.line;
+        self.last_pc[way] = meta.last_pc;
+        self.insert_pc[way] = meta.insert_pc;
+        self.inserted_at[way] = meta.inserted_at;
+        self.last_touch[way] = meta.last_touch;
+        self.dirty[way] = meta.dirty;
+    }
+
+    /// Invalidates way `way`.
+    pub fn clear(&mut self, way: usize) {
+        self.tags[way] = INVALID_TAG;
+    }
+
+    /// Lends the buffer as a [`SetView`].
+    pub fn view(&self) -> SetView<'_> {
+        SetView {
+            tags: &self.tags,
+            last_pc: &self.last_pc,
+            insert_pc: &self.insert_pc,
+            inserted_at: &self.inserted_at,
+            last_touch: &self.last_touch,
+            dirty: &self.dirty,
+        }
+    }
 }
 
 /// The outcome of one cache access.
@@ -54,18 +218,54 @@ pub struct AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct SetAssociativeCache<P> {
     config: CacheConfig,
-    lines: Vec<Option<LineMeta>>,
+    ways: usize,
+    tags: Vec<LineAddr>,
+    last_pc: Vec<Pc>,
+    insert_pc: Vec<Pc>,
+    inserted_at: Vec<u64>,
+    last_touch: Vec<u64>,
+    dirty: Vec<bool>,
     policy: P,
     stats: CacheStats,
+}
+
+/// Builds a [`SetView`] over the cache's columns for `range` — a free
+/// function (rather than a `&self` method) so `access` can hold the view
+/// while calling `&mut self.policy`: the borrow checker sees the disjoint
+/// field borrows.
+fn view_columns<'a>(
+    tags: &'a [LineAddr],
+    last_pc: &'a [Pc],
+    insert_pc: &'a [Pc],
+    inserted_at: &'a [u64],
+    last_touch: &'a [u64],
+    dirty: &'a [bool],
+    range: std::ops::Range<usize>,
+) -> SetView<'a> {
+    SetView {
+        tags: &tags[range.clone()],
+        last_pc: &last_pc[range.clone()],
+        insert_pc: &insert_pc[range.clone()],
+        inserted_at: &inserted_at[range.clone()],
+        last_touch: &last_touch[range.clone()],
+        dirty: &dirty[range],
+    }
 }
 
 impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     /// Creates an empty cache with the given geometry and policy.
     pub fn new(config: CacheConfig, policy: P) -> Self {
         let capacity = config.capacity_lines();
+        let ways = config.ways;
         SetAssociativeCache {
             config,
-            lines: vec![None; capacity],
+            ways,
+            tags: vec![INVALID_TAG; capacity],
+            last_pc: vec![Pc::new(0); capacity],
+            insert_pc: vec![Pc::new(0); capacity],
+            inserted_at: vec![0; capacity],
+            last_touch: vec![0; capacity],
+            dirty: vec![false; capacity],
             policy,
             stats: CacheStats::default(),
         }
@@ -102,26 +302,62 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
         line.set(self.config.sets_log2)
     }
 
-    /// A view of the ways of `set`.
-    pub fn set_lines(&self, set: SetId) -> &[Option<LineMeta>] {
-        let base = set.index() * self.config.ways;
-        &self.lines[base..base + self.config.ways]
+    /// A borrowed view of the ways of `set`.
+    pub fn set_view(&self, set: SetId) -> SetView<'_> {
+        view_columns(
+            &self.tags,
+            &self.last_pc,
+            &self.insert_pc,
+            &self.inserted_at,
+            &self.last_touch,
+            &self.dirty,
+            self.set_range(set),
+        )
     }
 
     /// The policy's current per-way eviction scores for `set`.
     pub fn line_scores(&self, set: SetId, now: u64) -> Vec<u64> {
-        self.policy.line_scores(set, self.set_lines(set), now)
+        self.policy.line_scores(set, self.set_view(set), now)
+    }
+
+    /// Allocation-free variant of [`SetAssociativeCache::line_scores`]:
+    /// clears `out` and appends one score per way. The replay hot loop
+    /// reuses one buffer across every access instead of allocating a fresh
+    /// `Vec` per record.
+    pub fn line_scores_into(&self, set: SetId, now: u64, out: &mut Vec<u64>) {
+        self.policy.line_scores_into(set, self.set_view(set), now, out);
     }
 
     /// Whether `line` is currently resident.
     pub fn contains(&self, line: LineAddr) -> bool {
         let set = self.set_of_line(line);
-        self.set_lines(set).iter().flatten().any(|meta| meta.line == line)
+        let range = self.set_range(set);
+        self.tags[range].contains(&line)
     }
 
     fn set_range(&self, set: SetId) -> std::ops::Range<usize> {
-        let base = set.index() * self.config.ways;
-        base..base + self.config.ways
+        let base = set.index() * self.ways;
+        base..base + self.ways
+    }
+
+    fn meta_at(&self, slot: usize) -> LineMeta {
+        LineMeta {
+            line: self.tags[slot],
+            last_pc: self.last_pc[slot],
+            insert_pc: self.insert_pc[slot],
+            inserted_at: self.inserted_at[slot],
+            last_touch: self.last_touch[slot],
+            dirty: self.dirty[slot],
+        }
+    }
+
+    fn write_meta(&mut self, slot: usize, meta: LineMeta) {
+        self.tags[slot] = meta.line;
+        self.last_pc[slot] = meta.last_pc;
+        self.insert_pc[slot] = meta.insert_pc;
+        self.inserted_at[slot] = meta.inserted_at;
+        self.last_touch[slot] = meta.last_touch;
+        self.dirty[slot] = meta.dirty;
     }
 
     /// Performs one access, consulting the replacement policy on misses.
@@ -139,22 +375,29 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
             self.set_of_line(ctx.line),
             "AccessContext.set disagrees with the cache geometry"
         );
+        debug_assert_ne!(ctx.line, INVALID_TAG, "accessed line collides with the invalid sentinel");
         let range = self.set_range(ctx.set);
-        let ways = self.config.ways;
+        let ways = self.ways;
         let is_store = matches!(ctx.kind, crate::access::AccessKind::Store);
 
-        // Hit path.
-        if let Some(way) = (0..ways).find(|&w| {
-            self.lines[range.start + w].as_ref().is_some_and(|meta| meta.line == ctx.line)
-        }) {
-            {
-                let meta = self.lines[range.start + way].as_mut().expect("hit way must be valid");
-                meta.last_touch = ctx.index;
-                meta.last_pc = ctx.pc;
-                meta.dirty |= is_store;
-            }
-            let set_view = &self.lines[range.clone()];
-            self.policy.on_hit(way, set_view, ctx);
+        // Hit path: probe the contiguous tag array only; metadata columns
+        // are touched after the match.
+        let set_tags = &self.tags[range.clone()];
+        if let Some(way) = set_tags.iter().position(|&tag| tag == ctx.line) {
+            let slot = range.start + way;
+            self.last_touch[slot] = ctx.index;
+            self.last_pc[slot] = ctx.pc;
+            self.dirty[slot] |= is_store;
+            let view = view_columns(
+                &self.tags,
+                &self.last_pc,
+                &self.insert_pc,
+                &self.inserted_at,
+                &self.last_touch,
+                &self.dirty,
+                range,
+            );
+            self.policy.on_hit(way, view, ctx);
             self.stats.record_hit(ctx.kind);
             return AccessOutcome { hit: true, way: Some(way), evicted: None, bypassed: false };
         }
@@ -169,17 +412,33 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
             last_touch: ctx.index,
             dirty: is_store,
         };
-        if let Some(way) = (0..ways).find(|&w| self.lines[range.start + w].is_none()) {
-            self.lines[range.start + way] = Some(fill);
-            let set_view = &self.lines[range.clone()];
-            self.policy.on_fill(way, set_view, ctx);
+        if let Some(way) = self.tags[range.clone()].iter().position(|&tag| tag == INVALID_TAG) {
+            self.write_meta(range.start + way, fill);
+            let view = view_columns(
+                &self.tags,
+                &self.last_pc,
+                &self.insert_pc,
+                &self.inserted_at,
+                &self.last_touch,
+                &self.dirty,
+                range,
+            );
+            self.policy.on_fill(way, view, ctx);
             return AccessOutcome { hit: false, way: Some(way), evicted: None, bypassed: false };
         }
 
         // Full set: ask the policy.
         let decision = {
-            let set_view = &self.lines[range.clone()];
-            self.policy.choose_victim(set_view, ctx)
+            let view = view_columns(
+                &self.tags,
+                &self.last_pc,
+                &self.insert_pc,
+                &self.inserted_at,
+                &self.last_touch,
+                &self.dirty,
+                range.clone(),
+            );
+            self.policy.choose_victim(view, ctx)
         };
         match decision {
             Decision::Bypass => {
@@ -188,11 +447,26 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
             }
             Decision::Evict(way) => {
                 assert!(way < ways, "policy returned out-of-range way {way}");
-                let evicted = self.lines[range.start + way].replace(fill);
+                let slot = range.start + way;
+                let evicted = self.meta_at(slot);
+                self.write_meta(slot, fill);
                 self.stats.evictions += 1;
-                let set_view = &self.lines[range.clone()];
-                self.policy.on_fill(way, set_view, ctx);
-                AccessOutcome { hit: false, way: Some(way), evicted, bypassed: false }
+                let view = view_columns(
+                    &self.tags,
+                    &self.last_pc,
+                    &self.insert_pc,
+                    &self.inserted_at,
+                    &self.last_touch,
+                    &self.dirty,
+                    range,
+                );
+                self.policy.on_fill(way, view, ctx);
+                AccessOutcome {
+                    hit: false,
+                    way: Some(way),
+                    evicted: Some(evicted),
+                    bypassed: false,
+                }
             }
         }
     }
@@ -201,17 +475,18 @@ impl<P: ReplacementPolicy> SetAssociativeCache<P> {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
         let set = self.set_of_line(line);
         let range = self.set_range(set);
-        for slot in &mut self.lines[range] {
-            if slot.as_ref().is_some_and(|meta| meta.line == line) {
-                return slot.take();
-            }
+        if let Some(way) = self.tags[range.clone()].iter().position(|&tag| tag == line) {
+            let slot = range.start + way;
+            let meta = self.meta_at(slot);
+            self.tags[slot] = INVALID_TAG;
+            return Some(meta);
         }
         None
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().flatten().count()
+        self.tags.iter().filter(|&&tag| tag != INVALID_TAG).count()
     }
 }
 
@@ -269,13 +544,11 @@ mod tests {
         let set = cache.set_of(a.address);
         cache.access(&AccessContext::demand(0, &a, set));
         let line = a.address.line(6);
-        let meta = cache
-            .set_lines(cache.set_of_line(line))
-            .iter()
-            .flatten()
+        let view = cache.set_view(cache.set_of_line(line));
+        let meta = (0..view.len())
+            .filter_map(|w| view.meta(w))
             .find(|m| m.line == line)
-            .copied()
-            .unwrap();
+            .expect("stored line resident");
         assert!(meta.dirty);
     }
 
@@ -286,6 +559,24 @@ mod tests {
         assert!(!cache.contains(line));
         go(&mut cache, 0x1000, 0);
         assert!(cache.contains(line));
+    }
+
+    #[test]
+    fn set_view_buf_round_trips_metas() {
+        let meta = LineMeta {
+            line: LineAddr::new(7),
+            last_pc: Pc::new(0x42),
+            insert_pc: Pc::new(0x43),
+            inserted_at: 5,
+            last_touch: 9,
+            dirty: true,
+        };
+        let buf = SetViewBuf::from_metas(&[None, Some(meta)]);
+        let view = buf.view();
+        assert!(!view.is_valid(0));
+        assert_eq!(view.meta(0), None);
+        assert_eq!(view.meta(1), Some(meta));
+        assert_eq!(view.iter_valid().collect::<Vec<_>>(), vec![(1, LineAddr::new(7))]);
     }
 
     /// Failure injection: a buggy policy returning an out-of-range way must
@@ -299,15 +590,15 @@ mod tests {
             fn name(&self) -> &'static str {
                 "evil"
             }
-            fn on_hit(&mut self, _: usize, _: &[Option<LineMeta>], _: &AccessContext) {}
+            fn on_hit(&mut self, _: usize, _: SetView<'_>, _: &AccessContext) {}
             fn choose_victim(
                 &mut self,
-                lines: &[Option<LineMeta>],
+                lines: SetView<'_>,
                 _: &AccessContext,
             ) -> crate::replacement::Decision {
                 crate::replacement::Decision::Evict(lines.len() + 7)
             }
-            fn on_fill(&mut self, _: usize, _: &[Option<LineMeta>], _: &AccessContext) {}
+            fn on_fill(&mut self, _: usize, _: SetView<'_>, _: &AccessContext) {}
         }
         let mut cache = SetAssociativeCache::new(CacheConfig::new("t", 0, 1, 6), Evil);
         for (i, addr) in [0u64, 64].iter().enumerate() {

@@ -9,9 +9,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::access::{AccessKind, MemoryAccess};
-use crate::cache::SetAssociativeCache;
-use crate::config::HierarchyConfig;
-use crate::replacement::{AccessContext, RecencyPolicy};
+use crate::addr::{Address, LineAddr};
+use crate::config::{CacheConfig, HierarchyConfig};
 use crate::stats::CacheStats;
 
 /// Result of running a workload through the hierarchy.
@@ -45,6 +44,105 @@ impl HierarchyReport {
     }
 }
 
+/// Sentinel tag marking an invalid way (same convention as the main
+/// [`crate::cache::SetAssociativeCache`] storage).
+const INVALID_TAG: LineAddr = LineAddr::new(u64::MAX);
+
+/// What one filter-cache access produced: a hit flag plus the evicted line,
+/// the only outcome data the hierarchy filter consumes.
+struct FilterOutcome {
+    hit: bool,
+    evicted: Option<LineAddr>,
+}
+
+/// A stripped-down LRU cache level for the hierarchy filter.
+///
+/// The filter replays every workload access through L1/L2 (and the LLC for
+/// the baseline counters) under plain LRU, and only ever reads the
+/// hit/miss counters and the evicted line address — never per-line PCs,
+/// insertion indices or dirty bits. This lean twin of
+/// [`crate::cache::SetAssociativeCache`] therefore keeps just the tag and
+/// last-touch columns, halving the per-access work of the hottest loop in
+/// sweep stage 1 while making *identical* hit/fill/evict decisions:
+///
+/// * hit  = first way whose tag matches (same probe order);
+/// * fill = first invalid way — ways fill in index order, so the `filled`
+///   counter names the same way the invalid-tag scan would find;
+/// * victim = the valid way with the smallest `last_touch`, first such way
+///   on (impossible) ties — exactly `RecencyPolicy::lru`'s `min_by_key`.
+#[derive(Debug)]
+struct FilterCache {
+    line_size_log2: u32,
+    sets_log2: u32,
+    ways: usize,
+    tags: Vec<LineAddr>,
+    last_touch: Vec<u64>,
+    /// Valid-way count per set. Fills always claim the lowest-index
+    /// invalid way and evictions replace in place, so the first invalid
+    /// way *is* the fill count — tracking it skips the invalid-tag scan
+    /// on every cold miss.
+    filled: Vec<u16>,
+    stats: CacheStats,
+}
+
+impl FilterCache {
+    fn new(config: &CacheConfig) -> Self {
+        let capacity = config.capacity_lines();
+        FilterCache {
+            line_size_log2: config.line_size_log2,
+            sets_log2: config.sets_log2,
+            ways: config.ways,
+            tags: vec![INVALID_TAG; capacity],
+            last_touch: vec![0; capacity],
+            filled: vec![0; 1 << config.sets_log2],
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn access(&mut self, index: u64, address: Address, kind: AccessKind) -> FilterOutcome {
+        // Tags are full line addresses (matching the policy-facing cache,
+        // which stores `AccessContext::line`); the set index masks the low
+        // line-address bits.
+        let line = address.line(self.line_size_log2);
+        let set = line.set(self.sets_log2);
+        let base = set.index() * self.ways;
+        // Only `filled` ways hold valid tags; the scan never needs to look
+        // past them (fills claim ways in index order, see `filled`).
+        let filled = self.filled[set.index()] as usize;
+        let set_tags = &mut self.tags[base..base + filled];
+
+        if let Some(way) = set_tags.iter().position(|&tag| tag == line) {
+            self.last_touch[base + way] = index;
+            self.stats.record_hit(kind);
+            return FilterOutcome { hit: true, evicted: None };
+        }
+
+        self.stats.record_miss(kind);
+        if filled < self.ways {
+            self.tags[base + filled] = line;
+            self.last_touch[base + filled] = index;
+            self.filled[set.index()] = filled as u16 + 1;
+            return FilterOutcome { hit: false, evicted: None };
+        }
+
+        // LRU victim: first way with the minimal last touch, as
+        // `min_by_key` over ways in order would pick.
+        let touches = &self.last_touch[base..base + self.ways];
+        let mut victim = 0;
+        for (way, &touch) in touches.iter().enumerate().skip(1) {
+            if touch < touches[victim] {
+                victim = way;
+            }
+        }
+        let evicted = set_tags[victim];
+        set_tags[victim] = line;
+        self.last_touch[base + victim] = index;
+        self.stats.evictions += 1;
+        FilterOutcome { hit: false, evicted: Some(evicted) }
+    }
+}
+
 /// The three-level cache hierarchy of Table 2.
 ///
 /// # Example
@@ -63,20 +161,20 @@ impl HierarchyReport {
 #[derive(Debug)]
 pub struct CacheHierarchy {
     config: HierarchyConfig,
-    l1i: SetAssociativeCache<RecencyPolicy>,
-    l1d: SetAssociativeCache<RecencyPolicy>,
-    l2: SetAssociativeCache<RecencyPolicy>,
-    llc: SetAssociativeCache<RecencyPolicy>,
+    l1i: FilterCache,
+    l1d: FilterCache,
+    l2: FilterCache,
+    llc: FilterCache,
 }
 
 impl CacheHierarchy {
     /// Creates an empty hierarchy with LRU at every level.
     pub fn new(config: HierarchyConfig) -> Self {
         CacheHierarchy {
-            l1i: SetAssociativeCache::new(config.l1i.clone(), RecencyPolicy::lru()),
-            l1d: SetAssociativeCache::new(config.l1d.clone(), RecencyPolicy::lru()),
-            l2: SetAssociativeCache::new(config.l2.clone(), RecencyPolicy::lru()),
-            llc: SetAssociativeCache::new(config.llc.clone(), RecencyPolicy::lru()),
+            l1i: FilterCache::new(&config.l1i),
+            l1d: FilterCache::new(&config.l1d),
+            l2: FilterCache::new(&config.l2),
+            llc: FilterCache::new(&config.llc),
             config,
         }
     }
@@ -90,7 +188,10 @@ impl CacheHierarchy {
     /// stream. `instr_count` is the total dynamic instruction count of the
     /// workload (used by the IPC model).
     pub fn run(&mut self, accesses: &[MemoryAccess], instr_count: u64) -> HierarchyReport {
-        let mut llc_stream = Vec::new();
+        // Worst case every access reaches the LLC; reserving up front
+        // avoids the log2(n) reallocation-and-copy ladder on workloads
+        // (like mcf) where most of the stream really does get there.
+        let mut llc_stream = Vec::with_capacity(accesses.len());
         // Prefetch-usefulness bookkeeping: lines a prefetch brought into
         // the hierarchy that no demand access has touched yet. A line
         // leaves the set when a demand access is served from it (useful)
@@ -107,14 +208,15 @@ impl CacheHierarchy {
             let is_prefetch = access.kind == AccessKind::Prefetch;
             // A pending line only becomes *useful* if this demand access is
             // actually served from it (a hit at some level); a demand miss
-            // on a stale pending line is a wasted prefetch either way.
-            let was_pending = !is_prefetch && prefetched.remove(&line);
+            // on a stale pending line is a wasted prefetch either way. The
+            // emptiness guard keeps prefetcher-free streams from paying a
+            // hash probe on every access.
+            let was_pending = !is_prefetch && !prefetched.is_empty() && prefetched.remove(&line);
             let l1 = match access.kind {
                 AccessKind::Fetch => &mut self.l1i,
                 _ => &mut self.l1d,
             };
-            let set = l1.set_of(access.address);
-            let l1_out = l1.access(&AccessContext::demand(idx, access, set));
+            let l1_out = l1.access(idx, access.address, access.kind);
             if l1_out.hit {
                 if was_pending {
                     useful_prefetches += 1;
@@ -125,8 +227,7 @@ impl CacheHierarchy {
                 prefetch_fills += 1;
                 prefetched.insert(line);
             }
-            let set = self.l2.set_of(access.address);
-            let l2_out = self.l2.access(&AccessContext::demand(idx, access, set));
+            let l2_out = self.l2.access(idx, access.address, access.kind);
             if l2_out.hit {
                 if was_pending {
                     useful_prefetches += 1;
@@ -136,21 +237,22 @@ impl CacheHierarchy {
             // The access reaches the LLC; this is the stream that policy
             // replays consume.
             llc_stream.push(*access);
-            let set = self.llc.set_of(access.address);
-            let llc_out = self.llc.access(&AccessContext::demand(idx, access, set));
+            let llc_out = self.llc.access(idx, access.address, access.kind);
             if llc_out.hit && was_pending {
                 useful_prefetches += 1;
             }
             if let Some(evicted) = llc_out.evicted {
-                prefetched.remove(&evicted.line.value());
+                if !prefetched.is_empty() {
+                    prefetched.remove(&evicted.value());
+                }
             }
         }
         HierarchyReport {
             llc_stream,
-            l1i: *self.l1i.stats(),
-            l1d: *self.l1d.stats(),
-            l2: *self.l2.stats(),
-            llc: *self.llc.stats(),
+            l1i: self.l1i.stats,
+            l1d: self.l1d.stats,
+            l2: self.l2.stats,
+            llc: self.llc.stats,
             prefetch_fills,
             useful_prefetches,
             instr_count,

@@ -51,13 +51,13 @@ pub mod timing;
 
 pub use access::{AccessKind, MemoryAccess};
 pub use addr::{Address, LineAddr, Pc, SetId};
-pub use cache::{AccessOutcome, LineMeta, SetAssociativeCache};
+pub use cache::{AccessOutcome, LineMeta, SetAssociativeCache, SetView, SetViewBuf};
 pub use config::{CacheConfig, DramConfig, HierarchyConfig, MachineConfig, ProcessorConfig};
 pub use hierarchy::{CacheHierarchy, HierarchyReport};
 pub use mshr::Mshr;
 pub use prefetch::{Prefetcher, PrefetcherKind};
 pub use replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy};
-pub use replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
+pub use replay::{EvictionRecord, LlcReplay, MissType, ReplayReport, ReplaySummary};
 pub use reuse::ReuseOracle;
 pub use scenario::{ScenarioSelector, SelectorParseError};
 pub use stats::CacheStats;
@@ -71,14 +71,14 @@ pub use timing::IpcModel;
 pub mod prelude {
     pub use crate::access::{AccessKind, MemoryAccess};
     pub use crate::addr::{Address, LineAddr, Pc, SetId};
-    pub use crate::cache::{AccessOutcome, LineMeta, SetAssociativeCache};
+    pub use crate::cache::{AccessOutcome, LineMeta, SetAssociativeCache, SetView, SetViewBuf};
     pub use crate::config::{
         CacheConfig, DramConfig, HierarchyConfig, MachineConfig, ProcessorConfig,
     };
     pub use crate::hierarchy::{CacheHierarchy, HierarchyReport};
     pub use crate::prefetch::{Prefetcher, PrefetcherKind};
     pub use crate::replacement::{AccessContext, Decision, RecencyPolicy, ReplacementPolicy};
-    pub use crate::replay::{EvictionRecord, LlcReplay, MissType, ReplayReport};
+    pub use crate::replay::{EvictionRecord, LlcReplay, MissType, ReplayReport, ReplaySummary};
     pub use crate::reuse::ReuseOracle;
     pub use crate::scenario::{ScenarioSelector, SelectorParseError};
     pub use crate::stats::CacheStats;

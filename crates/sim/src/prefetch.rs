@@ -8,8 +8,6 @@
 //! it reaches the LLC replay (prefetches are [`AccessKind::Prefetch`], so
 //! they fill lines without counting as demand traffic).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::access::{AccessKind, MemoryAccess};
@@ -71,6 +69,73 @@ struct StrideEntry {
     confident: bool,
 }
 
+/// SplitMix64 finalizer (same mixer as the reuse oracle's interner).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const EMPTY_PC: u64 = u64::MAX;
+
+/// A linear-probing PC → [`StrideEntry`] table. The stride transform does
+/// one lookup per demand access, and the std `HashMap`'s SipHash dominated
+/// it; open addressing with a multiplicative mix is several times faster
+/// and just as deterministic — each PC's stride state is independent of
+/// table layout.
+#[derive(Debug, Clone)]
+struct StrideTable {
+    slots: Vec<(u64, StrideEntry)>,
+    mask: usize,
+    len: usize,
+}
+
+impl StrideTable {
+    fn new() -> Self {
+        let cap = 256;
+        StrideTable { slots: vec![(EMPTY_PC, StrideEntry::default()); cap], mask: cap - 1, len: 0 }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(EMPTY_PC, StrideEntry::default()); cap]);
+        self.mask = cap - 1;
+        for slot in old {
+            if slot.0 != EMPTY_PC {
+                let mut h = mix64(slot.0) as usize & self.mask;
+                while self.slots[h].0 != EMPTY_PC {
+                    h = (h + 1) & self.mask;
+                }
+                self.slots[h] = slot;
+            }
+        }
+    }
+
+    /// The entry for `pc`, default-initialised on first sight (the
+    /// open-addressing analogue of `HashMap::entry(..).or_default()`).
+    fn entry(&mut self, pc: Pc) -> &mut StrideEntry {
+        debug_assert_ne!(pc.value(), EMPTY_PC, "PC collides with the stride-table sentinel");
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let key = pc.value();
+        let mut h = mix64(key) as usize & self.mask;
+        loop {
+            let k = self.slots[h].0;
+            if k == key {
+                return &mut self.slots[h].1;
+            }
+            if k == EMPTY_PC {
+                self.slots[h].0 = key;
+                self.len += 1;
+                return &mut self.slots[h].1;
+            }
+            h = (h + 1) & self.mask;
+        }
+    }
+}
+
 /// A stream-rewriting hardware prefetcher.
 ///
 /// ```rust
@@ -86,13 +151,13 @@ struct StrideEntry {
 #[derive(Debug, Clone)]
 pub struct Prefetcher {
     kind: PrefetcherKind,
-    table: HashMap<Pc, StrideEntry>,
+    table: StrideTable,
 }
 
 impl Prefetcher {
     /// Creates a prefetcher of the given kind.
     pub fn new(kind: PrefetcherKind) -> Self {
-        Prefetcher { kind, table: HashMap::new() }
+        Prefetcher { kind, table: StrideTable::new() }
     }
 
     /// The modelled kind.
@@ -123,7 +188,7 @@ impl Prefetcher {
                     ));
                 }
                 PrefetcherKind::Stride { degree } => {
-                    let entry = self.table.entry(access.pc).or_default();
+                    let entry = self.table.entry(access.pc);
                     let delta = line as i64 - entry.last_line as i64;
                     if entry.last_line != 0 && delta == entry.stride && delta != 0 {
                         entry.confident = true;

@@ -6,12 +6,15 @@
 //! additionally read the *future* through [`AccessContext::next_use`], which
 //! the replay driver populates from a [`crate::reuse::ReuseOracle`]. Online
 //! (hardware-realisable) policies must ignore that field.
+//!
+//! Policies observe the set through the borrowed [`SetView`] adapter over
+//! the cache's structure-of-arrays storage (see [`crate::cache`]).
 
 use serde::{Deserialize, Serialize};
 
 use crate::access::{AccessKind, MemoryAccess};
 use crate::addr::{LineAddr, Pc, SetId};
-use crate::cache::LineMeta;
+use crate::cache::SetView;
 
 /// Everything a policy may inspect about the access being processed.
 #[derive(Debug, Clone, Copy)]
@@ -80,24 +83,39 @@ pub trait ReplacementPolicy {
     fn name(&self) -> &'static str;
 
     /// Notifies the policy of a hit in `way` of `ctx.set`.
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext);
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext);
 
     /// Chooses a victim among the (fully valid) `lines` of `ctx.set`.
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision;
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision;
 
     /// Notifies the policy that the incoming line was filled into `way`.
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext);
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext);
 
-    /// The policy's current eviction score for every way of `set`; higher
-    /// means "more evictable". Mirrors the paper's
-    /// `cache_line_eviction_scores` column. The default derives scores from
-    /// recency (age since last touch).
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
+    /// Allocation-free score emission: clears `out` and appends the policy's
+    /// current eviction score for every way of `set`; higher means "more
+    /// evictable". Mirrors the paper's `cache_line_eviction_scores` column.
+    /// The default derives scores from recency (age since last touch). This
+    /// is the method policies override; [`ReplacementPolicy::line_scores`]
+    /// is a convenience wrapper that allocates.
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, now: u64, out: &mut Vec<u64>) {
         let _ = set;
-        lines
-            .iter()
-            .map(|slot| slot.as_ref().map_or(u64::MAX, |l| now.saturating_sub(l.last_touch)))
-            .collect()
+        out.clear();
+        out.extend((0..lines.len()).map(|way| {
+            if lines.is_valid(way) {
+                now.saturating_sub(lines.last_touch(way))
+            } else {
+                u64::MAX
+            }
+        }));
+    }
+
+    /// The policy's current eviction score for every way of `set`, as a
+    /// fresh `Vec`. Prefer [`ReplacementPolicy::line_scores_into`] in hot
+    /// loops.
+    fn line_scores(&self, set: SetId, lines: SetView<'_>, now: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(lines.len());
+        self.line_scores_into(set, lines, now, &mut out);
+        out
     }
 }
 
@@ -106,19 +124,23 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for Box<P> {
         (**self).name()
     }
 
-    fn on_hit(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_hit(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         (**self).on_hit(way, lines, ctx);
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], ctx: &AccessContext) -> Decision {
+    fn choose_victim(&mut self, lines: SetView<'_>, ctx: &AccessContext) -> Decision {
         (**self).choose_victim(lines, ctx)
     }
 
-    fn on_fill(&mut self, way: usize, lines: &[Option<LineMeta>], ctx: &AccessContext) {
+    fn on_fill(&mut self, way: usize, lines: SetView<'_>, ctx: &AccessContext) {
         (**self).on_fill(way, lines, ctx);
     }
 
-    fn line_scores(&self, set: SetId, lines: &[Option<LineMeta>], now: u64) -> Vec<u64> {
+    fn line_scores_into(&self, set: SetId, lines: SetView<'_>, now: u64, out: &mut Vec<u64>) {
+        (**self).line_scores_into(set, lines, now, out);
+    }
+
+    fn line_scores(&self, set: SetId, lines: SetView<'_>, now: u64) -> Vec<u64> {
         (**self).line_scores(set, lines, now)
     }
 }
@@ -171,20 +193,17 @@ impl ReplacementPolicy for RecencyPolicy {
         }
     }
 
-    fn on_hit(&mut self, _way: usize, _lines: &[Option<LineMeta>], _ctx: &AccessContext) {
-        // Recency state is carried by LineMeta::last_touch, maintained by the
-        // cache itself; nothing extra to do.
+    fn on_hit(&mut self, _way: usize, _lines: SetView<'_>, _ctx: &AccessContext) {
+        // Recency state is carried by the cache's last_touch column,
+        // maintained by the cache itself; nothing extra to do.
     }
 
-    fn choose_victim(&mut self, lines: &[Option<LineMeta>], _ctx: &AccessContext) -> Decision {
-        let key = |meta: &LineMeta| match self.flavor {
-            RecencyFlavor::Lru | RecencyFlavor::Mru => meta.last_touch,
-            RecencyFlavor::Fifo => meta.inserted_at,
+    fn choose_victim(&mut self, lines: SetView<'_>, _ctx: &AccessContext) -> Decision {
+        let key = |way: usize| match self.flavor {
+            RecencyFlavor::Lru | RecencyFlavor::Mru => lines.last_touch(way),
+            RecencyFlavor::Fifo => lines.inserted_at(way),
         };
-        let pick = lines
-            .iter()
-            .enumerate()
-            .filter_map(|(way, slot)| slot.as_ref().map(|meta| (way, key(meta))));
+        let pick = (0..lines.len()).filter(|&way| lines.is_valid(way)).map(|way| (way, key(way)));
         let way = match self.flavor {
             RecencyFlavor::Mru => pick.max_by_key(|&(_, k)| k).map(|(w, _)| w),
             _ => pick.min_by_key(|&(_, k)| k).map(|(w, _)| w),
@@ -192,7 +211,7 @@ impl ReplacementPolicy for RecencyPolicy {
         Decision::Evict(way.expect("choose_victim called on a set with no valid lines"))
     }
 
-    fn on_fill(&mut self, _way: usize, _lines: &[Option<LineMeta>], _ctx: &AccessContext) {}
+    fn on_fill(&mut self, _way: usize, _lines: SetView<'_>, _ctx: &AccessContext) {}
 }
 
 #[cfg(test)]

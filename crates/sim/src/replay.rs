@@ -8,13 +8,20 @@
 //! distance, the accessed line's reuse distance and recency, a snapshot of
 //! the resident `(address, pc)` pairs, the recent access history, and the
 //! policy's per-line eviction scores.
-
-use std::collections::{BTreeMap, HashMap, VecDeque};
+//!
+//! The replay loop is allocation-free in steady state: line addresses are
+//! pre-split into `(LineAddr, SetId)` at construction, the shadow cache and
+//! the resident-next-use table are flat arrays indexed by the oracle's
+//! dense line ids (no per-access hashing), the access history lives in a
+//! fixed ring buffer, and eviction scores go through one reused scratch
+//! buffer. [`LlcReplay::run_summary`] additionally skips record emission
+//! entirely for consumers (like the sweep engine) that only need the
+//! aggregate counters — see `docs/PERFORMANCE.md`.
 
 use serde::{Deserialize, Serialize};
 
-use crate::access::MemoryAccess;
-use crate::addr::{Address, LineAddr, Pc, SetId};
+use crate::access::{AccessKind, MemoryAccess};
+use crate::addr::{Address, Pc, SetId};
 use crate::cache::SetAssociativeCache;
 use crate::config::CacheConfig;
 use crate::replacement::{AccessContext, ReplacementPolicy};
@@ -152,6 +159,40 @@ impl ReplayReport {
     }
 }
 
+/// Record-free results of one policy replay — what
+/// [`LlcReplay::run_summary`] returns. Carries exactly the aggregates the
+/// sweep engine reduces into a `ScenarioCell`, including the streaming
+/// equivalent of `prefetch_usefulness` over the (never materialised)
+/// records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplaySummary {
+    /// Stable policy name (`"lru"`, `"belady"`, ...).
+    pub policy: String,
+    /// Aggregate counters.
+    pub stats: CacheStats,
+    /// Evictions where the evicted line was needed sooner than the
+    /// inserted line.
+    pub wrong_evictions: u64,
+    /// Capacity-miss count.
+    pub capacity_misses: u64,
+    /// Conflict-miss count.
+    pub conflict_misses: u64,
+    /// Compulsory-miss count.
+    pub compulsory_misses: u64,
+    /// Prefetch accesses that filled a line (prefetch misses, not
+    /// bypassed).
+    pub prefetch_fills: u64,
+    /// Demand hits served from a still-pending prefetched line.
+    pub useful_prefetches: u64,
+}
+
+impl ReplaySummary {
+    /// Miss rate over the replayed stream.
+    pub fn miss_rate(&self) -> f64 {
+        self.stats.miss_rate()
+    }
+}
+
 fn pearson(pairs: &[(f64, f64)]) -> f64 {
     let n = pairs.len() as f64;
     if n < 2.0 {
@@ -174,36 +215,96 @@ fn pearson(pairs: &[(f64, f64)]) -> f64 {
     }
 }
 
+const NIL: u32 = u32::MAX;
+
 /// A fully-associative LRU shadow cache used to split capacity from conflict
-/// misses. O(log n) per access.
-#[derive(Debug, Default)]
+/// misses. An intrusive doubly-linked list over the oracle's dense line ids
+/// (LRU at `head`, MRU at `tail`): O(1) per access, no hashing, no
+/// allocation after construction. Semantically identical to the former
+/// `HashMap`+`BTreeMap` implementation — each touch moves the line to the
+/// MRU end and the LRU end is evicted past capacity.
+#[derive(Debug)]
 struct ShadowFaLru {
     capacity: usize,
-    by_line: HashMap<LineAddr, u64>,
-    by_time: BTreeMap<u64, LineAddr>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    resident: Vec<bool>,
+    head: u32,
+    tail: u32,
+    len: usize,
 }
 
 impl ShadowFaLru {
-    fn new(capacity: usize) -> Self {
-        ShadowFaLru { capacity, by_line: HashMap::new(), by_time: BTreeMap::new() }
+    fn new(capacity: usize, num_lines: u32) -> Self {
+        let n = num_lines as usize;
+        ShadowFaLru {
+            capacity,
+            prev: vec![NIL; n],
+            next: vec![NIL; n],
+            resident: vec![false; n],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
     }
 
-    /// Touches `line` at logical time `now`; returns whether it was present.
-    fn touch(&mut self, line: LineAddr, now: u64) -> bool {
-        let present = if let Some(prev) = self.by_line.insert(line, now) {
-            self.by_time.remove(&prev);
-            true
+    fn unlink(&mut self, id: u32) {
+        let (p, n) = (self.prev[id as usize], self.next[id as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
         } else {
-            false
-        };
-        self.by_time.insert(now, line);
-        if self.by_line.len() > self.capacity {
-            if let Some((_, victim)) = self.by_time.pop_first() {
-                self.by_line.remove(&victim);
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_tail(&mut self, id: u32) {
+        self.prev[id as usize] = self.tail;
+        self.next[id as usize] = NIL;
+        if self.tail != NIL {
+            self.next[self.tail as usize] = id;
+        } else {
+            self.head = id;
+        }
+        self.tail = id;
+    }
+
+    /// Touches line `id`; returns whether it was present.
+    fn touch(&mut self, id: u32) -> bool {
+        let present = self.resident[id as usize];
+        if present {
+            self.unlink(id);
+            self.push_tail(id);
+        } else {
+            self.resident[id as usize] = true;
+            self.push_tail(id);
+            self.len += 1;
+            if self.len > self.capacity {
+                let victim = self.head;
+                self.unlink(victim);
+                self.resident[victim as usize] = false;
+                self.len -= 1;
             }
         }
         present
     }
+}
+
+/// Everything `run_core` accumulates; sliced into [`ReplayReport`] or
+/// [`ReplaySummary`] by the public entry points.
+struct CoreOut {
+    records: Vec<EvictionRecord>,
+    stats: CacheStats,
+    wrong_evictions: u64,
+    capacity_misses: u64,
+    conflict_misses: u64,
+    compulsory_misses: u64,
+    prefetch_fills: u64,
+    useful_prefetches: u64,
 }
 
 /// Replays an LLC access stream against a replacement policy, producing the
@@ -228,15 +329,36 @@ pub struct LlcReplay {
     config: CacheConfig,
     stream: Vec<MemoryAccess>,
     oracle: ReuseOracle,
+    /// Pre-split set index of every access under `config` — computed once
+    /// at construction and shared by every policy replay.
+    sets: Vec<SetId>,
+    /// Per-access shadow FA-LRU residency (`true` = the line was present in
+    /// a fully-associative LRU cache of the same capacity when accessed).
+    /// The shadow's evolution depends only on the stream and the geometry —
+    /// never on the replayed policy — so it is computed once here and
+    /// shared by every policy replay instead of being re-simulated per
+    /// cell.
+    in_shadow: Vec<bool>,
     history_len: usize,
 }
 
 impl LlcReplay {
     /// Prepares a replay of `stream` under the given LLC geometry, building
-    /// the reuse oracle internally.
+    /// the reuse oracle (and the per-access `(LineAddr, SetId)` split)
+    /// internally.
     pub fn new(config: CacheConfig, stream: &[MemoryAccess]) -> Self {
-        let oracle = ReuseOracle::from_accesses(stream, config.line_size_log2);
-        LlcReplay { config, stream: stream.to_vec(), oracle, history_len: 8 }
+        Self::from_stream(config, stream.to_vec())
+    }
+
+    /// Like [`LlcReplay::new`], but takes ownership of the stream — callers
+    /// that already hold an owned LLC stream (the hierarchy filter) avoid a
+    /// full copy.
+    pub fn from_stream(config: CacheConfig, stream: Vec<MemoryAccess>) -> Self {
+        let oracle = ReuseOracle::from_accesses(&stream, config.line_size_log2);
+        let sets = (0..oracle.len()).map(|i| oracle.line(i).set(config.sets_log2)).collect();
+        let mut shadow = ShadowFaLru::new(config.capacity_lines(), oracle.num_lines());
+        let in_shadow = (0..oracle.len()).map(|i| shadow.touch(oracle.line_id(i))).collect();
+        LlcReplay { config, stream, oracle, sets, in_shadow, history_len: 8 }
     }
 
     /// Number of `(pc, address)` entries kept in each record's access
@@ -260,45 +382,112 @@ impl LlcReplay {
     /// can replay the identical stream.
     pub fn run<P: ReplacementPolicy>(&self, policy: P) -> ReplayReport {
         let policy_name = policy.name().to_owned();
-        let mut cache = SetAssociativeCache::new(self.config.clone(), policy);
-        let mut shadow = ShadowFaLru::new(self.config.capacity_lines());
-        let mut history: VecDeque<(Pc, Address)> = VecDeque::with_capacity(self.history_len + 1);
-        // Next-use index of every currently-resident line, refreshed on access.
-        let mut resident_next_use: HashMap<LineAddr, u64> = HashMap::new();
+        let out = self.run_core::<P, true>(policy);
+        ReplayReport {
+            policy: policy_name,
+            records: out.records,
+            stats: out.stats,
+            wrong_evictions: out.wrong_evictions,
+            capacity_misses: out.capacity_misses,
+            conflict_misses: out.conflict_misses,
+            compulsory_misses: out.compulsory_misses,
+        }
+    }
 
-        let mut records = Vec::with_capacity(self.stream.len());
+    /// Runs the replay without materialising per-access records — the
+    /// fast path for consumers that only reduce to aggregates (the sweep
+    /// engine). Counters are identical to [`LlcReplay::run`]'s, and
+    /// `(prefetch_fills, useful_prefetches)` equals what
+    /// `prefetch_usefulness` would report over the full records.
+    pub fn run_summary<P: ReplacementPolicy>(&self, policy: P) -> ReplaySummary {
+        let policy_name = policy.name().to_owned();
+        let out = self.run_core::<P, false>(policy);
+        ReplaySummary {
+            policy: policy_name,
+            stats: out.stats,
+            wrong_evictions: out.wrong_evictions,
+            capacity_misses: out.capacity_misses,
+            conflict_misses: out.conflict_misses,
+            compulsory_misses: out.compulsory_misses,
+            prefetch_fills: out.prefetch_fills,
+            useful_prefetches: out.useful_prefetches,
+        }
+    }
+
+    /// The shared replay core. `EMIT` selects full record emission (the
+    /// trace-producing path) or the record-free summary path; both drive
+    /// the cache and the wrong-eviction accounting identically (and read
+    /// the same precomputed shadow residency), so every counter agrees
+    /// between the two.
+    fn run_core<P: ReplacementPolicy, const EMIT: bool>(&self, policy: P) -> CoreOut {
+        let mut cache = SetAssociativeCache::new(self.config.clone(), policy);
+        let n = self.stream.len();
+        let num_lines = self.oracle.num_lines();
+        let ways = self.config.ways;
+        let line_bits = self.config.line_size_log2;
+
+        // Next-use index of every currently-resident line (by dense line
+        // id), refreshed on access; NEVER doubles as "not resident".
+        let mut resident_next_use: Vec<u64> = vec![NEVER; num_lines as usize];
+        // Dense line id currently occupying each (set, way) slot, maintained
+        // on fills — turns an eviction outcome into a line id without a
+        // reverse map. Slots are only read after an eviction, which implies
+        // an earlier fill wrote them.
+        let mut way_line_id: Vec<u32> = vec![NIL; self.config.capacity_lines()];
+        // Streaming prefetch-usefulness state (summary mode only).
+        let mut pending: Vec<bool> =
+            if EMIT { Vec::new() } else { vec![false; num_lines as usize] };
+
+        // Fixed ring buffer replacing the VecDeque history (record mode only).
+        let hist_cap = if EMIT { self.history_len } else { 0 };
+        let mut hist_buf: Vec<(Pc, Address)> = vec![(Pc::new(0), Address::new(0)); hist_cap];
+        let mut hist_pos = 0usize;
+        let mut hist_len = 0usize;
+        // Reused eviction-score scratch: one allocation for the whole run.
+        let mut scores_buf: Vec<u64> = Vec::with_capacity(ways);
+
+        let mut records = Vec::with_capacity(if EMIT { n } else { 0 });
         let mut wrong_evictions = 0;
         let mut capacity_misses = 0;
         let mut conflict_misses = 0;
         let mut compulsory_misses = 0;
-        let line_bits = self.config.line_size_log2;
+        let mut prefetch_fills = 0;
+        let mut useful_prefetches = 0;
 
         for (i, access) in self.stream.iter().enumerate() {
             let idx = i as u64;
             let line = self.oracle.line(i);
-            let set = cache.set_of_line(line);
+            let lid = self.oracle.line_id(i) as usize;
+            let set = self.sets[i];
             let next_use = self.oracle.next_use(i);
 
-            // Pre-access snapshots.
-            let set_view = cache.set_lines(set);
-            let resident_lines: Vec<(Address, Pc)> = set_view
-                .iter()
-                .flatten()
-                .map(|meta| (meta.line.base_address(line_bits), meta.insert_pc))
-                .collect();
-            let scores = cache.line_scores(set, idx);
-            let eviction_scores: Vec<(Address, u64)> = set_view
-                .iter()
-                .zip(scores)
-                .filter_map(|(slot, score)| {
-                    slot.as_ref().map(|meta| (meta.line.base_address(line_bits), score))
-                })
-                .collect();
-            let access_history: Vec<(Pc, Address)> = history.iter().rev().copied().collect();
+            // Pre-access snapshots (record mode only).
+            let mut resident_lines = Vec::new();
+            let mut eviction_scores = Vec::new();
+            let mut access_history = Vec::new();
+            if EMIT {
+                let view = cache.set_view(set);
+                cache.line_scores_into(set, idx, &mut scores_buf);
+                resident_lines.reserve_exact(ways);
+                eviction_scores.reserve_exact(ways);
+                for w in 0..view.len() {
+                    if let Some(l) = view.line(w) {
+                        let base = l.base_address(line_bits);
+                        resident_lines.push((base, view.insert_pc(w)));
+                        eviction_scores.push((base, scores_buf[w]));
+                    }
+                }
+                // Most recent first.
+                access_history.reserve_exact(hist_len);
+                for k in 1..=hist_len {
+                    access_history.push(hist_buf[(hist_pos + hist_cap - k) % hist_cap]);
+                }
+            }
 
-            // Miss classification uses the shadow before it is touched.
+            // Miss classification uses the precomputed shadow residency
+            // (the shadow state before this access touched it).
             let first_touch = self.oracle.is_first_touch(i);
-            let in_shadow = shadow.touch(line, idx);
+            let in_shadow = self.in_shadow[i];
 
             let ctx = AccessContext::with_oracle(idx, access.pc, line, set, access.kind, next_use);
             let outcome = cache.access(&ctx);
@@ -319,56 +508,90 @@ impl LlcReplay {
             // Eviction bookkeeping against the oracle.
             let mut evicted_address = None;
             let mut evicted_reuse_distance = None;
-            if let Some(evicted) = outcome.evicted {
-                evicted_address = Some(evicted.line.base_address(line_bits));
-                if let Some(ev_next) = resident_next_use.remove(&evicted.line) {
-                    if ev_next != NEVER {
-                        let dist = ev_next - idx;
-                        evicted_reuse_distance = Some(dist);
-                        // "Wrong" eviction: the victim was needed sooner than
-                        // the line we inserted.
-                        if ev_next < next_use {
-                            wrong_evictions += 1;
-                        }
+            let mut evicted_id = NIL;
+            if let Some(evicted) = &outcome.evicted {
+                let way = outcome.way.expect("an eviction implies a fill way");
+                evicted_id = way_line_id[set.index() * ways + way];
+                if EMIT {
+                    evicted_address = Some(evicted.line.base_address(line_bits));
+                }
+                let ev_next = resident_next_use[evicted_id as usize];
+                resident_next_use[evicted_id as usize] = NEVER;
+                if ev_next != NEVER {
+                    let dist = ev_next - idx;
+                    evicted_reuse_distance = Some(dist);
+                    // "Wrong" eviction: the victim was needed sooner than
+                    // the line we inserted.
+                    if ev_next < next_use {
+                        wrong_evictions += 1;
                     }
                 }
             }
             if !outcome.bypassed {
-                resident_next_use.insert(line, next_use);
+                if let Some(way) = outcome.way {
+                    way_line_id[set.index() * ways + way] = lid as u32;
+                }
+                resident_next_use[lid] = next_use;
             }
 
-            records.push(EvictionRecord {
-                index: idx,
-                pc: access.pc,
-                address: access.address,
-                kind: access.kind,
-                set,
-                is_miss: !outcome.hit,
-                miss_type,
-                evicted_address,
-                accessed_reuse_distance: self.oracle.forward_reuse_distance(i),
-                evicted_reuse_distance,
-                recency: self.oracle.recency(i),
-                resident_lines,
-                access_history,
-                eviction_scores,
-                bypassed: outcome.bypassed,
-            });
-
-            history.push_back((access.pc, access.address));
-            if history.len() > self.history_len {
-                history.pop_front();
+            if EMIT {
+                records.push(EvictionRecord {
+                    index: idx,
+                    pc: access.pc,
+                    address: access.address,
+                    kind: access.kind,
+                    set,
+                    is_miss: !outcome.hit,
+                    miss_type,
+                    evicted_address,
+                    accessed_reuse_distance: self.oracle.forward_reuse_distance(i),
+                    evicted_reuse_distance,
+                    recency: self.oracle.recency(i),
+                    resident_lines,
+                    access_history,
+                    eviction_scores,
+                    bypassed: outcome.bypassed,
+                });
+                if hist_cap > 0 {
+                    hist_buf[hist_pos] = (access.pc, access.address);
+                    hist_pos = (hist_pos + 1) % hist_cap;
+                    if hist_len < hist_cap {
+                        hist_len += 1;
+                    }
+                }
+            } else {
+                // Streaming `prefetch_usefulness` over the records this mode
+                // never materialises: the eviction clears its pending line,
+                // then the access either fills (prefetch miss), consumes
+                // (demand hit on pending) or clears (other demand) its line.
+                if evicted_id != NIL {
+                    pending[evicted_id as usize] = false;
+                }
+                if access.kind == AccessKind::Prefetch {
+                    if !outcome.hit && !outcome.bypassed {
+                        prefetch_fills += 1;
+                        pending[lid] = true;
+                    }
+                } else if outcome.hit && pending[lid] {
+                    useful_prefetches += 1;
+                    pending[lid] = false;
+                } else {
+                    pending[lid] = false;
+                }
             }
+
+            let _ = miss_type;
         }
 
-        ReplayReport {
-            policy: policy_name,
+        CoreOut {
             records,
             stats: *cache.stats(),
             wrong_evictions,
             capacity_misses,
             conflict_misses,
             compulsory_misses,
+            prefetch_fills,
+            useful_prefetches,
         }
     }
 }
@@ -534,5 +757,38 @@ mod tests {
         let report = replay.run(RecencyPolicy::lru());
         let c = report.recency_miss_correlation();
         assert!((-1.0..=1.0).contains(&c));
+    }
+
+    /// The record-free path must reproduce every counter of the full path,
+    /// including the streaming prefetch-usefulness walk, on a mixed
+    /// demand/prefetch stream with evictions and bypass-free churn.
+    #[test]
+    fn summary_matches_full_run() {
+        let mut s = Vec::new();
+        for i in 0..400u64 {
+            let pc = Pc::new(0x400000 + (i % 5));
+            // Prefetch a fresh line, consume it with a demand load on the
+            // next access (useful prefetch), and otherwise churn a working
+            // set (16 lines) larger than capacity (8 lines) so evictions
+            // clear pending prefetches and exercise the miss taxonomy.
+            s.push(match i % 5 {
+                0 => MemoryAccess::prefetch(pc, Address::new((1000 + i) * 64), i),
+                1 => MemoryAccess::load(pc, Address::new((1000 + i - 1) * 64), i),
+                _ => MemoryAccess::load(pc, Address::new((i % 16) * 64), i),
+            });
+        }
+        let replay = LlcReplay::new(CacheConfig::new("t", 2, 2, 6), &s);
+        let full = replay.run(RecencyPolicy::lru());
+        let summary = replay.run_summary(RecencyPolicy::lru());
+        assert_eq!(summary.policy, full.policy);
+        assert_eq!(summary.stats, full.stats);
+        assert_eq!(summary.wrong_evictions, full.wrong_evictions);
+        assert_eq!(summary.capacity_misses, full.capacity_misses);
+        assert_eq!(summary.conflict_misses, full.conflict_misses);
+        assert_eq!(summary.compulsory_misses, full.compulsory_misses);
+        let (fills, useful) = crate::sweep::prefetch_usefulness(&full.records, 6);
+        assert!(fills > 0 && useful > 0, "stream must exercise the walk");
+        assert_eq!(summary.prefetch_fills, fills);
+        assert_eq!(summary.useful_prefetches, useful);
     }
 }

@@ -7,21 +7,102 @@
 //! policy also needs the next-use index of every access. All of this comes
 //! from a single two-pass precomputation over the line-address stream.
 
-use std::collections::HashMap;
-
 use crate::access::MemoryAccess;
 use crate::addr::LineAddr;
 
 /// Sentinel meaning "never referenced again".
 pub const NEVER: u64 = u64::MAX;
 
+/// SplitMix64 finalizer — the multiplicative mixer behind the interner's
+/// open-addressing probe. Deterministic across runs and platforms.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+#[derive(Clone, Copy)]
+struct InternSlot {
+    key: u64,
+    /// Stream index of the most recent access to the line.
+    last: usize,
+    /// Dense id assigned at first touch.
+    id: u32,
+}
+
+/// A linear-probing line interner: the single-pass oracle build is a
+/// hash-lookup per access, and the std `HashMap`'s SipHash dominates it.
+/// Open addressing with a multiplicative mix is several times faster and
+/// just as deterministic — the oracle's outputs depend only on stream
+/// order, never on table layout.
+struct LineInterner {
+    slots: Vec<InternSlot>,
+    mask: usize,
+    len: usize,
+}
+
+impl LineInterner {
+    fn new() -> Self {
+        let cap = 4096;
+        LineInterner {
+            slots: vec![InternSlot { key: EMPTY_KEY, last: 0, id: 0 }; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![InternSlot { key: EMPTY_KEY, last: 0, id: 0 }; cap],
+        );
+        self.mask = cap - 1;
+        for slot in old {
+            if slot.key != EMPTY_KEY {
+                let mut h = mix64(slot.key) as usize & self.mask;
+                while self.slots[h].key != EMPTY_KEY {
+                    h = (h + 1) & self.mask;
+                }
+                self.slots[h] = slot;
+            }
+        }
+    }
+
+    /// The slot holding `key`, or the empty slot where it belongs.
+    fn probe(&mut self, key: u64) -> &mut InternSlot {
+        debug_assert_ne!(key, EMPTY_KEY, "line address collides with the interner sentinel");
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut h = mix64(key) as usize & self.mask;
+        loop {
+            let k = self.slots[h].key;
+            if k == key || k == EMPTY_KEY {
+                return &mut self.slots[h];
+            }
+            h = (h + 1) & self.mask;
+        }
+    }
+}
+
 /// Precomputed previous/next occurrence indices for an access stream.
+///
+/// Alongside the reuse indices the oracle interns every distinct line into a
+/// dense id (`0..num_lines`, assigned in first-touch order), which lets the
+/// replay hot loop replace per-line hash maps with flat arrays indexed by
+/// [`ReuseOracle::line_id`].
 #[derive(Debug, Clone)]
 pub struct ReuseOracle {
     lines: Vec<LineAddr>,
     next_use: Vec<u64>,
     prev_use: Vec<u64>,
     first_touch: Vec<bool>,
+    line_ids: Vec<u32>,
+    num_lines: u32,
 }
 
 impl ReuseOracle {
@@ -38,18 +119,28 @@ impl ReuseOracle {
         let mut next_use = vec![NEVER; n];
         let mut prev_use = vec![NEVER; n];
         let mut first_touch = vec![false; n];
+        let mut line_ids = vec![0u32; n];
+        let mut num_lines = 0u32;
 
-        let mut last_seen: HashMap<LineAddr, usize> = HashMap::new();
+        let mut last_seen = LineInterner::new();
         for (i, &line) in lines.iter().enumerate() {
-            match last_seen.insert(line, i) {
-                Some(prev) => {
-                    next_use[prev] = i as u64;
-                    prev_use[i] = prev as u64;
-                }
-                None => first_touch[i] = true,
+            let slot = last_seen.probe(line.value());
+            if slot.key == EMPTY_KEY {
+                slot.key = line.value();
+                slot.last = i;
+                slot.id = num_lines;
+                last_seen.len += 1;
+                first_touch[i] = true;
+                line_ids[i] = num_lines;
+                num_lines += 1;
+            } else {
+                next_use[slot.last] = i as u64;
+                prev_use[i] = slot.last as u64;
+                line_ids[i] = slot.id;
+                slot.last = i;
             }
         }
-        ReuseOracle { lines, next_use, prev_use, first_touch }
+        ReuseOracle { lines, next_use, prev_use, first_touch, line_ids, num_lines }
     }
 
     /// Number of accesses covered.
@@ -80,6 +171,17 @@ impl ReuseOracle {
     /// Whether access `i` is the first touch of its line (compulsory miss).
     pub fn is_first_touch(&self, i: usize) -> bool {
         self.first_touch[i]
+    }
+
+    /// Dense id of the line of access `i` (`0..num_lines`, first-touch
+    /// order). Every access to the same line shares one id.
+    pub fn line_id(&self, i: usize) -> u32 {
+        self.line_ids[i]
+    }
+
+    /// Number of distinct lines in the stream.
+    pub fn num_lines(&self) -> u32 {
+        self.num_lines
     }
 
     /// Forward reuse distance of access `i`: the number of accesses until the
@@ -151,5 +253,16 @@ mod tests {
         let o = oracle(&[1, 1]);
         assert_eq!(o.recency_label(0), "first access");
         assert_eq!(o.recency_label(1), "very recent");
+    }
+
+    #[test]
+    fn line_ids_are_dense_and_first_touch_ordered() {
+        let o = oracle(&[9, 5, 9, 7, 5]);
+        assert_eq!(o.num_lines(), 3);
+        assert_eq!(o.line_id(0), 0); // 9 first
+        assert_eq!(o.line_id(1), 1); // 5 second
+        assert_eq!(o.line_id(2), 0); // 9 again
+        assert_eq!(o.line_id(3), 2); // 7 third
+        assert_eq!(o.line_id(4), 1); // 5 again
     }
 }

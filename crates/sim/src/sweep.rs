@@ -24,10 +24,13 @@
 //!
 //! 1. one task per `(workload, machine, prefetcher)` triple transforms the
 //!    stream, runs the hierarchy filter (full-machine mode) and builds the
-//!    [`LlcReplay`] (stream copy + reuse oracle) exactly once, so that work
-//!    is shared by every policy replaying the triple;
-//! 2. one task per `(triple, policy)` cell runs the replay and reduces it
-//!    to a [`ScenarioCell`].
+//!    [`LlcReplay`] (stream copy + reuse oracle) exactly once; the
+//!    [`PreparedScenario`] is held behind an [`Arc`] and shared by every
+//!    policy replaying the triple;
+//! 2. one task per `(triple, policy)` cell runs the record-free
+//!    [`LlcReplay::run_summary`] fast path and reduces it to a
+//!    [`ScenarioCell`] — the summary carries the identical counters the
+//!    full record-emitting replay would produce.
 //!
 //! **Determinism is a contract, not an accident.** Each cell's result
 //! depends only on its own inputs, and the engine aggregates by collecting
@@ -43,6 +46,7 @@
 //! `cachemind-bench` wires up.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -227,10 +231,21 @@ pub fn prepare_scenario(
         let mut report = hierarchy.run(accesses, instr_count);
         let llc_stream = std::mem::take(&mut report.llc_stream);
         PreparedScenario {
-            replay: LlcReplay::new(machine.hierarchy.llc.clone(), &llc_stream),
+            replay: LlcReplay::from_stream(machine.hierarchy.llc.clone(), llc_stream),
             hierarchy: Some(report),
         }
     }
+}
+
+/// One prepared `(stream, machine, prefetcher)` triple — the output of
+/// stage 1. The [`PreparedScenario`] sits behind an [`Arc`] so every
+/// `(triple, policy)` cell of stage 2 shares the one prepared replay
+/// (stream copy, reuse oracle, pre-split sets) instead of re-preparing it.
+struct PreparedTriple {
+    stream: usize,
+    machine: usize,
+    prefetcher: usize,
+    scenario: Arc<PreparedScenario>,
 }
 
 /// Errors surfaced by [`ScenarioGrid::run`] and [`SweepGrid::run`].
@@ -515,22 +530,12 @@ impl ScenarioGrid {
         Ok(())
     }
 
-    /// Runs the full grid in parallel.
-    ///
-    /// `make_policy` is called once per cell, on the worker thread that
-    /// replays the cell, so policies need not be `Send`/`Sync` themselves —
-    /// only the factory must be shareable.
-    pub fn run<F>(&self, make_policy: F) -> Result<ScenarioReport, SweepError>
-    where
-        F: Fn(&str) -> Option<Box<dyn ReplacementPolicy>> + Sync,
-    {
-        self.validate(&make_policy)?;
-
-        // Stage timings feed the process-global telemetry registry only —
-        // wall-clock side channels the bench bins report; nothing below
-        // reads them back.
-        let prepare_span = cachemind_obs::global().span(cachemind_obs::names::SWEEP_PREPARE);
-
+    /// Stage 1 of the scenario pipeline: transforms each `(stream,
+    /// prefetcher)` pair once (1a) and prepares each `(stream, machine,
+    /// prefetcher)` triple once (1b). Exactly
+    /// `streams × machines × prefetchers` prepare tasks run, regardless of
+    /// how many policies will replay each triple.
+    fn prepare_stage(&self) -> Vec<PreparedTriple> {
         // Stage 1a ([`transform_stream`]): one task per (stream,
         // prefetcher) pair — the transform depends only on those two axes,
         // so every machine replaying the pair shares one transformed stream
@@ -547,19 +552,13 @@ impl ScenarioGrid {
         // prefetcher) triple — hierarchy filter (full-machine mode) and the
         // replay's reuse oracle are the expensive, policy-independent
         // parts, shared by every policy replaying the triple.
-        struct PreparedTriple {
-            stream: usize,
-            machine: usize,
-            prefetcher: usize,
-            scenario: PreparedScenario,
-        }
         let triples: Vec<(usize, usize, usize)> = (0..self.streams.len())
             .flat_map(|s| {
                 (0..self.machines.len())
                     .flat_map(move |m| (0..self.prefetchers.len()).map(move |p| (s, m, p)))
             })
             .collect();
-        let prepared: Vec<PreparedTriple> = sweep_cells(triples, |(s, m, p)| {
+        sweep_cells(triples, |(s, m, p)| {
             let stream = &self.streams[s];
             let transformed: &[MemoryAccess] =
                 match &transformed_streams[s * self.prefetchers.len() + p] {
@@ -567,46 +566,71 @@ impl ScenarioGrid {
                     None => &stream.accesses,
                 };
             let scenario = prepare_scenario(&self.machines[m], transformed, stream.instr_count);
-            PreparedTriple { stream: s, machine: m, prefetcher: p, scenario }
-        });
+            PreparedTriple { stream: s, machine: m, prefetcher: p, scenario: Arc::new(scenario) }
+        })
+    }
+
+    /// Runs the full grid in parallel.
+    ///
+    /// `make_policy` is called once per cell, on the worker thread that
+    /// replays the cell, so policies need not be `Send`/`Sync` themselves —
+    /// only the factory must be shareable.
+    pub fn run<F>(&self, make_policy: F) -> Result<ScenarioReport, SweepError>
+    where
+        F: Fn(&str) -> Option<Box<dyn ReplacementPolicy>> + Sync,
+    {
+        self.validate(&make_policy)?;
+
+        // Stage timings feed the process-global telemetry registry only —
+        // wall-clock side channels the bench bins report; nothing below
+        // reads them back.
+        let prepare_span = cachemind_obs::global().span(cachemind_obs::names::SWEEP_PREPARE);
+        let prepared = self.prepare_stage();
         prepare_span.finish();
+        // Every cell beyond the first per triple reuses a prepared
+        // scenario instead of re-preparing it; the count is a deterministic
+        // function of the grid shape.
+        cachemind_obs::global()
+            .counter(cachemind_obs::names::SWEEP_PREPARE_REUSE)
+            .add((self.cells() - prepared.len()) as u64);
         let replay_span = cachemind_obs::global().span(cachemind_obs::names::SWEEP_REPLAY);
 
-        // Stage 2: one task per (triple, policy) cell.
+        // Stage 2: one task per (triple, policy) cell, on the record-free
+        // summary fast path.
         let cell_inputs: Vec<(usize, usize)> = (0..prepared.len())
             .flat_map(|t| (0..self.policies.len()).map(move |p| (t, p)))
             .collect();
         let mut cells: Vec<ScenarioCell> = sweep_cells(cell_inputs, |(t, p)| {
+            let cell_span = cachemind_obs::global().span(cachemind_obs::names::SWEEP_CELL_REPLAY);
             let triple = &prepared[t];
+            let scenario = Arc::clone(&triple.scenario);
             let stream = &self.streams[triple.stream];
             let machine = &self.machines[triple.machine];
             let policy_name = &self.policies[p];
             let policy = make_policy(policy_name).expect("policy resolved during validation");
-            let report = triple.scenario.replay.run(policy);
-            // LLC-only cells measure prefetch usefulness inside the replay;
-            // full-machine cells take the hierarchy's counters, because a
+            let summary = scenario.replay.run_summary(policy);
+            // LLC-only cells take the replay's streaming usefulness
+            // counters (identical to `prefetch_usefulness` over the full
+            // records); full-machine cells take the hierarchy's, because a
             // useful prefetch is typically consumed by an L1 hit the LLC
             // replay never sees.
-            let (prefetch_fills, useful_prefetches) = match &triple.scenario.hierarchy {
+            let (prefetch_fills, useful_prefetches) = match &scenario.hierarchy {
                 Some(hreport) => (hreport.prefetch_fills, hreport.useful_prefetches),
-                None => {
-                    let line_bits = machine.hierarchy.llc.line_size_log2;
-                    prefetch_usefulness(&report.records, line_bits)
-                }
+                None => (summary.prefetch_fills, summary.useful_prefetches),
             };
 
             let mut model = IpcModel::from_config(&machine.hierarchy);
             if let Some(mlp) = self.mlp_override {
                 model = model.with_mlp(mlp);
             }
-            let demand_misses = report.stats.demand_misses;
-            let ipc = match &triple.scenario.hierarchy {
+            let demand_misses = summary.stats.demand_misses;
+            let ipc = match &scenario.hierarchy {
                 Some(hreport) => model.ipc(hreport, demand_misses),
                 None => {
                     // LLC-only mode: demand accesses pay the LLC hit
                     // latency, demand misses pay DRAM; prefetches do not
                     // stall the core.
-                    let demand_accesses = report.stats.accesses - report.stats.prefetches;
+                    let demand_accesses = summary.stats.accesses - summary.stats.prefetches;
                     let demand_hits = demand_accesses.saturating_sub(demand_misses);
                     model.ipc_from_llc(stream.instr_count, demand_hits, demand_misses)
                 }
@@ -620,29 +644,31 @@ impl ScenarioGrid {
             let prefetch_coverage =
                 if covered == 0 { 0.0 } else { useful_prefetches as f64 / covered as f64 };
 
-            ScenarioCell {
+            let cell = ScenarioCell {
                 workload: stream.name.clone(),
                 machine: machine.machine_label(),
                 prefetcher: self.prefetchers[triple.prefetcher].label(),
                 policy: policy_name.clone(),
-                accesses: report.stats.accesses,
-                hits: report.stats.hits,
-                misses: report.stats.misses,
-                miss_rate: report.miss_rate(),
+                accesses: summary.stats.accesses,
+                hits: summary.stats.hits,
+                misses: summary.stats.misses,
+                miss_rate: summary.miss_rate(),
                 demand_misses,
-                compulsory_misses: report.compulsory_misses,
-                capacity_misses: report.capacity_misses,
-                conflict_misses: report.conflict_misses,
-                wrong_evictions: report.wrong_evictions,
-                evictions: report.stats.evictions,
-                prefetches: report.stats.prefetches,
+                compulsory_misses: summary.compulsory_misses,
+                capacity_misses: summary.capacity_misses,
+                conflict_misses: summary.conflict_misses,
+                wrong_evictions: summary.wrong_evictions,
+                evictions: summary.stats.evictions,
+                prefetches: summary.stats.prefetches,
                 prefetch_fills,
                 useful_prefetches,
                 prefetch_accuracy,
                 prefetch_coverage,
                 instr_count: stream.instr_count,
                 ipc,
-            }
+            };
+            cell_span.finish();
+            cell
         });
 
         // Canonical order before any reduction: aggregation must not
@@ -1173,6 +1199,33 @@ mod tests {
             serial.cells[0].ipc,
             parallel.cells[0].ipc
         );
+    }
+
+    #[test]
+    fn prepare_stage_runs_one_task_per_triple() {
+        // 2 streams x 1 machine x 2 prefetchers x 2 policies = 8 cells,
+        // but stage 1 must prepare only the 4 (stream, machine, prefetcher)
+        // triples; each policy replay shares its triple's Arc.
+        let grid = ScenarioGrid::default()
+            .policy("lru")
+            .policy("fifo")
+            .stream(SweepStream::new("seq", sequential_stream(100)))
+            .stream(SweepStream::new("cyc", cyclic_stream(8, 100)))
+            .machine(MachineConfig::llc_only(CacheConfig::new("LLC", 2, 2, 6)))
+            .prefetcher(PrefetcherKind::None)
+            .prefetcher(PrefetcherKind::NextLine);
+        assert_eq!(grid.cells(), 8);
+        let prepared = grid.prepare_stage();
+        assert_eq!(
+            prepared.len(),
+            grid.streams.len() * grid.machines.len() * grid.prefetchers.len()
+        );
+        for triple in &prepared {
+            assert_eq!(std::sync::Arc::strong_count(&triple.scenario), 1);
+        }
+        // The full run produces one cell per (triple, policy).
+        let report = grid.run(lru_only).expect("grid runs");
+        assert_eq!(report.cells.len(), prepared.len() * grid.policies.len());
     }
 
     #[test]

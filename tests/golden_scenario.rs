@@ -1,0 +1,51 @@
+//! Byte-identity pin for the optimized replay hot path.
+//!
+//! `tests/fixtures/golden_scenario_v1.json` is the literal stdout of the
+//! pre-optimization binary running
+//!
+//! ```text
+//! CACHEMIND_SCALE=tiny sweep_grid \
+//!     --machines table2,small --prefetchers none,nextline,stride4 \
+//!     --policies lru,srrip,ship,belady --workloads mcf,astar,ptrchase --json
+//! ```
+//!
+//! This test rebuilds the identical grid through the library API and
+//! asserts that serialization matches the fixture byte for byte — any
+//! hot-path "optimization" that changes a single counter, score or IPC
+//! digit fails here before it can silently reshape the paper's results.
+
+use cachemind_suite::prelude::*;
+use cachemind_suite::sim::sweep::{ScenarioGrid, SweepStream};
+use cachemind_suite::workloads::{by_name, Scale};
+
+fn golden_grid() -> ScenarioGrid {
+    let mut streams = Vec::new();
+    for name in ["mcf", "astar", "ptrchase"] {
+        let w = by_name(name, Scale::Tiny).expect("known workload");
+        streams.push(SweepStream::new(w.name.clone(), w.accesses).with_instr_count(w.instr_count));
+    }
+    ScenarioGrid {
+        policies: ["lru", "srrip", "ship", "belady"].map(str::to_owned).to_vec(),
+        streams,
+        machines: ["table2", "small"]
+            .map(|m| MachineConfig::preset(m).expect("known machine"))
+            .to_vec(),
+        prefetchers: ["none", "nextline", "stride4"]
+            .map(|p| PrefetcherKind::parse(p).expect("known prefetcher"))
+            .to_vec(),
+        mlp_override: None,
+    }
+}
+
+#[test]
+fn scenario_report_matches_pre_optimization_golden_fixture() {
+    let report = golden_grid().run(cachemind_suite::policies::by_name).expect("grid runs");
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    let expected = include_str!("fixtures/golden_scenario_v1.json");
+    // `sweep_grid --json` prints the pretty report through `println!`.
+    assert_eq!(
+        format!("{rendered}\n"),
+        expected,
+        "ScenarioReport drifted from the pre-optimization golden fixture"
+    );
+}

@@ -296,3 +296,112 @@ proptest! {
         }
     }
 }
+
+/// A deliberately naive `Vec<Option<LineMeta>>` set-associative cache — the
+/// pre-optimization storage layout, retained as an executable oracle for
+/// the structure-of-arrays fast path. Decision order mirrors
+/// `SetAssociativeCache::access`: probe for a tag match, fill the first
+/// empty way, otherwise ask the policy; the policy observes the set through
+/// an owned [`SetViewBuf`] snapshot.
+struct ReferenceCache {
+    sets: Vec<Vec<Option<LineMeta>>>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl ReferenceCache {
+    fn new(config: &CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        ReferenceCache { sets: vec![vec![None; config.ways]; config.sets()], policy }
+    }
+
+    /// One access; returns `(hit, way, evicted, bypassed)` — the fields the
+    /// SoA cache's [`AccessOutcome`] carries.
+    fn access(&mut self, ctx: &AccessContext) -> (bool, Option<usize>, Option<LineMeta>, bool) {
+        let si = ctx.set.index();
+        let is_store = matches!(ctx.kind, AccessKind::Store);
+        if let Some(way) =
+            self.sets[si].iter().position(|m| m.as_ref().is_some_and(|m| m.line == ctx.line))
+        {
+            let meta = self.sets[si][way].as_mut().expect("matched way is occupied");
+            meta.last_touch = ctx.index;
+            meta.last_pc = ctx.pc;
+            meta.dirty |= is_store;
+            let buf = SetViewBuf::from_metas(&self.sets[si]);
+            self.policy.on_hit(way, buf.view(), ctx);
+            return (true, Some(way), None, false);
+        }
+        let fill = LineMeta {
+            line: ctx.line,
+            last_pc: ctx.pc,
+            insert_pc: ctx.pc,
+            inserted_at: ctx.index,
+            last_touch: ctx.index,
+            dirty: is_store,
+        };
+        if let Some(way) = self.sets[si].iter().position(|m| m.is_none()) {
+            self.sets[si][way] = Some(fill);
+            let buf = SetViewBuf::from_metas(&self.sets[si]);
+            self.policy.on_fill(way, buf.view(), ctx);
+            return (false, Some(way), None, false);
+        }
+        let buf = SetViewBuf::from_metas(&self.sets[si]);
+        match self.policy.choose_victim(buf.view(), ctx) {
+            Decision::Bypass => (false, None, None, true),
+            Decision::Evict(way) => {
+                let evicted = self.sets[si][way].take().expect("full set has no empty way");
+                self.sets[si][way] = Some(fill);
+                let buf = SetViewBuf::from_metas(&self.sets[si]);
+                self.policy.on_fill(way, buf.view(), ctx);
+                (false, Some(way), Some(evicted), false)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SoA cache agrees with the retained `Vec<Option<LineMeta>>`
+    /// reference access-for-access — hit/way/evicted/bypassed — under every
+    /// stock policy, on mixed load/store traffic. Two instances of the same
+    /// policy see identical contexts and set views, so any divergence is a
+    /// storage-layout bug, not policy nondeterminism.
+    #[test]
+    fn soa_cache_matches_line_meta_reference(
+        codes in proptest::collection::vec(0u8..96, 1..400)
+    ) {
+        // Low bit selects load vs store; the rest picks one of 48 lines.
+        let trace: Vec<MemoryAccess> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &code)| {
+                let l = (code >> 1) as u64;
+                let pc = Pc::new(0x400000 + (l % 7) * 4);
+                let addr = Address::new(l * 64);
+                if code & 1 == 1 {
+                    MemoryAccess::store(pc, addr, i as u64)
+                } else {
+                    MemoryAccess::load(pc, addr, i as u64)
+                }
+            })
+            .collect();
+        for name in ["lru", "fifo", "srrip", "ship", "mockingjay"] {
+            let cfg = CacheConfig::new("t", 2, 2, 6); // 4 sets x 2 ways
+            let mut soa = SetAssociativeCache::new(
+                cfg.clone(),
+                cachemind_suite::policies::by_name(name).unwrap(),
+            );
+            let mut reference =
+                ReferenceCache::new(&cfg, cachemind_suite::policies::by_name(name).unwrap());
+            for (i, a) in trace.iter().enumerate() {
+                let set = soa.set_of(a.address);
+                let ctx = AccessContext::demand(i as u64, a, set);
+                let out = soa.access(&ctx);
+                let (hit, way, evicted, bypassed) = reference.access(&ctx);
+                prop_assert_eq!(out.hit, hit, "{} hit diverged at {}", name, i);
+                prop_assert_eq!(out.way, way, "{} way diverged at {}", name, i);
+                prop_assert_eq!(out.evicted, evicted, "{} eviction diverged at {}", name, i);
+                prop_assert_eq!(out.bypassed, bypassed, "{} bypass diverged at {}", name, i);
+            }
+        }
+    }
+}
