@@ -110,6 +110,34 @@ pub mod names {
     pub const SERVE_SESSIONS_REAPED: &str = "serve.sessions_reaped";
     /// Gauge: sessions currently open (set when a snapshot is taken).
     pub const SERVE_SESSIONS_OPEN: &str = "serve.sessions_open";
+    /// One connection accepted (admission check + handoff to its reader
+    /// and writer threads), per accept.
+    pub const SERVE_NET_ACCEPT: &str = "serve.net.accept";
+    /// One request line framed off a TCP socket, per line.
+    pub const SERVE_NET_READ: &str = "serve.net.read";
+    /// One response line written + flushed to a TCP socket, per line.
+    pub const SERVE_NET_WRITE: &str = "serve.net.write";
+    /// Gauge: TCP connections currently open.
+    pub const SERVE_NET_CONNECTIONS_OPEN: &str = "serve.net.connections_open";
+    /// Counter: TCP connections admitted into the connection table.
+    pub const SERVE_NET_CONNECTIONS_ACCEPTED: &str = "serve.net.connections_accepted";
+    /// Counter: TCP connections refused at the door (`--max-connections`);
+    /// each refusal is answered in-band with `error_kind:"overloaded"`
+    /// before the socket closes.
+    pub const SERVE_NET_CONNECTIONS_REJECTED: &str = "serve.net.connections_rejected";
+    /// Counter: request lines refused because the bounded pending-request
+    /// queue was full; each is answered in-band with
+    /// `error_kind:"overloaded"` on its own connection.
+    pub const SERVE_NET_QUEUE_REJECTED: &str = "serve.net.queue_rejected";
+    /// Counter: request bytes read off TCP sockets (framed lines incl.
+    /// the newline).
+    pub const SERVE_NET_BYTES_IN: &str = "serve.net.bytes_in";
+    /// Counter: response bytes written to TCP sockets (incl. the
+    /// newline).
+    pub const SERVE_NET_BYTES_OUT: &str = "serve.net.bytes_out";
+    /// Counter: sessions reaped because their owning connection
+    /// disconnected (`--session-scope conn`).
+    pub const SERVE_NET_SESSIONS_REAPED: &str = "serve.net.sessions_reaped";
 }
 
 /// The process-global registry: the default sink for library stages that
@@ -161,6 +189,16 @@ mod tests {
             names::SERVE_SESSIONS_CLOSED,
             names::SERVE_SESSIONS_REAPED,
             names::SERVE_SESSIONS_OPEN,
+            names::SERVE_NET_ACCEPT,
+            names::SERVE_NET_READ,
+            names::SERVE_NET_WRITE,
+            names::SERVE_NET_CONNECTIONS_OPEN,
+            names::SERVE_NET_CONNECTIONS_ACCEPTED,
+            names::SERVE_NET_CONNECTIONS_REJECTED,
+            names::SERVE_NET_QUEUE_REJECTED,
+            names::SERVE_NET_BYTES_IN,
+            names::SERVE_NET_BYTES_OUT,
+            names::SERVE_NET_SESSIONS_REAPED,
         ];
         let unique: std::collections::BTreeSet<&str> = all.iter().copied().collect();
         assert_eq!(unique.len(), all.len());

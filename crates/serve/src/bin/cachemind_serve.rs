@@ -29,11 +29,13 @@
 //! denominator.
 
 use std::io::{BufRead, Write as _};
+use std::sync::Arc;
 use std::time::Instant;
 
 use cachemind_core::system::RetrieverKind;
 use cachemind_serve::engine::{build_database, ServeConfig, ServeEngine};
-use cachemind_serve::load::{run_load_driver, LoadSpec, StartupTiming};
+use cachemind_serve::load::{run_load_driver, run_load_driver_tcp, LoadSpec, StartupTiming};
+use cachemind_serve::net::{self, NetConfig, SessionScope, TcpServer};
 use cachemind_tracedb::ScenarioSelector;
 use cachemind_workloads::workload::Scale;
 
@@ -64,6 +66,9 @@ fn usage() -> ! {
          \x20                      [--scenarios @table2,@small] [--max-idle-rounds R]\n\
          \x20                      [--build-db PATH | --db-path PATH [--startup-compare]]\n\
          \x20                      [--stats-json PATH]\n\
+         \x20                      [--tcp ADDR [--port-file PATH] [--max-connections N]\n\
+         \x20                       [--queue N] [--session-scope conn|global]]\n\
+         \x20                      [--shutdown-server --tcp ADDR]\n\
          --machines adds machine-qualified traces (MachineConfig presets) to the build;\n\
          --prefetchers adds prefetcher-qualified (transformed-stream) traces;\n\
          --scenarios pins load-driver sessions round-robin to selectors\n\
@@ -74,13 +79,23 @@ fn usage() -> ! {
          --db-path starts the engine from such a snapshot instead of simulating\n\
          \x20   (--startup-compare also times the equivalent in-process build);\n\
          --stats-json writes the engine's metrics snapshot (the {{\"stats\": true}}\n\
-         \x20   response shape) to PATH on shutdown.\n\
+         \x20   response shape) to PATH on shutdown;\n\
+         --tcp serves the same newline-JSON protocol on ADDR (use port 0 for an\n\
+         \x20   ephemeral port; --port-file writes the bound address for scripts;\n\
+         \x20   --max-connections and --queue bound admission, refusals answer\n\
+         \x20   in-band with error_kind \"overloaded\"; --session-scope conn reaps a\n\
+         \x20   connection's sessions at disconnect, global matches stdin semantics);\n\
+         --tcp with --load-driver drives a *running* server at ADDR over real\n\
+         \x20   sockets instead of in-process rounds (the deterministic --no-timing\n\
+         \x20   report is byte-identical either way);\n\
+         --shutdown-server asks the server at --tcp ADDR to shut down gracefully.\n\
          without --load-driver, serves newline-delimited JSON requests from stdin:\n\
          \x20   {{\"question\": \"...\", \"session\": 3}}   (omit session to open one)\n\
          \x20   {{\"question\": \"...\", \"scenario\": \"@table2+stride4\", \"protocol_version\": 2}}\n\
          \x20   {{\"open\": true, \"scenario\": \"@table2\"}}  (open/probe without asking)\n\
          \x20   {{\"close\": true, \"session\": 3}}        (close the session)\n\
-         \x20   {{\"stats\": true}}                       (in-band metrics snapshot)"
+         \x20   {{\"stats\": true}}                       (in-band metrics snapshot)\n\
+         \x20   {{\"shutdown\": true}}                    (graceful shutdown)"
     );
     std::process::exit(2)
 }
@@ -148,6 +163,42 @@ fn main() {
         }),
         ..Default::default()
     };
+
+    let tcp_addr = flag(&args, "--tcp");
+    let net_config = NetConfig {
+        max_connections: usize_flag(
+            &args,
+            "--max-connections",
+            NetConfig::default().max_connections,
+        ),
+        queue_capacity: usize_flag(&args, "--queue", NetConfig::default().queue_capacity),
+        session_scope: match flag(&args, "--session-scope") {
+            None => NetConfig::default().session_scope,
+            Some(v) => SessionScope::parse(&v).unwrap_or_else(|| {
+                eprintln!("error: unknown session scope {v:?} (expected conn or global)");
+                std::process::exit(2);
+            }),
+        },
+    };
+
+    // Remote control: ask a running TCP server to shut down gracefully,
+    // print its acknowledgement, exit — no engine needed.
+    if has(&args, "--shutdown-server") {
+        let Some(addr) = tcp_addr else {
+            eprintln!("error: --shutdown-server needs the server address via --tcp ADDR");
+            std::process::exit(2);
+        };
+        match net::send_shutdown(addr.as_str()) {
+            Ok(ack) => {
+                println!("{ack}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: cannot shut down server at {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Offline snapshot build: simulate, save, exit — the serving start
     // that follows (--db-path) then skips simulation entirely.
@@ -249,7 +300,22 @@ fn main() {
             questions: usize_flag(&args, "--questions", LoadSpec::default().questions),
             scenarios,
         };
-        let mut outcome = run_load_driver(&engine, spec);
+        let mut outcome = match &tcp_addr {
+            // Socket mode: drive a *running* server over real TCP
+            // round-trips; the local engine only synthesizes questions
+            // and echoes configuration into the report.
+            Some(addr) => {
+                eprintln!("[cachemind-serve] driving server at {addr} over tcp ...");
+                match run_load_driver_tcp(&engine, spec, addr.as_str()) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        eprintln!("error: tcp load drive against {addr} failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            None => run_load_driver(&engine, spec),
+        };
         outcome.startup = startup;
         let with_timing = !has(&args, "--no-timing");
         println!("{}", outcome.render(&engine, with_timing));
@@ -261,7 +327,71 @@ fn main() {
             }
             eprintln!("[cachemind-serve] wrote full report to {path}");
         }
-        write_stats_json(&args, &engine);
+        match &tcp_addr {
+            // In socket mode the interesting stats live in the *server*:
+            // fetch them in-band over the socket, exactly as any client
+            // would.
+            Some(addr) => write_remote_stats_json(&args, addr),
+            None => write_stats_json(&args, &engine, "stdin"),
+        }
+        return;
+    }
+
+    // TCP server mode: serve the protocol on a socket while stdin stays
+    // a control (and serving) channel. `exit`, `quit` or an in-band
+    // shutdown line triggers the graceful drain; stdin EOF just parks.
+    if let Some(addr) = tcp_addr {
+        let engine = Arc::new(engine);
+        let (max_conns, queue_cap, scope) =
+            (net_config.max_connections, net_config.queue_capacity, net_config.session_scope);
+        let server = match TcpServer::start(Arc::clone(&engine), addr.as_str(), net_config) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("error: cannot bind tcp listener on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let local = server.local_addr();
+        eprintln!(
+            "[cachemind-serve] listening on {local} (tcp, {} workers, max {max_conns} \
+             connections, queue {queue_cap}, session scope {scope})",
+            engine.num_threads()
+        );
+        if let Some(path) = flag(&args, "--port-file") {
+            if let Err(e) = std::fs::write(&path, format!("{local}\n")) {
+                eprintln!("error: cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let shutdown = server.shutdown_handle();
+        let stdin_engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if trimmed == "exit" || trimmed == "quit" {
+                    shutdown.signal();
+                    break;
+                }
+                let outcome = stdin_engine.serve_line(trimmed, true, "stdin", None);
+                let mut out = stdout.lock();
+                let _ = writeln!(out, "{}", outcome.rendered);
+                let _ = out.flush();
+                if outcome.shutdown {
+                    shutdown.signal();
+                    break;
+                }
+            }
+            // EOF without an exit request: leave the server running.
+        });
+        server.wait();
+        eprintln!("[cachemind-serve] tcp server drained and stopped");
+        write_stats_json(&args, &engine, "tcp");
         return;
     }
 
@@ -281,24 +411,60 @@ fn main() {
         if trimmed == "exit" || trimmed == "quit" {
             break;
         }
+        let outcome = engine.serve_line(trimmed, true, "stdin", None);
         let mut out = stdout.lock();
-        let _ = writeln!(out, "{}", engine.handle_line(trimmed, true));
+        let _ = writeln!(out, "{}", outcome.rendered);
         let _ = out.flush();
+        if outcome.shutdown {
+            break;
+        }
     }
 
     // On shutdown, optionally dump the engine's full stats object — the
     // same shape a {"stats": true} line returns in-band.
-    write_stats_json(&args, &engine);
+    write_stats_json(&args, &engine, "stdin");
 }
 
-/// Writes the engine's stats object to the `--stats-json` path, when one
-/// was given.
-fn write_stats_json(args: &[String], engine: &ServeEngine) {
+/// Writes the engine's stats object (tagged with the serving transport,
+/// the shape a `{"stats": true}` line answers with) to the
+/// `--stats-json` path, when one was given.
+fn write_stats_json(args: &[String], engine: &ServeEngine, transport: &str) {
     if let Some(path) = flag(args, "--stats-json") {
-        if let Err(e) = std::fs::write(&path, engine.stats_value().to_string() + "\n") {
+        if let Err(e) =
+            std::fs::write(&path, engine.stats_value_tagged(transport).to_string() + "\n")
+        {
             eprintln!("error: cannot write {path:?}: {e}");
             std::process::exit(1);
         }
         eprintln!("[cachemind-serve] wrote stats snapshot to {path}");
+    }
+}
+
+/// Fetches a running server's stats in-band over the socket and writes
+/// the response line to the `--stats-json` path, when one was given.
+fn write_remote_stats_json(args: &[String], addr: &str) {
+    let Some(path) = flag(args, "--stats-json") else { return };
+    let fetch = || -> std::io::Result<String> {
+        use std::io::Read as _;
+        let mut stream = std::net::TcpStream::connect(addr)?;
+        stream.write_all(b"{\"stats\": true}\n")?;
+        stream.flush()?;
+        stream.shutdown(std::net::Shutdown::Write)?;
+        let mut response = String::new();
+        std::io::BufReader::new(stream).read_to_string(&mut response)?;
+        Ok(response.trim().to_string())
+    };
+    match fetch() {
+        Ok(stats) => {
+            if let Err(e) = std::fs::write(&path, stats + "\n") {
+                eprintln!("error: cannot write {path:?}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[cachemind-serve] wrote server stats snapshot to {path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot fetch stats from {addr}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -163,6 +163,23 @@ impl EngineMetrics {
     }
 }
 
+/// What serving one protocol line did, beyond the rendered response —
+/// the session-lifecycle side effects a connection-scoped transport
+/// tracks (see [`ServeEngine::serve_line`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineOutcome {
+    /// The response, rendered as one compact JSON line.
+    pub rendered: String,
+    /// The session this line opened (a session-less ask or a fresh
+    /// `open`), when it succeeded.
+    pub opened_session: Option<u64>,
+    /// The session this line closed (a successful `close`).
+    pub closed_session: Option<u64>,
+    /// Whether the line was a `{"shutdown": true}` control message the
+    /// transport must act on after writing the response.
+    pub shutdown: bool,
+}
+
 /// The serving front-end: session manager + batched ask rounds.
 #[derive(Debug)]
 pub struct ServeEngine {
@@ -511,6 +528,12 @@ impl ServeEngine {
                 self.metrics.requests_stats.inc();
                 Response::Stats(stats)
             }
+            // A transport-level control message: acknowledged in-band but
+            // never counted, so stats bytes are unaffected by how a run
+            // was stopped. The *transport* (TCP server, stdin loop) acts
+            // on the flag in the returned LineOutcome; the engine itself
+            // has nothing to stop.
+            Request::Shutdown => Response::Shutdown,
         }
     }
 
@@ -518,22 +541,82 @@ impl ServeEngine {
     /// event-loop path behind the `cachemind-serve` stdin loop, with the
     /// `serve.parse` / `serve.respond` spans and per-`error_kind` counters
     /// recorded on the way through. Parse failures answer in-band exactly
-    /// as the binary always has.
+    /// as the binary always has. Equivalent to
+    /// [`ServeEngine::serve_line`] on the `"stdin"` transport, keeping
+    /// only the rendered response.
     pub fn handle_line(&self, line: &str, with_timing: bool) -> String {
+        self.serve_line(line, with_timing, "stdin", None).rendered
+    }
+
+    /// Serves one raw protocol line on behalf of a named transport — the
+    /// shared event-loop path behind both the stdin loop (`"stdin"`,
+    /// via [`ServeEngine::handle_line`]) and the TCP workers (`"tcp"`,
+    /// via `crate::net`).
+    ///
+    /// The transport tag and the optional per-connection context surface
+    /// in `stats` responses only (wall-clock side-channel content); every
+    /// other response renders byte-identically across transports, which
+    /// is what makes the TCP determinism tests able to `cmp` against
+    /// stdin output. The returned [`LineOutcome`] additionally reports
+    /// the session-lifecycle side effects of the line, so a connection-
+    /// scoped transport can track which sessions it owns, and whether the
+    /// line was a graceful-shutdown request the transport must act on.
+    pub fn serve_line(
+        &self,
+        line: &str,
+        with_timing: bool,
+        transport: &str,
+        connection: Option<Value>,
+    ) -> LineOutcome {
+        use crate::protocol::Request;
+
         let parse_span = self.metrics.parse.start_span();
-        let parsed = crate::protocol::Request::from_json(line);
+        let parsed = Request::from_json(line);
         parse_span.finish();
+        let mut outcome = LineOutcome {
+            rendered: String::new(),
+            opened_session: None,
+            closed_session: None,
+            shutdown: false,
+        };
         let response = match parsed {
-            Ok(request) => self.handle_request(&request),
+            Ok(request) => {
+                let response = self.handle_request(&request);
+                match (&request, &response) {
+                    (Request::Ask(ask), Response::Ask(resp))
+                        if ask.session.is_none() && resp.is_ok() =>
+                    {
+                        outcome.opened_session = Some(resp.session);
+                    }
+                    (Request::Open { session: None, .. }, Response::Ask(resp)) if resp.is_ok() => {
+                        outcome.opened_session = Some(resp.session);
+                    }
+                    (Request::Close { session }, Response::Ask(resp)) if resp.is_ok() => {
+                        outcome.closed_session = Some(*session);
+                    }
+                    (Request::Shutdown, _) => outcome.shutdown = true,
+                    _ => {}
+                }
+                match response {
+                    Response::Stats(mut value) => {
+                        value.insert("transport", Value::from(transport));
+                        if let Some(connection) = connection {
+                            value.insert("connection", connection);
+                        }
+                        Response::Stats(value)
+                    }
+                    other => other,
+                }
+            }
             Err(error) => {
                 self.metrics.error(error.kind());
                 Response::Ask(AskResponse::failure(0, &error))
             }
         };
         let respond_span = self.metrics.respond.start_span();
-        let rendered = response.to_json(with_timing);
+        outcome.rendered = response.to_json(with_timing);
         respond_span.finish();
-        rendered
+        outcome
     }
 
     /// The versioned stats object answering `{"stats": true}`: session
@@ -581,6 +664,16 @@ impl ServeEngine {
         root.insert("errors", errors);
         root.insert("metrics", snap.to_value());
         root
+    }
+
+    /// [`ServeEngine::stats_value`] plus the `transport` tag the protocol
+    /// path stamps on stats responses — for out-of-band consumers (the
+    /// binary's `--stats-json` writer) that want the same shape a
+    /// `{"stats": true}` line would have answered with on that transport.
+    pub fn stats_value_tagged(&self, transport: &str) -> Value {
+        let mut value = self.stats_value();
+        value.insert("transport", Value::from(transport));
+        value
     }
 
     /// Answers one round of requests — the batched, multi-session path.
@@ -1152,6 +1245,70 @@ mod tests {
         // The engine still serves fresh sessions after the churn.
         let after = engine.handle(&AskRequest::new(q));
         assert!(after.is_ok());
+    }
+
+    #[test]
+    fn serve_line_reports_lifecycle_outcomes() {
+        let engine = engine(1);
+        let q = "What is the overall miss rate of the mcf workload under LRU?";
+
+        // A session-less ask opens a session.
+        let asked = engine.serve_line(&format!("{{\"question\": \"{q}\"}}"), false, "tcp", None);
+        assert_eq!(asked.opened_session, Some(1));
+        assert_eq!(asked.closed_session, None);
+        assert!(!asked.shutdown);
+
+        // A fresh open opens one; a probe of it does not.
+        let opened = engine.serve_line("{\"open\": true}", false, "tcp", None);
+        assert_eq!(opened.opened_session, Some(2));
+        let probed = engine.serve_line("{\"open\": true, \"session\": 2}", false, "tcp", None);
+        assert_eq!(probed.opened_session, None);
+
+        // A successful close reports the closed session; a failed one
+        // reports nothing.
+        let closed = engine.serve_line("{\"close\": true, \"session\": 2}", false, "tcp", None);
+        assert_eq!(closed.closed_session, Some(2));
+        let refused = engine.serve_line("{\"close\": true, \"session\": 2}", false, "tcp", None);
+        assert_eq!(refused.closed_session, None);
+        assert!(refused.rendered.contains("unknown_session"), "{}", refused.rendered);
+
+        // A shutdown line raises the flag and acknowledges in-band,
+        // without counting as a request.
+        let before = engine.stats_value();
+        let shutdown = engine.serve_line("{\"shutdown\": true}", false, "tcp", None);
+        assert!(shutdown.shutdown);
+        assert_eq!(shutdown.rendered, "{\"shutdown\":true}");
+        let after = engine.stats_value();
+        assert_eq!(
+            before.get("requests").unwrap().to_string(),
+            after.get("requests").unwrap().to_string(),
+            "shutdown is a transport control message, not a request"
+        );
+    }
+
+    #[test]
+    fn stats_lines_carry_their_transport_and_connection_context() {
+        let engine = engine(1);
+        let stdin = engine.handle_line("{\"stats\": true}", true);
+        assert!(stdin.contains("\"transport\":\"stdin\""), "{stdin}");
+        assert!(!stdin.contains("\"connection\""), "{stdin}");
+
+        let mut conn = Value::object();
+        conn.insert("id", Value::from(7u64));
+        let tcp = engine.serve_line("{\"stats\": true}", true, "tcp", Some(conn));
+        assert!(tcp.rendered.contains("\"transport\":\"tcp\""), "{}", tcp.rendered);
+        assert!(tcp.rendered.contains("\"connection\":{\"id\":7}"), "{}", tcp.rendered);
+
+        // Non-stats responses never carry the tag: ask bytes stay
+        // transport-independent (the cross-transport determinism
+        // contract).
+        let q = "{\"question\": \"What is the overall miss rate of the mcf workload under LRU?\"}";
+        let over_tcp = engine.serve_line(q, false, "tcp", None).rendered;
+        assert!(!over_tcp.contains("transport"), "{over_tcp}");
+
+        // The out-of-band writer shape matches the in-band one.
+        let tagged = engine.stats_value_tagged("tcp");
+        assert_eq!(tagged.get("transport").and_then(Value::as_str), Some("tcp"));
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //! * [`load`] — the synthetic load driver behind
 //!   `cachemind-serve --load-driver`: replays N sessions × M questions and
 //!   reports throughput and latency percentiles as JSON
-//!   (`BENCH_serve.json`).
+//!   (`BENCH_serve.json`), in-process or over a real TCP socket
+//!   (`--tcp`).
+//! * [`net`] — the TCP transport behind `cachemind-serve --tcp`: an
+//!   acceptor thread, a bounded connection table with per-connection
+//!   reader/writer threads, a bounded work queue feeding the
+//!   `SERVE_NUM_THREADS` worker pool, in-band `overloaded` admission
+//!   control, per-connection session ownership, and graceful shutdown.
 //!
 //! Determinism is the backbone: answers, transcripts and the aggregate
 //! report are byte-identical for any worker count, which is what the
@@ -39,8 +45,10 @@
 
 pub mod engine;
 pub mod load;
+pub mod net;
 pub mod protocol;
 
-pub use engine::{ServeConfig, ServeEngine};
-pub use load::{run_load_driver, LoadOutcome, LoadSpec};
+pub use engine::{LineOutcome, ServeConfig, ServeEngine};
+pub use load::{run_load_driver, run_load_driver_tcp, LoadOutcome, LoadSpec};
+pub use net::{NetConfig, SessionScope, TcpServer};
 pub use protocol::{AskRequest, AskResponse, ProtocolError, Request};

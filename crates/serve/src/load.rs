@@ -141,6 +141,13 @@ pub struct LoadOutcome {
     /// How the engine came up, when the caller measured it (the serve
     /// binary does; library callers may leave `None`).
     pub startup: Option<StartupTiming>,
+    /// How the questions travelled: `"stdin"` (in-process rounds, the
+    /// classic driver) or `"tcp"` (real socket round-trips via
+    /// [`run_load_driver_tcp`]). Rendered in the report's `timing` block
+    /// only — the deterministic half must stay byte-identical across
+    /// transports, which is exactly what the cross-transport CI `cmp`
+    /// checks.
+    pub transport: String,
 }
 
 impl LoadOutcome {
@@ -264,6 +271,7 @@ impl LoadOutcome {
         latency.insert("p99", Value::from(percentile(0.99)));
         latency.insert("max", Value::from(latencies.last().copied().unwrap_or(0)));
         let mut timing = Value::object();
+        timing.insert("transport", Value::from(self.transport.as_str()));
         timing.insert("threads", Value::from(engine.num_threads()));
         if let Some(startup) = &self.startup {
             let mut s = Value::object();
@@ -334,7 +342,141 @@ pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
     }
     let total_micros = drive_span.finish();
 
-    LoadOutcome { spec, questions, responses, total_micros, startup: None }
+    LoadOutcome {
+        spec,
+        questions,
+        responses,
+        total_micros,
+        startup: None,
+        transport: "stdin".into(),
+    }
+}
+
+/// Replays the same `spec.sessions × spec.questions` synthetic load
+/// against a *running* TCP server (`cachemind-serve --tcp`), measuring
+/// real socket round-trips.
+///
+/// `engine` is a local reference engine over the same database the
+/// server fronts — it synthesizes the questions (a pure function of the
+/// store) and supplies the report's configuration echo; no request is
+/// answered through it.
+///
+/// Sessions are opened *serially, in session order* over one connection
+/// each, so a fresh server assigns ids 1..N exactly as the in-process
+/// driver would — the keystone of cross-transport byte-identity. The ask
+/// phase then runs every connection concurrently, each asking its
+/// questions in lockstep (send, await response, repeat), so per-session
+/// turn order matches the in-process rounds while the server sees real
+/// concurrent traffic. Per-request latencies are client-measured
+/// round-trip times; they (and everything else wall-clock) stay out of
+/// the deterministic report.
+pub fn run_load_driver_tcp(
+    engine: &ServeEngine,
+    spec: LoadSpec,
+    addr: impl std::net::ToSocketAddrs,
+) -> std::io::Result<LoadOutcome> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn protocol_io_error(detail: impl std::fmt::Display) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, detail.to_string())
+    }
+
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| protocol_io_error("server address resolved to nothing"))?;
+
+    let questions: Vec<Vec<String>> = (0..spec.sessions)
+        .map(|s| {
+            let pin = spec.pin_for(s);
+            (0..spec.questions)
+                .map(|t| synthetic_question_scoped(engine.store(), s, t, &pin))
+                .collect()
+        })
+        .collect();
+
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+        session: u64,
+    }
+
+    fn round_trip(client: &mut Client, line: &str) -> std::io::Result<String> {
+        client.stream.write_all(line.as_bytes())?;
+        client.stream.write_all(b"\n")?;
+        client.stream.flush()?;
+        let mut response = String::new();
+        if client.reader.read_line(&mut response)? == 0 {
+            return Err(protocol_io_error("server closed the connection mid-drive"));
+        }
+        Ok(response.trim().to_string())
+    }
+
+    // Phase 1 (serial): one connection per session, opened in session
+    // order, so the server's id assignment replays the in-process
+    // driver's exactly.
+    let mut clients = Vec::with_capacity(spec.sessions);
+    for s in 0..spec.sessions {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client { stream, reader, session: 0 };
+        let pin = spec.pin_for(s);
+        let open = crate::protocol::Request::Open {
+            session: None,
+            scenario: (!pin.is_unscoped()).then_some(pin),
+        };
+        let response = round_trip(&mut client, &open.to_json())?;
+        let opened = AskResponse::from_json(&response).map_err(protocol_io_error)?;
+        if !opened.is_ok() {
+            return Err(protocol_io_error(format!("open refused: {response}")));
+        }
+        client.session = opened.session;
+        clients.push(client);
+    }
+
+    // Phase 2 (concurrent): every connection asks its questions in
+    // lockstep, all connections in flight at once.
+    let drive_span = engine.metrics().span(cachemind_obs::names::SERVE_LOAD_DRIVE);
+    let responses: std::io::Result<Vec<Vec<AskResponse>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(s, mut client)| {
+                let questions = &questions[s];
+                scope.spawn(move || -> std::io::Result<Vec<AskResponse>> {
+                    let mut answered = Vec::with_capacity(questions.len());
+                    for question in questions {
+                        let request = AskRequest::in_session(client.session, question.clone());
+                        let started = std::time::Instant::now();
+                        let line = round_trip(&mut client, &request.to_json())?;
+                        let rtt = started.elapsed().as_micros() as u64;
+                        let mut response =
+                            AskResponse::from_json(&line).map_err(protocol_io_error)?;
+                        // The latency that matters over TCP is the full
+                        // client-observed round trip, not the server-side
+                        // answering slice.
+                        response.micros = rtt;
+                        answered.push(response);
+                    }
+                    Ok(answered)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|handle| handle.join().expect("client thread")).collect()
+    });
+    let responses = responses?;
+    let total_micros = drive_span.finish();
+
+    Ok(LoadOutcome {
+        spec,
+        questions,
+        responses,
+        total_micros,
+        startup: None,
+        transport: "tcp".into(),
+    })
 }
 
 #[cfg(test)]
@@ -381,10 +523,12 @@ mod tests {
         }
         let rendered = outcome.render(&engine, true);
         assert!(rendered.contains("\"throughput_qps\""));
+        assert!(rendered.contains("\"transport\": \"stdin\""), "{rendered}");
         let deterministic = outcome.render(&engine, false);
         assert!(!deterministic.contains("micros"));
         assert!(!deterministic.contains("threads"));
         assert!(!deterministic.contains("scenario"), "v1 reports carry no scenario field");
+        assert!(!deterministic.contains("transport"), "transport is timing-block content");
     }
 
     #[test]

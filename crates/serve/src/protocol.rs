@@ -12,7 +12,7 @@
 //! come back in-band as `{"session": ..., "error": "...", "error_kind":
 //! "..."}` so a batch of requests always yields a response per request;
 //! `error_kind` is a stable machine-matchable discriminator
-//! (`invalid_json` | `bad_request` | `unknown_session`).
+//! (`invalid_json` | `bad_request` | `unknown_session` | `overloaded`).
 //!
 //! # Protocol v2: scenario-scoped asks
 //!
@@ -65,8 +65,17 @@
 //! object with `"stats_version": 1` ([`STATS_VERSION`]). Stats requests
 //! are pure reads: they never touch a session, and the snapshot is taken
 //! *before* the stats request itself is counted, so after driving N asks
-//! the first stats response reports exactly N requests. See
-//! `docs/PROTOCOL.md` for the full wire-protocol specification and
+//! the first stats response reports exactly N requests.
+//!
+//! # Transport control: `shutdown`
+//!
+//! A `{"shutdown": true}` line asks the server to shut down gracefully:
+//! stop accepting connections, drain every in-flight request, flush all
+//! writers, then exit. It is acknowledged in-band with
+//! `{"shutdown":true}` but is a *transport-level* control message — it is
+//! never counted as a request, so a stats snapshot is unaffected by how
+//! the run was stopped. See `docs/PROTOCOL.md` for the full wire-protocol
+//! specification (including the TCP transport) and
 //! `docs/OBSERVABILITY.md` for the metric taxonomy.
 
 use cachemind_tracedb::ScenarioSelector;
@@ -89,17 +98,23 @@ pub enum ProtocolError {
     BadRequest(String),
     /// The named session does not exist.
     UnknownSession(u64),
+    /// The server refused the request for capacity reasons (connection
+    /// table or pending-request queue full). The request was *not*
+    /// processed; retrying after a drain is safe. Only the TCP transport
+    /// emits this — stdin mode is inherently paced by its single reader.
+    Overloaded(String),
 }
 
 impl ProtocolError {
     /// The stable machine-matchable discriminator carried in responses as
     /// `error_kind` — the in-band error shape is uniform across parse
-    /// failures and session failures.
+    /// failures, session failures, and admission-control rejections.
     pub const fn kind(&self) -> &'static str {
         match self {
             ProtocolError::InvalidJson(_) => "invalid_json",
             ProtocolError::BadRequest(_) => "bad_request",
             ProtocolError::UnknownSession(_) => "unknown_session",
+            ProtocolError::Overloaded(_) => "overloaded",
         }
     }
 }
@@ -110,6 +125,7 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::InvalidJson(detail) => write!(f, "invalid JSON: {detail}"),
             ProtocolError::BadRequest(detail) => write!(f, "bad request: {detail}"),
             ProtocolError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ProtocolError::Overloaded(detail) => write!(f, "overloaded: {detail}"),
         }
     }
 }
@@ -259,13 +275,19 @@ pub enum Request {
     /// `{"stats": true}` — return the server's versioned metrics snapshot.
     /// A pure read: touches no session and burns no question.
     Stats,
+    /// `{"shutdown": true}` — ask the server to shut down gracefully
+    /// (stop accepting, drain in-flight requests, flush writers, exit).
+    /// A transport-level control message: it is acknowledged in-band but
+    /// never counted as a request, so stats bytes are unaffected by how a
+    /// run was stopped.
+    Shutdown,
 }
 
 impl Request {
     /// Parses one request line: an `open` when the object carries
     /// `"open": true`, a `close` when it carries `"close": true`, a
-    /// `stats` when it carries `"stats": true`, an [`AskRequest`]
-    /// otherwise.
+    /// `stats` when it carries `"stats": true`, a `shutdown` when it
+    /// carries `"shutdown": true`, an [`AskRequest`] otherwise.
     pub fn from_json(line: &str) -> Result<Self, ProtocolError> {
         let value =
             serde_json::from_str(line).map_err(|e| ProtocolError::InvalidJson(e.to_string()))?;
@@ -305,6 +327,14 @@ impl Request {
                 return Err(ProtocolError::BadRequest("'stats' must be the boolean true".into()));
             }
             return Ok(Request::Stats);
+        }
+        if let Some(flag) = value.get("shutdown") {
+            if flag.as_bool() != Some(true) {
+                return Err(ProtocolError::BadRequest(
+                    "'shutdown' must be the boolean true".into(),
+                ));
+            }
+            return Ok(Request::Shutdown);
         }
         match value.get("close") {
             None => Ok(Request::Ask(AskRequest::from_value(&value)?)),
@@ -348,6 +378,11 @@ impl Request {
                 obj.insert("stats", Value::from(true));
                 obj.to_string()
             }
+            Request::Shutdown => {
+                let mut obj = Value::object();
+                obj.insert("shutdown", Value::from(true));
+                obj.to_string()
+            }
         }
     }
 }
@@ -361,14 +396,18 @@ pub enum Response {
     /// The stats object answering `{"stats": true}` (carries
     /// `"stats_version"`: [`STATS_VERSION`]).
     Stats(Value),
+    /// The acknowledgement for `{"shutdown": true}` — echoed back as
+    /// `{"shutdown":true}` before the transport drains and exits.
+    Shutdown,
 }
 
 impl Response {
-    /// Whether the request succeeded (stats requests always do).
+    /// Whether the request succeeded (stats and shutdown requests always
+    /// do).
     pub fn is_ok(&self) -> bool {
         match self {
             Response::Ask(response) => response.is_ok(),
-            Response::Stats(_) => true,
+            Response::Stats(_) | Response::Shutdown => true,
         }
     }
 
@@ -376,22 +415,25 @@ impl Response {
     ///
     /// # Panics
     ///
-    /// Panics when the response is a stats object.
+    /// Panics when the response is a stats object or a shutdown
+    /// acknowledgement.
     pub fn expect_ask(self) -> AskResponse {
         match self {
             Response::Ask(response) => response,
             Response::Stats(_) => panic!("expected an ask response, got a stats response"),
+            Response::Shutdown => panic!("expected an ask response, got a shutdown ack"),
         }
     }
 
     /// Renders the response as a compact JSON line. `with_timing` gates
     /// the ask shape's wall-clock field exactly as
     /// [`AskResponse::to_json`]; stats objects are wall-clock content by
-    /// definition and render unchanged.
+    /// definition and render unchanged, as does the fixed shutdown ack.
     pub fn to_json(&self, with_timing: bool) -> String {
         match self {
             Response::Ask(response) => response.to_json(with_timing),
             Response::Stats(value) => value.to_string(),
+            Response::Shutdown => "{\"shutdown\":true}".to_owned(),
         }
     }
 }
@@ -676,6 +718,7 @@ mod tests {
             (ProtocolError::InvalidJson("x".into()), "invalid_json"),
             (ProtocolError::BadRequest("x".into()), "bad_request"),
             (ProtocolError::UnknownSession(4), "unknown_session"),
+            (ProtocolError::Overloaded("queue full".into()), "overloaded"),
         ] {
             assert_eq!(error.kind(), kind);
             let resp = AskResponse::failure(0, &error);
@@ -762,6 +805,42 @@ mod tests {
             Request::from_json("{\"close\": true, \"session\": 1}"),
             Ok(Request::Close { .. })
         ));
+    }
+
+    #[test]
+    fn shutdown_requests_parse_and_round_trip() {
+        let req = Request::from_json("{\"shutdown\": true}").expect("shutdown parses");
+        assert_eq!(req, Request::Shutdown);
+        assert_eq!(req.to_json(), "{\"shutdown\":true}");
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+
+        // `shutdown` must be the literal true.
+        assert!(matches!(
+            Request::from_json("{\"shutdown\": 1}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+        assert!(matches!(
+            Request::from_json("{\"shutdown\": false}"),
+            Err(ProtocolError::BadRequest(_))
+        ));
+
+        // The ack renders one fixed line, timing-independent.
+        let ack = Response::Shutdown;
+        assert!(ack.is_ok());
+        assert_eq!(ack.to_json(false), "{\"shutdown\":true}");
+        assert_eq!(ack.to_json(true), ack.to_json(false));
+    }
+
+    #[test]
+    fn overloaded_failures_take_the_uniform_error_shape() {
+        let error = ProtocolError::Overloaded("pending-request queue full (capacity 2)".into());
+        let resp = AskResponse::failure(0, &error);
+        assert!(!resp.is_ok());
+        let line = resp.to_json(false);
+        assert!(line.contains("\"error_kind\":\"overloaded\""), "{line}");
+        assert!(line.contains("queue full"), "{line}");
+        let back = AskResponse::from_json(&line).expect("round trip");
+        assert_eq!(back.error_kind.as_deref(), Some("overloaded"));
     }
 
     #[test]
