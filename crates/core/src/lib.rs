@@ -28,16 +28,19 @@
 //! assert!(!answer.text.is_empty());
 //! ```
 
+pub mod cache;
 pub mod chat;
 pub mod eval;
 pub mod insights;
 pub mod system;
 
+pub use cache::AnswerCache;
 pub use chat::ChatSession;
 pub use system::{Answer, CacheMind, Query, QueryOptions, RetrieverKind};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::cache::AnswerCache;
     pub use crate::chat::ChatSession;
     pub use crate::eval;
     pub use crate::insights;

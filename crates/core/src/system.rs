@@ -230,6 +230,8 @@ pub struct CacheMind {
     sieve: SieveRetriever,
     ranger: RangerRetriever,
     dense: Option<DenseIndexRetriever>,
+    metrics: cachemind_obs::MetricsRegistry,
+    answers: Option<crate::cache::AnswerCache>,
 }
 
 impl CacheMind {
@@ -250,6 +252,8 @@ impl CacheMind {
             sieve: SieveRetriever::new(),
             ranger: RangerRetriever::new(),
             dense: None,
+            metrics: cachemind_obs::global().clone(),
+            answers: None,
         }
     }
 
@@ -274,12 +278,30 @@ impl CacheMind {
         self
     }
 
-    /// Redirects retrieval-stage telemetry (plan compile/run spans) to
+    /// Redirects retrieval-stage telemetry (plan compile/run spans, and
+    /// the answer-cache counters of any *subsequently* enabled cache) to
     /// `metrics` instead of the process-global registry — the serve layer
     /// passes each engine's own registry down here.
     pub fn with_metrics(mut self, metrics: &cachemind_obs::MetricsRegistry) -> Self {
         self.ranger = self.ranger.with_metrics(metrics);
+        self.metrics = metrics.clone();
         self
+    }
+
+    /// Enables (or disables) the whole-answer cache: answers keyed by
+    /// `(db fingerprint, canonical selector, options, question text)` are
+    /// replayed instead of recomputed. Answering is deterministic, so the
+    /// cache is semantics-free — every ask path returns byte-identical
+    /// answers with it on or off. Call after [`CacheMind::with_metrics`]
+    /// so the `retrieval.cache.*` counters land in the owner's registry.
+    pub fn with_answer_cache(mut self, enabled: bool) -> Self {
+        self.answers = enabled.then(|| crate::cache::AnswerCache::new(&self.metrics));
+        self
+    }
+
+    /// The whole-answer cache, when enabled.
+    pub fn answer_cache(&self) -> Option<&crate::cache::AnswerCache> {
+        self.answers.as_ref()
     }
 
     /// The underlying trace store.
@@ -451,14 +473,47 @@ impl CacheMind {
         Answer { text, verdict, context, prompt }
     }
 
+    /// The whole-answer cache key for a query: db fingerprint, canonical
+    /// selector, options, and the verbatim question text — every input of
+    /// the pure answering function (see `crate::cache` for the anatomy).
+    /// Checked *before* intent parsing, so a hit skips the whole pipeline.
+    fn answer_key(&self, query: &Query, cache: &crate::cache::AnswerCache) -> String {
+        format!(
+            "{:016x}|{}|{}|{}",
+            cache.fingerprint(&*self.db),
+            query.selector,
+            u8::from(query.options.explore),
+            query.text,
+        )
+    }
+
+    /// Wraps an answer production with the whole-answer cache when it is
+    /// enabled: replay on hit, produce-then-store on miss.
+    fn answer_through_cache(&self, query: &Query, produce: impl FnOnce() -> Answer) -> Answer {
+        match &self.answers {
+            None => produce(),
+            Some(cache) => {
+                let key = self.answer_key(query, cache);
+                if let Some(hit) = cache.get(&key) {
+                    return hit;
+                }
+                let answer = produce();
+                cache.insert(key, answer.clone());
+                answer
+            }
+        }
+    }
+
     /// Answers a typed query — the primary entry point: the query's
     /// selector scopes parsing (slot defaults) and retrieval (machine /
     /// prefetcher scope), inline `@machine` syntax in the text wins
     /// per-field, and the options gate exploration-command routing.
     /// Selector-free queries answer byte-identically to [`CacheMind::ask`].
     pub fn ask_query(&self, query: &Query) -> Answer {
-        let intent = self.parse_scoped(&query.text, &query.selector);
-        self.answer_cached(&query.text, &intent, &query.options, None)
+        self.answer_through_cache(query, || {
+            let intent = self.parse_scoped(&query.text, &query.selector);
+            self.answer_cached(&query.text, &intent, &query.options, None)
+        })
     }
 
     /// [`CacheMind::ask_query`] with an externally owned retrieval memo
@@ -467,8 +522,10 @@ impl CacheMind {
     /// includes the resolved selector, so scoped and unscoped retrievals
     /// never alias.
     pub fn ask_query_with_cache(&self, query: &Query, cache: &mut ContextCache) -> Answer {
-        let intent = self.parse_scoped(&query.text, &query.selector);
-        self.answer_cached(&query.text, &intent, &query.options, Some(cache))
+        self.answer_through_cache(query, || {
+            let intent = self.parse_scoped(&query.text, &query.selector);
+            self.answer_cached(&query.text, &intent, &query.options, Some(cache))
+        })
     }
 
     /// Answers a question with an externally owned retrieval memo — the
@@ -491,7 +548,32 @@ impl CacheMind {
     /// within each group, and answers fan back out in input order. The
     /// result is byte-identical to calling [`CacheMind::ask_query`] on
     /// each query serially, for any thread count.
+    ///
+    /// With the whole-answer cache enabled, hits are replayed up front and
+    /// only the misses enter the parallel pipeline — still byte-identical,
+    /// because answering is deterministic.
     pub fn ask_query_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        let Some(cache) = &self.answers else {
+            return self.ask_query_batch_pipeline(queries);
+        };
+        let keys: Vec<String> = queries.iter().map(|q| self.answer_key(q, cache)).collect();
+        let mut out: Vec<Option<Answer>> = keys.iter().map(|key| cache.get(key)).collect();
+        let miss_indices: Vec<usize> = (0..out.len()).filter(|&i| out[i].is_none()).collect();
+        if !miss_indices.is_empty() {
+            let miss_queries: Vec<Query> =
+                miss_indices.iter().map(|&i| queries[i].clone()).collect();
+            let answers = self.ask_query_batch_pipeline(&miss_queries);
+            for (&i, answer) in miss_indices.iter().zip(answers) {
+                cache.insert(keys[i].clone(), answer.clone());
+                out[i] = Some(answer);
+            }
+        }
+        out.into_iter().map(|a| a.expect("every query answered exactly once")).collect()
+    }
+
+    /// The shard-grouped parallel answering pipeline behind
+    /// [`CacheMind::ask_query_batch`] (the cache-independent half).
+    fn ask_query_batch_pipeline(&self, queries: &[Query]) -> Vec<Answer> {
         // One vocabulary snapshot for the whole batch: parsing against it is
         // identical to per-query `parse_scoped` calls (the store is
         // immutable), without re-scanning every shard per query.

@@ -80,6 +80,13 @@ pub mod names {
     pub const RETRIEVAL_PLAN_COMPILE: &str = "retrieval.plan_compile";
     /// Ranger plan execution, per retrieval.
     pub const RETRIEVAL_PLAN_RUN: &str = "retrieval.plan_run";
+    /// Counter: whole-answer cache lookups that replayed a stored answer.
+    pub const RETRIEVAL_CACHE_HITS: &str = "retrieval.cache.hits";
+    /// Counter: whole-answer cache lookups that fell through to the full
+    /// answering pipeline.
+    pub const RETRIEVAL_CACHE_MISSES: &str = "retrieval.cache.misses";
+    /// Counter: answers stored into the whole-answer cache after a miss.
+    pub const RETRIEVAL_CACHE_INSERTS: &str = "retrieval.cache.inserts";
     /// Request-line JSON parse in the serve event loop, per line.
     pub const SERVE_PARSE: &str = "serve.parse";
     /// One question answered through the serving pipeline, per request.
@@ -176,6 +183,9 @@ mod tests {
             names::TRACEDB_LAZY_DECODE_TRACES,
             names::RETRIEVAL_PLAN_COMPILE,
             names::RETRIEVAL_PLAN_RUN,
+            names::RETRIEVAL_CACHE_HITS,
+            names::RETRIEVAL_CACHE_MISSES,
+            names::RETRIEVAL_CACHE_INSERTS,
             names::SERVE_PARSE,
             names::SERVE_ASK,
             names::SERVE_RESPOND,

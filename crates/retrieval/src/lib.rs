@@ -37,6 +37,7 @@
 //! ```
 
 pub mod dense;
+pub mod optimize;
 pub mod plan;
 pub mod probes;
 pub mod quality;
@@ -45,7 +46,8 @@ pub mod retriever;
 pub mod sieve;
 
 pub use dense::DenseIndexRetriever;
-pub use plan::{AggColumn, AggFunc, Plan};
+pub use optimize::optimize;
+pub use plan::{AggColumn, AggFunc, Plan, RankAxis, RankMetric};
 pub use probes::{probe_queries, ProbeReport};
 pub use ranger::RangerRetriever;
 pub use retriever::Retriever;
@@ -54,7 +56,8 @@ pub use sieve::SieveRetriever;
 /// Commonly used types, for glob import.
 pub mod prelude {
     pub use crate::dense::DenseIndexRetriever;
-    pub use crate::plan::{AggColumn, AggFunc, Plan};
+    pub use crate::optimize::optimize;
+    pub use crate::plan::{AggColumn, AggFunc, Plan, RankAxis, RankMetric};
     pub use crate::probes::{probe_queries, ProbeReport};
     pub use crate::ranger::RangerRetriever;
     pub use crate::retriever::Retriever;

@@ -8,6 +8,7 @@
 //! Python-equivalent for display and for the Code Generation benchmark
 //! category.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -85,6 +86,26 @@ impl AggFunc {
             AggFunc::Std => "std",
         }
     }
+}
+
+/// The axis a [`Plan::BatchRank`] ranks over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankAxis {
+    /// Rank every policy for one anchored workload
+    /// ([`Plan::CompareIpcAcrossPolicies`] / [`Plan::CompareAcrossPolicies`]).
+    Policies,
+    /// Rank every workload under one anchored policy
+    /// ([`Plan::CompareIpcAcrossWorkloads`] / [`Plan::CompareAcrossWorkloads`]).
+    Workloads,
+}
+
+/// The metric a [`Plan::BatchRank`] extracts per ranked entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankMetric {
+    /// Estimated IPC from the metadata's scenario sentence.
+    Ipc,
+    /// Miss-rate percent (whole trace from metadata, or per-PC from stats).
+    MissRate,
 }
 
 /// Errors from plan execution.
@@ -257,6 +278,52 @@ pub enum Plan {
         /// Policy name.
         policy: String,
     },
+    /// Optimizer-produced collapse of [`Plan::Lookup`]: the filter-then-
+    /// take-first chain becomes a single first-match scan that stops at the
+    /// first qualifying row instead of materializing every match, with the
+    /// scenario scope pushed down (baked in) at optimize time. Emitted only
+    /// by [`optimize`](crate::optimize::optimize), never compiled directly.
+    TakeFirst {
+        /// Workload name.
+        workload: String,
+        /// Policy name.
+        policy: String,
+        /// PC filter.
+        pc: Option<Pc>,
+        /// Byte-address filter.
+        address: Option<Address>,
+        /// The machine scope baked in by the optimizer; execution ignores
+        /// the runtime scope and resolves against this one.
+        scope: ScenarioSelector,
+    },
+    /// Optimizer-produced collapse of a filter-free [`Plan::CountRows`]:
+    /// the full-frame predicate walk becomes a direct frame-length read.
+    TraceLen {
+        /// Workload name.
+        workload: String,
+        /// Policy name.
+        policy: String,
+        /// The machine scope baked in by the optimizer.
+        scope: ScenarioSelector,
+    },
+    /// Optimizer-produced hoist of the four multi-step `Compare*` plans:
+    /// the per-axis-value scoped lookups (each a full [`TraceStore::
+    /// get_scoped`] resolution) are batched into ONE scoped scan whose
+    /// entries are memoized by trace key, then each axis value resolves
+    /// against the memo with `get_scoped`'s exact precedence.
+    BatchRank {
+        /// Which axis is ranked.
+        axis: RankAxis,
+        /// The pinned value on the other axis (workload name when ranking
+        /// policies, policy name when ranking workloads).
+        anchor: String,
+        /// The metric extracted per entry.
+        metric: RankMetric,
+        /// Optional PC scope (miss-rate ranking only).
+        pc: Option<Pc>,
+        /// The machine scope baked in by the optimizer.
+        scope: ScenarioSelector,
+    },
 }
 
 impl Plan {
@@ -267,7 +334,7 @@ impl Plan {
         scope: &ScenarioSelector,
     ) -> Result<&'d cachemind_tracedb::database::TraceEntry, PlanError> {
         let id = TraceId::new(workload, policy);
-        db.get_scoped(&id, scope).ok_or_else(|| PlanError::UnknownTrace(id.key()))
+        db.get_scoped_resolved(&id, scope).ok_or_else(|| PlanError::UnknownTrace(id.key()))
     }
 
     /// Executes the plan against the database with no scenario scope —
@@ -293,6 +360,21 @@ impl Plan {
     ///
     /// See [`Plan::run`].
     pub fn run_scoped(
+        &self,
+        db: &dyn TraceStore,
+        scope: &ScenarioSelector,
+    ) -> Result<Vec<Fact>, PlanError> {
+        // Resolve the machine scope ONCE per run. Multi-step plans
+        // (compares, rankings) used to re-derive it inside every
+        // `get_scoped` call — one clone of both selector strings per
+        // branch; now every branch shares this resolution.
+        let resolved = scope.machine_scope();
+        self.run_resolved(db, &resolved)
+    }
+
+    /// [`Plan::run_scoped`] over an already-resolved machine scope (see
+    /// [`TraceStore::get_scoped_resolved`] for the precondition).
+    fn run_resolved(
         &self,
         db: &dyn TraceStore,
         scope: &ScenarioSelector,
@@ -620,6 +702,130 @@ impl Plan {
                     text: format!("Hot Sets = {hot:?}, Cold Sets = {cold:?}"),
                 }])
             }
+            Plan::TakeFirst { workload, policy, pc, address, scope: baked } => {
+                let entry = Self::entry(db, workload, policy, baked)?;
+                let row = entry
+                    .frame
+                    .rows()
+                    .iter()
+                    .find(|r| {
+                        pc.is_none_or(|p| r.pc == p) && address.is_none_or(|a| r.address == a)
+                    })
+                    .ok_or(PlanError::EmptyResult)?;
+                Ok(vec![Fact::Outcome {
+                    pc: Some(row.pc),
+                    address: Some(row.address),
+                    workload: workload.clone(),
+                    policy: policy.clone(),
+                    is_miss: row.is_miss,
+                    evicted: row.evicted_address.map(|e| (e, row.evicted_reuse_distance)),
+                    inserted_reuse: row.accessed_reuse_distance,
+                }])
+            }
+            Plan::TraceLen { workload, policy, scope: baked } => {
+                let entry = Self::entry(db, workload, policy, baked)?;
+                let count = entry.frame.rows().len();
+                if count == 0 {
+                    return Err(PlanError::EmptyResult);
+                }
+                Ok(vec![Fact::CountValue {
+                    what: format!("matching accesses in {workload}_{policy}"),
+                    value: count as u64,
+                    complete: true,
+                }])
+            }
+            Plan::BatchRank { axis, anchor, metric, pc, scope: baked } => {
+                // ONE scoped scan replaces the per-axis-value `get_scoped`
+                // resolutions of the naive compare plans. The scan pins the
+                // anchored slot, memoizes every in-scope entry by trace key,
+                // and records the first entry of each axis group (ascending
+                // key order) — exactly the set and order `get_scoped` would
+                // consider per value, so resolution below can mirror its
+                // precedence byte for byte.
+                let mut pinned = baked.clone();
+                match axis {
+                    RankAxis::Policies => pinned.workload = Some(anchor.clone()),
+                    RankAxis::Workloads => pinned.policy = Some(anchor.clone()),
+                }
+                let mut by_key: BTreeMap<String, &cachemind_tracedb::database::TraceEntry> =
+                    BTreeMap::new();
+                let mut groups: BTreeMap<&str, &cachemind_tracedb::database::TraceEntry> =
+                    BTreeMap::new();
+                for e in db.select(&pinned) {
+                    by_key.insert(e.id.key(), e);
+                    let group = match axis {
+                        RankAxis::Policies => e.id.policy.as_str(),
+                        RankAxis::Workloads => e.id.workload.as_str(),
+                    };
+                    groups.entry(group).or_insert(e);
+                }
+                // get_scoped's qualified-key candidate shapes, hoisted out
+                // of the loop (they depend only on the scope).
+                let machine = baked.machine.as_deref();
+                let prefetcher = baked.prefetcher.as_deref().filter(|p| *p != "none");
+                let pairs = [(machine, prefetcher), (machine, None), (None, prefetcher)];
+                let mut facts = Vec::new();
+                for (group, first) in &groups {
+                    let (w, p) = match axis {
+                        RankAxis::Policies => (anchor.as_str(), *group),
+                        RankAxis::Workloads => (*group, anchor.as_str()),
+                    };
+                    // Precedence mirror: unqualified entry, then the
+                    // qualified key shapes, then first-in-scope fallback.
+                    let id = TraceId::new(w, p);
+                    let mut entry = by_key.get(&id.key()).copied();
+                    if entry.is_none() {
+                        for (i, &(m, pf)) in pairs.iter().enumerate() {
+                            if (m.is_none() && pf.is_none()) || pairs[..i].contains(&(m, pf)) {
+                                continue;
+                            }
+                            let candidate = TraceId::qualified(w, p, m, pf);
+                            if candidate == id {
+                                continue;
+                            }
+                            if let Some(e) = by_key.get(&candidate.key()) {
+                                entry = Some(*e);
+                                break;
+                            }
+                        }
+                    }
+                    let entry = entry.unwrap_or(*first);
+                    let value = match metric {
+                        RankMetric::Ipc => meta::extract_ipc(&entry.metadata),
+                        RankMetric::MissRate => match pc {
+                            Some(pc) => {
+                                expert.pc_stats(&entry.frame, *pc).map(|s| s.miss_rate() * 100.0)
+                            }
+                            None => meta::extract_percent(&entry.metadata, "miss rate"),
+                        },
+                    };
+                    let Some(value) = value else { continue };
+                    let metric_name = match (*metric, *axis) {
+                        (RankMetric::Ipc, RankAxis::Policies) => format!(
+                            "estimated IPC{}",
+                            meta::scenario_citation_suffix(&entry.metadata)
+                        ),
+                        (RankMetric::Ipc, RankAxis::Workloads) => format!(
+                            "estimated IPC under {anchor}{}",
+                            meta::scenario_citation_suffix(&entry.metadata)
+                        ),
+                        (RankMetric::MissRate, RankAxis::Policies) => "miss rate %".to_owned(),
+                        (RankMetric::MissRate, RankAxis::Workloads) => {
+                            format!("miss rate % under {anchor}")
+                        }
+                    };
+                    facts.push(Fact::PolicyValue {
+                        policy: group.to_string(),
+                        metric: metric_name,
+                        value,
+                    });
+                }
+                if facts.is_empty() {
+                    Err(PlanError::EmptyResult)
+                } else {
+                    Ok(facts)
+                }
+            }
         }
     }
 
@@ -741,6 +947,55 @@ impl Plan {
                  result = f\"hot: {{rates.nlargest(5).index.tolist()}}, \
                  cold: {{rates.nsmallest(5).index.tolist()}}\""
             ),
+            Plan::TakeFirst { workload, policy, pc, address, scope } => {
+                let mut filters = String::new();
+                if let Some(pc) = pc {
+                    filters.push_str(&format!("df = df[df.program_counter == {pc}]\n"));
+                }
+                if let Some(addr) = address {
+                    filters.push_str(&format!("df = df[df.memory_address == {addr}]\n"));
+                }
+                format!(
+                    "# plan-optimizer: Lookup collapsed to a first-match scan (scope \"{scope}\")\n\
+                     df = loaded_data[\"{workload}_evictions_{policy}\"][\"data_frame\"]\n\
+                     {filters}row = df.iloc[0]\n\
+                     result = f\"Cache result: {{row.evict}}\""
+                )
+            }
+            Plan::TraceLen { workload, policy, scope } => format!(
+                "# plan-optimizer: CountRows collapsed to the frame length (scope \"{scope}\")\n\
+                 df = loaded_data[\"{workload}_evictions_{policy}\"][\"data_frame\"]\n\
+                 result = f\"count: {{len(df)}}\""
+            ),
+            Plan::BatchRank { axis, anchor, metric, pc, scope } => {
+                let (axis_name, key_test) = match axis {
+                    RankAxis::Policies => ("policy", format!("key.startswith(\"{anchor}\")")),
+                    RankAxis::Workloads => ("workload", format!("key.endswith(\"{anchor}\")")),
+                };
+                let metric_expr = match metric {
+                    RankMetric::Ipc => {
+                        "re.search(r\"estimated IPC of ([0-9.]+)\", entry[\"metadata\"]).group(1)"
+                            .to_owned()
+                    }
+                    RankMetric::MissRate => match pc {
+                        Some(p) => format!(
+                            "entry[\"data_frame\"]\
+                             .query(\"program_counter == {p}\").is_miss.mean()"
+                        ),
+                        None => {
+                            "re.search(r\"([0-9.]+)% miss rate\", entry[\"metadata\"]).group(1)"
+                                .to_owned()
+                        }
+                    },
+                };
+                format!(
+                    "# plan-optimizer: per-{axis_name} lookups hoisted into one scoped scan \
+                     (scope \"{scope}\")\n\
+                     entries = {{key: loaded_data[key] for key in loaded_data if {key_test}}}\n\
+                     values = {{key: {metric_expr} for key, entry in entries.items()}}\n\
+                     result = str(sorted(values.items(), key=lambda kv: kv[1], reverse=True))"
+                )
+            }
         }
     }
 }

@@ -17,6 +17,7 @@ use cachemind_lang::intent::{QueryCategory, QueryIntent, Tier};
 use cachemind_tracedb::schema;
 use cachemind_tracedb::store::TraceStore;
 
+use crate::optimize::optimize;
 use crate::plan::{AggColumn, AggFunc, Plan, PlanError};
 use crate::quality::grade;
 use crate::retriever::{resolve_trace_slots, Retriever};
@@ -217,8 +218,14 @@ impl Retriever for RangerRetriever {
         let Some(plan) = compiled else {
             return RetrievedContext::empty("ranger");
         };
+        // Execute the optimized rewrite (pushdown + collapse + hoisting);
+        // the rewrite-equivalence harness pins its facts byte-identical to
+        // the naive plan's. The *naive* plan stays the one rendered for
+        // code-generation answers below — the optimizer accelerates
+        // execution without changing what "the generated code" looks like.
+        let optimized = optimize(plan.clone(), &intent.selector);
         let run_span = self.metrics.span(cachemind_obs::names::RETRIEVAL_PLAN_RUN);
-        let run_result = plan.run_scoped(db, &intent.selector.machine_scope());
+        let run_result = optimized.run_scoped(db, &intent.selector.machine_scope());
         run_span.finish();
         let mut facts = match run_result {
             Ok(facts) => facts,

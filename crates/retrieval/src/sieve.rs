@@ -119,6 +119,7 @@ impl SieveRetriever {
         db: &dyn TraceStore,
         entry: &TraceEntry,
         intent: &QueryIntent,
+        scope: &cachemind_sim::scenario::ScenarioSelector,
         facts: &mut Vec<Fact>,
     ) {
         facts.push(Fact::Snippet {
@@ -147,9 +148,9 @@ impl SieveRetriever {
         // Cross-policy statistics for policy analysis.
         if intent.category == QueryCategory::PolicyAnalysis {
             for policy in &intent.policies {
-                if let Some(other) = db.get_scoped(
+                if let Some(other) = db.get_scoped_resolved(
                     &cachemind_tracedb::database::TraceId::new(&entry.id.workload, policy),
-                    &intent.selector,
+                    scope,
                 ) {
                     if let Some(pc) = intent.pc {
                         if let Some(stats) =
@@ -181,13 +182,18 @@ impl Retriever for SieveRetriever {
         let (workload, policy) = resolve_trace_slots(db, intent, self.semantic);
         let expert = CacheStatisticalExpert::new();
         let mut facts: Vec<Fact> = Vec::new();
+        // The machine scope is resolved once per retrieval and handed to
+        // every lookup below — the multi-branch templates (policy and
+        // workload comparisons, reasoning bundles) must not re-derive it
+        // per branch.
+        let scope = intent.selector.machine_scope();
 
         // Stage 1: trace-level filtering, scoped to the intent's scenario
         // selector. Without a workload Sieve's templates have nothing to
         // bind to (except workload comparisons).
         let entry = workload.as_deref().and_then(|w| {
             let p = policy.as_deref().unwrap_or("lru");
-            db.get_scoped(&cachemind_tracedb::database::TraceId::new(w, p), &intent.selector)
+            db.get_scoped_resolved(&cachemind_tracedb::database::TraceId::new(w, p), &scope)
         });
 
         match intent.category {
@@ -267,9 +273,9 @@ impl Retriever for SieveRetriever {
             QueryCategory::PolicyComparison => {
                 if let Some(w) = workload.as_deref() {
                     for policy in db.policies() {
-                        let Some(entry) = db.get_scoped(
+                        let Some(entry) = db.get_scoped_resolved(
                             &cachemind_tracedb::database::TraceId::new(w, &policy),
-                            &intent.selector,
+                            &scope,
                         ) else {
                             continue;
                         };
@@ -337,9 +343,9 @@ impl Retriever for SieveRetriever {
             QueryCategory::WorkloadAnalysis => {
                 let p = policy.as_deref().unwrap_or("lru");
                 for w in db.workloads() {
-                    if let Some(entry) = db.get_scoped(
+                    if let Some(entry) = db.get_scoped_resolved(
                         &cachemind_tracedb::database::TraceId::new(&w, p),
-                        &intent.selector,
+                        &scope,
                     ) {
                         if let Some(rate) =
                             cachemind_tracedb::meta::extract_percent(&entry.metadata, "miss rate")
@@ -360,7 +366,7 @@ impl Retriever for SieveRetriever {
             // Reasoning-tier templates: assemble the rich curated bundle.
             _ => {
                 if let Some(entry) = entry {
-                    self.assemble_reasoning_bundle(db, entry, intent, &mut facts);
+                    self.assemble_reasoning_bundle(db, entry, intent, &scope, &mut facts);
                 } else if intent.category == QueryCategory::Concepts {
                     facts.push(Fact::Snippet {
                         title: "Cache geometry".to_owned(),

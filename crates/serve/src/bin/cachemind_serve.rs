@@ -64,6 +64,7 @@ fn usage() -> ! {
          \x20                      [--shards S] [--threads N] [--report PATH] [--no-timing]\n\
          \x20                      [--machines table2,small] [--prefetchers nextline,stride4]\n\
          \x20                      [--scenarios @table2,@small] [--max-idle-rounds R]\n\
+         \x20                      [--repeat-period N] [--no-answer-cache]\n\
          \x20                      [--build-db PATH | --db-path PATH [--startup-compare]]\n\
          \x20                      [--stats-json PATH]\n\
          \x20                      [--tcp ADDR [--port-file PATH] [--max-connections N]\n\
@@ -73,7 +74,12 @@ fn usage() -> ! {
          --prefetchers adds prefetcher-qualified (transformed-stream) traces;\n\
          --scenarios pins load-driver sessions round-robin to selectors\n\
          \x20   (canonical form workload@machine+prefetcher/policy, all parts optional);\n\
-         --max-idle-rounds reaps sessions untouched for R consecutive ask rounds;\n\
+         --max-idle-rounds reaps sessions untouched for R consecutive rounds (asks\n\
+         \x20   and opens both tick the clock);\n\
+         --repeat-period makes load-driver turn t re-ask the question of turn\n\
+         \x20   t mod N — the repeated-question mix that exercises the answer cache;\n\
+         --no-answer-cache disables the whole-answer cache (on by default) for\n\
+         \x20   cache-on/cache-off A/B runs;\n\
          --build-db simulates the configured database and writes it to PATH as a\n\
          \x20   versioned snapshot, then exits (no serving);\n\
          --db-path starts the engine from such a snapshot instead of simulating\n\
@@ -161,6 +167,7 @@ fn main() {
                 std::process::exit(2);
             })
         }),
+        answer_cache: !has(&args, "--no-answer-cache"),
         ..Default::default()
     };
 
@@ -299,6 +306,7 @@ fn main() {
             sessions: usize_flag(&args, "--sessions", LoadSpec::default().sessions),
             questions: usize_flag(&args, "--questions", LoadSpec::default().questions),
             scenarios,
+            repeat_period: usize_flag(&args, "--repeat-period", 0),
         };
         let mut outcome = match &tcp_addr {
             // Socket mode: drive a *running* server over real TCP

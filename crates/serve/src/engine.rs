@@ -64,6 +64,12 @@ pub struct ServeConfig {
     /// live until closed, the pre-reaping behaviour. A value of 0 is
     /// clamped to 1.
     pub max_idle_rounds: Option<u64>,
+    /// Whether the engine's [`CacheMind`] keeps a whole-answer cache
+    /// (answers keyed by db fingerprint + canonical selector + question).
+    /// Answering is deterministic, so the cache never changes a byte of
+    /// any response — on by default; `--no-answer-cache` turns it off for
+    /// A/B measurement.
+    pub answer_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +83,7 @@ impl Default for ServeConfig {
             machines: Vec::new(),
             prefetchers: Vec::new(),
             max_idle_rounds: None,
+            answer_cache: true,
         }
     }
 }
@@ -115,7 +122,8 @@ struct SessionState {
 struct SessionTable {
     sessions: BTreeMap<u64, SessionState>,
     /// Completed-round counter: incremented once at the start of every
-    /// [`ServeEngine::ask_round`], serially under the lock — the
+    /// [`ServeEngine::ask_round`] and once per
+    /// [`ServeEngine::open_request`], serially under the lock — the
     /// deterministic clock idle reaping measures against (wall time would
     /// break byte-stability across thread counts).
     round: u64,
@@ -293,7 +301,8 @@ impl ServeEngine {
         let mind = CacheMind::shared(Arc::clone(&store))
             .with_retriever(config.retriever)
             .with_backend(config.backend)
-            .with_metrics(&registry);
+            .with_metrics(&registry)
+            .with_answer_cache(config.answer_cache);
         ServeEngine {
             store,
             mind,
@@ -454,6 +463,28 @@ impl ServeEngine {
             .ok_or(ProtocolError::UnknownSession(session))
     }
 
+    /// Reaps sessions idle past the configured `--max-idle-rounds`
+    /// horizon — the shared tail of every round-clock tick ([`ask_round`]
+    /// and [`open_request`]). Measured against the table's *current*
+    /// round (which concurrent rounds may have advanced), so a session is
+    /// only reaped when no tick has touched it for the full window. A
+    /// no-op when no horizon is configured.
+    ///
+    /// [`ask_round`]: ServeEngine::ask_round
+    /// [`open_request`]: ServeEngine::open_request
+    fn reap_idle(&self, table: &mut SessionTable) {
+        if let Some(max_idle) = self.config.max_idle_rounds {
+            let limit = max_idle.max(1);
+            let current = table.round;
+            let before = table.sessions.len();
+            table.sessions.retain(|_, s| current.saturating_sub(s.last_active_round) < limit);
+            let reaped = before - table.sessions.len();
+            if reaped > 0 {
+                self.metrics.sessions_reaped.add(reaped as u64);
+            }
+        }
+    }
+
     /// Opens a session (or probes an existing one) without asking a
     /// question — the engine half of the protocol's `open` request.
     ///
@@ -461,6 +492,13 @@ impl ServeEngine {
     /// (unscoped when absent) and acknowledges at turn 0. With a session
     /// id, echoes the existing pin and turn count, refreshing the
     /// session's idle clock; unknown ids fail in-band.
+    ///
+    /// Like [`ServeEngine::ask_round`], an `open` ticks the round clock
+    /// and reaps sessions idle past the `--max-idle-rounds` horizon — so
+    /// a globally scoped TCP server whose traffic is opens and probes
+    /// still retires abandoned sessions. The session being opened or
+    /// probed is stamped with the new round first, so it is never reaped
+    /// by its own request.
     pub fn open_request(
         &self,
         session: Option<u64>,
@@ -471,14 +509,17 @@ impl ServeEngine {
                 let pinned = scenario.unwrap_or_default();
                 let (id, mut state) = self.fresh_session(pinned.clone());
                 let mut table = self.sessions.lock().expect("session map lock");
+                table.round += 1;
                 state.last_active_round = table.round;
                 table.sessions.insert(id, state);
+                self.reap_idle(&mut table);
                 AskResponse::opened(id, 0, &pinned)
             }
             Some(id) => {
                 let mut table = self.sessions.lock().expect("session map lock");
+                table.round += 1;
                 let round = table.round;
-                match table.sessions.get_mut(&id) {
+                let response = match table.sessions.get_mut(&id) {
                     Some(state) => {
                         state.last_active_round = round;
                         AskResponse::opened(id, state.chat.transcript().len(), &state.pinned)
@@ -487,7 +528,9 @@ impl ServeEngine {
                         self.metrics.error(ProtocolError::UnknownSession(id).kind());
                         AskResponse::failure(id, &ProtocolError::UnknownSession(id))
                     }
-                }
+                };
+                self.reap_idle(&mut table);
+                response
             }
         }
     }
@@ -657,11 +700,30 @@ impl ServeEngine {
         requests.insert("stats", Value::from(stats));
         requests.insert("total", Value::from(ask + open + close + stats));
 
+        // The whole-answer cache (stats v2): entry count plus the
+        // `retrieval.cache.*` counters, read from the cache's own handles
+        // so a `--no-answer-cache` server reports `enabled: false` and
+        // nothing else.
+        let mut cache = Value::object();
+        match self.mind.answer_cache() {
+            Some(answers) => {
+                cache.insert("enabled", Value::from(true));
+                cache.insert("entries", Value::from(answers.len() as u64));
+                cache.insert("hits", Value::from(answers.hits()));
+                cache.insert("misses", Value::from(answers.misses()));
+                cache.insert("inserts", Value::from(answers.inserts()));
+            }
+            None => {
+                cache.insert("enabled", Value::from(false));
+            }
+        }
+
         let mut root = Value::object();
         root.insert("stats_version", Value::from(STATS_VERSION));
         root.insert("sessions", sessions);
         root.insert("requests", requests);
         root.insert("errors", errors);
+        root.insert("cache", cache);
         root.insert("metrics", snap.to_value());
         root
     }
@@ -795,19 +857,8 @@ impl ServeEngine {
                 });
             }
             // End of the round: reap sessions idle past the configured
-            // horizon. Measured against the table's *current* round (which
-            // concurrent rounds may have advanced), so a session is only
-            // reaped when no round has touched it for the full window.
-            if let Some(max_idle) = self.config.max_idle_rounds {
-                let limit = max_idle.max(1);
-                let current = table.round;
-                let before = table.sessions.len();
-                table.sessions.retain(|_, s| current.saturating_sub(s.last_active_round) < limit);
-                let reaped = before - table.sessions.len();
-                if reaped > 0 {
-                    self.metrics.sessions_reaped.add(reaped as u64);
-                }
-            }
+            // horizon.
+            self.reap_idle(&mut table);
         }
         for (index, failure) in failures {
             responses[index] = Some(failure);
@@ -1171,6 +1222,82 @@ mod tests {
         engine.open_request(Some(probed), None);
         engine.ask_round(&[AskRequest::in_session(active, q)]);
         assert!(engine.transcript(probed).is_some(), "probe refreshed the idle clock");
+    }
+
+    #[test]
+    fn open_requests_tick_the_round_clock_and_reap_idle_sessions() {
+        let config = ServeConfig {
+            threads: Some(1),
+            shards: 3,
+            max_idle_rounds: Some(2),
+            ..Default::default()
+        };
+        let db = TraceDatabaseBuilder::quick_demo()
+            .shards(config.shards)
+            .try_build_sharded()
+            .expect("demo build");
+        let engine = ServeEngine::over(db, config);
+
+        // A session abandoned at round 0; all later traffic is opens and
+        // probes only — the TCP-global-scope shape where no ask round
+        // ever runs.
+        let abandoned = engine.open_session();
+        let first = engine.open_request(None, None); // round 1
+        assert!(first.is_ok());
+        assert_eq!(engine.session_count(), 2, "one idle round survives a window of two");
+        let second = engine.open_request(None, None); // round 2: abandoned is 2 rounds idle
+        assert!(second.is_ok());
+        assert_eq!(engine.session_count(), 2, "opens-only traffic reaped the abandoned session");
+        assert!(engine.transcript(abandoned).is_none(), "reaped state is gone");
+
+        // A probe stamps its own session before reaping, so it is never
+        // reaped by its own request.
+        let probe = engine.open_request(Some(first.session), None); // round 3
+        assert!(probe.is_ok());
+        assert_eq!(probe.session, first.session);
+        assert_eq!(engine.session_count(), 2);
+
+        // Even a failed probe ticks the clock and reaps: `second` (last
+        // active at round 2) falls to this round-4 tick.
+        let missing = engine.open_request(Some(999), None); // round 4
+        assert_eq!(missing.error_kind.as_deref(), Some("unknown_session"));
+        assert_eq!(engine.session_count(), 1);
+        assert!(engine.transcript(first.session).is_some(), "the probed session survived");
+        assert!(engine.transcript(second.session).is_none());
+
+        let stats = engine.stats_value();
+        let reaped = stats.get("sessions").and_then(|s| s.get("reaped")).and_then(Value::as_u64);
+        assert_eq!(reaped, Some(2), "both reaps counted");
+    }
+
+    #[test]
+    fn stats_report_the_answer_cache() {
+        let engine = engine(1);
+        let q = "What is the overall miss rate of the mcf workload under LRU?";
+        engine.handle(&AskRequest::new(q));
+        engine.handle(&AskRequest::new(q));
+        let stats = engine.stats_value();
+        let cache = stats.get("cache").expect("stats v2 carries the cache object");
+        let count = |key: &str| cache.get(key).and_then(Value::as_u64);
+        assert_eq!(cache.get("enabled").and_then(Value::as_bool), Some(true));
+        assert_eq!(count("entries"), Some(1), "one distinct question");
+        assert_eq!(count("hits"), Some(1), "the repeat replayed the stored answer");
+        assert_eq!(count("misses"), Some(1));
+        assert_eq!(count("inserts"), Some(1));
+
+        // A cache-off engine reports only the flag.
+        let config =
+            ServeConfig { threads: Some(1), shards: 3, answer_cache: false, ..Default::default() };
+        let db = TraceDatabaseBuilder::quick_demo()
+            .shards(config.shards)
+            .try_build_sharded()
+            .expect("demo build");
+        let off = ServeEngine::over(db, config);
+        off.handle(&AskRequest::new(q));
+        let stats = off.stats_value();
+        let cache = stats.get("cache").expect("cache object present even when disabled");
+        assert_eq!(cache.get("enabled").and_then(Value::as_bool), Some(false));
+        assert!(cache.get("hits").is_none(), "no counters for a disabled cache");
     }
 
     #[test]

@@ -30,11 +30,17 @@ pub struct LoadSpec {
     /// pins `scenarios[s % len]`). Empty = the v1 driver: unscoped
     /// sessions, byte-identical to the pre-v2 run.
     pub scenarios: Vec<ScenarioSelector>,
+    /// Repeated-question period (`--repeat-period`): `0` keeps every turn
+    /// distinct (the classic driver, byte-identical); `N > 0` makes turn
+    /// `t` re-ask the question of turn `t % N`, so a drive of `M`
+    /// questions per session asks only `min(M, N)` distinct ones — the
+    /// mix that exercises the whole-answer cache.
+    pub repeat_period: usize,
 }
 
 impl Default for LoadSpec {
     fn default() -> Self {
-        LoadSpec { sessions: 8, questions: 4, scenarios: Vec::new() }
+        LoadSpec { sessions: 8, questions: 4, scenarios: Vec::new(), repeat_period: 0 }
     }
 }
 
@@ -46,6 +52,16 @@ impl LoadSpec {
             ScenarioSelector::all()
         } else {
             self.scenarios[session % self.scenarios.len()].clone()
+        }
+    }
+
+    /// The turn whose question turn `t` actually asks — `t` itself, or
+    /// `t % repeat_period` when a repeat period is configured.
+    pub fn question_turn(&self, turn: usize) -> usize {
+        if self.repeat_period > 0 {
+            turn % self.repeat_period
+        } else {
+            turn
         }
     }
 }
@@ -238,6 +254,11 @@ impl LoadOutcome {
         aggregate.insert("sessions", Value::from(self.spec.sessions));
         aggregate.insert("questions_per_session", Value::from(self.spec.questions));
         aggregate.insert("questions", Value::from(self.spec.sessions * self.spec.questions));
+        if self.spec.repeat_period > 0 {
+            // Recorded only when configured, so classic (period-0) reports
+            // keep their legacy bytes exactly.
+            aggregate.insert("repeat_period", Value::from(self.spec.repeat_period));
+        }
         aggregate.insert("answered", Value::from(self.answered()));
         aggregate.insert("errors", Value::from(self.errors()));
         aggregate.insert("answer_bytes", Value::from(answer_bytes));
@@ -317,7 +338,7 @@ pub fn run_load_driver(engine: &ServeEngine, spec: LoadSpec) -> LoadOutcome {
         .map(|s| {
             let pin = spec.pin_for(s);
             (0..spec.questions)
-                .map(|t| synthetic_question_scoped(engine.store(), s, t, &pin))
+                .map(|t| synthetic_question_scoped(engine.store(), s, spec.question_turn(t), &pin))
                 .collect()
         })
         .collect();
@@ -391,7 +412,7 @@ pub fn run_load_driver_tcp(
         .map(|s| {
             let pin = spec.pin_for(s);
             (0..spec.questions)
-                .map(|t| synthetic_question_scoped(engine.store(), s, t, &pin))
+                .map(|t| synthetic_question_scoped(engine.store(), s, spec.question_turn(t), &pin))
                 .collect()
         })
         .collect();
@@ -511,8 +532,10 @@ mod tests {
     #[test]
     fn load_driver_answers_everything() {
         let engine = engine(2);
-        let outcome =
-            run_load_driver(&engine, LoadSpec { sessions: 3, questions: 2, scenarios: vec![] });
+        let outcome = run_load_driver(
+            &engine,
+            LoadSpec { sessions: 3, questions: 2, scenarios: vec![], repeat_period: 0 },
+        );
         assert_eq!(outcome.answered(), 6);
         assert_eq!(outcome.errors(), 0);
         assert_eq!(engine.session_count(), 3);
@@ -532,10 +555,50 @@ mod tests {
     }
 
     #[test]
+    fn repeat_period_recycles_questions_and_hits_the_answer_cache() {
+        let engine = engine(2);
+        let spec = LoadSpec { sessions: 2, questions: 6, repeat_period: 3, ..Default::default() };
+        let outcome = run_load_driver(&engine, spec);
+        assert_eq!(outcome.errors(), 0);
+        for s in 0..2 {
+            for t in 3..6 {
+                assert_eq!(
+                    outcome.questions[s][t],
+                    outcome.questions[s][t - 3],
+                    "turn {t} re-asks turn {}",
+                    t - 3
+                );
+                assert_eq!(
+                    outcome.responses[s][t].answer,
+                    outcome.responses[s][t - 3].answer,
+                    "repeated questions replay identical answers"
+                );
+            }
+        }
+        // The repeated half of the drive hit the engine's answer cache:
+        // 2 sessions ask the same 3-question schedule offset by session,
+        // so every turn past the first period is a replay.
+        let snap = engine.metrics().snapshot();
+        assert!(
+            snap.counter(cachemind_obs::names::RETRIEVAL_CACHE_HITS) >= 6,
+            "the second period replays stored answers"
+        );
+        // The period is recorded in the deterministic report; period-0
+        // runs keep the legacy bytes.
+        let report = outcome.render(&engine, false);
+        assert!(report.contains("\"repeat_period\": 3"), "{report}");
+        let plain =
+            run_load_driver(&engine, LoadSpec { sessions: 1, questions: 1, ..Default::default() });
+        assert!(!plain.render(&engine, false).contains("repeat_period"));
+    }
+
+    #[test]
     fn startup_timing_renders_only_in_the_timing_block() {
         let engine = engine(1);
-        let mut outcome =
-            run_load_driver(&engine, LoadSpec { sessions: 1, questions: 1, scenarios: vec![] });
+        let mut outcome = run_load_driver(
+            &engine,
+            LoadSpec { sessions: 1, questions: 1, scenarios: vec![], repeat_period: 0 },
+        );
         outcome.startup = Some(StartupTiming {
             source: "snapshot".into(),
             micros: 1234,
@@ -570,6 +633,7 @@ mod tests {
                 ScenarioSelector::all().with_machine("table2"),
                 ScenarioSelector::all().with_machine("small"),
             ],
+            repeat_period: 0,
         };
         let outcome = run_load_driver(&engine, spec);
         assert_eq!(outcome.errors(), 0);

@@ -61,8 +61,9 @@
 //!
 //! A `{"stats": true}` line returns the server's versioned metrics
 //! snapshot — sessions open/opened/closed/reaped, requests by kind,
-//! per-`error_kind` counts, and the full latency histograms — as one JSON
-//! object with `"stats_version": 1` ([`STATS_VERSION`]). Stats requests
+//! per-`error_kind` counts, the whole-answer cache's entry/hit/miss
+//! counts, and the full latency histograms — as one JSON object with
+//! `"stats_version": 2` ([`STATS_VERSION`]). Stats requests
 //! are pure reads: they never touch a session, and the snapshot is taken
 //! *before* the stats request itself is counted, so after driving N asks
 //! the first stats response reports exactly N requests.
@@ -86,8 +87,9 @@ pub const PROTOCOL_V2: u64 = 2;
 /// The legacy, selector-free protocol version.
 pub const PROTOCOL_V1: u64 = 1;
 /// Version stamp of the `stats` response shape (the `stats_version`
-/// field), bumped whenever the stats object's layout changes.
-pub const STATS_VERSION: u64 = 1;
+/// field), bumped whenever the stats object's layout changes. Version 2
+/// added the `cache` object (whole-answer cache entries/hits/misses).
+pub const STATS_VERSION: u64 = 2;
 
 /// A protocol-level failure, reported in-band per request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -854,7 +856,7 @@ mod tests {
         obj.insert("stats_version", Value::from(STATS_VERSION));
         let stats = Response::Stats(obj);
         assert!(stats.is_ok());
-        assert_eq!(stats.to_json(false), "{\"stats_version\":1}");
+        assert_eq!(stats.to_json(false), "{\"stats_version\":2}");
         // Timing gating never alters a stats object.
         assert_eq!(stats.to_json(true), stats.to_json(false));
 

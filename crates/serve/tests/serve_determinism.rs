@@ -26,7 +26,7 @@ fn engine_with(threads: usize, retriever: RetrieverKind) -> ServeEngine {
 
 #[test]
 fn load_driver_is_byte_identical_across_worker_counts() {
-    let spec = LoadSpec { sessions: 5, questions: 3, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 5, questions: 3, scenarios: vec![], repeat_period: 0 };
     let mut reports = Vec::new();
     for threads in [1usize, 2, 8] {
         let engine = engine_with(threads, RetrieverKind::Sieve);
@@ -44,7 +44,7 @@ fn load_driver_is_byte_identical_across_worker_counts() {
 
 #[test]
 fn batched_rounds_match_serial_replay() {
-    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![], repeat_period: 0 };
     let batched_engine = engine_with(8, RetrieverKind::Ranger);
     let outcome = run_load_driver(&batched_engine, spec.clone());
 
@@ -86,6 +86,7 @@ fn scenario_pinned_load_driver_is_byte_identical_across_worker_counts() {
             ScenarioSelector::all().with_machine("table2"),
             ScenarioSelector::all().with_machine("small"),
         ],
+        repeat_period: 0,
     };
     let mut reports = Vec::new();
     for threads in [1usize, 2, 8] {
@@ -123,7 +124,7 @@ fn scenario_pinned_load_driver_is_byte_identical_across_worker_counts() {
     let plain =
         ServeEngine::build(ServeConfig { threads: Some(2), shards: 3, ..Default::default() })
             .expect("build");
-    let v1 = LoadSpec { sessions: 3, questions: 3, scenarios: vec![] };
+    let v1 = LoadSpec { sessions: 3, questions: 3, scenarios: vec![], repeat_period: 0 };
     let a = run_load_driver(&multi, v1.clone());
     let b = run_load_driver(&plain, v1);
     for (ra, rb) in a.responses.iter().flatten().zip(b.responses.iter().flatten()) {

@@ -33,7 +33,7 @@ fn snapshot_served_v1_driver_matches_fresh_build_across_worker_counts() {
     let db = TraceDatabaseBuilder::quick_demo().shards(3).try_build_sharded().expect("demo build");
     db.save(&path).expect("save snapshot");
 
-    let spec = LoadSpec { sessions: 5, questions: 3, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 5, questions: 3, scenarios: vec![], repeat_period: 0 };
     let config = ServeConfig { threads: Some(1), shards: 3, ..Default::default() };
     let fresh = ServeEngine::over(db, config.clone());
     let reference_outcome = run_load_driver(&fresh, spec.clone());
@@ -81,6 +81,7 @@ fn snapshot_served_v2_driver_matches_fresh_build_across_worker_counts() {
             ScenarioSelector::all().with_machine("table2"),
             ScenarioSelector::all().with_machine("small"),
         ],
+        repeat_period: 0,
     };
     let fresh = ServeEngine::over(db, config.clone());
     let reference_outcome = run_load_driver(&fresh, spec.clone());

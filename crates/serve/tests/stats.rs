@@ -41,13 +41,13 @@ fn count(value: &Value, path: &[&str]) -> u64 {
 #[test]
 fn stats_counters_match_the_load_driver_totals() {
     let engine = engine(4);
-    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![], repeat_period: 0 };
     let outcome = run_load_driver(&engine, spec);
     let driven = (outcome.answered() + outcome.errors()) as u64;
     assert_eq!(driven, 12, "4 sessions x 3 questions");
 
     let stats = engine.stats_value();
-    assert_eq!(count(&stats, &["stats_version"]), 1);
+    assert_eq!(count(&stats, &["stats_version"]), 2);
     assert_eq!(count(&stats, &["requests", "ask"]), driven, "ask counter == driven questions");
     assert_eq!(count(&stats, &["requests", "total"]), driven, "nothing else was requested");
     assert_eq!(count(&stats, &["errors", "total"]), outcome.errors() as u64);
@@ -122,7 +122,7 @@ fn metrics_never_perturb_the_deterministic_report() {
     // Drive two identical loads — one on an engine whose metrics were
     // pre-warmed with extra traffic — and require byte-identical
     // deterministic reports: telemetry is a wall-clock side channel only.
-    let spec = LoadSpec { sessions: 3, questions: 2, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 3, questions: 2, scenarios: vec![], repeat_period: 0 };
     let quiet = engine(2);
     let quiet_outcome = run_load_driver(&quiet, spec.clone());
 

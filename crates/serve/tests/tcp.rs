@@ -132,7 +132,7 @@ fn tcp_driver_matches_stdin_byte_for_byte_across_worker_counts() {
     let db = TraceDatabaseBuilder::quick_demo().shards(3).try_build_sharded().expect("demo build");
     db.save(&path).expect("save snapshot");
 
-    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![], repeat_period: 0 };
     let config = ServeConfig { threads: Some(1), shards: 3, ..Default::default() };
     let local = ServeEngine::from_snapshot(&path, config.clone()).expect("snapshot loads");
     let reference_outcome = run_load_driver(&local, spec.clone());
@@ -353,7 +353,7 @@ fn tcp_and_stdin_drives_land_in_the_same_stats_registry() {
     // Identical drives, one per transport; global scope so no reaper
     // skews the session gauges. The request/error/session stats must
     // agree exactly — it is one engine registry either way.
-    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![] };
+    let spec = LoadSpec { sessions: 4, questions: 3, scenarios: vec![], repeat_period: 0 };
 
     let stdin_engine = engine(2);
     let stdin_outcome = run_load_driver(&stdin_engine, spec.clone());

@@ -1289,6 +1289,14 @@ impl TraceStore for LazyTraceDatabase {
     ) -> Option<&TraceEntry> {
         self.force().get_scoped(id, selector)
     }
+
+    fn get_scoped_resolved(
+        &self,
+        id: &TraceId,
+        scope: &cachemind_sim::scenario::ScenarioSelector,
+    ) -> Option<&TraceEntry> {
+        self.force().get_scoped_resolved(id, scope)
+    }
 }
 
 #[cfg(test)]

@@ -120,7 +120,19 @@ pub trait TraceStore: std::fmt::Debug + Send + Sync {
     /// entries, which carry that label. `None` when no entry for the pair
     /// lies in scope.
     fn get_scoped(&self, id: &TraceId, selector: &ScenarioSelector) -> Option<&TraceEntry> {
-        let scope = selector.machine_scope();
+        self.get_scoped_resolved(id, &selector.machine_scope())
+    }
+
+    /// [`TraceStore::get_scoped`] over a scope that is *already* a machine
+    /// scope (workload/policy cleared — see
+    /// [`ScenarioSelector::machine_scope`]): the resolve-once entry point.
+    /// Multi-step plans derive the machine scope once per run and pass it
+    /// down to every branch instead of re-deriving (and re-allocating) it
+    /// per trace lookup. Passing a selector whose workload/policy halves
+    /// are still set would additionally filter the linear-scan fallback by
+    /// those fields, which is not the `get_scoped` contract — callers
+    /// resolve first.
+    fn get_scoped_resolved(&self, id: &TraceId, scope: &ScenarioSelector) -> Option<&TraceEntry> {
         let in_scope = |entry: &TraceEntry| {
             scope.matches_machine(&entry.machine)
                 && scope.prefetcher.as_deref().is_none_or(|p| p == entry.prefetcher)
@@ -153,7 +165,7 @@ pub trait TraceStore: std::fmt::Debug + Send + Sync {
                 }
             }
         }
-        self.select(&scope).find(|e| e.id.workload == id.workload && e.id.policy == id.policy)
+        self.select(scope).find(|e| e.id.workload == id.workload && e.id.policy == id.policy)
     }
 }
 
